@@ -1,0 +1,91 @@
+// B5: crypto substrate costs — SHA-256 over message sizes, Schnorr keygen/
+// sign/verify, and the full PF+=2 `verify()` predicate as used by the
+// delegation rules (Figs 5/7).  These bound how expensive authenticated
+// delegation is per flow-setup.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "identxx/daemon_config.hpp"
+#include "pf/eval.hpp"
+#include "pf/parser.hpp"
+
+namespace {
+
+using namespace identxx;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string message(static_cast<std::size_t>(state.range(0)), 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(message));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_SchnorrKeygen(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::PrivateKey::from_seed("seed-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_SchnorrKeygen);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const std::string message(256, 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(message));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const std::string message(256, 'm');
+  const crypto::Signature sig = key.sign(message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(key.public_key(), message, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+/// The whole Fig 5-style predicate: verify(@dst[req-sig], @pubkeys[k], ...)
+/// evaluated through the policy engine.
+void BM_PolicyVerifyPredicate(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("research");
+  const std::string requirements = "block all pass all";
+  const std::string exe_hash(64, 'a');
+  const crypto::Signature sig =
+      key.sign(proto::signed_message({exe_hash, "app", requirements}));
+
+  proto::Response response;
+  proto::Section section;
+  section.add("exe-hash", exe_hash);
+  section.add("app-name", "app");
+  section.add("requirements", requirements);
+  section.add("req-sig", sig.to_hex());
+  response.append_section(section);
+
+  pf::FlowContext ctx;
+  ctx.flow.src_ip = *net::Ipv4Address::parse("10.0.0.1");
+  ctx.flow.dst_ip = *net::Ipv4Address::parse("10.0.0.2");
+  ctx.dst = proto::ResponseDict(response);
+
+  const pf::PolicyEngine engine(pf::parse(
+      "dict <pubkeys> { research : " + key.public_key().to_hex() + " }\n"
+      "block all\n"
+      "pass all with verify(@dst[req-sig], @pubkeys[research], "
+      "@dst[exe-hash], @dst[app-name], @dst[requirements])\n"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx).allowed());
+  }
+}
+BENCHMARK(BM_PolicyVerifyPredicate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

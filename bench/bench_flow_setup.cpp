@@ -1,0 +1,258 @@
+// B1 / F1: the Figure 1 flow-setup sequence, quantified.
+//
+// Measures end-to-end flow setup through the full simulated stack —
+// packet-in, ident++ queries to both daemons, policy evaluation, path-wide
+// entry installation, buffered-packet release — against the baselines
+// (Ethane-style: no queries; vanilla firewall: ACL only) across path
+// lengths, plus the DESIGN.md §6 ablations (src-only queries, ingress-only
+// install, decision caching).
+//
+// Two numbers matter per configuration:
+//   * wall-clock time/op — how fast the controller implementation is;
+//   * sim_setup_us       — the *simulated* latency the end-host observes
+//                           (propagation + control channel + daemon RTTs).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/network.hpp"
+
+namespace {
+
+using namespace identxx;
+
+enum class Flavour { kIdentxx, kIdentxxSrcOnly, kIdentxxIngressOnly,
+                     kIdentxxIngressOnlyCached, kEthane, kVanilla };
+
+struct Rig {
+  explicit Rig(std::int64_t path_len, Flavour flavour) : flavour_(flavour) {
+    std::vector<sim::NodeId> switches;
+    for (std::int64_t i = 0; i < path_len; ++i) {
+      switches.push_back(net.add_switch("s" + std::to_string(i)));
+    }
+    client = &net.add_host("client", "10.0.0.1");
+    server = &net.add_host("server", "10.0.0.2");
+    net.link(*client, switches.front());
+    for (std::size_t i = 0; i + 1 < switches.size(); ++i) {
+      net.link(switches[i], switches[i + 1]);
+    }
+    net.link(*server, switches.back());
+
+    const char* policy =
+        "block all\npass from any to any port 80 with eq(@src[userID], alice)\n";
+    switch (flavour) {
+      case Flavour::kIdentxx:
+        controller = &net.install_controller(policy);
+        break;
+      case Flavour::kIdentxxSrcOnly: {
+        ctrl::ControllerConfig config;
+        config.query_both_ends = false;
+        controller = &net.install_controller(policy, config);
+        break;
+      }
+      case Flavour::kIdentxxIngressOnly: {
+        ctrl::ControllerConfig config;
+        config.install_full_path = false;
+        controller = &net.install_controller(policy, config);
+        break;
+      }
+      case Flavour::kIdentxxIngressOnlyCached: {
+        ctrl::ControllerConfig config;
+        config.install_full_path = false;
+        config.decision_cache_ttl = 60 * sim::kSecond;
+        controller = &net.install_controller(policy, config);
+        break;
+      }
+      case Flavour::kEthane:
+        net.install_ethane_controller(
+            "block all\npass from any to any port 80\n");
+        break;
+      case Flavour::kVanilla: {
+        auto& fw = net.install_vanilla_firewall(false);
+        ctrl::VanillaFirewall::AclRule rule;
+        rule.dst_port_low = 80;
+        rule.dst_port_high = 80;
+        rule.allow = true;
+        fw.add_rule(rule);
+        break;
+      }
+    }
+    client->add_user("alice", "staff");
+    pid = client->launch("alice", "/usr/bin/curl");
+    server->add_user("www", "daemons");
+    const int httpd = server->launch("www", "/usr/sbin/httpd");
+    server->listen(httpd, 80);
+  }
+
+  /// One full flow setup; returns the simulated setup latency (ns).
+  sim::SimTime one_flow() {
+    if (flavour_ == Flavour::kEthane || flavour_ == Flavour::kVanilla) {
+      // Long runs reuse ephemeral ports; flush the baselines' cached flow
+      // entries so every iteration measures a fresh decision.  (The
+      // ident++ rigs advance the simulated clock past the idle timeout
+      // each iteration, so their entries expire naturally.)
+      for (const auto sw : net.switch_ids()) {
+        net.switch_at(sw).table().remove_if(
+            [](const openflow::FlowEntry& e) { return e.cookie != 0; });
+      }
+    }
+    const sim::SimTime start = net.simulator().now();
+    const net::FiveTuple flow = client->connect_flow(pid, server->ip(), 80);
+    client->send_flow_packet(flow);
+    net.run();
+    client->close_flow(flow);
+    const sim::SimTime delivered = server->last_delivery_time();
+    server->clear_delivered();
+    return delivered >= start ? delivered - start : -1;
+  }
+
+  core::Network net;
+  host::Host* client = nullptr;
+  host::Host* server = nullptr;
+  ctrl::IdentxxController* controller = nullptr;
+  int pid = 0;
+  Flavour flavour_;
+};
+
+void run_setup_bench(benchmark::State& state, Flavour flavour) {
+  Rig rig(state.range(0), flavour);
+  double total_sim_us = 0;
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    const sim::SimTime latency = rig.one_flow();
+    if (latency >= 0) {
+      total_sim_us += static_cast<double>(latency) / 1000.0;
+      ++delivered;
+    }
+  }
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+  state.counters["sim_setup_us"] =
+      delivered > 0 ? total_sim_us / static_cast<double>(delivered) : 0;
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_IdentxxFlowSetup(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kIdentxx);
+}
+BENCHMARK(BM_IdentxxFlowSetup)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_IdentxxSrcOnlyQuery(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kIdentxxSrcOnly);
+}
+BENCHMARK(BM_IdentxxSrcOnlyQuery)->Arg(4);
+
+void BM_IdentxxIngressOnlyInstall(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kIdentxxIngressOnly);
+}
+BENCHMARK(BM_IdentxxIngressOnlyInstall)->Arg(4);
+
+void BM_IdentxxIngressOnlyWithDecisionCache(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kIdentxxIngressOnlyCached);
+}
+BENCHMARK(BM_IdentxxIngressOnlyWithDecisionCache)->Arg(4);
+
+void BM_EthaneFlowSetup(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kEthane);
+}
+BENCHMARK(BM_EthaneFlowSetup)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_VanillaFlowSetup(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kVanilla);
+}
+BENCHMARK(BM_VanillaFlowSetup)->Arg(1)->Arg(4)->Arg(8);
+
+/// Decision caching ablation, part 1: packets of an established flow ride
+/// the installed entries (no controller involvement).
+void BM_CachedForwarding(benchmark::State& state) {
+  Rig rig(state.range(0), Flavour::kIdentxx);
+  const net::FiveTuple flow = rig.client->connect_flow(rig.pid,
+                                                       rig.server->ip(), 80);
+  rig.client->send_flow_packet(flow);
+  rig.net.run();  // set up once
+  double total_sim_us = 0;
+  for (auto _ : state) {
+    const sim::SimTime start = rig.net.simulator().now();
+    rig.client->send_flow_packet(flow, "payload", net::TcpFlags::kPsh);
+    rig.net.run();
+    total_sim_us +=
+        static_cast<double>(rig.server->last_delivery_time() - start) / 1000.0;
+    rig.server->clear_delivered();
+  }
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+  state.counters["sim_fwd_us"] =
+      total_sim_us / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedForwarding)->Arg(1)->Arg(4)->Arg(8);
+
+/// Decision caching ablation, part 2: revoke installed entries before each
+/// packet, forcing a full re-decision (queries and all) every time.
+void BM_UncachedEveryPacket(benchmark::State& state) {
+  Rig rig(state.range(0), Flavour::kIdentxx);
+  const net::FiveTuple flow = rig.client->connect_flow(rig.pid,
+                                                       rig.server->ip(), 80);
+  rig.client->send_flow_packet(flow);
+  rig.net.run();
+  double total_sim_us = 0;
+  for (auto _ : state) {
+    rig.controller->revoke_all();
+    const sim::SimTime start = rig.net.simulator().now();
+    rig.client->send_flow_packet(flow, "payload", net::TcpFlags::kPsh);
+    rig.net.run();
+    total_sim_us +=
+        static_cast<double>(rig.server->last_delivery_time() - start) / 1000.0;
+    rig.server->clear_delivered();
+  }
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+  state.counters["sim_fwd_us"] =
+      total_sim_us / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UncachedEveryPacket)->Arg(4);
+
+/// Negative-cache ablation: with drop entries installed, retries of a
+/// blocked flow die in the switch; without them every retry re-runs the
+/// whole decision (queries included) at the controller.
+void run_blocked_retry_bench(benchmark::State& state, bool install_drops) {
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.install_drop_entries = install_drops;
+  auto& controller = net.install_controller("block all\n", config);
+  client.add_user("eve", "users");
+  const int pid = client.launch("eve", "/bin/flood");
+  server.add_user("www", "daemons");
+  const int srv = server.launch("www", "/bin/srv");
+  server.listen(srv, 80);
+
+  const net::FiveTuple flow = client.connect_flow(pid, server.ip(), 80);
+  client.send_flow_packet(flow);
+  net.run();  // first decision (blocked)
+  for (auto _ : state) {
+    client.send_flow_packet(flow, "retry");
+    net.run();
+  }
+  state.counters["controller_packet_ins"] =
+      static_cast<double>(controller.stats().packet_ins);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BlockedRetryWithDropEntries(benchmark::State& state) {
+  run_blocked_retry_bench(state, true);
+}
+BENCHMARK(BM_BlockedRetryWithDropEntries);
+
+void BM_BlockedRetryNoDropEntries(benchmark::State& state) {
+  run_blocked_retry_bench(state, false);
+}
+BENCHMARK(BM_BlockedRetryNoDropEntries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// B2: PF+=2 policy evaluation scaling — rule-count sweeps with and without
+// `with` predicates, the `quick` short-circuit ablation (DESIGN.md §6),
+// table-membership costs, and the delegated-rules (`allowed`) path.
+
+#include <benchmark/benchmark.h>
+
+#include "pf/eval.hpp"
+#include "pf/parser.hpp"
+
+namespace {
+
+using namespace identxx;
+
+pf::FlowContext make_ctx(const char* app = "skype", const char* version = "210") {
+  proto::Response r;
+  proto::Section s;
+  s.add("name", app);
+  s.add("version", version);
+  s.add("userID", "alice");
+  s.add("groupID", "users");
+  r.append_section(s);
+  pf::FlowContext ctx;
+  ctx.flow.src_ip = *net::Ipv4Address::parse("192.168.0.10");
+  ctx.flow.dst_ip = *net::Ipv4Address::parse("192.168.0.11");
+  ctx.flow.src_port = 40000;
+  ctx.flow.dst_port = 80;
+  ctx.src = proto::ResponseDict(r);
+  ctx.dst = proto::ResponseDict(r);
+  return ctx;
+}
+
+/// N rules over network primitives only (what Ethane/vanilla can express).
+std::string primitive_rules(std::int64_t n) {
+  std::string policy = "block all\n";
+  for (std::int64_t i = 0; i < n; ++i) {
+    policy += "pass from 10." + std::to_string(i % 256) + ".0.0/16 to any port " +
+              std::to_string(1000 + i % 60000) + "\n";
+  }
+  return policy;
+}
+
+/// N rules each with two `with` predicates over @src.
+std::string with_rules(std::int64_t n) {
+  std::string policy = "block all\n";
+  for (std::int64_t i = 0; i < n; ++i) {
+    policy += "pass all with eq(@src[name], app-" + std::to_string(i) +
+              ") with gte(@src[version], " + std::to_string(i % 400) + ")\n";
+  }
+  return policy;
+}
+
+void BM_ParseRules(benchmark::State& state) {
+  const std::string policy = with_rules(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::parse(policy, "bench"));
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParseRules)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EvalPrimitiveRules(benchmark::State& state) {
+  const pf::PolicyEngine engine(pf::parse(primitive_rules(state.range(0))));
+  const pf::FlowContext ctx = make_ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EvalPrimitiveRules)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EvalWithRules(benchmark::State& state) {
+  const pf::PolicyEngine engine(pf::parse(with_rules(state.range(0))));
+  const pf::FlowContext ctx = make_ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EvalWithRules)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Ablation: a matching `quick` rule near the top versus last-match scan of
+/// the whole ruleset (DESIGN.md §6).
+void BM_QuickShortCircuit(benchmark::State& state) {
+  std::string policy = "block all\npass quick all with eq(@src[name], skype)\n";
+  policy += with_rules(state.range(0));
+  const pf::PolicyEngine engine(pf::parse(policy));
+  const pf::FlowContext ctx = make_ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+}
+BENCHMARK(BM_QuickShortCircuit)->Arg(1000)->Arg(10000);
+
+void BM_NoQuickFullScan(benchmark::State& state) {
+  std::string policy = "block all\npass all with eq(@src[name], skype)\n";
+  policy += with_rules(state.range(0));
+  const pf::PolicyEngine engine(pf::parse(policy));
+  const pf::FlowContext ctx = make_ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+}
+BENCHMARK(BM_NoQuickFullScan)->Arg(1000)->Arg(10000);
+
+void BM_TableMembership(benchmark::State& state) {
+  // One rule over a table with N entries.
+  std::string policy = "table <lan> { ";
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    policy += std::to_string(10 + i % 200) + "." + std::to_string(i % 256) +
+              ".0.0/16 ";
+  }
+  policy += "}\nblock all\npass from <lan> to any\n";
+  const pf::PolicyEngine engine(pf::parse(policy));
+  const pf::FlowContext ctx = make_ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+  state.counters["table_entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TableMembership)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DelegatedAllowed(benchmark::State& state) {
+  // The allowed() path re-parses and evaluates delegated rules per call —
+  // the per-flow price of delegation without signature checking.
+  proto::Response r;
+  proto::Section s;
+  s.add("name", "research-app");
+  std::string requirements = "block all";
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    requirements += " pass all with eq(@src[name], research-app)";
+  }
+  s.add("requirements", requirements);
+  r.append_section(s);
+  pf::FlowContext ctx = make_ctx();
+  ctx.src = proto::ResponseDict(r);
+  const pf::PolicyEngine engine(
+      pf::parse("block all\npass all with allowed(@src[requirements])\n"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(ctx));
+  }
+  state.counters["delegated_rules"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DelegatedAllowed)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,274 @@
+// B6 / F2-F8: the paper's application scenarios as end-to-end benchmarks.
+//
+// Each benchmark drives complete flow setups (daemon queries, policy with
+// the figure's actual rules, signature verification where the figure uses
+// it) through the simulated network and reports flows/second plus the
+// share of flows the policy admitted.
+
+#include <benchmark/benchmark.h>
+
+#include "core/network.hpp"
+#include "crypto/schnorr.hpp"
+#include "identxx/daemon_config.hpp"
+#include "identxx/keys.hpp"
+
+namespace {
+
+using namespace identxx;
+
+int launch_with_pairs(host::Host& h, const std::string& user,
+                      const std::string& group, const std::string& exe,
+                      const proto::KeyValueList& pairs) {
+  h.add_user(user, group);
+  const int pid = h.launch(user, exe);
+  if (!pairs.empty()) {
+    proto::DaemonConfig config;
+    proto::AppConfig app;
+    app.exe_path = exe;
+    app.pairs = pairs;
+    config.apps.push_back(app);
+    h.daemon().add_config(proto::ConfigTrust::kSystem, config);
+  }
+  return pid;
+}
+
+/// Drive one flow to completion and tear its socket down.
+bool drive(core::Network& net, host::Host& src, int pid,
+           const std::string& dst_ip, std::uint16_t port) {
+  const auto handle = net.start_flow(src, pid, dst_ip, port);
+  net.run();
+  const bool delivered = net.flow_delivered(handle);
+  src.close_flow(handle.flow);
+  net.host(handle.dst_node != sim::kInvalidNode ? handle.dst_node
+                                                : src.id())
+      .clear_delivered();
+  return delivered;
+}
+
+// ---------------------------------------------------------------- Fig 2
+
+void BM_Fig2SkypeScenario(benchmark::State& state) {
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& a = net.add_host("a", "192.168.0.10");
+  auto& b = net.add_host("b", "192.168.0.11");
+  auto& server = net.add_host("server", "192.168.1.1");
+  net.link(a, s1);
+  net.link(b, s1);
+  net.link(server, s1);
+  net.install_controller(R"(
+table <server> { 192.168.1.1 }
+table <lan> { 192.168.0.0/24 }
+table <int_hosts> { <lan> <server> }
+allowed = "{ http ssh }"
+block all
+pass from <int_hosts> to !<int_hosts> keep state
+pass from <int_hosts> to <int_hosts> with member(@src[name], $allowed) keep state
+table <skype_update> { 123.123.123.0/24 }
+pass all with eq(@src[name], skype) with eq(@dst[name], skype)
+pass from any to <skype_update> port 80 with eq(@src[name], skype) keep state
+block all with eq(@src[name], skype) with lt(@src[version], 200)
+block from any to <server> with eq(@src[name], skype)
+)");
+  const int skype_a = launch_with_pairs(a, "ann", "users", "/usr/bin/skype",
+                                        {{"name", "skype"}, {"version", "210"}});
+  const int ssh_a = launch_with_pairs(a, "ann2", "users", "/usr/bin/ssh",
+                                      {{"name", "ssh"}});
+  const int skype_b = launch_with_pairs(b, "ben", "users", "/usr/bin/skype",
+                                        {{"name", "skype"}, {"version", "205"}});
+  b.listen(skype_b, 5555);
+  b.listen(skype_b, 22);
+  (void)launch_with_pairs(server, "www", "daemons", "/usr/sbin/httpd",
+                          {{"name", "httpd"}});
+
+  std::int64_t allowed = 0, flows = 0;
+  int variant = 0;
+  for (auto _ : state) {
+    bool delivered = false;
+    switch (variant++ % 3) {
+      case 0: delivered = drive(net, a, skype_a, "192.168.0.11", 5555); break;
+      case 1: delivered = drive(net, a, ssh_a, "192.168.0.11", 22); break;
+      case 2: delivered = drive(net, a, skype_a, "192.168.1.1", 80); break;
+    }
+    allowed += delivered ? 1 : 0;
+    ++flows;
+  }
+  state.SetItemsProcessed(flows);
+  state.counters["allowed_pct"] =
+      flows ? 100.0 * static_cast<double>(allowed) / static_cast<double>(flows)
+            : 0;
+}
+BENCHMARK(BM_Fig2SkypeScenario);
+
+// ---------------------------------------------------------------- Fig 5
+
+void BM_Fig5ResearchDelegation(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("research");
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& rm1 = net.add_host("rm1", "10.1.0.1");
+  auto& rm2 = net.add_host("rm2", "10.1.0.2");
+  net.link(rm1, s1);
+  net.link(rm2, s1);
+  net.install_controller(
+      "table <research-machines> { 10.1.0.0/16 }\n"
+      "table <production-machines> { 10.2.0.0/16 }\n"
+      "dict <pubkeys> { research : " + key.public_key().to_hex() + " }\n"
+      "block all\n"
+      "pass from <research-machines> with member(@src[groupID], research) \\\n"
+      "  to !<production-machines> with member(@dst[groupID], research) \\\n"
+      "  with allowed(@dst[requirements]) \\\n"
+      "  with verify(@dst[req-sig], @pubkeys[research], \\\n"
+      "    @dst[exe-hash], @dst[app-name], @dst[requirements])\n");
+
+  const std::string exe = "/usr/bin/research-app";
+  const std::string requirements =
+      "block all pass all with eq(@src[name], research-app) "
+      "with eq(@dst[name], research-app)";
+  const crypto::Signature sig = key.sign(proto::signed_message(
+      {host::Host::image_hash(exe, ""), "research-app", requirements}));
+  const proto::KeyValueList pairs = {{"name", "research-app"},
+                                     {"requirements", requirements},
+                                     {"req-sig", sig.to_hex()}};
+  const int pid1 = launch_with_pairs(rm1, "alice", "research", exe, pairs);
+  const int pid2 = launch_with_pairs(rm2, "bob", "research", exe, pairs);
+  rm2.listen(pid2, 9000);
+
+  std::int64_t allowed = 0;
+  for (auto _ : state) {
+    allowed += drive(net, rm1, pid1, "10.1.0.2", 9000) ? 1 : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allowed_pct"] =
+      100.0 * static_cast<double>(allowed) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Fig5ResearchDelegation);
+
+// ---------------------------------------------------------------- Fig 8
+
+void BM_Fig8ConfickerGate(benchmark::State& state) {
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& ws = net.add_host("ws", "192.168.0.10");
+  auto& patched = net.add_host("patched", "192.168.0.20");
+  auto& unpatched = net.add_host("unpatched", "192.168.0.21");
+  net.link(ws, s1);
+  net.link(patched, s1);
+  net.link(unpatched, s1);
+  net.install_controller(R"(
+table <lan> { 192.168.0.0/24 }
+block all
+pass from <lan> with eq(@src[userID], system) \
+  to <lan> with eq(@dst[userID], system) \
+  with eq(@dst[name], Server) \
+  with includes(@dst[os-patch], MS08-067)
+)");
+  const int client = launch_with_pairs(ws, "system", "system",
+                                       "/win/svchost.exe", {});
+  const int s_ok = launch_with_pairs(patched, "system", "system",
+                                     "/win/services.exe",
+                                     {{"name", "Server"}});
+  patched.daemon().add_host_fact(proto::keys::kOsPatch, "MS08-001 MS08-067");
+  patched.listen(s_ok, 445);
+  const int s_bad = launch_with_pairs(unpatched, "system", "system",
+                                      "/win/services.exe",
+                                      {{"name", "Server"}});
+  unpatched.daemon().add_host_fact(proto::keys::kOsPatch, "MS08-001");
+  unpatched.listen(s_bad, 445);
+
+  std::int64_t allowed = 0, flows = 0;
+  int variant = 0;
+  for (auto _ : state) {
+    const bool to_patched = (variant++ % 2) == 0;
+    allowed += drive(net, ws, client,
+                     to_patched ? "192.168.0.20" : "192.168.0.21", 445)
+                   ? 1
+                   : 0;
+    ++flows;
+  }
+  state.SetItemsProcessed(flows);
+  state.counters["allowed_pct"] =
+      flows ? 100.0 * static_cast<double>(allowed) / static_cast<double>(flows)
+            : 0;
+}
+BENCHMARK(BM_Fig8ConfickerGate);
+
+// ---------------------------------------------------------------- §4 collab
+
+void BM_NetworkCollaboration(benchmark::State& state) {
+  core::Network net;
+  const auto sA = net.add_switch("sA");
+  const auto sB = net.add_switch("sB");
+  auto& clientA = net.add_host("clientA", "10.1.0.1");
+  auto& serverB = net.add_host("serverB", "10.2.0.1");
+  net.link(clientA, sA);
+  net.link(sA, sB);
+  net.link(serverB, sB);
+  net.install_domain_controller(
+      "block all\npass from any to any with eq(@dst[network], branchB)\n",
+      {sA});
+  auto& ctrlB = net.install_domain_controller("pass all\n", {sB});
+  ctrlB.set_response_augmenter(
+      [](const proto::Response&, const net::FiveTuple&)
+          -> std::optional<proto::Section> {
+        proto::Section section;
+        section.add(proto::keys::kNetwork, "branchB");
+        return section;
+      });
+  const int pid = launch_with_pairs(clientA, "alice", "users", "/bin/app", {});
+  const int srv = launch_with_pairs(serverB, "www", "daemons", "/bin/srv", {});
+  serverB.listen(srv, 80);
+
+  std::int64_t allowed = 0;
+  for (auto _ : state) {
+    allowed += drive(net, clientA, pid, "10.2.0.1", 80) ? 1 : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allowed_pct"] =
+      100.0 * static_cast<double>(allowed) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_NetworkCollaboration);
+
+// ---------------------------------------------------------------- daemon
+
+/// The daemon's answer path in isolation: 5-tuple -> process resolution,
+/// config lookup, response assembly (§3.5).  Sweeps the number of @app
+/// blocks the daemon has loaded.
+void BM_DaemonAnswer(benchmark::State& state) {
+  host::Host h("bench-host", *net::Ipv4Address::parse("10.0.0.1"),
+               net::MacAddress::for_node(1));
+  h.add_user("alice", "users");
+  proto::DaemonConfig config;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    proto::AppConfig app;
+    app.exe_path = "/usr/bin/app-" + std::to_string(i);
+    app.pairs = {{"name", "app-" + std::to_string(i)},
+                 {"version", std::to_string(i)},
+                 {"requirements", "block all pass all"}};
+    config.apps.push_back(std::move(app));
+  }
+  h.daemon().add_config(proto::ConfigTrust::kSystem, config);
+  const int pid = h.launch(
+      "alice", "/usr/bin/app-" + std::to_string(state.range(0) - 1));
+  const auto flow =
+      h.connect_flow(pid, *net::Ipv4Address::parse("10.0.0.2"), 80);
+
+  proto::Query query;
+  query.proto = flow.proto;
+  query.src_port = flow.src_port;
+  query.dst_port = flow.dst_port;
+  query.keys = {"userID", "name", "requirements"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h.daemon().answer(query, flow.dst_ip, flow.src_ip));
+  }
+  state.counters["app_blocks"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonAnswer)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// §1/§7: "the ability to delegate control and to override, audit, and
+// revoke the delegation when necessary."
+//
+// This example exercises the administrator's side of delegation:
+//   1. live traffic produces an audit log keyed by *principals* (users,
+//      applications), not addresses;
+//   2. per-flow usage accounting is read back from the switches' OpenFlow
+//      counters;
+//   3. when a user misbehaves, the administrator revokes that user's
+//      installed flows at runtime (revoke_if) and tightens policy — the
+//      next packet re-faces the controller and is blocked.
+//
+//   $ ./examples/audit_and_revoke
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/network.hpp"
+
+using namespace identxx;
+
+int main() {
+  std::printf("§1/§7: override, audit, and revoke\n\n");
+
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& shared = net.add_host("shared-box", "10.0.0.5");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(shared, s1);
+  net.link(server, s1);
+
+  auto& controller = net.install_controller(
+      "block all\n"
+      "pass log from any to any port 9000 with eq(@src[userID], eve)\n"
+      "pass from any to any port 9000 with eq(@src[userID], alice)\n");
+
+  shared.add_user("alice", "staff");
+  shared.add_user("eve", "staff");
+  const int alice_pid = shared.launch("alice", "/usr/bin/sync-tool");
+  const int eve_pid = shared.launch("eve", "/usr/bin/sync-tool");
+  server.add_user("www", "daemons");
+  const int srv = server.launch("www", "/bin/srv");
+  server.listen(srv, 9000);
+
+  // Both users open flows; eve's are log-flagged by policy.
+  const auto alice_flow = net.start_flow(shared, alice_pid, "10.0.0.2", 9000);
+  const auto eve_flow = net.start_flow(shared, eve_pid, "10.0.0.2", 9000);
+  net.run();
+  for (int i = 0; i < 3; ++i) {
+    shared.send_flow_packet(eve_flow.flow, "bulk data", net::TcpFlags::kPsh);
+  }
+  shared.send_flow_packet(alice_flow.flow, "small sync", net::TcpFlags::kPsh);
+  net.run();
+
+  std::printf("audit log (principals, not addresses):\n");
+  for (const auto& record : controller.audit_log()) {
+    std::printf("  user=%-6s %-44s %s%s\n", record.src_user.c_str(),
+                record.flow.to_string().c_str(),
+                record.allowed ? "pass" : "block",
+                record.logged ? "  [logged]" : "");
+  }
+
+  std::printf("\nper-flow usage from switch counters:\n");
+  for (const auto& usage : controller.flow_usage()) {
+    std::printf("  %-44s %llu packets, %llu bytes\n",
+                usage.flow.to_string().c_str(),
+                static_cast<unsigned long long>(usage.packets),
+                static_cast<unsigned long long>(usage.bytes));
+  }
+
+  // The audit shows eve hammering the server.  Revoke exactly eve's flows:
+  // collect her 5-tuples from the audit log, then surgically remove the
+  // matching entries from every switch.
+  std::unordered_set<net::FiveTuple> eve_flows;
+  for (const auto& record : controller.audit_log()) {
+    if (record.src_user == "eve" && record.allowed) {
+      eve_flows.insert(record.flow);
+    }
+  }
+  const std::size_t revoked = controller.revoke_if(
+      [&eve_flows](const net::FiveTuple& flow) {
+        return eve_flows.contains(flow);
+      });
+  // Override: tighten the policy before her next packet.
+  controller.set_policy(pf::parse(
+      "block all\npass from any to any port 9000 with eq(@src[userID], alice)\n",
+      "tightened"));
+  std::printf("\nrevoked %zu flow entr%s belonging to eve; policy tightened\n",
+              revoked, revoked == 1 ? "y" : "ies");
+
+  const auto before_eve = server.stats().flow_payloads_received;
+  shared.send_flow_packet(eve_flow.flow, "more bulk", net::TcpFlags::kPsh);
+  shared.send_flow_packet(alice_flow.flow, "still fine", net::TcpFlags::kPsh);
+  net.run();
+
+  const bool eve_cut = server.stats().flow_payloads_received == before_eve + 1;
+  std::printf("after revocation: eve's packet %s, alice's packet %s\n",
+              eve_cut ? "BLOCKED" : "delivered (!)",
+              eve_cut ? "DELIVERED" : "uncertain");
+  std::printf("\n%s\n", eve_cut
+                            ? "Delegation stayed under the administrator's "
+                              "full control, as §7 promises."
+                            : "MISMATCH against the paper!");
+  return eve_cut ? 0 : 1;
+}

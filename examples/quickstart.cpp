@@ -1,0 +1,76 @@
+// Quickstart: the Figure 1 flow-setup sequence, narrated.
+//
+// Builds the smallest useful ident++ network — one client, one server, one
+// OpenFlow switch, one controller — installs a user-aware policy that no
+// conventional firewall can express, and walks one allowed and one blocked
+// flow through the system.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/network.hpp"
+
+using namespace identxx;
+
+int main() {
+  std::printf("ident++ quickstart: delegating network security with more "
+              "information\n\n");
+
+  // 1. Topology: client -- s1 -- server.
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "192.168.0.10");
+  auto& server = net.add_host("server", "192.168.1.1");
+  net.link(client, s1);
+  net.link(server, s1);
+
+  // 2. Policy: only user alice may reach the server, and only over HTTP.
+  //    The principal here is the *user*, not an IP address (§1).
+  auto& controller = net.install_controller(
+      "table <server> { 192.168.1.1 }\n"
+      "block all\n"
+      "pass from any to <server> port 80 with eq(@src[userID], alice)\n");
+
+  // 3. End-hosts: two users share the client machine; the server runs a
+  //    web server listening on port 80.
+  client.add_user("alice", "staff");
+  client.add_user("bob", "staff");
+  const int alice_curl = client.launch("alice", "/usr/bin/curl");
+  const int bob_curl = client.launch("bob", "/usr/bin/curl");
+  server.add_user("www", "daemons");
+  const int httpd = server.launch("www", "/usr/sbin/httpd");
+  server.listen(httpd, 80);
+
+  // 4. alice opens a flow (Figure 1 steps 1-5 run inside net.run()).
+  const auto alice_flow = net.start_flow(client, alice_curl, "192.168.1.1", 80);
+  net.run();
+  std::printf("alice -> server:80   %s\n",
+              net.flow_delivered(alice_flow) ? "DELIVERED" : "BLOCKED");
+
+  // 5. bob tries the same thing from the same machine and IP address.
+  const auto bob_flow = net.start_flow(client, bob_curl, "192.168.1.1", 80);
+  net.run();
+  std::printf("bob   -> server:80   %s\n",
+              net.flow_delivered(bob_flow) ? "DELIVERED" : "BLOCKED");
+
+  // 6. What the controller saw (the audit trail of §1).
+  std::printf("\ncontroller audit log:\n");
+  for (const auto& record : controller.audit_log()) {
+    std::printf("  [%8lld ns] %-40s user=%-8s %s  (%s)\n",
+                static_cast<long long>(record.time),
+                record.flow.to_string().c_str(), record.src_user.c_str(),
+                record.allowed ? "pass " : "block", record.rule.c_str());
+  }
+  std::printf("\nstats: %llu queries sent, %llu responses, %llu entries "
+              "installed, %llu flows allowed, %llu blocked\n",
+              static_cast<unsigned long long>(controller.stats().queries_sent),
+              static_cast<unsigned long long>(
+                  controller.stats().responses_received),
+              static_cast<unsigned long long>(
+                  controller.stats().entries_installed),
+              static_cast<unsigned long long>(controller.stats().flows_allowed),
+              static_cast<unsigned long long>(
+                  controller.stats().flows_blocked));
+  return 0;
+}

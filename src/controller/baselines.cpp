@@ -1,0 +1,159 @@
+#include "controller/baselines.hpp"
+
+namespace identxx::ctrl {
+
+void BaselineController::adopt_switch(sim::NodeId switch_id,
+                                      sim::SimTime control_latency) {
+  topology_->switch_at(switch_id).set_controller(this, control_latency);
+  domain_.insert(switch_id);
+}
+
+void BaselineController::register_host(net::Ipv4Address ip, sim::NodeId node,
+                                       net::MacAddress mac) {
+  hosts_[ip] = HostInfo{node, mac};
+}
+
+void BaselineController::on_packet_in(const openflow::PacketIn& msg) {
+  ++stats_.packet_ins;
+  ++stats_.flows_seen;
+  const net::FiveTuple flow = msg.packet.five_tuple();
+  const net::TenTuple tuple = msg.packet.ten_tuple(msg.in_port);
+  if (decide_flow(flow, tuple)) {
+    ++stats_.flows_allowed;
+    install_and_release(msg, flow);
+  } else {
+    ++stats_.flows_blocked;
+    install_drop(msg);
+  }
+}
+
+void BaselineController::install_and_release(const openflow::PacketIn& msg,
+                                             const net::FiveTuple& flow) {
+  const auto src_it = hosts_.find(flow.src_ip);
+  const auto dst_it = hosts_.find(flow.dst_ip);
+  std::optional<std::vector<openflow::Hop>> hops;
+  if (src_it != hosts_.end() && dst_it != hosts_.end()) {
+    hops = topology_->path(src_it->second.node, dst_it->second.node);
+  }
+  if (!hops) {
+    topology_->switch_at(msg.switch_id)
+        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
+    return;
+  }
+  net::TenTuple tuple = msg.packet.ten_tuple(0);
+  const std::uint64_t cookie = next_cookie_++;
+  sim::PortId release_port = 0;
+  for (const openflow::Hop& hop : *hops) {
+    if (hop.switch_id == msg.switch_id) release_port = hop.out_port;
+    if (!domain_.contains(hop.switch_id)) continue;
+    tuple.in_port = hop.in_port;
+    openflow::FlowEntry entry;
+    entry.match = openflow::FlowMatch::exact(tuple);
+    if (hop.in_port == 0) entry.match.wildcards = openflow::Wildcard::kInPort;
+    entry.priority = 100;
+    entry.action = openflow::OutputAction{{hop.out_port}};
+    entry.idle_timeout = flow_idle_timeout_;
+    entry.cookie = cookie;
+    topology_->switch_at(hop.switch_id).install_flow(std::move(entry));
+    ++stats_.entries_installed;
+  }
+  if (release_port != 0) {
+    topology_->switch_at(msg.switch_id)
+        .packet_out(msg.packet, openflow::OutputAction{{release_port}},
+                    msg.in_port);
+  } else {
+    topology_->switch_at(msg.switch_id)
+        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
+  }
+}
+
+void BaselineController::install_drop(const openflow::PacketIn& msg) {
+  if (!domain_.contains(msg.switch_id)) return;
+  openflow::FlowEntry entry;
+  entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
+  entry.priority = 100;
+  entry.action = openflow::DropAction{};
+  entry.idle_timeout = flow_idle_timeout_;
+  entry.cookie = next_cookie_++;
+  topology_->switch_at(msg.switch_id).install_flow(std::move(entry));
+  ++stats_.entries_installed;
+}
+
+// ---------------------------------------------------------------- Vanilla
+
+bool VanillaFirewall::evaluate_acl(const net::FiveTuple& flow) const {
+  for (const AclRule& rule : acl_) {
+    if (!rule.src.contains(flow.src_ip)) continue;
+    if (!rule.dst.contains(flow.dst_ip)) continue;
+    if (rule.proto && *rule.proto != flow.proto) continue;
+    if (flow.dst_port < rule.dst_port_low || flow.dst_port > rule.dst_port_high)
+      continue;
+    return rule.allow;
+  }
+  return default_allow_;
+}
+
+bool VanillaFirewall::decide_flow(const net::FiveTuple& flow,
+                                  const net::TenTuple& tuple) {
+  (void)tuple;
+  // Stateful: the reverse of an allowed flow is allowed.
+  if (allowed_flows_.contains(flow.reversed())) return true;
+  const bool allow = evaluate_acl(flow);
+  if (allow) allowed_flows_.insert(flow);
+  return allow;
+}
+
+// ---------------------------------------------------------------- Ethane
+
+// ---------------------------------------------------------------- learning
+
+void LearningSwitchController::on_packet_in(const openflow::PacketIn& msg) {
+  ++stats_.packet_ins;
+  openflow::Switch& sw = topology_->switch_at(msg.switch_id);
+
+  // Learn the source MAC's location.
+  const Key src_key{msg.switch_id, msg.packet.eth.src.value()};
+  const auto [it, inserted] = mac_table_.try_emplace(src_key, msg.in_port);
+  if (inserted) {
+    ++stats_.macs_learned;
+  } else {
+    it->second = msg.in_port;  // host moved
+  }
+
+  // Forward by destination MAC if known; flood otherwise.
+  const Key dst_key{msg.switch_id, msg.packet.eth.dst.value()};
+  const auto dst_it = mac_table_.find(dst_key);
+  if (dst_it == mac_table_.end()) {
+    ++stats_.floods;
+    sw.packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
+    return;
+  }
+  // Install a destination-MAC entry so later packets skip the controller.
+  openflow::FlowEntry entry;
+  entry.match.wildcards = openflow::without(openflow::Wildcard::kAll,
+                                            openflow::Wildcard::kDstMac);
+  entry.match.dst_mac = msg.packet.eth.dst;
+  entry.priority = 10;
+  entry.action = openflow::OutputAction{{dst_it->second}};
+  entry.idle_timeout = 60 * sim::kSecond;
+  sw.install_flow(std::move(entry));
+  ++stats_.entries_installed;
+  sw.packet_out(msg.packet, openflow::OutputAction{{dst_it->second}},
+                msg.in_port);
+}
+
+// ---------------------------------------------------------------- ethane
+
+bool EthaneController::decide_flow(const net::FiveTuple& flow,
+                                   const net::TenTuple& tuple) {
+  pf::FlowContext ctx;
+  ctx.flow = flow;
+  ctx.openflow = tuple;  // @src/@dst stay empty: no end-host information
+  try {
+    return engine_.evaluate(ctx).allowed();
+  } catch (const PolicyError&) {
+    return false;  // fail closed on admin configuration errors
+  }
+}
+
+}  // namespace identxx::ctrl

@@ -1,0 +1,293 @@
+#include "core/scenario.hpp"
+
+#include "crypto/schnorr.hpp"
+#include "identxx/keys.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::core {
+
+namespace {
+
+/// Split a line into fields, honoring double quotes for values with
+/// spaces ("MS08-001 MS08-067").
+std::vector<std::string> fields_of(std::string_view line, std::size_t lineno) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    if (line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        throw ParseError("unterminated quote", lineno);
+      }
+      out.emplace_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+      out.emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return out;
+}
+
+net::IpProto parse_proto_field(const std::vector<std::string>& fields,
+                               std::size_t index, std::size_t lineno) {
+  if (fields.size() <= index) return net::IpProto::kTcp;
+  if (util::iequals(fields[index], "udp")) return net::IpProto::kUdp;
+  if (util::iequals(fields[index], "tcp")) return net::IpProto::kTcp;
+  throw ParseError("expected 'tcp' or 'udp', got '" + fields[index] + "'",
+                   lineno);
+}
+
+std::uint16_t parse_port_field(const std::string& field, std::size_t lineno) {
+  const auto port = util::parse_u64(field);
+  if (!port || *port == 0 || *port > 65535) {
+    throw ParseError("invalid port '" + field + "'", lineno);
+  }
+  return static_cast<std::uint16_t>(*port);
+}
+
+void require_fields(const std::vector<std::string>& fields, std::size_t n,
+                    const char* usage, std::size_t lineno) {
+  if (fields.size() < n) {
+    throw ParseError(std::string("usage: ") + usage, lineno);
+  }
+}
+
+}  // namespace
+
+Scenario Scenario::parse(std::string_view text) {
+  Scenario scenario;
+  bool in_policy = false;
+  std::size_t lineno = 0;
+  for (const auto raw_line : util::split_lines(text)) {
+    ++lineno;
+    if (in_policy) {
+      // Policy block runs verbatim until 'policy end' (PF+=2 has its own
+      // comment handling).
+      if (util::trim(raw_line) == "policy end") {
+        in_policy = false;
+      } else {
+        scenario.policy_ += std::string(raw_line) + "\n";
+      }
+      continue;
+    }
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = util::trim(line);
+    if (line.empty()) continue;
+    const auto fields = fields_of(line, lineno);
+    const std::string& directive = fields[0];
+
+    if (directive == "switch") {
+      require_fields(fields, 2, "switch <name>", lineno);
+      scenario.switches_.push_back({fields[1]});
+    } else if (directive == "link") {
+      require_fields(fields, 3, "link <a> <b> [latency_us]", lineno);
+      LinkDecl link{fields[1], fields[2], 10 * sim::kMicrosecond};
+      if (fields.size() > 3) {
+        const auto us = util::parse_u64(fields[3]);
+        if (!us) throw ParseError("invalid latency", lineno);
+        link.latency = static_cast<sim::SimTime>(*us) * sim::kMicrosecond;
+      }
+      scenario.links_.push_back(std::move(link));
+    } else if (directive == "host") {
+      require_fields(fields, 4, "host <name> <ip> <switch>", lineno);
+      scenario.hosts_.push_back({fields[1], fields[2], fields[3]});
+    } else if (directive == "user") {
+      require_fields(fields, 4, "user <host> <user> <group>", lineno);
+      scenario.users_.push_back({fields[1], fields[2], fields[3]});
+    } else if (directive == "launch") {
+      require_fields(fields, 5, "launch <id> <host> <user> <exe>", lineno);
+      scenario.launches_.push_back({fields[1], fields[2], fields[3], fields[4]});
+    } else if (directive == "appconfig") {
+      require_fields(fields, 4, "appconfig <host> <exe> <k>=<v>...", lineno);
+      AppConfigDecl decl{fields[1], fields[2], {}};
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        const auto [key, value] = util::split_once(fields[i], '=');
+        if (!value) {
+          throw ParseError("expected key=value, got '" + fields[i] + "'",
+                           lineno);
+        }
+        decl.pairs.emplace_back(std::string(key), std::string(*value));
+      }
+      scenario.app_configs_.push_back(std::move(decl));
+    } else if (directive == "signedapp") {
+      require_fields(fields, 6,
+                     "signedapp <host> <exe> <name> <key-seed> \"<rules>\"",
+                     lineno);
+      scenario.signed_apps_.push_back(
+          {fields[1], fields[2], fields[3], fields[4], fields[5]});
+    } else if (directive == "hostfact") {
+      require_fields(fields, 4, "hostfact <host> <key> <value>", lineno);
+      scenario.host_facts_.push_back({fields[1], fields[2], fields[3]});
+    } else if (directive == "listen") {
+      require_fields(fields, 3, "listen <launch-id> <port> [udp]", lineno);
+      scenario.listens_.push_back({fields[1],
+                                   parse_port_field(fields[2], lineno),
+                                   parse_proto_field(fields, 3, lineno)});
+    } else if (directive == "policy") {
+      require_fields(fields, 2, "policy begin", lineno);
+      if (fields[1] != "begin") {
+        throw ParseError("expected 'policy begin'", lineno);
+      }
+      in_policy = true;
+    } else if (directive == "flow") {
+      require_fields(fields, 5, "flow <id> <launch-id> <dst-ip> <port> [udp]",
+                     lineno);
+      scenario.flows_.push_back({fields[1], fields[2], fields[3],
+                                 parse_port_field(fields[4], lineno),
+                                 parse_proto_field(fields, 5, lineno)});
+    } else if (directive == "expect") {
+      require_fields(fields, 3, "expect <flow-id> delivered|blocked", lineno);
+      if (fields[2] == "delivered") {
+        scenario.expectations_[fields[1]] = true;
+      } else if (fields[2] == "blocked") {
+        scenario.expectations_[fields[1]] = false;
+      } else {
+        throw ParseError("expect verdict must be 'delivered' or 'blocked'",
+                         lineno);
+      }
+    } else {
+      throw ParseError("unknown directive '" + directive + "'", lineno);
+    }
+  }
+  if (in_policy) throw ParseError("unterminated 'policy begin' block");
+  return scenario;
+}
+
+ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
+  Network net;
+  std::unordered_map<std::string, sim::NodeId> switches;
+  for (const auto& decl : switches_) {
+    if (switches.contains(decl.name)) {
+      throw Error("duplicate switch '" + decl.name + "'");
+    }
+    switches[decl.name] = net.add_switch(decl.name);
+  }
+  std::unordered_map<std::string, host::Host*> hosts;
+  for (const auto& decl : hosts_) {
+    auto& h = net.add_host(decl.name, decl.ip);
+    hosts[decl.name] = &h;
+    const auto sw = switches.find(decl.attach);
+    if (sw == switches.end()) {
+      throw Error("host '" + decl.name + "' attaches to unknown switch '" +
+                  decl.attach + "'");
+    }
+    net.link(h, sw->second);
+  }
+  for (const auto& decl : links_) {
+    const auto a = switches.find(decl.a);
+    const auto b = switches.find(decl.b);
+    if (a == switches.end() || b == switches.end()) {
+      throw Error("link references unknown switch");
+    }
+    net.link(a->second, b->second, decl.latency);
+  }
+  // Expand $pubkey(<seed>) references in the policy so <pubkeys> dicts can
+  // name signing keys symbolically.
+  std::string policy = policy_;
+  for (std::size_t pos = policy.find("$pubkey(");
+       pos != std::string::npos; pos = policy.find("$pubkey(", pos)) {
+    const std::size_t close = policy.find(')', pos);
+    if (close == std::string::npos) {
+      throw Error("unterminated $pubkey( in policy");
+    }
+    const std::string seed = policy.substr(pos + 8, close - pos - 8);
+    const std::string hex =
+        crypto::PrivateKey::from_seed(seed).public_key().to_hex();
+    policy.replace(pos, close - pos + 1, hex);
+    pos += hex.size();
+  }
+  auto& controller = net.install_controller(policy, std::move(config));
+
+  const auto host_of = [&hosts](const std::string& name) -> host::Host& {
+    const auto it = hosts.find(name);
+    if (it == hosts.end()) throw Error("unknown host '" + name + "'");
+    return *it->second;
+  };
+  for (const auto& decl : users_) {
+    host_of(decl.host).add_user(decl.user, decl.group);
+  }
+  struct LaunchInfo {
+    host::Host* host = nullptr;
+    int pid = 0;
+  };
+  std::unordered_map<std::string, LaunchInfo> launches;
+  for (const auto& decl : launches_) {
+    if (launches.contains(decl.id)) {
+      throw Error("duplicate launch id '" + decl.id + "'");
+    }
+    auto& h = host_of(decl.host);
+    launches[decl.id] = {&h, h.launch(decl.user, decl.exe)};
+  }
+  for (const auto& decl : app_configs_) {
+    proto::DaemonConfig config_entry;
+    proto::AppConfig app;
+    app.exe_path = decl.exe;
+    app.pairs = decl.pairs;
+    config_entry.apps.push_back(std::move(app));
+    host_of(decl.host).daemon().add_config(proto::ConfigTrust::kSystem,
+                                           config_entry);
+  }
+  for (const auto& decl : signed_apps_) {
+    const crypto::PrivateKey key = crypto::PrivateKey::from_seed(decl.key_seed);
+    const std::string exe_hash = host::Host::image_hash(decl.exe, "");
+    const crypto::Signature sig = key.sign(
+        proto::signed_message({exe_hash, decl.name, decl.requirements}));
+    proto::DaemonConfig config_entry;
+    proto::AppConfig app;
+    app.exe_path = decl.exe;
+    app.pairs = {{proto::keys::kName, decl.name},
+                 {proto::keys::kRequirements, decl.requirements},
+                 {proto::keys::kReqSig, sig.to_hex()}};
+    config_entry.apps.push_back(std::move(app));
+    host_of(decl.host).daemon().add_config(proto::ConfigTrust::kUser,
+                                           config_entry);
+  }
+  for (const auto& decl : host_facts_) {
+    host_of(decl.host).daemon().add_host_fact(decl.key, decl.value);
+  }
+  const auto launch_of = [&launches](const std::string& id) -> LaunchInfo& {
+    const auto it = launches.find(id);
+    if (it == launches.end()) throw Error("unknown launch id '" + id + "'");
+    return it->second;
+  };
+  for (const auto& decl : listens_) {
+    const LaunchInfo& info = launch_of(decl.launch_id);
+    info.host->listen(info.pid, decl.port, decl.proto);
+  }
+
+  ScenarioResult result;
+  std::vector<std::pair<std::string, FlowHandle>> handles;
+  for (const auto& decl : flows_) {
+    const LaunchInfo& info = launch_of(decl.launch_id);
+    handles.emplace_back(
+        decl.id,
+        net.start_flow(*info.host, info.pid, decl.dst_ip, decl.port, decl.proto));
+  }
+  net.run();
+
+  for (const auto& [id, handle] : handles) {
+    ScenarioFlowResult flow_result;
+    flow_result.id = id;
+    flow_result.flow = handle.flow;
+    flow_result.delivered = net.flow_delivered(handle);
+    if (const auto it = expectations_.find(id); it != expectations_.end()) {
+      flow_result.expectation_known = true;
+      flow_result.expected_delivered = it->second;
+    }
+    result.flows.push_back(std::move(flow_result));
+  }
+  result.controller_stats = controller.stats();
+  result.audit_log = controller.audit_log();
+  return result;
+}
+
+}  // namespace identxx::core

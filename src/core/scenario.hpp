@@ -1,0 +1,145 @@
+#pragma once
+
+// Scenario descriptions: build and drive a whole ident++ deployment from a
+// plain-text file, no C++ required.  This is what `tools/identxx_sim` runs
+// and what operators would use to stage policy changes.
+//
+// Directive language (one directive per line, '#' comments):
+//
+//     switch s1
+//     switch s2
+//     link s1 s2 [latency_us]
+//     host client 192.168.0.10 s1        # name ip attachment-switch
+//     user client alice staff            # host user group
+//     launch curl1 client alice /usr/bin/curl     # id host user exe
+//     appconfig client /usr/bin/curl name=curl version=3
+//     hostfact server os-patch "MS08-001 MS08-067"
+//     listen httpd1 80 [udp]
+//     policy begin                       # inline PF+=2 until 'policy end'
+//       block all
+//       pass from any to any port 80 with eq(@src[userID], alice)
+//     policy end
+//     flow f1 curl1 192.168.1.1 80 [udp]
+//     expect f1 delivered                # or blocked
+//
+// Authenticated delegation (Figs 4-7) is first-class:
+//
+//     signedapp rm1 /usr/bin/research-app research-app research-key ...
+//         "block all pass all with eq(@src[name], research-app)"
+//
+// derives a Schnorr key pair from the seed "research-key", signs
+// (exe-hash, app-name, requirements), and installs the @app block on the
+// host.  Inside the policy block, `$pubkey(research-key)` expands to the
+// corresponding public key hex, so the Fig 5 <pubkeys> dict can be written
+// without pasting keys.
+//
+// Flows start in file order; expectations are checked after the run.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace identxx::core {
+
+/// Outcome of one scenario flow.
+struct ScenarioFlowResult {
+  std::string id;
+  net::FiveTuple flow;
+  bool delivered = false;
+  bool expectation_known = false;
+  bool expected_delivered = false;
+
+  [[nodiscard]] bool matches_expectation() const noexcept {
+    return !expectation_known || delivered == expected_delivered;
+  }
+};
+
+struct ScenarioResult {
+  std::vector<ScenarioFlowResult> flows;
+  ctrl::ControllerStats controller_stats;
+  std::vector<ctrl::DecisionRecord> audit_log;
+
+  /// All expectations met?
+  [[nodiscard]] bool ok() const noexcept {
+    for (const auto& flow : flows) {
+      if (!flow.matches_expectation()) return false;
+    }
+    return true;
+  }
+};
+
+/// A parsed scenario, ready to run.  Parsing and execution are split so
+/// tests can inspect intermediate state and reuse a scenario.
+class Scenario {
+ public:
+  /// Parse a scenario description.  Throws ParseError with line numbers.
+  [[nodiscard]] static Scenario parse(std::string_view text);
+
+  /// Build the network, start every flow, run to completion, check
+  /// expectations.  Throws Error for semantic problems (unknown names).
+  [[nodiscard]] ScenarioResult run(ctrl::ControllerConfig config = {}) const;
+
+  [[nodiscard]] const std::string& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+
+ private:
+  struct SwitchDecl {
+    std::string name;
+  };
+  struct LinkDecl {
+    std::string a, b;
+    sim::SimTime latency = 10 * sim::kMicrosecond;
+  };
+  struct HostDecl {
+    std::string name, ip, attach;
+  };
+  struct UserDecl {
+    std::string host, user, group;
+  };
+  struct LaunchDecl {
+    std::string id, host, user, exe;
+  };
+  struct AppConfigDecl {
+    std::string host, exe;
+    proto::KeyValueList pairs;
+  };
+  struct SignedAppDecl {
+    std::string host, exe, name, key_seed, requirements;
+  };
+  struct HostFactDecl {
+    std::string host, key, value;
+  };
+  struct ListenDecl {
+    std::string launch_id;
+    std::uint16_t port = 0;
+    net::IpProto proto = net::IpProto::kTcp;
+  };
+  struct FlowDecl {
+    std::string id, launch_id, dst_ip;
+    std::uint16_t port = 0;
+    net::IpProto proto = net::IpProto::kTcp;
+  };
+
+  std::vector<SwitchDecl> switches_;
+  std::vector<LinkDecl> links_;
+  std::vector<HostDecl> hosts_;
+  std::vector<UserDecl> users_;
+  std::vector<LaunchDecl> launches_;
+  std::vector<AppConfigDecl> app_configs_;
+  std::vector<SignedAppDecl> signed_apps_;
+  std::vector<HostFactDecl> host_facts_;
+  std::vector<ListenDecl> listens_;
+  std::vector<FlowDecl> flows_;
+  std::unordered_map<std::string, bool> expectations_;  // flow id -> delivered
+  std::string policy_;
+};
+
+}  // namespace identxx::core

@@ -1,0 +1,199 @@
+#include "crypto/ec.hpp"
+
+namespace identxx::crypto {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+// p = 2^256 - kC where kC = 2^32 + 977 = 0x1000003d1.
+constexpr std::uint64_t kC = 0x1000003d1ULL;
+
+const U256 kP{0xfffffffefffffc2fULL, 0xffffffffffffffffULL,
+              0xffffffffffffffffULL, 0xffffffffffffffffULL};
+const U256 kN{0xbfd25e8cd0364141ULL, 0xbaaedce6af48a03bULL,
+              0xfffffffffffffffeULL, 0xffffffffffffffffULL};
+const U256 kGx{0x59f2815b16f81798ULL, 0x029bfcdb2dce28d9ULL,
+               0x55a06295ce870b07ULL, 0x79be667ef9dcbbacULL};
+const U256 kGy{0x9c47d08ffb10d4b8ULL, 0xfd17b448a6855419ULL,
+               0x5da4fbfc0e1108a8ULL, 0x483ada7726a3c465ULL};
+
+/// Multiply a 256-bit value by the 33-bit constant kC and add `addend`;
+/// the result has at most 290 significant bits, returned as 5 limbs.
+void mul_c_add(const U256& a, const U256& addend,
+               std::array<std::uint64_t, 5>& out) noexcept {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(a.w[i]) * kC + addend.w[i] + carry;
+    out[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  out[4] = static_cast<std::uint64_t>(carry);
+}
+
+/// Reduce a 512-bit product modulo p.
+U256 fp_reduce(const U512& x) noexcept {
+  // Pass 1: x = H*2^256 + L  ==>  H*kC + L  (< 2^290).
+  std::array<std::uint64_t, 5> t{};
+  mul_c_add(x.high(), x.low(), t);
+
+  // Pass 2: fold the 34 overflow bits: t = t4*2^256 + t_lo ==> t4*kC + t_lo.
+  U256 lo{t[0], t[1], t[2], t[3]};
+  u128 carry = static_cast<u128>(t[4]) * kC;
+  U256 folded;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(lo.w[i]) + static_cast<std::uint64_t>(carry);
+    folded.w[i] = static_cast<std::uint64_t>(cur);
+    carry = (carry >> 64) + (cur >> 64);
+  }
+  // carry here is 0 or 1 (value < 2^256 + 2^98).
+  if (carry != 0) {
+    // Add kC once more for the wrapped 2^256.
+    u128 c2 = kC;
+    for (std::size_t i = 0; i < 4 && c2 != 0; ++i) {
+      const u128 cur = static_cast<u128>(folded.w[i]) + static_cast<std::uint64_t>(c2);
+      folded.w[i] = static_cast<std::uint64_t>(cur);
+      c2 = cur >> 64;
+    }
+  }
+  // Final conditional subtraction.
+  while (U256::cmp(folded, kP) >= 0) {
+    folded = U256::sub(folded, kP).first;
+  }
+  return folded;
+}
+
+}  // namespace
+
+const U256& Secp256k1::p() noexcept { return kP; }
+const U256& Secp256k1::n() noexcept { return kN; }
+const U256& Secp256k1::gx() noexcept { return kGx; }
+const U256& Secp256k1::gy() noexcept { return kGy; }
+
+U256 fp_add(const U256& a, const U256& b) noexcept {
+  return add_mod(a, b, kP);
+}
+
+U256 fp_sub(const U256& a, const U256& b) noexcept {
+  return sub_mod(a, b, kP);
+}
+
+U256 fp_mul(const U256& a, const U256& b) noexcept {
+  return fp_reduce(U256::mul_wide(a, b));
+}
+
+U256 fp_sqr(const U256& a) noexcept { return fp_mul(a, a); }
+
+U256 fp_inv(const U256& a) noexcept {
+  // Fermat: a^(p-2).  Square-and-multiply with the fast field multiply.
+  const U256 e = U256::sub(kP, U256{2}).first;
+  U256 result{1};
+  const unsigned bits = e.bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    result = fp_sqr(result);
+    if (e.bit(static_cast<unsigned>(i))) result = fp_mul(result, a);
+  }
+  return result;
+}
+
+bool AffinePoint::on_curve() const noexcept {
+  if (infinity) return true;
+  // y^2 == x^3 + 7.
+  const U256 lhs = fp_sqr(y);
+  const U256 rhs = fp_add(fp_mul(fp_sqr(x), x), U256{7});
+  return lhs == rhs;
+}
+
+AffinePoint AffinePoint::generator() noexcept {
+  return AffinePoint{kGx, kGy, false};
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) noexcept {
+  if (p.infinity) return identity();
+  return JacobianPoint{p.x, p.y, U256{1}};
+}
+
+AffinePoint JacobianPoint::to_affine() const noexcept {
+  if (is_identity()) return AffinePoint::identity();
+  const U256 z_inv = fp_inv(z);
+  const U256 z_inv2 = fp_sqr(z_inv);
+  const U256 z_inv3 = fp_mul(z_inv2, z_inv);
+  return AffinePoint{fp_mul(x, z_inv2), fp_mul(y, z_inv3), false};
+}
+
+JacobianPoint ec_double(const JacobianPoint& p) noexcept {
+  if (p.is_identity() || p.y.is_zero()) return JacobianPoint::identity();
+  // dbl-2009-l formulas for a = 0.
+  const U256 a = fp_sqr(p.x);                       // A = X^2
+  const U256 b = fp_sqr(p.y);                       // B = Y^2
+  const U256 c = fp_sqr(b);                         // C = B^2
+  U256 d = fp_sub(fp_sqr(fp_add(p.x, b)), fp_add(a, c));
+  d = fp_add(d, d);                                 // D = 2((X+B)^2 - A - C)
+  const U256 e = fp_add(fp_add(a, a), a);           // E = 3A
+  const U256 f = fp_sqr(e);                         // F = E^2
+  const U256 x3 = fp_sub(f, fp_add(d, d));          // X3 = F - 2D
+  U256 c8 = fp_add(c, c);
+  c8 = fp_add(c8, c8);
+  c8 = fp_add(c8, c8);                              // 8C
+  const U256 y3 = fp_sub(fp_mul(e, fp_sub(d, x3)), c8);
+  const U256 yz = fp_mul(p.y, p.z);
+  const U256 z3 = fp_add(yz, yz);                   // Z3 = 2YZ
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint ec_add(const JacobianPoint& p, const JacobianPoint& q) noexcept {
+  if (p.is_identity()) return q;
+  if (q.is_identity()) return p;
+  // add-2007-bl formulas.
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 z2z2 = fp_sqr(q.z);
+  const U256 u1 = fp_mul(p.x, z2z2);
+  const U256 u2 = fp_mul(q.x, z1z1);
+  const U256 s1 = fp_mul(fp_mul(p.y, q.z), z2z2);
+  const U256 s2 = fp_mul(fp_mul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (s1 == s2) return ec_double(p);
+    return JacobianPoint::identity();  // P + (-P)
+  }
+  const U256 h = fp_sub(u2, u1);
+  U256 i = fp_add(h, h);
+  i = fp_sqr(i);                                    // I = (2H)^2
+  const U256 j = fp_mul(h, i);
+  U256 r = fp_sub(s2, s1);
+  r = fp_add(r, r);                                 // r = 2(S2 - S1)
+  const U256 v = fp_mul(u1, i);
+  const U256 x3 = fp_sub(fp_sub(fp_sqr(r), j), fp_add(v, v));
+  U256 s1j = fp_mul(s1, j);
+  s1j = fp_add(s1j, s1j);
+  const U256 y3 = fp_sub(fp_mul(r, fp_sub(v, x3)), s1j);
+  // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H.
+  const U256 z3 = fp_mul(
+      fp_sub(fp_sqr(fp_add(p.z, q.z)), fp_add(z1z1, z2z2)), h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint ec_add_affine(const JacobianPoint& p, const AffinePoint& q) noexcept {
+  return ec_add(p, JacobianPoint::from_affine(q));
+}
+
+JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept {
+  JacobianPoint acc = JacobianPoint::identity();
+  const JacobianPoint base = JacobianPoint::from_affine(p);
+  const unsigned bits = k.bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    acc = ec_double(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = ec_add(acc, base);
+  }
+  return acc;
+}
+
+JacobianPoint ec_mul_base(const U256& k) noexcept {
+  return ec_mul(k, AffinePoint::generator());
+}
+
+AffinePoint ec_negate(const AffinePoint& p) noexcept {
+  if (p.infinity) return p;
+  return AffinePoint{p.x, fp_sub(U256{}, p.y), false};
+}
+
+}  // namespace identxx::crypto

@@ -1,0 +1,86 @@
+#pragma once
+
+// secp256k1 group arithmetic (from scratch, on top of U256).
+//
+// The ident++ design relies on signed delegation: users and third parties
+// sign application `requirements` rules which the controller verifies with
+// PF+=2's `verify` function.  That needs genuine public-key semantics —
+// an offline signer, an online verifier — so we implement a real group:
+// the short Weierstrass curve y^2 = x^3 + 7 over F_p,
+//   p = 2^256 - 2^32 - 977,
+// with the standard base point G of prime order n.
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace identxx::crypto {
+
+/// Curve constants.
+struct Secp256k1 {
+  static const U256& p() noexcept;   ///< field prime
+  static const U256& n() noexcept;   ///< group order
+  static const U256& gx() noexcept;  ///< base point x
+  static const U256& gy() noexcept;  ///< base point y
+};
+
+// ---- Field arithmetic mod p (specialized reduction for p = 2^256 - c) ----
+
+[[nodiscard]] U256 fp_add(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fp_sub(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fp_mul(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fp_sqr(const U256& a) noexcept;
+[[nodiscard]] U256 fp_inv(const U256& a) noexcept;  ///< a^(p-2); a must be nonzero
+
+// ---- Points ----
+
+/// Affine point; `infinity` encodes the group identity.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  [[nodiscard]] bool operator==(const AffinePoint&) const noexcept = default;
+
+  /// Is (x, y) on y^2 = x^3 + 7?  The identity is on the curve by fiat.
+  [[nodiscard]] bool on_curve() const noexcept;
+
+  [[nodiscard]] static AffinePoint identity() noexcept {
+    return AffinePoint{U256{}, U256{}, true};
+  }
+
+  [[nodiscard]] static AffinePoint generator() noexcept;
+};
+
+/// Jacobian projective point (X/Z^2, Y/Z^3); Z == 0 encodes identity.
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+
+  [[nodiscard]] static JacobianPoint identity() noexcept {
+    return JacobianPoint{U256{1}, U256{1}, U256{}};
+  }
+
+  [[nodiscard]] bool is_identity() const noexcept { return z.is_zero(); }
+
+  [[nodiscard]] static JacobianPoint from_affine(const AffinePoint& p) noexcept;
+  [[nodiscard]] AffinePoint to_affine() const noexcept;
+};
+
+[[nodiscard]] JacobianPoint ec_double(const JacobianPoint& p) noexcept;
+[[nodiscard]] JacobianPoint ec_add(const JacobianPoint& p,
+                                   const JacobianPoint& q) noexcept;
+[[nodiscard]] JacobianPoint ec_add_affine(const JacobianPoint& p,
+                                          const AffinePoint& q) noexcept;
+
+/// Scalar multiplication k * P (double-and-add, MSB first).
+[[nodiscard]] JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept;
+
+/// k * G.
+[[nodiscard]] JacobianPoint ec_mul_base(const U256& k) noexcept;
+
+/// Point negation (x, -y).
+[[nodiscard]] AffinePoint ec_negate(const AffinePoint& p) noexcept;
+
+}  // namespace identxx::crypto

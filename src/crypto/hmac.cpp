@@ -1,0 +1,43 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace identxx::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest hashed = Sha256::hash(key);
+    std::memcpy(block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> inner_pad;
+  std::array<std::uint8_t, 64> outer_pad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span(inner_pad.data(), inner_pad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span(outer_pad.data(), outer_pad.size()));
+  outer.update(std::span(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest hmac_sha256(std::string_view key, std::string_view message) noexcept {
+  return hmac_sha256(
+      std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span(reinterpret_cast<const std::uint8_t*>(message.data()),
+                message.size()));
+}
+
+}  // namespace identxx::crypto

@@ -1,0 +1,20 @@
+#pragma once
+
+// HMAC-SHA256 (RFC 2104).  Used for deterministic nonce derivation in
+// Schnorr signing (RFC 6979-style) so that signatures never depend on an
+// external entropy source — a reproducibility requirement for the simulator.
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace identxx::crypto {
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+[[nodiscard]] Digest hmac_sha256(std::string_view key,
+                                 std::string_view message) noexcept;
+
+}  // namespace identxx::crypto

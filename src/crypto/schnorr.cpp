@@ -1,0 +1,149 @@
+#include "crypto/schnorr.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace identxx::crypto {
+
+namespace {
+
+/// Reduce a 32-byte digest modulo the group order.
+U256 digest_to_scalar(const Digest& digest) noexcept {
+  const U256 raw = U256::from_bytes(std::span<const std::uint8_t, 32>(digest));
+  U512 wide;
+  for (std::size_t i = 0; i < 4; ++i) wide.w[i] = raw.w[i];
+  return mod(wide, Secp256k1::n());
+}
+
+/// Challenge e = H(Rx || Ry || Px || Py || m) mod n.
+U256 challenge(const AffinePoint& r, const AffinePoint& p,
+               std::span<const std::uint8_t> message) noexcept {
+  Sha256 h;
+  const auto rx = r.x.to_bytes();
+  const auto ry = r.y.to_bytes();
+  const auto px = p.x.to_bytes();
+  const auto py = p.y.to_bytes();
+  h.update(std::span(rx.data(), rx.size()));
+  h.update(std::span(ry.data(), ry.size()));
+  h.update(std::span(px.data(), px.size()));
+  h.update(std::span(py.data(), py.size()));
+  h.update(message);
+  return digest_to_scalar(h.finish());
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+std::string PublicKey::to_hex() const {
+  return point.x.to_hex() + point.y.to_hex();
+}
+
+std::optional<PublicKey> PublicKey::from_hex(std::string_view hex) {
+  if (hex.size() != 128) return std::nullopt;
+  const auto x = U256::from_hex(hex.substr(0, 64));
+  const auto y = U256::from_hex(hex.substr(64, 64));
+  if (!x || !y) return std::nullopt;
+  PublicKey key{AffinePoint{*x, *y, false}};
+  if (!key.point.on_curve()) return std::nullopt;
+  return key;
+}
+
+std::string Signature::to_hex() const {
+  return r.x.to_hex() + r.y.to_hex() + s.to_hex();
+}
+
+std::optional<Signature> Signature::from_hex(std::string_view hex) {
+  if (hex.size() != 192) return std::nullopt;
+  const auto rx = U256::from_hex(hex.substr(0, 64));
+  const auto ry = U256::from_hex(hex.substr(64, 64));
+  const auto s = U256::from_hex(hex.substr(128, 64));
+  if (!rx || !ry || !s) return std::nullopt;
+  return Signature{AffinePoint{*rx, *ry, false}, *s};
+}
+
+PrivateKey PrivateKey::from_seed(std::string_view seed) {
+  // Hash the seed with a counter until we land in [1, n-1]; the first
+  // iteration succeeds with probability ~1 - 2^-128.
+  for (std::uint32_t counter = 0;; ++counter) {
+    Sha256 h;
+    h.update("identxx-keygen-v1:");
+    h.update(seed);
+    const std::array<std::uint8_t, 4> ctr{
+        static_cast<std::uint8_t>(counter >> 24),
+        static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8),
+        static_cast<std::uint8_t>(counter)};
+    h.update(std::span(ctr.data(), ctr.size()));
+    const U256 candidate = digest_to_scalar(h.finish());
+    if (!candidate.is_zero()) {
+      return from_scalar(candidate);
+    }
+  }
+}
+
+PrivateKey PrivateKey::from_scalar(const U256& d) {
+  if (d.is_zero() || U256::cmp(d, Secp256k1::n()) >= 0) {
+    throw CryptoError("private scalar out of range [1, n-1]");
+  }
+  const AffinePoint pub = ec_mul_base(d).to_affine();
+  return PrivateKey(d, PublicKey{pub});
+}
+
+Signature PrivateKey::sign(std::string_view message) const {
+  return sign(as_bytes(message));
+}
+
+Signature PrivateKey::sign(std::span<const std::uint8_t> message) const {
+  // Deterministic nonce: k = HMAC(d, msg || counter) mod n, retry on 0.
+  const auto d_bytes = d_.to_bytes();
+  for (std::uint8_t counter = 0;; ++counter) {
+    Sha256 nonce_input;
+    nonce_input.update(message);
+    nonce_input.update(std::span(&counter, 1));
+    const Digest msg_digest = nonce_input.finish();
+    const Digest k_digest =
+        hmac_sha256(std::span<const std::uint8_t>(d_bytes.data(), d_bytes.size()),
+                    std::span<const std::uint8_t>(msg_digest.data(), msg_digest.size()));
+    const U256 k = digest_to_scalar(k_digest);
+    if (k.is_zero()) continue;
+
+    const AffinePoint r = ec_mul_base(k).to_affine();
+    if (r.infinity) continue;
+    const U256 e = challenge(r, public_.point, message);
+    const U256 ed = mul_mod(e, d_, Secp256k1::n());
+    const U256 s = add_mod(k, ed, Secp256k1::n());
+    return Signature{r, s};
+  }
+}
+
+bool verify(const PublicKey& key, std::string_view message,
+            const Signature& sig) noexcept {
+  return verify(key, as_bytes(message), sig);
+}
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+            const Signature& sig) noexcept {
+  if (key.point.infinity || !key.point.on_curve()) return false;
+  if (sig.r.infinity || !sig.r.on_curve()) return false;
+  if (sig.s.is_zero() || U256::cmp(sig.s, Secp256k1::n()) >= 0) return false;
+
+  const U256 e = challenge(sig.r, key.point, message);
+  // Check s*G == R + e*P.
+  const AffinePoint lhs = ec_mul_base(sig.s).to_affine();
+  const JacobianPoint ep = ec_mul(e, key.point);
+  const AffinePoint rhs =
+      ec_add(JacobianPoint::from_affine(sig.r), ep).to_affine();
+  return lhs == rhs;
+}
+
+U256 hash_to_scalar(std::span<const std::uint8_t> data) noexcept {
+  return digest_to_scalar(Sha256::hash(data));
+}
+
+}  // namespace identxx::crypto

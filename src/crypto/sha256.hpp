@@ -1,0 +1,52 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for executable hashes (`exe-hash` key-value pairs), as the message
+// digest inside Schnorr signatures, and for deterministic nonce derivation.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace identxx::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+///
+///   Sha256 h;
+///   h.update(part1).update(part2);
+///   Digest d = h.finish();
+///
+/// `finish` may be called once; the context is then exhausted.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  Sha256& update(std::span<const std::uint8_t> data) noexcept;
+  Sha256& update(std::string_view data) noexcept;
+
+  /// Finalize and return the 32-byte digest.
+  [[nodiscard]] Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lowercase hex of a digest.
+[[nodiscard]] std::string to_hex(const Digest& digest);
+
+}  // namespace identxx::crypto

@@ -1,0 +1,199 @@
+#include "crypto/u256.hpp"
+
+#include <bit>
+
+#include "util/hex.hpp"
+
+namespace identxx::crypto {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+}  // namespace
+
+std::optional<U256> U256::from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty() || hex.size() > 64) return std::nullopt;
+  // Left-pad to 64 digits, then decode per limb.
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  const auto bytes = util::hex_decode(padded);
+  if (!bytes) return std::nullopt;
+  std::array<std::uint8_t, 32> be{};
+  std::copy(bytes->begin(), bytes->end(), be.begin());
+  return from_bytes(std::span<const std::uint8_t, 32>(be));
+}
+
+U256 U256::from_bytes(std::span<const std::uint8_t, 32> bytes) noexcept {
+  U256 out;
+  for (std::size_t limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    // Byte 0 is the most significant; limb 3 holds the top 8 bytes.
+    for (std::size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | bytes[(3 - limb) * 8 + i];
+    }
+    out.w[limb] = v;
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  const auto bytes = to_bytes();
+  return util::hex_encode(std::span(bytes.data(), bytes.size()));
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes() const noexcept {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t limb = 0; limb < 4; ++limb) {
+    const std::uint64_t v = w[3 - limb];
+    for (std::size_t i = 0; i < 8; ++i) {
+      out[limb * 8 + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+  }
+  return out;
+}
+
+unsigned U256::bit_length() const noexcept {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (w[static_cast<std::size_t>(limb)] != 0) {
+      return static_cast<unsigned>(limb) * 64 +
+             (64 - static_cast<unsigned>(
+                       std::countl_zero(w[static_cast<std::size_t>(limb)])));
+    }
+  }
+  return 0;
+}
+
+int U256::cmp(const U256& a, const U256& b) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    const auto ai = a.w[static_cast<std::size_t>(i)];
+    const auto bi = b.w[static_cast<std::size_t>(i)];
+    if (ai < bi) return -1;
+    if (ai > bi) return 1;
+  }
+  return 0;
+}
+
+std::pair<U256, bool> U256::add(const U256& a, const U256& b) noexcept {
+  U256 out;
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return {out, carry != 0};
+}
+
+std::pair<U256, bool> U256::sub(const U256& a, const U256& b) noexcept {
+  U256 out;
+  u128 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 diff = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;  // two's complement: top bits set on underflow
+  }
+  return {out, borrow != 0};
+}
+
+U512 U256::mul_wide(const U256& a, const U256& b) noexcept {
+  U512 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.w[i + 4] = carry;
+  }
+  return out;
+}
+
+std::pair<U256, bool> U256::shl1() const noexcept {
+  U256 out;
+  bool carry = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const bool next_carry = (w[i] >> 63) & 1;
+    out.w[i] = (w[i] << 1) | static_cast<std::uint64_t>(carry);
+    carry = next_carry;
+  }
+  return {out, carry};
+}
+
+U256 U256::shr1() const noexcept {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.w[i] = w[i] >> 1;
+    if (i + 1 < 4) out.w[i] |= w[i + 1] << 63;
+  }
+  return out;
+}
+
+U256 U512::low() const noexcept {
+  return U256{w[0], w[1], w[2], w[3]};
+}
+
+U256 U512::high() const noexcept {
+  return U256{w[4], w[5], w[6], w[7]};
+}
+
+U256 mod(const U512& x, const U256& m) noexcept {
+  // Binary long division: feed bits from the top into a 257-bit remainder.
+  U256 rem;
+  for (int i = 511; i >= 0; --i) {
+    const auto [shifted, overflow] = rem.shl1();
+    rem = shifted;
+    if (x.bit(static_cast<unsigned>(i))) rem.w[0] |= 1;
+    // After shifting, remainder < 2m (invariant: before shift rem < m, and m
+    // has its top bit clear only in general; handle the 257th bit via
+    // `overflow`).
+    if (overflow || U256::cmp(rem, m) >= 0) {
+      rem = U256::sub(rem, m).first;
+    }
+  }
+  return rem;
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) noexcept {
+  const auto [sum, carry] = U256::add(a, b);
+  if (carry || U256::cmp(sum, m) >= 0) {
+    return U256::sub(sum, m).first;
+  }
+  return sum;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) noexcept {
+  const auto [diff, borrow] = U256::sub(a, b);
+  if (borrow) {
+    return U256::add(diff, m).first;
+  }
+  return diff;
+}
+
+U256 mul_mod(const U256& a, const U256& b, const U256& m) noexcept {
+  return mod(U256::mul_wide(a, b), m);
+}
+
+U256 pow_mod(const U256& a, const U256& e, const U256& m) noexcept {
+  U256 result{1};
+  const unsigned bits = e.bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    result = mul_mod(result, result, m);
+    if (e.bit(static_cast<unsigned>(i))) {
+      result = mul_mod(result, a, m);
+    }
+  }
+  return result;
+}
+
+U256 inv_mod(const U256& a, const U256& m) noexcept {
+  // Fermat's little theorem: a^(m-2) mod m for prime m.
+  const U256 exponent = U256::sub(m, U256{2}).first;
+  return pow_mod(a, exponent, m);
+}
+
+}  // namespace identxx::crypto

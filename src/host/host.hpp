@@ -1,0 +1,201 @@
+#pragma once
+
+// End-host model.
+//
+// A Host is a simulator node with an IP/MAC, a user table, a process table
+// and a socket table.  The socket table implements proto::FlowResolver —
+// the deterministic stand-in for the `lsof`-style kernel introspection the
+// paper's daemon performs (§3.5, and DESIGN.md's substitution table).
+//
+// Each host runs an ident++ Daemon answering queries on TCP port 783, and
+// exposes the run-time API applications use to attach per-flow key-value
+// pairs (standing in for the Unix domain socket).
+//
+// Security hooks for the §5 experiments: a host can be marked compromised
+// (its daemon then emits attacker-chosen responses), the daemon can be
+// disabled entirely (incremental-deployment scenario), and processes can be
+// launched with a tampered executable image (hash changes, signatures stop
+// verifying).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "identxx/daemon.hpp"
+#include "identxx/wire.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace identxx::host {
+
+struct User {
+  std::string name;
+  std::string group;
+};
+
+/// A running process.
+struct Process {
+  int pid = 0;
+  std::string user;
+  std::string group;
+  std::string exe_path;
+  std::string exe_hash;  ///< SHA-256 of the (simulated) executable image
+};
+
+/// One socket table entry.
+struct Socket {
+  int pid = 0;
+  net::FiveTuple flow;   ///< fully specified for connected, dst zero for listening
+  bool listening = false;
+};
+
+struct HostStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_dropped_wrong_ip = 0;
+  std::uint64_t flow_payloads_received = 0;
+  std::uint64_t ident_queries_received = 0;
+  std::uint64_t packets_filtered_ingress = 0;
+};
+
+class Host : public sim::Node, public proto::FlowResolver {
+ public:
+  Host(std::string name, net::Ipv4Address ip, net::MacAddress mac);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] net::Ipv4Address ip() const noexcept { return ip_; }
+  [[nodiscard]] net::MacAddress mac() const noexcept { return mac_; }
+
+  // ---- users & processes -------------------------------------------------
+
+  void add_user(std::string user, std::string group);
+
+  /// Launch `exe_path` as `user`.  The executable image content is derived
+  /// from `exe_path` and `image_seed`; a different seed models a modified
+  /// (e.g. trojaned) binary whose hash no longer matches any signature.
+  /// Returns the new pid.  Throws Error for unknown users.
+  int launch(const std::string& user, const std::string& exe_path,
+             std::string_view image_seed = "");
+
+  void kill(int pid);
+
+  [[nodiscard]] const Process* process(int pid) const noexcept;
+
+  // ---- sockets (the lsof substitute) --------------------------------------
+
+  /// Open an outbound flow from `pid`: allocates an ephemeral source port
+  /// and records the socket.  Returns the flow 5-tuple.
+  net::FiveTuple connect_flow(int pid, net::Ipv4Address dst_ip,
+                              std::uint16_t dst_port,
+                              net::IpProto proto = net::IpProto::kTcp);
+
+  /// Record a listening socket for `pid` on `port`.
+  void listen(int pid, std::uint16_t port,
+              net::IpProto proto = net::IpProto::kTcp);
+
+  /// When enabled, a TCP SYN delivered to a listening socket is accepted
+  /// automatically: a connected socket is recorded for the reverse flow
+  /// and a SYN-ACK is emitted.  With a `keep state` policy the SYN-ACK
+  /// rides the reverse-path entries; under a stateless policy it faces the
+  /// controller as a fresh flow — exactly PF's semantics.
+  void set_auto_accept(bool enabled) noexcept { auto_accept_ = enabled; }
+
+  void close_flow(const net::FiveTuple& flow);
+
+  // ---- application -> daemon run-time API (§3.5) ---------------------------
+
+  /// Attach dynamic key-value pairs to one flow (the web-browser
+  /// user-click example).  Delivered in the response's last section.
+  void register_flow_pairs(const net::FiveTuple& flow,
+                           proto::KeyValueList pairs);
+
+  // ---- daemon ---------------------------------------------------------------
+
+  [[nodiscard]] proto::Daemon& daemon() noexcept { return daemon_; }
+  [[nodiscard]] const proto::Daemon& daemon() const noexcept { return daemon_; }
+
+  /// Disable/enable the ident++ daemon (incremental deployment, §4).
+  void set_daemon_enabled(bool enabled) noexcept { daemon_enabled_ = enabled; }
+  [[nodiscard]] bool daemon_enabled() const noexcept { return daemon_enabled_; }
+
+  /// Ingress filter for the distributed-firewall baseline (§6): applied to
+  /// every packet addressed to this host before delivery; returning false
+  /// drops it.  Note the packet has already consumed network resources and
+  /// host CPU by this point — the DoS weakness the paper calls out.
+  using IngressFilter = std::function<bool(const net::Packet&)>;
+  void set_ingress_filter(IngressFilter filter) {
+    ingress_filter_ = std::move(filter);
+  }
+
+  /// §5.3: full host compromise — the attacker controls daemon responses.
+  using ResponseForger = std::function<proto::Response(
+      const proto::Query&, net::Ipv4Address peer_ip)>;
+  void set_compromised(ResponseForger forger) {
+    response_forger_ = std::move(forger);
+  }
+  [[nodiscard]] bool compromised() const noexcept {
+    return static_cast<bool>(response_forger_);
+  }
+
+  // ---- FlowResolver ----------------------------------------------------------
+
+  [[nodiscard]] std::optional<proto::FlowOwner> resolve(
+      const net::FiveTuple& flow, bool as_destination) const override;
+
+  // ---- network -----------------------------------------------------------------
+
+  void on_packet(const net::Packet& packet, sim::PortId in_port) override;
+
+  /// Emit the first packet of `flow` (a SYN for TCP) with `payload`.
+  void send_flow_packet(const net::FiveTuple& flow, std::string_view payload = "",
+                        std::uint8_t tcp_flags = net::TcpFlags::kSyn);
+
+  /// Packets whose payload was delivered to an application socket,
+  /// newest last (observable by tests).
+  [[nodiscard]] const std::vector<net::Packet>& delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Simulated time of the most recent payload delivery; -1 if none yet.
+  /// Benchmarks use this to measure flow-setup latency.
+  [[nodiscard]] sim::SimTime last_delivery_time() const noexcept {
+    return last_delivery_time_;
+  }
+
+  /// Drop the delivered-packet log (long benchmark runs).
+  void clear_delivered() noexcept { delivered_.clear(); }
+
+  [[nodiscard]] const HostStats& stats() const noexcept { return stats_; }
+
+  /// Compute the simulated executable hash for (path, seed) — the daemon
+  /// reports this as exe-hash, and signers sign it.
+  [[nodiscard]] static std::string image_hash(std::string_view exe_path,
+                                              std::string_view image_seed);
+
+ private:
+  void handle_ident_query(const net::Packet& packet);
+
+  std::string name_;
+  net::Ipv4Address ip_;
+  net::MacAddress mac_;
+  std::unordered_map<std::string, User> users_;
+  std::unordered_map<int, Process> processes_;
+  std::vector<Socket> sockets_;
+  std::unordered_map<net::FiveTuple, proto::KeyValueList> flow_pairs_;
+  proto::Daemon daemon_;
+  bool daemon_enabled_ = true;
+  bool auto_accept_ = false;
+  ResponseForger response_forger_;
+  IngressFilter ingress_filter_;
+  int next_pid_ = 100;
+  std::uint16_t next_ephemeral_port_ = 40000;
+  std::vector<net::Packet> delivered_;
+  sim::SimTime last_delivery_time_ = -1;
+  HostStats stats_;
+};
+
+}  // namespace identxx::host

@@ -1,0 +1,157 @@
+#include "identxx/daemon_config.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::proto {
+
+namespace {
+
+/// Strip a '#' comment (outside of any quoting; the format has none).
+[[nodiscard]] std::string_view strip_comment(std::string_view line) noexcept {
+  const auto pos = line.find('#');
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+/// Join physical lines into logical lines: a trailing '\' continues onto
+/// the next line with a single space.  Records the starting line number of
+/// each logical line for error messages.
+struct LogicalLine {
+  std::string text;
+  std::size_t number;
+};
+
+std::vector<LogicalLine> logical_lines(std::string_view text) {
+  std::vector<LogicalLine> out;
+  const auto physical = util::split_lines(text);
+  std::string pending;
+  std::size_t pending_start = 0;
+  for (std::size_t i = 0; i < physical.size(); ++i) {
+    std::string_view line = util::trim(strip_comment(physical[i]));
+    const bool continues = !line.empty() && line.back() == '\\';
+    if (continues) {
+      line = util::trim_right(line.substr(0, line.size() - 1));
+    }
+    if (pending.empty()) {
+      pending = std::string(line);
+      pending_start = i + 1;
+    } else if (!line.empty()) {
+      pending += ' ';
+      pending += line;
+    }
+    if (!continues) {
+      if (!pending.empty()) out.push_back({std::move(pending), pending_start});
+      pending.clear();
+    }
+  }
+  if (!pending.empty()) out.push_back({std::move(pending), pending_start});
+  return out;
+}
+
+}  // namespace
+
+const std::string* AppConfig::find(std::string_view key) const noexcept {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : pairs) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+DaemonConfig DaemonConfig::parse(std::string_view text) {
+  DaemonConfig config;
+  enum class State { kTop, kInApp, kInGlobal };
+  State state = State::kTop;
+  AppConfig current;
+
+  for (const auto& line : logical_lines(text)) {
+    std::string_view content = line.text;
+    switch (state) {
+      case State::kTop: {
+        if (content == "}") {
+          throw ParseError("unmatched '}'", line.number);
+        }
+        if (util::starts_with(content, "@app")) {
+          auto rest = util::trim(content.substr(4));
+          if (rest.empty() || rest.back() != '{') {
+            throw ParseError("@app block must open with '{'", line.number);
+          }
+          rest = util::trim(rest.substr(0, rest.size() - 1));
+          if (rest.empty()) {
+            throw ParseError("@app block missing executable path", line.number);
+          }
+          current = AppConfig{std::string(rest), {}};
+          state = State::kInApp;
+        } else if (util::starts_with(content, "@global")) {
+          const auto rest = util::trim(content.substr(7));
+          if (rest != "{") {
+            throw ParseError("@global block must open with '{'", line.number);
+          }
+          state = State::kInGlobal;
+        } else {
+          throw ParseError("expected '@app <path> {' or '@global {', got '" +
+                               std::string(content) + "'",
+                           line.number);
+        }
+        break;
+      }
+      case State::kInApp:
+      case State::kInGlobal: {
+        if (content == "}") {
+          if (state == State::kInApp) {
+            config.apps.push_back(std::move(current));
+            current = AppConfig{};
+          }
+          state = State::kTop;
+          break;
+        }
+        const auto [key_part, value_part] = util::split_once(content, ':');
+        if (!value_part) {
+          throw ParseError("expected 'key : value'", line.number);
+        }
+        const auto key = util::trim(key_part);
+        if (key.empty()) {
+          throw ParseError("empty key", line.number);
+        }
+        auto& pairs = state == State::kInApp ? current.pairs : config.global_pairs;
+        pairs.emplace_back(std::string(key), std::string(util::trim(*value_part)));
+        break;
+      }
+    }
+  }
+  if (state != State::kTop) {
+    throw ParseError("unterminated block at end of file");
+  }
+  return config;
+}
+
+void DaemonConfig::merge(DaemonConfig other) {
+  for (auto& pair : other.global_pairs) {
+    global_pairs.push_back(std::move(pair));
+  }
+  for (auto& app : other.apps) {
+    apps.push_back(std::move(app));
+  }
+}
+
+const AppConfig* DaemonConfig::find_app(std::string_view exe_path) const noexcept {
+  for (const auto& app : apps) {
+    if (app.exe_path == exe_path) return &app;
+  }
+  return nullptr;
+}
+
+std::vector<const AppConfig*> DaemonConfig::find_apps(
+    std::string_view exe_path) const {
+  std::vector<const AppConfig*> out;
+  for (const auto& app : apps) {
+    if (app.exe_path == exe_path) out.push_back(&app);
+  }
+  return out;
+}
+
+std::string signed_message(const std::vector<std::string>& values) {
+  return util::join(values, "\n");
+}
+
+}  // namespace identxx::proto

@@ -1,0 +1,75 @@
+#pragma once
+
+// ident++ daemon configuration files (§3.5, Figures 3, 4 and 6).
+//
+// Format:
+//
+//     # comment
+//     @app /usr/bin/skype {
+//     name : skype
+//     version : 210
+//     requirements : <backslash>
+//     pass from any port http <backslash>
+//     with eq(@src[name], skype)
+//     req-sig : <hex signature>
+//     }
+//
+// (where <backslash> is the line-continuation character)
+//
+//     @global {
+//     os-patch : MS08-067
+//     }
+//
+// `@app <exe-path> { ... }` blocks hold the key-value pairs returned for
+// flows owned by that executable.  `@global { ... }` blocks (our extension,
+// standing in for "other configuration files" the paper mentions) hold
+// host-wide pairs such as the OS patch level used in Fig 8.
+//
+// A trailing backslash continues a line; continuations are joined with a
+// single space, so a multi-rule `requirements` value becomes one logical
+// line that the (newline-insensitive) PF+=2 parser consumes directly.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace identxx::proto {
+
+using KeyValueList = std::vector<std::pair<std::string, std::string>>;
+
+struct AppConfig {
+  std::string exe_path;
+  KeyValueList pairs;
+
+  [[nodiscard]] const std::string* find(std::string_view key) const noexcept;
+  [[nodiscard]] bool operator==(const AppConfig&) const noexcept = default;
+};
+
+struct DaemonConfig {
+  KeyValueList global_pairs;
+  std::vector<AppConfig> apps;
+
+  /// Parse one config file.  Throws ParseError with a line number.
+  [[nodiscard]] static DaemonConfig parse(std::string_view text);
+
+  /// Append everything from `other` (later files refine earlier ones; an
+  /// @app block for an already-known path adds a second entry whose pairs
+  /// are appended after the first at answer time).
+  void merge(DaemonConfig other);
+
+  [[nodiscard]] const AppConfig* find_app(std::string_view exe_path) const noexcept;
+
+  /// All @app blocks for `exe_path`, in order.
+  [[nodiscard]] std::vector<const AppConfig*> find_apps(
+      std::string_view exe_path) const;
+};
+
+/// Canonical message that `req-sig` signs: the values joined by '\n' in the
+/// order they are passed to PF+=2's verify() — conventionally
+/// (exe-hash, app-name, requirements), per Figures 5 and 7.
+[[nodiscard]] std::string signed_message(
+    const std::vector<std::string>& values);
+
+}  // namespace identxx::proto

@@ -1,0 +1,39 @@
+#pragma once
+
+// Well-known ident++ key names.
+//
+// The protocol deliberately leaves keys free-form (§1: "These pairs are
+// mostly free-form and ident++ does not constrain the types that can be
+// used") — these constants cover the keys the paper itself uses, so the
+// daemon, controller and policies agree on spelling.
+
+namespace identxx::proto::keys {
+
+/// User that initiated (source) or would receive (destination) the flow.
+inline constexpr char kUserId[] = "userID";
+/// Primary group of that user.
+inline constexpr char kGroupId[] = "groupID";
+/// Application name (Fig 3 `name`); `app-name` is emitted as an alias since
+/// the paper's policies use both spellings (Fig 2 vs Fig 5).
+inline constexpr char kName[] = "name";
+inline constexpr char kAppName[] = "app-name";
+/// SHA-256 of the executable image.
+inline constexpr char kExeHash[] = "exe-hash";
+inline constexpr char kVersion[] = "version";
+inline constexpr char kVendor[] = "vendor";
+inline constexpr char kType[] = "type";
+/// PF+=2 rules the signer wants enforced for this application (Fig 3-7).
+inline constexpr char kRequirements[] = "requirements";
+/// Schnorr signature over (exe-hash, app-name, requirements).
+inline constexpr char kReqSig[] = "req-sig";
+/// Identity of the third party that authored the requirements (Fig 6).
+inline constexpr char kRuleMaker[] = "rule-maker";
+/// Installed OS patch list (Fig 8, MS08-067 / Conficker scenario).
+inline constexpr char kOsPatch[] = "os-patch";
+/// Process id on the end-host (audit aid).
+inline constexpr char kPid[] = "pid";
+/// Name of the network/branch a controller speaks for when augmenting a
+/// response (§4 network collaboration).
+inline constexpr char kNetwork[] = "network";
+
+}  // namespace identxx::proto::keys

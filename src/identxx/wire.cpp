@@ -1,0 +1,146 @@
+#include "identxx/wire.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::proto {
+
+namespace {
+
+/// Parse the shared first line "<PROTO> <SRC PORT> <DST PORT>".
+struct FirstLine {
+  net::IpProto proto;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+};
+
+FirstLine parse_first_line(std::string_view line) {
+  const auto fields = util::split_ws(line);
+  if (fields.size() != 3) {
+    throw ParseError("ident++ first line must be '<proto> <sport> <dport>'", 1);
+  }
+  const net::IpProto proto = parse_proto_token(fields[0]);
+  const auto sport = util::parse_u64(fields[1]);
+  const auto dport = util::parse_u64(fields[2]);
+  if (!sport || *sport > 65535 || !dport || *dport > 65535) {
+    throw ParseError("ident++ first line has invalid port", 1);
+  }
+  return FirstLine{proto, static_cast<std::uint16_t>(*sport),
+                   static_cast<std::uint16_t>(*dport)};
+}
+
+}  // namespace
+
+std::string proto_token(net::IpProto proto) {
+  return net::to_string(proto);
+}
+
+net::IpProto parse_proto_token(std::string_view token) {
+  if (util::iequals(token, "tcp")) return net::IpProto::kTcp;
+  if (util::iequals(token, "udp")) return net::IpProto::kUdp;
+  if (util::iequals(token, "icmp")) return net::IpProto::kIcmp;
+  const auto number = util::parse_u64(token);
+  if (number && *number <= 255) return static_cast<net::IpProto>(*number);
+  throw ParseError("unknown protocol token '" + std::string(token) + "'", 1);
+}
+
+bool is_ident_traffic(const net::FiveTuple& flow) noexcept {
+  return flow.proto == net::IpProto::kTcp &&
+         (flow.dst_port == kIdentPort || flow.src_port == kIdentPort);
+}
+
+// ---------------------------------------------------------------- Query
+
+std::string Query::serialize() const {
+  std::string out = proto_token(proto) + " " + std::to_string(src_port) + " " +
+                    std::to_string(dst_port) + "\n";
+  for (const auto& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+Query Query::parse(std::string_view text) {
+  const auto lines = util::split_lines(text);
+  if (lines.empty()) throw ParseError("empty ident++ query");
+  Query query;
+  const FirstLine first = parse_first_line(lines[0]);
+  query.proto = first.proto;
+  query.src_port = first.src_port;
+  query.dst_port = first.dst_port;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto key = util::trim(lines[i]);
+    if (key.empty()) continue;
+    if (key.find(':') != std::string_view::npos) {
+      throw ParseError("query keys must not contain ':'", i + 1);
+    }
+    query.keys.emplace_back(key);
+  }
+  return query;
+}
+
+// ---------------------------------------------------------------- Section
+
+const std::string* Section::find(std::string_view key) const noexcept {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : pairs) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+// ---------------------------------------------------------------- Response
+
+void Response::append_section(Section section) {
+  if (!section.empty()) sections.push_back(std::move(section));
+}
+
+std::string Response::serialize() const {
+  std::string out = proto_token(proto) + " " + std::to_string(src_port) + " " +
+                    std::to_string(dst_port) + "\n";
+  bool first = true;
+  for (const auto& section : sections) {
+    if (!first) out += '\n';  // empty line between sections
+    first = false;
+    for (const auto& [key, value] : section.pairs) {
+      out += key;
+      out += ": ";
+      out += value;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Response Response::parse(std::string_view text) {
+  const auto lines = util::split_lines(text);
+  if (lines.empty()) throw ParseError("empty ident++ response");
+  Response response;
+  const FirstLine first = parse_first_line(lines[0]);
+  response.proto = first.proto;
+  response.src_port = first.src_port;
+  response.dst_port = first.dst_port;
+
+  Section current;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto line = util::trim_right(lines[i]);
+    if (line.empty()) {
+      // Section boundary (possibly several blank lines in a row).
+      response.append_section(std::move(current));
+      current = Section{};
+      continue;
+    }
+    const auto [key_part, value_part] = util::split_once(line, ':');
+    if (!value_part) {
+      throw ParseError("response line missing ':'", i + 1);
+    }
+    const auto key = util::trim(key_part);
+    if (key.empty()) throw ParseError("response line with empty key", i + 1);
+    current.add(std::string(key), std::string(util::trim(*value_part)));
+  }
+  response.append_section(std::move(current));
+  return response;
+}
+
+}  // namespace identxx::proto

@@ -1,0 +1,100 @@
+#pragma once
+
+// Flow identifiers.
+//
+// The paper uses two granularities (§2, §3.1):
+//  * ident++'s 5-tuple {src ip, dst ip, ip proto, src port, dst port} —
+//    what queries and policy decisions are keyed on;
+//  * OpenFlow's 10-tuple {ingress port, MAC src/dst, ethertype, VLAN id,
+//    IP src/dst, IP proto, transport src/dst ports} — what switch flow
+//    tables match on.  The 10-tuple is a strict superset of the 5-tuple.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4.hpp"
+
+namespace identxx::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] std::string to_string(IpProto proto);
+
+/// ident++ flow identity (§2).
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  IpProto proto = IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  [[nodiscard]] bool operator==(const FiveTuple&) const noexcept = default;
+
+  /// The same flow seen from the other end (src/dst swapped).
+  [[nodiscard]] FiveTuple reversed() const noexcept {
+    return FiveTuple{dst_ip, src_ip, proto, dst_port, src_port};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// OpenFlow flow identity (§3.1).
+struct TenTuple {
+  std::uint16_t in_port = 0;
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  std::uint16_t ether_type = 0x0800;  // IPv4
+  std::uint16_t vlan_id = 0;          // 0 = untagged
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  IpProto proto = IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  [[nodiscard]] bool operator==(const TenTuple&) const noexcept = default;
+
+  /// Project down to the ident++ 5-tuple.
+  [[nodiscard]] FiveTuple five_tuple() const noexcept {
+    return FiveTuple{src_ip, dst_ip, proto, src_port, dst_port};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a style combiner used by the hash specializations below.
+[[nodiscard]] constexpr std::size_t hash_combine(std::size_t seed,
+                                                 std::size_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace identxx::net
+
+template <>
+struct std::hash<identxx::net::FiveTuple> {
+  std::size_t operator()(const identxx::net::FiveTuple& t) const noexcept {
+    using identxx::net::hash_combine;
+    std::size_t h = std::hash<std::uint32_t>{}(t.src_ip.value());
+    h = hash_combine(h, t.dst_ip.value());
+    h = hash_combine(h, static_cast<std::size_t>(t.proto));
+    h = hash_combine(h, (static_cast<std::size_t>(t.src_port) << 16) | t.dst_port);
+    return h;
+  }
+};
+
+template <>
+struct std::hash<identxx::net::TenTuple> {
+  std::size_t operator()(const identxx::net::TenTuple& t) const noexcept {
+    using identxx::net::hash_combine;
+    std::size_t h = std::hash<identxx::net::FiveTuple>{}(t.five_tuple());
+    h = hash_combine(h, t.in_port);
+    h = hash_combine(h, t.src_mac.value());
+    h = hash_combine(h, t.dst_mac.value());
+    h = hash_combine(h, (static_cast<std::size_t>(t.ether_type) << 16) | t.vlan_id);
+    return h;
+  }
+};

@@ -1,0 +1,79 @@
+#include "net/ipv4.hpp"
+
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace identxx::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    const auto octet = util::parse_u64(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) noexcept {
+  const auto [addr_part, len_part] = util::split_once(text, '/');
+  const auto addr = Ipv4Address::parse(addr_part);
+  if (!addr) return std::nullopt;
+  if (!len_part) return Cidr(*addr, 32);
+  const auto len = util::parse_u64(*len_part);
+  if (!len || *len > 32) return std::nullopt;
+  return Cidr(*addr, static_cast<unsigned>(*len));
+}
+
+std::string Cidr::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_length_);
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) noexcept {
+  const auto parts = util::split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const auto part : parts) {
+    if (part.size() != 2) return std::nullopt;
+    int byte = 0;
+    for (char c : part) {
+      int nibble;
+      if (c >= '0' && c <= '9') nibble = c - '0';
+      else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+      else return std::nullopt;
+      byte = (byte << 4) | nibble;
+    }
+    value = (value << 8) | static_cast<std::uint64_t>(byte);
+  }
+  return MacAddress(value);
+}
+
+std::string MacAddress::to_string() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int i = 5; i >= 0; --i) {
+    const auto byte = static_cast<std::uint8_t>(value_ >> (i * 8));
+    out += kDigits[byte >> 4];
+    out += kDigits[byte & 0xf];
+    if (i > 0) out += ':';
+  }
+  return out;
+}
+
+}  // namespace identxx::net

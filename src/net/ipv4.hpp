@@ -1,0 +1,112 @@
+#pragma once
+
+// IPv4 addresses, CIDR prefixes and MAC addresses.
+//
+// PF+=2 policy tables (`table <lan> { 192.168.0.0/24 }`) and the ident++
+// wire format both traffic in these types.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace identxx::net {
+
+/// IPv4 address stored host-order for arithmetic; renders dotted-quad.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parse dotted-quad ("192.168.0.1").  Rejects anything else.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr auto operator<=>(const Ipv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 192.168.0.0/24.  A /32 is a single host.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  /// Construct; the network address is masked down (10.0.0.7/8 -> 10.0.0.0/8).
+  constexpr Cidr(Ipv4Address network, unsigned prefix_length) noexcept
+      : network_(Ipv4Address(prefix_length == 0
+                                 ? 0
+                                 : network.value() & mask_for(prefix_length))),
+        prefix_length_(prefix_length > 32 ? 32 : prefix_length) {}
+
+  /// Parse "a.b.c.d/len" or bare "a.b.c.d" (treated as /32).
+  [[nodiscard]] static std::optional<Cidr> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+    if (prefix_length_ == 0) return true;
+    const std::uint32_t mask = mask_for(prefix_length_);
+    return (addr.value() & mask) == network_.value();
+  }
+
+  [[nodiscard]] constexpr Ipv4Address network() const noexcept { return network_; }
+  [[nodiscard]] constexpr unsigned prefix_length() const noexcept { return prefix_length_; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool operator==(const Cidr&) const noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_for(unsigned len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - (len > 32 ? 32 : len));
+  }
+  Ipv4Address network_;
+  unsigned prefix_length_ = 0;
+};
+
+/// 48-bit MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t value) noexcept
+      : value_(value & 0xffffffffffffULL) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff".
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text) noexcept;
+
+  /// Deterministic MAC for a simulated node id (locally administered).
+  [[nodiscard]] static constexpr MacAddress for_node(std::uint32_t node_id) noexcept {
+    return MacAddress(0x020000000000ULL | node_id);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr auto operator<=>(const MacAddress&) const noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace identxx::net
+
+template <>
+struct std::hash<identxx::net::Ipv4Address> {
+  std::size_t operator()(const identxx::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<identxx::net::MacAddress> {
+  std::size_t operator()(const identxx::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.value());
+  }
+};

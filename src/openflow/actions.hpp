@@ -1,0 +1,40 @@
+#pragma once
+
+// Flow-table actions (§3.1): drop, forward on specific port(s), flood, or
+// punt to the controller.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace identxx::openflow {
+
+/// Forward out of one or more specific ports.
+struct OutputAction {
+  std::vector<std::uint16_t> ports;
+  [[nodiscard]] bool operator==(const OutputAction&) const noexcept = default;
+};
+
+/// Forward out of every port except the ingress port.
+struct FloodAction {
+  [[nodiscard]] bool operator==(const FloodAction&) const noexcept = default;
+};
+
+/// Discard the packet.
+struct DropAction {
+  [[nodiscard]] bool operator==(const DropAction&) const noexcept = default;
+};
+
+/// Encapsulate and send to the OpenFlow controller (table-miss behaviour,
+/// or an explicit punt rule).
+struct ToControllerAction {
+  [[nodiscard]] bool operator==(const ToControllerAction&) const noexcept = default;
+};
+
+using Action =
+    std::variant<OutputAction, FloodAction, DropAction, ToControllerAction>;
+
+[[nodiscard]] std::string to_string(const Action& action);
+
+}  // namespace identxx::openflow

@@ -1,0 +1,241 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace identxx::openflow {
+
+std::string to_string(const Action& action) {
+  struct Visitor {
+    std::string operator()(const OutputAction& a) const {
+      std::string out = "output(";
+      for (std::size_t i = 0; i < a.ports.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(a.ports[i]);
+      }
+      return out + ")";
+    }
+    std::string operator()(const FloodAction&) const { return "flood"; }
+    std::string operator()(const DropAction&) const { return "drop"; }
+    std::string operator()(const ToControllerAction&) const {
+      return "to-controller";
+    }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+net::TenTuple FlowTable::key_of(const FlowMatch& m) noexcept {
+  net::TenTuple t;
+  t.in_port = m.in_port;
+  t.src_mac = m.src_mac;
+  t.dst_mac = m.dst_mac;
+  t.ether_type = m.ether_type;
+  t.vlan_id = m.vlan_id;
+  t.src_ip = m.src_ip;
+  t.dst_ip = m.dst_ip;
+  t.proto = m.proto;
+  t.src_port = m.src_port;
+  t.dst_port = m.dst_port;
+  return t;
+}
+
+bool FlowTable::expired(const FlowEntry& e, sim::SimTime now) const noexcept {
+  if (e.hard_timeout > 0 && now >= e.created_at + e.hard_timeout) return true;
+  if (e.idle_timeout > 0 && now >= e.last_used_at + e.idle_timeout) return true;
+  return false;
+}
+
+void FlowTable::notify_removal(const FlowEntry& entry, RemovalReason reason) {
+  ++stats_.removals;
+  if (removal_listener_) removal_listener_(entry, reason);
+}
+
+void FlowTable::evict_lru() {
+  // Find the least-recently-used entry across both stores.
+  auto lru_exact = exact_.end();
+  for (auto it = exact_.begin(); it != exact_.end(); ++it) {
+    if (lru_exact == exact_.end() ||
+        it->second.last_used_at < lru_exact->second.last_used_at) {
+      lru_exact = it;
+    }
+  }
+  auto lru_wild = wild_.end();
+  for (auto it = wild_.begin(); it != wild_.end(); ++it) {
+    if (lru_wild == wild_.end() || it->last_used_at < lru_wild->last_used_at) {
+      lru_wild = it;
+    }
+  }
+  const bool pick_exact =
+      lru_exact != exact_.end() &&
+      (lru_wild == wild_.end() ||
+       lru_exact->second.last_used_at <= lru_wild->last_used_at);
+  if (pick_exact) {
+    const FlowEntry victim = lru_exact->second;
+    exact_.erase(lru_exact);
+    notify_removal(victim, RemovalReason::kEvicted);
+  } else if (lru_wild != wild_.end()) {
+    const FlowEntry victim = *lru_wild;
+    wild_.erase(lru_wild);
+    notify_removal(victim, RemovalReason::kEvicted);
+  }
+}
+
+void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
+  entry.created_at = now;
+  entry.last_used_at = now;
+  ++stats_.inserts;
+  if (entry.match.is_exact()) {
+    const auto key = key_of(entry.match);
+    const auto it = exact_.find(key);
+    if (it != exact_.end()) {
+      it->second = entry;  // overwrite, not a new entry
+      return;
+    }
+    if (size() >= capacity_) evict_lru();
+    exact_.emplace(key, std::move(entry));
+    return;
+  }
+  // Overwrite an existing wildcard entry with identical match + priority.
+  for (auto& existing : wild_) {
+    if (existing.match == entry.match && existing.priority == entry.priority) {
+      existing = entry;
+      return;
+    }
+  }
+  if (size() >= capacity_) evict_lru();
+  // Keep sorted by priority descending; stable w.r.t. insertion order.
+  const auto pos = std::upper_bound(
+      wild_.begin(), wild_.end(), entry,
+      [](const FlowEntry& a, const FlowEntry& b) {
+        return a.priority > b.priority;
+      });
+  wild_.insert(pos, std::move(entry));
+}
+
+const FlowEntry* FlowTable::lookup(const net::TenTuple& tuple, sim::SimTime now,
+                                   std::size_t packet_bytes) {
+  ++stats_.lookups;
+  // Exact path first (it can only be outranked by a wildcard entry with
+  // strictly higher priority — OpenFlow 1.0 gives exact entries top
+  // priority, which we mirror by checking them first).
+  const auto it = exact_.find(tuple);
+  if (it != exact_.end()) {
+    if (expired(it->second, now)) {
+      const FlowEntry victim = it->second;
+      exact_.erase(it);
+      notify_removal(victim,
+                     victim.hard_timeout > 0 &&
+                             now >= victim.created_at + victim.hard_timeout
+                         ? RemovalReason::kHardTimeout
+                         : RemovalReason::kIdleTimeout);
+    } else {
+      FlowEntry& entry = it->second;
+      entry.last_used_at = now;
+      ++entry.packet_count;
+      entry.byte_count += packet_bytes;
+      ++stats_.hits;
+      return &entry;
+    }
+  }
+  for (auto wit = wild_.begin(); wit != wild_.end();) {
+    if (expired(*wit, now)) {
+      const FlowEntry victim = *wit;
+      wit = wild_.erase(wit);
+      notify_removal(victim,
+                     victim.hard_timeout > 0 &&
+                             now >= victim.created_at + victim.hard_timeout
+                         ? RemovalReason::kHardTimeout
+                         : RemovalReason::kIdleTimeout);
+      continue;
+    }
+    if (wit->match.matches(tuple)) {
+      wit->last_used_at = now;
+      ++wit->packet_count;
+      wit->byte_count += packet_bytes;
+      ++stats_.hits;
+      return &*wit;
+    }
+    ++wit;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+std::size_t FlowTable::remove_if(
+    const std::function<bool(const FlowEntry&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    if (pred(it->second)) {
+      const FlowEntry victim = it->second;
+      it = exact_.erase(it);
+      notify_removal(victim, RemovalReason::kDeleted);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = wild_.begin(); it != wild_.end();) {
+    if (pred(*it)) {
+      const FlowEntry victim = *it;
+      it = wild_.erase(it);
+      notify_removal(victim, RemovalReason::kDeleted);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t FlowTable::expire(sim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    if (expired(it->second, now)) {
+      const FlowEntry victim = it->second;
+      it = exact_.erase(it);
+      notify_removal(victim,
+                     victim.hard_timeout > 0 &&
+                             now >= victim.created_at + victim.hard_timeout
+                         ? RemovalReason::kHardTimeout
+                         : RemovalReason::kIdleTimeout);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = wild_.begin(); it != wild_.end();) {
+    if (expired(*it, now)) {
+      const FlowEntry victim = *it;
+      it = wild_.erase(it);
+      notify_removal(victim,
+                     victim.hard_timeout > 0 &&
+                             now >= victim.created_at + victim.hard_timeout
+                         ? RemovalReason::kHardTimeout
+                         : RemovalReason::kIdleTimeout);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void FlowTable::clear() {
+  for (const auto& [key, entry] : exact_) {
+    notify_removal(entry, RemovalReason::kDeleted);
+  }
+  for (const auto& entry : wild_) {
+    notify_removal(entry, RemovalReason::kDeleted);
+  }
+  exact_.clear();
+  wild_.clear();
+}
+
+std::vector<FlowEntry> FlowTable::entries() const {
+  std::vector<FlowEntry> out;
+  out.reserve(size());
+  for (const auto& [key, entry] : exact_) out.push_back(entry);
+  for (const auto& entry : wild_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace identxx::openflow

@@ -1,0 +1,109 @@
+#pragma once
+
+// The switch flow table (§3.1): maps 10-tuple matches to actions, with
+// priorities, idle/hard timeouts and per-entry statistics.  This is the
+// "rule cache" the paper refers to in §2 — the controller installs an
+// entry to cache its allow/drop decision so later packets of the flow
+// never reach the controller.
+//
+// Lookup strategy: entries whose match is fully exact go into a hash map
+// keyed by the 10-tuple (O(1) hit path — the dominant case under ident++,
+// which installs exact entries).  Wildcard entries live in a vector sorted
+// by descending priority and are scanned linearly.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+#include "sim/simulator.hpp"
+
+namespace identxx::openflow {
+
+struct FlowEntry {
+  FlowMatch match;
+  std::uint16_t priority = 0;
+  Action action = DropAction{};
+  /// 0 disables the respective timeout.
+  sim::SimTime idle_timeout = 0;
+  sim::SimTime hard_timeout = 0;
+
+  // Statistics.
+  sim::SimTime created_at = 0;
+  sim::SimTime last_used_at = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  std::uint64_t cookie = 0;  ///< controller-chosen opaque id
+};
+
+enum class RemovalReason { kIdleTimeout, kHardTimeout, kEvicted, kDeleted };
+
+struct TableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t removals = 0;
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class FlowTable {
+ public:
+  /// `capacity` caps the number of entries (hardware TCAM analogue);
+  /// inserts beyond it evict the least-recently-used entry.
+  explicit FlowTable(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  using RemovalListener =
+      std::function<void(const FlowEntry&, RemovalReason)>;
+
+  /// Called for every entry that leaves the table.
+  void set_removal_listener(RemovalListener listener) {
+    removal_listener_ = std::move(listener);
+  }
+
+  /// Insert or overwrite (same match + priority overwrites).
+  void insert(FlowEntry entry, sim::SimTime now);
+
+  /// Highest-priority matching entry, updating stats; nullptr on miss.
+  /// Expired entries encountered along the way are removed first.
+  [[nodiscard]] const FlowEntry* lookup(const net::TenTuple& tuple,
+                                        sim::SimTime now,
+                                        std::size_t packet_bytes);
+
+  /// Remove entries matching predicate; returns count.
+  std::size_t remove_if(const std::function<bool(const FlowEntry&)>& pred);
+
+  /// Remove every expired entry as of `now`; returns count.
+  std::size_t expire(sim::SimTime now);
+
+  /// Remove all entries.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return exact_.size() + wild_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const TableStats& stats() const noexcept { return stats_; }
+
+  /// Snapshot of all entries (for tests and debugging).
+  [[nodiscard]] std::vector<FlowEntry> entries() const;
+
+ private:
+  [[nodiscard]] static net::TenTuple key_of(const FlowMatch& match) noexcept;
+  [[nodiscard]] bool expired(const FlowEntry& entry, sim::SimTime now) const noexcept;
+  void notify_removal(const FlowEntry& entry, RemovalReason reason);
+  void evict_lru();
+
+  std::size_t capacity_;
+  std::unordered_map<net::TenTuple, FlowEntry> exact_;
+  std::vector<FlowEntry> wild_;  // sorted by priority desc, stable
+  TableStats stats_;
+  RemovalListener removal_listener_;
+};
+
+}  // namespace identxx::openflow

@@ -1,0 +1,92 @@
+#include "openflow/match.hpp"
+
+namespace identxx::openflow {
+
+namespace {
+
+[[nodiscard]] bool prefix_matches(net::Ipv4Address value, net::Ipv4Address base,
+                                  unsigned prefix) noexcept {
+  if (prefix == 0) return true;
+  if (prefix > 32) prefix = 32;
+  const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix);
+  return (value.value() & mask) == (base.value() & mask);
+}
+
+}  // namespace
+
+FlowMatch FlowMatch::exact(const net::TenTuple& tuple) noexcept {
+  FlowMatch m;
+  m.wildcards = Wildcard::kNone;
+  m.in_port = tuple.in_port;
+  m.src_mac = tuple.src_mac;
+  m.dst_mac = tuple.dst_mac;
+  m.ether_type = tuple.ether_type;
+  m.vlan_id = tuple.vlan_id;
+  m.src_ip = tuple.src_ip;
+  m.dst_ip = tuple.dst_ip;
+  m.src_ip_prefix = 32;
+  m.dst_ip_prefix = 32;
+  m.proto = tuple.proto;
+  m.src_port = tuple.src_port;
+  m.dst_port = tuple.dst_port;
+  return m;
+}
+
+bool FlowMatch::matches(const net::TenTuple& t) const noexcept {
+  if (!has_wildcard(wildcards, Wildcard::kInPort) && in_port != t.in_port)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kSrcMac) && src_mac != t.src_mac)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kDstMac) && dst_mac != t.dst_mac)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kEtherType) &&
+      ether_type != t.ether_type)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kVlanId) && vlan_id != t.vlan_id)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kSrcIp) &&
+      !prefix_matches(t.src_ip, src_ip, src_ip_prefix))
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kDstIp) &&
+      !prefix_matches(t.dst_ip, dst_ip, dst_ip_prefix))
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kProto) && proto != t.proto)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kSrcPort) && src_port != t.src_port)
+    return false;
+  if (!has_wildcard(wildcards, Wildcard::kDstPort) && dst_port != t.dst_port)
+    return false;
+  return true;
+}
+
+bool FlowMatch::is_exact() const noexcept {
+  return wildcards == Wildcard::kNone && src_ip_prefix == 32 &&
+         dst_ip_prefix == 32;
+}
+
+std::string FlowMatch::to_string() const {
+  if (wildcards == Wildcard::kAll) return "match-any";
+  std::string out = "match{";
+  const auto field = [&](Wildcard w, const std::string& text) {
+    if (!has_wildcard(wildcards, w)) {
+      if (out.size() > 6) out += ' ';
+      out += text;
+    }
+  };
+  field(Wildcard::kInPort, "in_port=" + std::to_string(in_port));
+  field(Wildcard::kSrcMac, "src_mac=" + src_mac.to_string());
+  field(Wildcard::kDstMac, "dst_mac=" + dst_mac.to_string());
+  field(Wildcard::kEtherType, "eth=" + std::to_string(ether_type));
+  field(Wildcard::kVlanId, "vlan=" + std::to_string(vlan_id));
+  field(Wildcard::kSrcIp,
+        "src=" + src_ip.to_string() + "/" + std::to_string(src_ip_prefix));
+  field(Wildcard::kDstIp,
+        "dst=" + dst_ip.to_string() + "/" + std::to_string(dst_ip_prefix));
+  field(Wildcard::kProto, "proto=" + net::to_string(proto));
+  field(Wildcard::kSrcPort, "sport=" + std::to_string(src_port));
+  field(Wildcard::kDstPort, "dport=" + std::to_string(dst_port));
+  out += '}';
+  return out;
+}
+
+}  // namespace identxx::openflow

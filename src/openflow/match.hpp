@@ -1,0 +1,88 @@
+#pragma once
+
+// OpenFlow-style flow matching (OpenFlow 1.0 10-tuple with per-field
+// wildcards, as described in §3.1 of the paper).
+
+#include <cstdint>
+#include <string>
+
+#include "net/flow.hpp"
+
+namespace identxx::openflow {
+
+/// Bitmask of wildcarded fields.
+enum class Wildcard : std::uint16_t {
+  kNone = 0,
+  kInPort = 1 << 0,
+  kSrcMac = 1 << 1,
+  kDstMac = 1 << 2,
+  kEtherType = 1 << 3,
+  kVlanId = 1 << 4,
+  kSrcIp = 1 << 5,   // fully wildcarded; prefix masks via src_ip_prefix
+  kDstIp = 1 << 6,
+  kProto = 1 << 7,
+  kSrcPort = 1 << 8,
+  kDstPort = 1 << 9,
+  kAll = (1 << 10) - 1,
+};
+
+[[nodiscard]] constexpr Wildcard operator|(Wildcard a, Wildcard b) noexcept {
+  return static_cast<Wildcard>(static_cast<std::uint16_t>(a) |
+                               static_cast<std::uint16_t>(b));
+}
+
+[[nodiscard]] constexpr Wildcard operator&(Wildcard a, Wildcard b) noexcept {
+  return static_cast<Wildcard>(static_cast<std::uint16_t>(a) &
+                               static_cast<std::uint16_t>(b));
+}
+
+/// Remove `flags` from `set` (e.g. "wildcard everything except proto and
+/// destination port").
+[[nodiscard]] constexpr Wildcard without(Wildcard set, Wildcard flags) noexcept {
+  return static_cast<Wildcard>(static_cast<std::uint16_t>(set) &
+                               static_cast<std::uint16_t>(Wildcard::kAll) &
+                               ~static_cast<std::uint16_t>(flags));
+}
+
+[[nodiscard]] constexpr bool has_wildcard(Wildcard set, Wildcard flag) noexcept {
+  return (static_cast<std::uint16_t>(set) & static_cast<std::uint16_t>(flag)) != 0;
+}
+
+/// A match over the 10-tuple.  Fields under a wildcard bit are ignored.
+/// IP fields additionally support CIDR prefixes (prefix length 32 = exact,
+/// 0 = same as wildcarded).
+struct FlowMatch {
+  Wildcard wildcards = Wildcard::kAll;
+  std::uint16_t in_port = 0;
+  net::MacAddress src_mac;
+  net::MacAddress dst_mac;
+  std::uint16_t ether_type = 0x0800;
+  std::uint16_t vlan_id = 0;
+  net::Ipv4Address src_ip;
+  net::Ipv4Address dst_ip;
+  unsigned src_ip_prefix = 32;
+  unsigned dst_ip_prefix = 32;
+  net::IpProto proto = net::IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  [[nodiscard]] bool operator==(const FlowMatch&) const noexcept = default;
+
+  /// Exact match on every 10-tuple field (the shape the ident++ controller
+  /// installs after a decision, §3.1).
+  [[nodiscard]] static FlowMatch exact(const net::TenTuple& tuple) noexcept;
+
+  /// Match everything.
+  [[nodiscard]] static FlowMatch any() noexcept { return FlowMatch{}; }
+
+  /// Does `tuple` fall under this match?
+  [[nodiscard]] bool matches(const net::TenTuple& tuple) const noexcept;
+
+  /// True when no field is wildcarded and prefixes are /32 — such entries
+  /// are eligible for the exact-match fast path in FlowTable.
+  [[nodiscard]] bool is_exact() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace identxx::openflow

@@ -1,0 +1,118 @@
+#include "openflow/switch.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace identxx::openflow {
+
+Switch::Switch(std::string name, std::size_t table_capacity)
+    : name_(std::move(name)), table_(table_capacity) {
+  table_.set_removal_listener(
+      [this](const FlowEntry& entry, RemovalReason reason) {
+        if (controller_ == nullptr || simulator() == nullptr) return;
+        // Notify asynchronously over the control channel.
+        FlowRemovedMsg msg{id(), entry, reason};
+        simulator()->schedule_after(control_latency_, [this, msg]() {
+          controller_->on_flow_removed(msg);
+        });
+      });
+}
+
+void Switch::set_controller(ControlPlane* controller,
+                            sim::SimTime control_latency) {
+  controller_ = controller;
+  control_latency_ = control_latency;
+}
+
+void Switch::register_port(sim::PortId port) {
+  if (std::find(ports_.begin(), ports_.end(), port) == ports_.end()) {
+    ports_.push_back(port);
+    std::sort(ports_.begin(), ports_.end());
+  }
+}
+
+void Switch::install_flow(FlowEntry entry) {
+  table_.insert(std::move(entry), simulator() ? simulator()->now() : 0);
+}
+
+std::size_t Switch::remove_flows_by_cookie(std::uint64_t cookie) {
+  return table_.remove_if(
+      [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+}
+
+void Switch::packet_out(const net::Packet& packet, const Action& action,
+                        sim::PortId in_port) {
+  apply_action(action, packet, in_port);
+}
+
+void Switch::on_packet(const net::Packet& packet, sim::PortId in_port) {
+  ++stats_.packets_received;
+  if (compromised_) {
+    // §5.2: a compromised switch passes all traffic without regulation.
+    apply_action(FloodAction{}, packet, in_port);
+    return;
+  }
+  const net::TenTuple tuple = packet.ten_tuple(in_port);
+  const std::size_t wire_bytes = packet.payload.size() +
+                                 net::EthernetHeader::kSize +
+                                 net::Ipv4Header::kSize;
+  const FlowEntry* entry =
+      table_.lookup(tuple, simulator()->now(), wire_bytes);
+  if (entry != nullptr) {
+    apply_action(entry->action, packet, in_port);
+    return;
+  }
+  // Table miss (Figure 1 step 2).
+  switch (miss_behaviour_) {
+    case MissBehaviour::kToController:
+      punt_to_controller(packet, in_port);
+      break;
+    case MissBehaviour::kDrop:
+      ++stats_.packets_dropped;
+      break;
+  }
+}
+
+void Switch::apply_action(const Action& action, const net::Packet& packet,
+                          sim::PortId in_port) {
+  struct Visitor {
+    Switch& self;
+    const net::Packet& packet;
+    sim::PortId in_port;
+
+    void operator()(const OutputAction& a) {
+      for (const auto port : a.ports) {
+        ++self.stats_.packets_forwarded;
+        self.simulator()->send(self.id(), port, packet);
+      }
+    }
+    void operator()(const FloodAction&) {
+      ++self.stats_.packets_flooded;
+      for (const auto port : self.ports_) {
+        if (port == in_port) continue;
+        self.simulator()->send(self.id(), port, packet);
+      }
+    }
+    void operator()(const DropAction&) { ++self.stats_.packets_dropped; }
+    void operator()(const ToControllerAction&) {
+      self.punt_to_controller(packet, in_port);
+    }
+  };
+  std::visit(Visitor{*this, packet, in_port}, action);
+}
+
+void Switch::punt_to_controller(const net::Packet& packet, sim::PortId in_port) {
+  if (controller_ == nullptr) {
+    ++stats_.packets_dropped;
+    IDXX_LOG(kDebug, "switch") << name_ << ": miss with no controller, drop";
+    return;
+  }
+  ++stats_.packets_to_controller;
+  PacketIn msg{id(), packet, in_port};
+  simulator()->schedule_after(control_latency_, [this, msg]() {
+    controller_->on_packet_in(msg);
+  });
+}
+
+}  // namespace identxx::openflow

@@ -1,0 +1,115 @@
+#pragma once
+
+// OpenFlow switch datapath (§3.1): match packets against the flow table,
+// apply the cached action, and punt table misses to the controller over an
+// out-of-band control channel with configurable RPC latency.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "openflow/flow_table.hpp"
+#include "sim/simulator.hpp"
+
+namespace identxx::openflow {
+
+class Switch;
+
+/// Packet-in message: a table miss (or explicit punt) encapsulated and sent
+/// to the controller, as in Figure 1 step 2.
+struct PacketIn {
+  sim::NodeId switch_id = sim::kInvalidNode;
+  net::Packet packet;
+  sim::PortId in_port = 0;
+};
+
+/// Flow-removed notification (idle/hard timeout or eviction).
+struct FlowRemovedMsg {
+  sim::NodeId switch_id = sim::kInvalidNode;
+  FlowEntry entry;
+  RemovalReason reason = RemovalReason::kDeleted;
+};
+
+/// The controller side of the OpenFlow control channel.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+  virtual void on_packet_in(const PacketIn& msg) = 0;
+  virtual void on_flow_removed(const FlowRemovedMsg& msg) { (void)msg; }
+};
+
+struct SwitchStats {
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_flooded = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_to_controller = 0;
+};
+
+/// What to do with a packet that misses the flow table.
+enum class MissBehaviour { kToController, kDrop };
+
+class Switch : public sim::Node {
+ public:
+  explicit Switch(std::string name, std::size_t table_capacity = 65536);
+
+  // -- control plane wiring ------------------------------------------------
+
+  /// Attach the controller; `control_latency` models the switch-controller
+  /// RTT/2 (each direction of the control channel pays it once).
+  void set_controller(ControlPlane* controller,
+                      sim::SimTime control_latency = 100 * sim::kMicrosecond);
+
+  void set_miss_behaviour(MissBehaviour behaviour) noexcept {
+    miss_behaviour_ = behaviour;
+  }
+
+  /// Declare that `port` exists (wired in the topology).  Needed for flood.
+  void register_port(sim::PortId port);
+
+  // -- OpenFlow messages from the controller -------------------------------
+
+  /// Install a flow entry (FlowMod ADD).  Called on the controller's
+  /// schedule; takes effect immediately.
+  void install_flow(FlowEntry entry);
+
+  /// Remove entries by cookie (FlowMod DELETE).
+  std::size_t remove_flows_by_cookie(std::uint64_t cookie);
+
+  /// Packet-out: emit `packet` using `action` as if it matched.
+  void packet_out(const net::Packet& packet, const Action& action,
+                  sim::PortId in_port);
+
+  // -- datapath -------------------------------------------------------------
+
+  void on_packet(const net::Packet& packet, sim::PortId in_port) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Compromise hook for the §5 security experiments: a compromised switch
+  /// forwards everything (flood) and never consults its table.
+  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+  [[nodiscard]] bool compromised() const noexcept { return compromised_; }
+
+  [[nodiscard]] FlowTable& table() noexcept { return table_; }
+  [[nodiscard]] const FlowTable& table() const noexcept { return table_; }
+  [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<sim::PortId>& ports() const noexcept {
+    return ports_;
+  }
+
+ private:
+  void apply_action(const Action& action, const net::Packet& packet,
+                    sim::PortId in_port);
+  void punt_to_controller(const net::Packet& packet, sim::PortId in_port);
+
+  std::string name_;
+  FlowTable table_;
+  std::vector<sim::PortId> ports_;
+  ControlPlane* controller_ = nullptr;
+  sim::SimTime control_latency_ = 100 * sim::kMicrosecond;
+  MissBehaviour miss_behaviour_ = MissBehaviour::kToController;
+  bool compromised_ = false;
+  SwitchStats stats_;
+};
+
+}  // namespace identxx::openflow

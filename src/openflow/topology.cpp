@@ -1,0 +1,117 @@
+#include "openflow/topology.hpp"
+
+#include <deque>
+
+namespace identxx::openflow {
+
+sim::NodeId Topology::add_switch(std::unique_ptr<Switch> sw) {
+  Switch* raw = sw.get();
+  const sim::NodeId id = sim_.add_node(std::move(sw));
+  switches_[id] = raw;
+  switch_order_.push_back(id);
+  next_port_[id] = 1;
+  return id;
+}
+
+sim::NodeId Topology::add_host(std::unique_ptr<sim::Node> host) {
+  const sim::NodeId id = sim_.add_node(std::move(host));
+  next_port_[id] = 1;
+  return id;
+}
+
+std::pair<sim::PortId, sim::PortId> Topology::link(sim::NodeId a, sim::NodeId b,
+                                                   sim::SimTime latency) {
+  const sim::PortId port_a = next_port_.at(a)++;
+  const sim::PortId port_b = next_port_.at(b)++;
+  sim_.connect(a, port_a, b, port_b, latency);
+  adjacency_[a].emplace_back(port_a, b);
+  adjacency_[b].emplace_back(port_b, a);
+  if (const auto it = switches_.find(a); it != switches_.end()) {
+    it->second->register_port(port_a);
+  }
+  if (const auto it = switches_.find(b); it != switches_.end()) {
+    it->second->register_port(port_b);
+  }
+  return {port_a, port_b};
+}
+
+Switch& Topology::switch_at(sim::NodeId id) {
+  const auto it = switches_.find(id);
+  if (it == switches_.end()) throw SimError("switch_at: not a switch");
+  return *it->second;
+}
+
+std::optional<Hop> Topology::attachment(sim::NodeId host) const {
+  const auto it = adjacency_.find(host);
+  if (it == adjacency_.end()) return std::nullopt;
+  for (const auto& [port, peer] : it->second) {
+    if (is_switch(peer)) {
+      // Find the peer's port facing us.
+      for (const auto& [peer_port, peer_peer] : adjacency_.at(peer)) {
+        if (peer_peer == host) return Hop{peer, peer_port};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
+                                               sim::NodeId dst_host) const {
+  if (src_host == dst_host) return std::vector<Hop>{};
+  // BFS from src_host; only switches forward traffic.
+  std::unordered_map<sim::NodeId, std::pair<sim::NodeId, sim::PortId>> parent;
+  std::deque<sim::NodeId> frontier{src_host};
+  parent[src_host] = {sim::kInvalidNode, 0};
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const sim::NodeId current = frontier.front();
+    frontier.pop_front();
+    // Hosts other than the source do not forward.
+    if (current != src_host && !is_switch(current)) continue;
+    const auto it = adjacency_.find(current);
+    if (it == adjacency_.end()) continue;
+    for (const auto& [port, peer] : it->second) {
+      if (parent.contains(peer)) continue;
+      parent[peer] = {current, port};
+      if (peer == dst_host) {
+        found = true;
+        break;
+      }
+      frontier.push_back(peer);
+    }
+  }
+  if (!found) return std::nullopt;
+  // Walk back from dst_host, collecting (switch, in_port, out_port) hops.
+  std::vector<Hop> hops;
+  sim::NodeId walk = dst_host;
+  while (true) {
+    const auto [prev, port] = parent.at(walk);
+    if (prev == sim::kInvalidNode) break;
+    if (is_switch(prev)) {
+      Hop hop{prev, port, 0};
+      // The ingress port on `prev` faces its own parent (if any).
+      const auto [grandparent, gp_port] = parent.at(prev);
+      if (grandparent != sim::kInvalidNode) {
+        for (const auto& [local_port, peer] : adjacency_.at(prev)) {
+          if (peer == grandparent) {
+            hop.in_port = local_port;
+            break;
+          }
+        }
+      }
+      hops.push_back(hop);
+    }
+    walk = prev;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+const std::vector<std::pair<sim::PortId, sim::NodeId>>& Topology::neighbours(
+    sim::NodeId id) const {
+  static const std::vector<std::pair<sim::PortId, sim::NodeId>> kEmpty;
+  const auto it = adjacency_.find(id);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+}  // namespace identxx::openflow

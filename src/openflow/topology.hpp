@@ -1,0 +1,81 @@
+#pragma once
+
+// Network topology: owns the simulator, tracks which nodes are switches,
+// where hosts attach, and computes forwarding paths (BFS over the switch
+// fabric) so the controller can install entries along the whole path
+// preemptively (Figure 1 step 4).
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace identxx::openflow {
+
+/// One forwarding step: the packet enters `switch_id` on `in_port` and
+/// leaves on `out_port`.
+struct Hop {
+  sim::NodeId switch_id = sim::kInvalidNode;
+  sim::PortId out_port = 0;
+  sim::PortId in_port = 0;
+  [[nodiscard]] bool operator==(const Hop&) const noexcept = default;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const noexcept { return sim_; }
+
+  /// Add a switch; returns its node id.
+  sim::NodeId add_switch(std::unique_ptr<Switch> sw);
+
+  /// Add a non-switch node (host).  Returns its node id.
+  sim::NodeId add_host(std::unique_ptr<sim::Node> host);
+
+  /// Wire two nodes with auto-allocated ports; returns {port_a, port_b}.
+  std::pair<sim::PortId, sim::PortId> link(
+      sim::NodeId a, sim::NodeId b,
+      sim::SimTime latency = 10 * sim::kMicrosecond);
+
+  [[nodiscard]] bool is_switch(sim::NodeId id) const noexcept {
+    return switches_.contains(id);
+  }
+
+  /// The Switch object for a switch node id; throws SimError otherwise.
+  [[nodiscard]] Switch& switch_at(sim::NodeId id);
+
+  /// All switch node ids, in creation order.
+  [[nodiscard]] const std::vector<sim::NodeId>& switch_ids() const noexcept {
+    return switch_order_;
+  }
+
+  /// Where a host is attached: (switch id, switch port), if wired to one.
+  [[nodiscard]] std::optional<Hop> attachment(sim::NodeId host) const;
+
+  /// Hop list forwarding a packet from `src_host` to `dst_host`: one entry
+  /// per switch, ending with the hop whose out_port faces `dst_host`.
+  /// nullopt when no path exists.
+  [[nodiscard]] std::optional<std::vector<Hop>> path(sim::NodeId src_host,
+                                                     sim::NodeId dst_host) const;
+
+  /// Neighbours of a node: (local port, peer id) pairs.
+  [[nodiscard]] const std::vector<std::pair<sim::PortId, sim::NodeId>>&
+  neighbours(sim::NodeId id) const;
+
+ private:
+  sim::Simulator sim_;
+  std::unordered_map<sim::NodeId, Switch*> switches_;
+  std::vector<sim::NodeId> switch_order_;
+  std::unordered_map<sim::NodeId, std::vector<std::pair<sim::PortId, sim::NodeId>>>
+      adjacency_;
+  std::unordered_map<sim::NodeId, sim::PortId> next_port_;
+};
+
+}  // namespace identxx::openflow

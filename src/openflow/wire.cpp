@@ -1,0 +1,379 @@
+#include "openflow/wire.hpp"
+
+#include <cstring>
+
+namespace identxx::openflow::wire {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kMatchSize = 40;
+constexpr std::uint32_t kNoBuffer = 0xffffffff;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_mac(std::vector<std::uint8_t>& out, net::MacAddress mac) {
+  for (int shift = 40; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(mac.value() >> shift));
+  }
+}
+
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[nodiscard]] net::MacAddress get_mac(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 6; ++i) v = (v << 8) | p[i];
+  return net::MacAddress(v);
+}
+
+void put_header(std::vector<std::uint8_t>& out, MsgType type,
+                std::uint32_t xid) {
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // length patched at the end
+  put_u32(out, xid);
+}
+
+void patch_length(std::vector<std::uint8_t>& out) {
+  const auto length = static_cast<std::uint16_t>(out.size());
+  out[2] = static_cast<std::uint8_t>(length >> 8);
+  out[3] = static_cast<std::uint8_t>(length);
+}
+
+/// ofp timeouts are uint16 seconds; round SimTime (ns) up so that a
+/// nonzero timeout never silently becomes "no timeout".
+[[nodiscard]] std::uint16_t to_of_seconds(sim::SimTime t) {
+  if (t <= 0) return 0;
+  const sim::SimTime seconds = (t + sim::kSecond - 1) / sim::kSecond;
+  return seconds > 0xffff ? 0xffff
+                          : static_cast<std::uint16_t>(seconds);
+}
+
+/// Encode an Action as a (possibly empty) OpenFlow action list.
+void put_actions(std::vector<std::uint8_t>& out, const Action& action) {
+  const auto put_output = [&out](std::uint16_t port) {
+    put_u16(out, 0);      // OFPAT_OUTPUT
+    put_u16(out, 8);      // length
+    put_u16(out, port);
+    put_u16(out, 0xffff); // max_len (send whole packet)
+  };
+  if (const auto* output = std::get_if<OutputAction>(&action)) {
+    for (const auto port : output->ports) put_output(port);
+  } else if (std::holds_alternative<FloodAction>(action)) {
+    put_output(kPortFlood);
+  } else if (std::holds_alternative<ToControllerAction>(action)) {
+    put_output(kPortController);
+  }
+  // DropAction: empty action list, by OpenFlow convention.
+}
+
+[[nodiscard]] std::optional<Action> parse_actions(
+    std::span<const std::uint8_t> bytes) {
+  OutputAction output;
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::uint16_t type = get_u16(bytes.data() + pos);
+    const std::uint16_t len = get_u16(bytes.data() + pos + 2);
+    if (len < 8 || pos + len > bytes.size()) return std::nullopt;
+    if (type != 0) return std::nullopt;  // only OFPAT_OUTPUT supported
+    const std::uint16_t port = get_u16(bytes.data() + pos + 4);
+    if (port == kPortFlood) return FloodAction{};
+    if (port == kPortController) return ToControllerAction{};
+    output.ports.push_back(port);
+    pos += len;
+  }
+  if (pos != bytes.size()) return std::nullopt;
+  if (output.ports.empty()) return DropAction{};
+  return output;
+}
+
+}  // namespace
+
+void encode_match(const FlowMatch& match, std::vector<std::uint8_t>& out) {
+  std::uint32_t wildcards = 0;
+  if (has_wildcard(match.wildcards, Wildcard::kInPort)) wildcards |= kWildcardInPort;
+  if (has_wildcard(match.wildcards, Wildcard::kVlanId)) wildcards |= kWildcardDlVlan;
+  if (has_wildcard(match.wildcards, Wildcard::kSrcMac)) wildcards |= kWildcardDlSrc;
+  if (has_wildcard(match.wildcards, Wildcard::kDstMac)) wildcards |= kWildcardDlDst;
+  if (has_wildcard(match.wildcards, Wildcard::kEtherType)) wildcards |= kWildcardDlType;
+  if (has_wildcard(match.wildcards, Wildcard::kProto)) wildcards |= kWildcardNwProto;
+  if (has_wildcard(match.wildcards, Wildcard::kSrcPort)) wildcards |= kWildcardTpSrc;
+  if (has_wildcard(match.wildcards, Wildcard::kDstPort)) wildcards |= kWildcardTpDst;
+  // 6-bit CIDR encodings: value = 32 - prefix (0 = exact, >=32 = ignore).
+  const std::uint32_t src_bits =
+      has_wildcard(match.wildcards, Wildcard::kSrcIp)
+          ? 32
+          : 32 - std::min(32u, match.src_ip_prefix);
+  const std::uint32_t dst_bits =
+      has_wildcard(match.wildcards, Wildcard::kDstIp)
+          ? 32
+          : 32 - std::min(32u, match.dst_ip_prefix);
+  wildcards |= src_bits << kWildcardNwSrcShift;
+  wildcards |= dst_bits << kWildcardNwDstShift;
+  wildcards |= kWildcardDlVlanPcp | kWildcardNwTos;  // fields we do not model
+
+  put_u32(out, wildcards);
+  put_u16(out, match.in_port);
+  put_mac(out, match.src_mac);
+  put_mac(out, match.dst_mac);
+  put_u16(out, match.vlan_id);
+  put_u8(out, 0);  // dl_vlan_pcp
+  put_u8(out, 0);  // pad
+  put_u16(out, match.ether_type);
+  put_u8(out, 0);  // nw_tos
+  put_u8(out, static_cast<std::uint8_t>(match.proto));
+  put_u16(out, 0);  // pad
+  put_u32(out, match.src_ip.value());
+  put_u32(out, match.dst_ip.value());
+  put_u16(out, match.src_port);
+  put_u16(out, match.dst_port);
+}
+
+std::optional<FlowMatch> decode_match(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kMatchSize) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  const std::uint32_t wildcards = get_u32(p);
+
+  FlowMatch match;
+  Wildcard w = Wildcard::kNone;
+  if (wildcards & kWildcardInPort) w = w | Wildcard::kInPort;
+  if (wildcards & kWildcardDlVlan) w = w | Wildcard::kVlanId;
+  if (wildcards & kWildcardDlSrc) w = w | Wildcard::kSrcMac;
+  if (wildcards & kWildcardDlDst) w = w | Wildcard::kDstMac;
+  if (wildcards & kWildcardDlType) w = w | Wildcard::kEtherType;
+  if (wildcards & kWildcardNwProto) w = w | Wildcard::kProto;
+  if (wildcards & kWildcardTpSrc) w = w | Wildcard::kSrcPort;
+  if (wildcards & kWildcardTpDst) w = w | Wildcard::kDstPort;
+  const std::uint32_t src_bits = (wildcards >> kWildcardNwSrcShift) & 0x3f;
+  const std::uint32_t dst_bits = (wildcards >> kWildcardNwDstShift) & 0x3f;
+  if (src_bits >= 32) {
+    w = w | Wildcard::kSrcIp;
+    match.src_ip_prefix = 0;
+  } else {
+    match.src_ip_prefix = 32 - src_bits;
+  }
+  if (dst_bits >= 32) {
+    w = w | Wildcard::kDstIp;
+    match.dst_ip_prefix = 0;
+  } else {
+    match.dst_ip_prefix = 32 - dst_bits;
+  }
+  match.wildcards = w;
+  match.in_port = get_u16(p + 4);
+  match.src_mac = get_mac(p + 6);
+  match.dst_mac = get_mac(p + 12);
+  match.vlan_id = get_u16(p + 18);
+  match.ether_type = get_u16(p + 22);
+  match.proto = static_cast<net::IpProto>(p[25]);
+  match.src_ip = net::Ipv4Address(get_u32(p + 28));
+  match.dst_ip = net::Ipv4Address(get_u32(p + 32));
+  match.src_port = get_u16(p + 36);
+  match.dst_port = get_u16(p + 38);
+  return match;
+}
+
+std::vector<std::uint8_t> encode_packet_in(const PacketIn& msg,
+                                           std::uint32_t xid) {
+  std::vector<std::uint8_t> out;
+  put_header(out, MsgType::kPacketIn, xid);
+  const std::vector<std::uint8_t> frame = msg.packet.to_bytes();
+  put_u32(out, kNoBuffer);
+  put_u16(out, static_cast<std::uint16_t>(frame.size()));
+  put_u16(out, msg.in_port);
+  put_u8(out, static_cast<std::uint8_t>(PacketInReason::kNoMatch));
+  put_u8(out, 0);  // pad
+  out.insert(out.end(), frame.begin(), frame.end());
+  patch_length(out);
+  return out;
+}
+
+std::optional<DecodedPacketIn> decode_packet_in(
+    std::span<const std::uint8_t> bytes) {
+  const auto header = peek_header(bytes);
+  if (!header || header->type != MsgType::kPacketIn) return std::nullopt;
+  if (bytes.size() < kHeaderSize + 10) return std::nullopt;
+  DecodedPacketIn out;
+  out.xid = header->xid;
+  const std::uint8_t* p = bytes.data() + kHeaderSize;
+  out.in_port = get_u16(p + 6);
+  out.reason = static_cast<PacketInReason>(p[8]);
+  const auto packet =
+      net::Packet::from_bytes(bytes.subspan(kHeaderSize + 10));
+  if (!packet) return std::nullopt;
+  out.packet = *packet;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_flow_mod(const FlowEntry& entry,
+                                          std::uint32_t xid,
+                                          FlowModCommand command) {
+  std::vector<std::uint8_t> out;
+  put_header(out, MsgType::kFlowMod, xid);
+  encode_match(entry.match, out);
+  put_u64(out, entry.cookie);
+  put_u16(out, static_cast<std::uint16_t>(command));
+  put_u16(out, to_of_seconds(entry.idle_timeout));
+  put_u16(out, to_of_seconds(entry.hard_timeout));
+  put_u16(out, entry.priority);
+  put_u32(out, kNoBuffer);
+  put_u16(out, kPortNone);  // out_port (delete filter)
+  put_u16(out, 1);          // flags: OFPFF_SEND_FLOW_REM
+  put_actions(out, entry.action);
+  patch_length(out);
+  return out;
+}
+
+std::optional<DecodedFlowMod> decode_flow_mod(
+    std::span<const std::uint8_t> bytes) {
+  const auto header = peek_header(bytes);
+  if (!header || header->type != MsgType::kFlowMod) return std::nullopt;
+  constexpr std::size_t kFixed = kHeaderSize + kMatchSize + 8 + 2 + 2 + 2 + 2 + 4 + 2 + 2;
+  if (bytes.size() < kFixed) return std::nullopt;
+  DecodedFlowMod out;
+  out.xid = header->xid;
+  const auto match = decode_match(bytes.subspan(kHeaderSize));
+  if (!match) return std::nullopt;
+  out.entry.match = *match;
+  const std::uint8_t* p = bytes.data() + kHeaderSize + kMatchSize;
+  out.entry.cookie = get_u64(p);
+  out.command = static_cast<FlowModCommand>(get_u16(p + 8));
+  out.entry.idle_timeout =
+      static_cast<sim::SimTime>(get_u16(p + 10)) * sim::kSecond;
+  out.entry.hard_timeout =
+      static_cast<sim::SimTime>(get_u16(p + 12)) * sim::kSecond;
+  out.entry.priority = get_u16(p + 14);
+  const auto action = parse_actions(bytes.subspan(kFixed));
+  if (!action) return std::nullopt;
+  out.entry.action = *action;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_packet_out(const net::Packet& packet,
+                                            const Action& action,
+                                            std::uint16_t in_port,
+                                            std::uint32_t xid) {
+  std::vector<std::uint8_t> out;
+  put_header(out, MsgType::kPacketOut, xid);
+  put_u32(out, kNoBuffer);
+  put_u16(out, in_port);
+  std::vector<std::uint8_t> actions;
+  put_actions(actions, action);
+  put_u16(out, static_cast<std::uint16_t>(actions.size()));
+  out.insert(out.end(), actions.begin(), actions.end());
+  const std::vector<std::uint8_t> frame = packet.to_bytes();
+  out.insert(out.end(), frame.begin(), frame.end());
+  patch_length(out);
+  return out;
+}
+
+std::optional<DecodedPacketOut> decode_packet_out(
+    std::span<const std::uint8_t> bytes) {
+  const auto header = peek_header(bytes);
+  if (!header || header->type != MsgType::kPacketOut) return std::nullopt;
+  if (bytes.size() < kHeaderSize + 8) return std::nullopt;
+  DecodedPacketOut out;
+  out.xid = header->xid;
+  const std::uint8_t* p = bytes.data() + kHeaderSize;
+  out.in_port = get_u16(p + 4);
+  const std::uint16_t actions_len = get_u16(p + 6);
+  if (bytes.size() < kHeaderSize + 8 + actions_len) return std::nullopt;
+  const auto action =
+      parse_actions(bytes.subspan(kHeaderSize + 8, actions_len));
+  if (!action) return std::nullopt;
+  out.action = *action;
+  const auto packet =
+      net::Packet::from_bytes(bytes.subspan(kHeaderSize + 8 + actions_len));
+  if (!packet) return std::nullopt;
+  out.packet = *packet;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_flow_removed(const FlowEntry& entry,
+                                              FlowRemovedReason reason,
+                                              std::uint32_t xid,
+                                              sim::SimTime now) {
+  std::vector<std::uint8_t> out;
+  put_header(out, MsgType::kFlowRemoved, xid);
+  encode_match(entry.match, out);
+  put_u64(out, entry.cookie);
+  put_u16(out, entry.priority);
+  put_u8(out, static_cast<std::uint8_t>(reason));
+  put_u8(out, 0);  // pad
+  const sim::SimTime lifetime = now > entry.created_at ? now - entry.created_at : 0;
+  put_u32(out, static_cast<std::uint32_t>(lifetime / sim::kSecond));
+  put_u32(out, static_cast<std::uint32_t>(lifetime % sim::kSecond));
+  put_u16(out, to_of_seconds(entry.idle_timeout));
+  put_u16(out, 0);  // pad
+  put_u64(out, entry.packet_count);
+  put_u64(out, entry.byte_count);
+  patch_length(out);
+  return out;
+}
+
+std::optional<DecodedFlowRemoved> decode_flow_removed(
+    std::span<const std::uint8_t> bytes) {
+  const auto header = peek_header(bytes);
+  if (!header || header->type != MsgType::kFlowRemoved) return std::nullopt;
+  constexpr std::size_t kSize =
+      kHeaderSize + kMatchSize + 8 + 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 8;
+  if (bytes.size() < kSize) return std::nullopt;
+  DecodedFlowRemoved out;
+  out.xid = header->xid;
+  const auto match = decode_match(bytes.subspan(kHeaderSize));
+  if (!match) return std::nullopt;
+  out.match = *match;
+  const std::uint8_t* p = bytes.data() + kHeaderSize + kMatchSize;
+  out.cookie = get_u64(p);
+  out.priority = get_u16(p + 8);
+  out.reason = static_cast<FlowRemovedReason>(p[10]);
+  out.packet_count = get_u64(p + 24);
+  out.byte_count = get_u64(p + 32);
+  return out;
+}
+
+std::optional<Header> peek_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  Header header;
+  header.version = bytes[0];
+  if (header.version != kVersion) return std::nullopt;
+  header.type = static_cast<MsgType>(bytes[1]);
+  header.length = get_u16(bytes.data() + 2);
+  if (header.length < kHeaderSize || header.length > bytes.size()) {
+    return std::nullopt;
+  }
+  header.xid = get_u32(bytes.data() + 4);
+  return header;
+}
+
+}  // namespace identxx::openflow::wire

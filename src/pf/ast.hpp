@@ -1,0 +1,141 @@
+#pragma once
+
+// PF+=2 abstract syntax (§3.3).
+//
+// A ruleset is an ordered list of rules plus the tables, dicts and macros
+// they reference.  Rules are evaluated top-down with last-match-wins
+// semantics; `quick` short-circuits.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/ipv4.hpp"
+
+namespace identxx::pf {
+
+// ---------------------------------------------------------------- Exprs
+
+/// @dict[key] / *@dict[key].  `dict` is "src", "dst" (response dictionaries)
+/// or a user-defined `dict <name> { ... }`.
+struct DictIndexExpr {
+  std::string dict;
+  std::string key;
+  bool star = false;
+  [[nodiscard]] bool operator==(const DictIndexExpr&) const noexcept = default;
+};
+
+/// Bare word or quoted string literal.
+struct LiteralExpr {
+  std::string value;
+  [[nodiscard]] bool operator==(const LiteralExpr&) const noexcept = default;
+};
+
+/// Brace list literal: { http ssh } — items are words.
+struct ListExpr {
+  std::vector<std::string> items;
+  [[nodiscard]] bool operator==(const ListExpr&) const noexcept = default;
+};
+
+using Expr = std::variant<DictIndexExpr, LiteralExpr, ListExpr>;
+
+/// A `with` predicate: a boolean function call over expressions.
+struct FuncCall {
+  std::string name;
+  std::vector<Expr> args;
+  std::size_t line = 0;
+  [[nodiscard]] bool operator==(const FuncCall&) const noexcept = default;
+};
+
+// ---------------------------------------------------------------- Endpoints
+
+/// Host part of a from/to endpoint.
+struct AnyHost {
+  [[nodiscard]] bool operator==(const AnyHost&) const noexcept = default;
+};
+
+struct TableHost {
+  std::string table;
+  [[nodiscard]] bool operator==(const TableHost&) const noexcept = default;
+};
+
+struct CidrHost {
+  net::Cidr cidr;
+  [[nodiscard]] bool operator==(const CidrHost&) const noexcept = default;
+};
+
+/// Inline address list: { 10.0.0.1 10.0.1.0/24 <lan> }.
+struct ListHost {
+  std::vector<std::variant<net::Cidr, std::string /*table name*/>> items;
+  [[nodiscard]] bool operator==(const ListHost&) const noexcept = default;
+};
+
+using HostSpec = std::variant<AnyHost, TableHost, CidrHost, ListHost>;
+
+/// Port predicate: single port or inclusive range (named ports resolved at
+/// parse time: http -> 80, ...).
+struct PortSpec {
+  std::uint16_t low = 0;
+  std::uint16_t high = 0;
+  [[nodiscard]] bool contains(std::uint16_t port) const noexcept {
+    return port >= low && port <= high;
+  }
+  [[nodiscard]] bool operator==(const PortSpec&) const noexcept = default;
+};
+
+struct Endpoint {
+  HostSpec host = AnyHost{};
+  bool negated = false;  // !<table> / !1.2.3.4
+  std::optional<PortSpec> port;
+  [[nodiscard]] bool operator==(const Endpoint&) const noexcept = default;
+};
+
+// ---------------------------------------------------------------- Rules
+
+enum class RuleAction { kPass, kBlock };
+
+struct Rule {
+  RuleAction action = RuleAction::kBlock;
+  bool quick = false;
+  /// PF's `log` modifier (the paper's footnote 1 leaves it unused; we
+  /// implement it: matched log rules are flagged in the verdict so the
+  /// controller records them prominently in its audit log).
+  bool log = false;
+  Endpoint from;
+  Endpoint to;
+  /// Optional `proto tcp|udp|icmp` clause (vanilla PF).
+  std::optional<net::IpProto> proto;
+  std::vector<FuncCall> withs;
+  bool keep_state = false;
+  std::size_t line = 0;       ///< source line (diagnostics/audit)
+  std::string source_label;   ///< which .control file this came from
+
+  [[nodiscard]] bool operator==(const Rule&) const noexcept = default;
+};
+
+// ---------------------------------------------------------------- Ruleset
+
+struct Ruleset {
+  /// table <name> { ... }: named IP sets (composable).
+  std::map<std::string, std::vector<net::Cidr>> tables;
+  /// dict <name> { key : value ... }: named string maps (e.g. pubkeys).
+  std::map<std::string, std::map<std::string, std::string>> dicts;
+  /// name = "value": macros (textually expanded at parse time; retained
+  /// for list lookups by member()).
+  std::map<std::string, std::string> macros;
+  std::vector<Rule> rules;
+
+  /// Look up a named list for member(): a macro whose value is a brace
+  /// list yields its items.
+  [[nodiscard]] std::optional<std::vector<std::string>> named_list(
+      const std::string& name) const;
+};
+
+[[nodiscard]] std::string to_string(RuleAction action);
+[[nodiscard]] std::string to_string(const Rule& rule);
+
+}  // namespace identxx::pf

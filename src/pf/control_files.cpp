@@ -1,0 +1,34 @@
+#include "pf/control_files.hpp"
+
+#include <algorithm>
+
+#include "pf/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::pf {
+
+Ruleset load_control_files(std::vector<ControlFile> files) {
+  std::erase_if(files, [](const ControlFile& file) {
+    return !util::ends_with(file.name, ".control");
+  });
+  std::sort(files.begin(), files.end(),
+            [](const ControlFile& a, const ControlFile& b) {
+              return a.name < b.name;
+            });
+  Ruleset ruleset;
+  for (const ControlFile& file : files) {
+    try {
+      std::vector<Rule> rules =
+          parse_rules_into(ruleset, file.contents, file.name);
+      for (Rule& rule : rules) {
+        ruleset.rules.push_back(std::move(rule));
+      }
+    } catch (const ParseError& e) {
+      throw ParseError(file.name + ": " + e.what());
+    }
+  }
+  return ruleset;
+}
+
+}  // namespace identxx::pf

@@ -1,0 +1,34 @@
+#pragma once
+
+// .control file handling (§3.4).
+//
+// "The controller's configuration files reside in a well known location and
+// have the .control extension.  The files are read in alphabetical order
+// and their contents are concatenated."  Files may come from the
+// administrator, application developers, or third-party security companies
+// (Figure 2 shows 00-local-header / 50-skype / 99-local-footer).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pf/ast.hpp"
+
+namespace identxx::pf {
+
+/// One configuration file: name (used for ordering and rule provenance)
+/// plus contents.
+struct ControlFile {
+  std::string name;
+  std::string contents;
+};
+
+/// Assemble a ruleset from a set of .control files:
+///  * files whose name does not end in ".control" are ignored (§3.4),
+///  * remaining files are sorted by name and concatenated,
+///  * each rule remembers which file it came from (audit trail).
+/// Throws ParseError (with the offending file in the message) on bad input.
+[[nodiscard]] Ruleset load_control_files(std::vector<ControlFile> files);
+
+}  // namespace identxx::pf

@@ -1,0 +1,69 @@
+#pragma once
+
+// PF+=2 policy functions (§3.3).
+//
+// `with` predicates call boolean functions over values drawn from the
+// @src/@dst response dictionaries.  The predefined set is
+//   eq gt lt gte lte member includes allowed verify
+// and the registry is open: administrators and application developers can
+// register new functions ("Functions are user-definable and new functions
+// can be added").
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace identxx::pf {
+
+class EvalContext;
+struct FuncCall;
+
+/// An absent dictionary key.  Every builtin predicate is false when any
+/// argument is Undefined — a policy cannot match on information that was
+/// never provided.
+struct Undefined {
+  [[nodiscard]] bool operator==(const Undefined&) const noexcept = default;
+};
+
+using Value = std::variant<Undefined, std::string, std::vector<std::string>>;
+
+[[nodiscard]] inline bool is_undefined(const Value& v) noexcept {
+  return std::holds_alternative<Undefined>(v);
+}
+
+/// Undefined -> nullopt; list -> items joined with ','.
+[[nodiscard]] std::optional<std::string> value_to_string(const Value& v);
+
+/// Undefined -> nullopt; string -> singleton list.
+[[nodiscard]] std::optional<std::vector<std::string>> value_to_list(
+    const Value& v);
+
+/// A policy function: receives the evaluation context, the syntactic call
+/// (for error messages) and the evaluated arguments.
+using PolicyFunction = std::function<bool(
+    const EvalContext&, const FuncCall&, const std::vector<Value>&)>;
+
+class FunctionRegistry {
+ public:
+  /// Empty registry (no functions).
+  FunctionRegistry() = default;
+
+  /// Registry pre-loaded with the paper's predefined functions.
+  [[nodiscard]] static FunctionRegistry with_builtins();
+
+  /// Register or replace a function.
+  void register_function(std::string name, PolicyFunction fn);
+
+  [[nodiscard]] const PolicyFunction* find(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, PolicyFunction, std::less<>> functions_;
+};
+
+}  // namespace identxx::pf

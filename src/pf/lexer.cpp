@@ -1,0 +1,181 @@
+#include "pf/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace identxx::pf {
+
+namespace {
+
+[[nodiscard]] bool is_word_char(char c) noexcept {
+  // Words cover identifiers, numbers, IPs/CIDRs, version strings, hex
+  // signatures, and file paths appearing as values.
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '-' || c == '_' || c == '/';
+}
+
+[[nodiscard]] bool is_name_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+         c == '_' || c == '.';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_whitespace_and_comments();
+      if (at_end()) break;
+      tokens.push_back(next_token());
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", "", false, line_});
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const noexcept { return input_[pos_]; }
+  char advance() noexcept {
+    const char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '\\') {
+        // Line continuation: treat as whitespace regardless of position.
+        advance();
+      } else if (c == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token next_token() {
+    const std::size_t line = line_;
+    const char c = peek();
+    switch (c) {
+      case '{': advance(); return simple(TokenKind::kLBrace, "{", line);
+      case '}': advance(); return simple(TokenKind::kRBrace, "}", line);
+      case '(': advance(); return simple(TokenKind::kLParen, "(", line);
+      case ')': advance(); return simple(TokenKind::kRParen, ")", line);
+      case ',': advance(); return simple(TokenKind::kComma, ",", line);
+      case ':': advance(); return simple(TokenKind::kColon, ":", line);
+      case '=': advance(); return simple(TokenKind::kEquals, "=", line);
+      case '!': advance(); return simple(TokenKind::kBang, "!", line);
+      case '"': return lex_string(line);
+      case '<': return lex_table_ref(line);
+      case '$': return lex_macro_ref(line);
+      case '@': return lex_dict_index(false, line);
+      case '*':
+        advance();
+        if (at_end() || peek() != '@') {
+          throw ParseError("'*' must be followed by '@dict[key]'", line);
+        }
+        return lex_dict_index(true, line);
+      default:
+        if (is_word_char(c)) return lex_word(line);
+        throw ParseError(std::string("unexpected character '") + c + "'", line);
+    }
+  }
+
+  static Token simple(TokenKind kind, std::string text, std::size_t line) {
+    return Token{kind, std::move(text), "", false, line};
+  }
+
+  Token lex_string(std::size_t line) {
+    advance();  // opening quote
+    std::string value;
+    while (!at_end() && peek() != '"') {
+      value += advance();
+    }
+    if (at_end()) throw ParseError("unterminated string", line);
+    advance();  // closing quote
+    return Token{TokenKind::kString, std::move(value), "", false, line};
+  }
+
+  Token lex_table_ref(std::size_t line) {
+    advance();  // '<'
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    if (at_end() || peek() != '>') {
+      throw ParseError("unterminated table reference '<" + name + "'", line);
+    }
+    advance();  // '>'
+    if (name.empty()) throw ParseError("empty table name '<>'", line);
+    return Token{TokenKind::kTableRef, std::move(name), "", false, line};
+  }
+
+  Token lex_macro_ref(std::size_t line) {
+    advance();  // '$'
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    if (name.empty()) throw ParseError("empty macro reference '$'", line);
+    return Token{TokenKind::kMacroRef, std::move(name), "", false, line};
+  }
+
+  Token lex_dict_index(bool star, std::size_t line) {
+    advance();  // '@'
+    std::string dict;
+    while (!at_end() && is_name_char(peek())) dict += advance();
+    if (dict.empty()) throw ParseError("empty dictionary name after '@'", line);
+    if (at_end() || peek() != '[') {
+      // Bare @dict (no index) is not part of the language.
+      throw ParseError("expected '[' after '@" + dict + "'", line);
+    }
+    advance();  // '['
+    std::string key;
+    while (!at_end() && peek() != ']') key += advance();
+    if (at_end()) throw ParseError("unterminated '[' index", line);
+    advance();  // ']'
+    if (key.empty()) throw ParseError("empty key in '@" + dict + "[]'", line);
+    Token token{TokenKind::kDictIndex, std::move(dict), std::move(key), star,
+                line};
+    return token;
+  }
+
+  Token lex_word(std::size_t line) {
+    std::string word;
+    while (!at_end() && is_word_char(peek())) word += advance();
+    return Token{TokenKind::kWord, std::move(word), "", false, line};
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view input) { return Lexer(input).run(); }
+
+std::string_view to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kWord: return "word";
+    case TokenKind::kString: return "string";
+    case TokenKind::kTableRef: return "table-ref";
+    case TokenKind::kDictIndex: return "dict-index";
+    case TokenKind::kMacroRef: return "macro-ref";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace identxx::pf

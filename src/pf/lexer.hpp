@@ -1,0 +1,54 @@
+#pragma once
+
+// PF+=2 lexer (§3.3).
+//
+// The token stream is newline-insensitive: newlines and backslash-escaped
+// line continuations are whitespace.  This matters for delegation — signed
+// `requirements` values arrive from ident++ responses as one logical line,
+// and the parser must accept them exactly as it accepts .control files.
+// Comments run from '#' to end of line.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace identxx::pf {
+
+enum class TokenKind {
+  kWord,       // pass, block, skype, 192.168.0.1/24, 200, ...
+  kString,     // "..." (quotes stripped)
+  kTableRef,   // <name>
+  kDictIndex,  // @dict[key] or *@dict[key]
+  kMacroRef,   // $name
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kColon,      // :
+  kEquals,     // =
+  kBang,       // !
+  kEnd,        // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // word text / string contents / table or macro name
+  std::string key;    // for kDictIndex: the [key] part
+  bool star = false;  // for kDictIndex: *@dict[key]
+  std::size_t line = 0;
+
+  [[nodiscard]] bool is_word(std::string_view w) const noexcept {
+    return kind == TokenKind::kWord && text == w;
+  }
+};
+
+/// Tokenize `input`.  Throws ParseError on malformed tokens (unterminated
+/// string, bad dictionary index, stray characters).  The result always ends
+/// with a kEnd token.
+[[nodiscard]] std::vector<Token> lex(std::string_view input);
+
+[[nodiscard]] std::string_view to_string(TokenKind kind) noexcept;
+
+}  // namespace identxx::pf

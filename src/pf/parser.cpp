@@ -1,0 +1,464 @@
+#include "pf/parser.hpp"
+
+#include <utility>
+
+#include "pf/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::pf {
+
+namespace {
+
+struct NamedPort {
+  std::string_view name;
+  std::uint16_t port;
+};
+
+constexpr NamedPort kNamedPorts[] = {
+    {"http", 80},   {"https", 443}, {"ssh", 22},    {"smtp", 25},
+    {"dns", 53},    {"domain", 53}, {"pop3", 110},  {"imap", 143},
+    {"ident", 113}, {"identxx", 783}, {"ftp", 21},  {"telnet", 23},
+    {"ntp", 123},   {"snmp", 161},  {"ldap", 389},  {"rdp", 3389},
+};
+
+class Parser {
+ public:
+  Parser(Ruleset& ruleset, std::string_view source,
+         std::string_view source_label)
+      : ruleset_(ruleset),
+        tokens_(lex(source)),
+        source_label_(source_label) {}
+
+  /// Parse all statements; returns the rules added (definitions go straight
+  /// into the ruleset).
+  std::vector<Rule> run() {
+    std::vector<Rule> rules;
+    while (!check(TokenKind::kEnd)) {
+      if (peek().is_word("table")) {
+        parse_table();
+      } else if (peek().is_word("dict")) {
+        parse_dict();
+      } else if (peek().is_word("pass") || peek().is_word("block")) {
+        rules.push_back(parse_rule());
+      } else if (check(TokenKind::kWord) &&
+                 peek_at(1).kind == TokenKind::kEquals) {
+        parse_macro();
+      } else if (check(TokenKind::kMacroRef)) {
+        splice_macro();
+      } else {
+        throw ParseError("expected statement, got " +
+                             std::string(to_string(peek().kind)) +
+                             (peek().kind == TokenKind::kWord
+                                  ? " '" + peek().text + "'"
+                                  : ""),
+                         peek().line);
+      }
+    }
+    return rules;
+  }
+
+ private:
+  // ---- token stream helpers ----
+
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] const Token& peek_at(std::size_t offset) const {
+    const std::size_t i = pos_ + offset;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() {
+    Token token = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return token;
+  }
+
+  Token expect(TokenKind kind, std::string_view what) {
+    if (!check(kind)) {
+      throw ParseError("expected " + std::string(what) + ", got " +
+                           std::string(to_string(peek().kind)),
+                       peek().line);
+    }
+    return advance();
+  }
+
+  bool match_word(std::string_view word) {
+    if (peek().is_word(word)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Textual macro expansion: replace the $ref with its lexed value.
+  void splice_macro() {
+    const Token ref = advance();
+    const auto it = ruleset_.macros.find(ref.text);
+    if (it == ruleset_.macros.end()) {
+      throw ParseError("undefined macro '$" + ref.text + "'", ref.line);
+    }
+    std::vector<Token> expansion = lex(it->second);
+    expansion.pop_back();  // drop kEnd
+    tokens_.insert(tokens_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                   expansion.begin(), expansion.end());
+  }
+
+  /// Expand any macro reference sitting at the cursor (used in positions
+  /// where PF allows macros: hosts, ports, expressions, table items).
+  void expand_macros_here() {
+    while (check(TokenKind::kMacroRef)) splice_macro();
+  }
+
+  // ---- statements ----
+
+  void parse_table() {
+    advance();  // 'table'
+    const Token name = expect(TokenKind::kTableRef, "table name '<name>'");
+    expect(TokenKind::kLBrace, "'{'");
+    std::vector<net::Cidr> entries;
+    for (;;) {
+      expand_macros_here();
+      if (check(TokenKind::kRBrace)) break;
+      if (check(TokenKind::kComma)) {  // commas between items are optional
+        advance();
+        continue;
+      }
+      if (check(TokenKind::kTableRef)) {
+        const Token ref = advance();
+        const auto it = ruleset_.tables.find(ref.text);
+        if (it == ruleset_.tables.end()) {
+          throw ParseError("table <" + ref.text + "> referenced before definition",
+                           ref.line);
+        }
+        entries.insert(entries.end(), it->second.begin(), it->second.end());
+        continue;
+      }
+      const Token item = expect(TokenKind::kWord, "address or '<table>'");
+      const auto cidr = net::Cidr::parse(item.text);
+      if (!cidr) {
+        throw ParseError("invalid address '" + item.text + "' in table <" +
+                             name.text + ">",
+                         item.line);
+      }
+      entries.push_back(*cidr);
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    ruleset_.tables[name.text] = std::move(entries);
+  }
+
+  void parse_dict() {
+    advance();  // 'dict'
+    const Token name = expect(TokenKind::kTableRef, "dict name '<name>'");
+    expect(TokenKind::kLBrace, "'{'");
+    auto& dict = ruleset_.dicts[name.text];
+    while (!check(TokenKind::kRBrace)) {
+      const Token key = expect(TokenKind::kWord, "dictionary key");
+      expect(TokenKind::kColon, "':'");
+      std::string value;
+      if (check(TokenKind::kString)) {
+        value = advance().text;
+      } else {
+        value = expect(TokenKind::kWord, "dictionary value").text;
+      }
+      dict[key.text] = std::move(value);
+      if (check(TokenKind::kComma)) advance();
+    }
+    expect(TokenKind::kRBrace, "'}'");
+  }
+
+  void parse_macro() {
+    const Token name = advance();
+    advance();  // '='
+    std::string value;
+    if (check(TokenKind::kString)) {
+      value = advance().text;
+    } else if (check(TokenKind::kLBrace)) {
+      // Inline list macro: capture the brace list as text.
+      advance();
+      value = "{";
+      while (!check(TokenKind::kRBrace)) {
+        if (check(TokenKind::kEnd)) {
+          throw ParseError("unterminated '{' in macro definition", name.line);
+        }
+        value += ' ';
+        value += advance().text;
+      }
+      advance();
+      value += " }";
+    } else {
+      value = expect(TokenKind::kWord, "macro value").text;
+    }
+    ruleset_.macros[name.text] = std::move(value);
+  }
+
+  // ---- rules ----
+
+  Rule parse_rule() {
+    Rule rule;
+    rule.line = peek().line;
+    rule.source_label = std::string(source_label_);
+    const Token action = advance();
+    rule.action = action.is_word("pass") ? RuleAction::kPass : RuleAction::kBlock;
+    // `log` and `quick` modifiers, in either order (PF accepts both).
+    for (;;) {
+      if (match_word("quick")) {
+        rule.quick = true;
+      } else if (match_word("log")) {
+        rule.log = true;
+      } else {
+        break;
+      }
+    }
+
+    // Clauses appear in any interleaving; the paper's own listings put
+    // `with` predicates between `from` and `to` (Figures 5 and 8).
+    for (;;) {
+      expand_macros_here();
+      if (match_word("all")) {
+        rule.from = Endpoint{};  // any
+        rule.to = Endpoint{};
+      } else if (match_word("from")) {
+        rule.from = parse_endpoint();
+      } else if (match_word("to")) {
+        rule.to = parse_endpoint();
+      } else if (peek().is_word("proto")) {
+        advance();
+        const Token proto = expect(TokenKind::kWord, "protocol name");
+        if (util::iequals(proto.text, "tcp")) {
+          rule.proto = net::IpProto::kTcp;
+        } else if (util::iequals(proto.text, "udp")) {
+          rule.proto = net::IpProto::kUdp;
+        } else if (util::iequals(proto.text, "icmp")) {
+          rule.proto = net::IpProto::kIcmp;
+        } else {
+          throw ParseError("unknown protocol '" + proto.text + "'", proto.line);
+        }
+      } else if (match_word("with")) {
+        rule.withs.push_back(parse_func_call());
+      } else if (peek().is_word("keep")) {
+        advance();
+        if (!match_word("state")) {
+          throw ParseError("expected 'state' after 'keep'", peek().line);
+        }
+        rule.keep_state = true;
+      } else {
+        break;
+      }
+    }
+    return rule;
+  }
+
+  Endpoint parse_endpoint() {
+    Endpoint endpoint;
+    bool have_host = false;
+    expand_macros_here();
+    if (check(TokenKind::kBang)) {
+      advance();
+      endpoint.negated = true;
+      expand_macros_here();
+    }
+    if (match_word("any")) {
+      endpoint.host = AnyHost{};
+      have_host = true;
+    } else if (check(TokenKind::kTableRef)) {
+      endpoint.host = TableHost{advance().text};
+      have_host = true;
+    } else if (check(TokenKind::kLBrace)) {
+      endpoint.host = parse_host_list();
+      have_host = true;
+    } else if (check(TokenKind::kWord) && !peek().is_word("port")) {
+      const Token word = advance();
+      const auto cidr = net::Cidr::parse(word.text);
+      if (!cidr) {
+        throw ParseError("invalid host '" + word.text + "'", word.line);
+      }
+      endpoint.host = CidrHost{*cidr};
+      have_host = true;
+    } else if (endpoint.negated) {
+      throw ParseError("'!' must be followed by a host", peek().line);
+    }
+    bool have_port = false;
+    if (match_word("port")) {
+      endpoint.port = parse_port_spec();
+      have_port = true;
+    }
+    if (!have_host && !have_port) {
+      throw ParseError("expected host or 'port' specification", peek().line);
+    }
+    return endpoint;
+  }
+
+  ListHost parse_host_list() {
+    advance();  // '{'
+    ListHost list;
+    for (;;) {
+      expand_macros_here();
+      if (check(TokenKind::kRBrace)) break;
+      if (check(TokenKind::kComma)) {
+        advance();
+        continue;
+      }
+      if (check(TokenKind::kTableRef)) {
+        list.items.emplace_back(advance().text);
+        continue;
+      }
+      const Token item = expect(TokenKind::kWord, "address or '<table>'");
+      const auto cidr = net::Cidr::parse(item.text);
+      if (!cidr) {
+        throw ParseError("invalid address '" + item.text + "' in host list",
+                         item.line);
+      }
+      list.items.emplace_back(*cidr);
+    }
+    advance();  // '}'
+    return list;
+  }
+
+  PortSpec parse_port_spec() {
+    expand_macros_here();
+    const Token low_token = expect(TokenKind::kWord, "port number or name");
+    const std::uint16_t low = resolve_port(low_token);
+    PortSpec spec{low, low};
+    if (check(TokenKind::kColon)) {
+      advance();
+      const Token high_token = expect(TokenKind::kWord, "port range end");
+      spec.high = resolve_port(high_token);
+      if (spec.high < spec.low) {
+        throw ParseError("port range end below start", high_token.line);
+      }
+    }
+    return spec;
+  }
+
+  std::uint16_t resolve_port(const Token& token) {
+    if (const auto number = util::parse_u64(token.text);
+        number && *number <= 65535) {
+      return static_cast<std::uint16_t>(*number);
+    }
+    const std::uint16_t port = named_port(token.text);
+    if (port == 0) {
+      throw ParseError("unknown port '" + token.text + "'", token.line);
+    }
+    return port;
+  }
+
+  FuncCall parse_func_call() {
+    FuncCall call;
+    const Token name = expect(TokenKind::kWord, "function name");
+    call.name = name.text;
+    call.line = name.line;
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+      for (;;) {
+        call.args.push_back(parse_expr());
+        if (check(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect(TokenKind::kRParen, "')'");
+    return call;
+  }
+
+  Expr parse_expr() {
+    expand_macros_here();
+    if (check(TokenKind::kDictIndex)) {
+      const Token token = advance();
+      return DictIndexExpr{token.text, token.key, token.star};
+    }
+    if (check(TokenKind::kString)) {
+      const std::string value = advance().text;
+      // A quoted brace list ("{ http ssh }", Fig 2) is a list literal.
+      const auto trimmed = util::trim(value);
+      if (trimmed.size() >= 2 && trimmed.front() == '{' && trimmed.back() == '}') {
+        ListExpr list;
+        for (const auto item :
+             util::split_ws(trimmed.substr(1, trimmed.size() - 2))) {
+          list.items.emplace_back(item);
+        }
+        return list;
+      }
+      return LiteralExpr{value};
+    }
+    if (check(TokenKind::kLBrace)) {
+      advance();
+      ListExpr list;
+      while (!check(TokenKind::kRBrace)) {
+        if (check(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        expand_macros_here();
+        list.items.push_back(expect(TokenKind::kWord, "list item").text);
+      }
+      advance();
+      return list;
+    }
+    if (check(TokenKind::kWord)) {
+      return LiteralExpr{advance().text};
+    }
+    throw ParseError("expected expression, got " +
+                         std::string(to_string(peek().kind)),
+                     peek().line);
+  }
+
+  Ruleset& ruleset_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string_view source_label_;
+};
+
+}  // namespace
+
+Ruleset parse(std::string_view source, std::string_view source_label) {
+  Ruleset ruleset;
+  Parser parser(ruleset, source, source_label);
+  ruleset.rules = parser.run();
+  return ruleset;
+}
+
+std::vector<Rule> parse_rules_into(Ruleset& ruleset, std::string_view source,
+                                   std::string_view source_label) {
+  Parser parser(ruleset, source, source_label);
+  return parser.run();
+}
+
+std::uint16_t named_port(std::string_view name) noexcept {
+  for (const auto& entry : kNamedPorts) {
+    if (util::iequals(entry.name, name)) return entry.port;
+  }
+  return 0;
+}
+
+std::optional<std::vector<std::string>> Ruleset::named_list(
+    const std::string& name) const {
+  const auto it = macros.find(name);
+  if (it == macros.end()) return std::nullopt;
+  const auto trimmed = util::trim(it->second);
+  if (trimmed.size() < 2 || trimmed.front() != '{' || trimmed.back() != '}') {
+    return std::nullopt;
+  }
+  std::vector<std::string> items;
+  for (const auto item : util::split_ws(trimmed.substr(1, trimmed.size() - 2))) {
+    items.emplace_back(item);
+  }
+  return items;
+}
+
+std::string to_string(RuleAction action) {
+  return action == RuleAction::kPass ? "pass" : "block";
+}
+
+std::string to_string(const Rule& rule) {
+  std::string out = to_string(rule.action);
+  if (rule.quick) out += " quick";
+  out += " (line " + std::to_string(rule.line);
+  if (!rule.source_label.empty()) out += " of " + rule.source_label;
+  out += ")";
+  return out;
+}
+
+}  // namespace identxx::pf

@@ -1,0 +1,37 @@
+#pragma once
+
+// PF+=2 parser (§3.3).
+//
+// Recursive-descent over the lexer's token stream.  Macros are expanded
+// textually (spliced into the token stream), mirroring vanilla PF.  Table
+// definitions may reference previously defined tables
+// (`table <int_hosts> { <lan> <server> }`, Fig 2) and are flattened at
+// definition time.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pf/ast.hpp"
+
+namespace identxx::pf {
+
+/// Parse a complete PF+=2 source (one .control file, or several files'
+/// contents concatenated in alphabetical order, §3.4).  `source_label` is
+/// recorded on every parsed rule for diagnostics.
+/// Throws ParseError on syntax errors.
+[[nodiscard]] Ruleset parse(std::string_view source,
+                            std::string_view source_label = "");
+
+/// Parse rule text into an existing ruleset's context (tables/dicts/macros
+/// remain visible; new definitions are added).  Used by `allowed()` to
+/// evaluate delegated requirements against the including policy's tables.
+[[nodiscard]] std::vector<Rule> parse_rules_into(Ruleset& ruleset,
+                                                 std::string_view source,
+                                                 std::string_view source_label);
+
+/// Resolve a service name to its port number (http -> 80, ...).
+/// Returns 0 when unknown.
+[[nodiscard]] std::uint16_t named_port(std::string_view name) noexcept;
+
+}  // namespace identxx::pf

@@ -1,0 +1,121 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace identxx::sim {
+
+NodeId Simulator::add_node(std::unique_ptr<Node> node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  node->attach(this, id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Simulator::connect(NodeId a, PortId a_port, NodeId b, PortId b_port,
+                        SimTime latency, std::uint64_t bandwidth_bps) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw SimError("connect: unknown node id");
+  }
+  if (a_port == 0 || b_port == 0) {
+    throw SimError("connect: port 0 is reserved");
+  }
+  if (latency < 0) {
+    throw SimError("connect: negative latency");
+  }
+  const auto key_a = port_key(a, a_port);
+  const auto key_b = port_key(b, b_port);
+  if (links_.contains(key_a) || links_.contains(key_b)) {
+    throw SimError("connect: port already wired");
+  }
+  links_[key_a] = LinkEnd{b, b_port, latency, bandwidth_bps};
+  links_[key_b] = LinkEnd{a, a_port, latency, bandwidth_bps};
+}
+
+void Simulator::send(NodeId from, PortId port, net::Packet packet) {
+  const auto it = links_.find(port_key(from, port));
+  if (it == links_.end()) {
+    ++stats_.packets_dropped_no_link;
+    IDXX_LOG(kDebug, "sim") << nodes_[from]->name() << " port " << port
+                            << ": send on unwired port dropped";
+    return;
+  }
+  const LinkEnd link = it->second;
+  // Serialization delay: wire size / bandwidth.
+  SimTime delay = link.latency;
+  if (link.bandwidth_bps > 0) {
+    const std::uint64_t wire_bits =
+        (net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+         packet.payload.size() + 20 /* transport approx */) * 8;
+    delay += static_cast<SimTime>(wire_bits * static_cast<std::uint64_t>(kSecond) /
+                                  link.bandwidth_bps);
+  }
+  schedule_after(delay, [this, from, port, link,
+                         packet = std::move(packet)]() mutable {
+    ++stats_.packets_delivered;
+    if (tracer_) {
+      tracer_(now_, from, port, link.peer, link.peer_port, packet);
+    }
+    nodes_[link.peer]->on_packet(packet, link.peer_port);
+  });
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> callback) {
+  if (when < now_) {
+    throw SimError("schedule_at: time in the past");
+  }
+  queue_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> callback) {
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+std::uint64_t Simulator::run(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (deadline >= 0 && queue_.top().when > deadline) break;
+    // Copy out before pop; priority_queue::top is const.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+    ++stats_.events_executed;
+  }
+  if (deadline >= 0 && now_ < deadline && queue_.empty()) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+    ++stats_.events_executed;
+  }
+  return executed;
+}
+
+Node& Simulator::node(NodeId id) {
+  if (id >= nodes_.size()) throw SimError("node: unknown id");
+  return *nodes_[id];
+}
+
+const Node& Simulator::node(NodeId id) const {
+  if (id >= nodes_.size()) throw SimError("node: unknown id");
+  return *nodes_[id];
+}
+
+const LinkEnd* Simulator::link_at(NodeId node, PortId port) const noexcept {
+  const auto it = links_.find(port_key(node, port));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+}  // namespace identxx::sim

@@ -1,0 +1,169 @@
+#pragma once
+
+// Deterministic discrete-event network simulator.
+//
+// This is the substrate standing in for the physical OpenFlow testbed the
+// paper assumes (see DESIGN.md, substitution table).  It provides:
+//   * a virtual clock in nanoseconds,
+//   * an event queue with stable FIFO ordering for simultaneous events,
+//   * nodes (hosts, switches, controllers) connected by ports over
+//     latency-modelled links,
+//   * packet delivery with per-link latency and serialization delay.
+//
+// Determinism contract: given the same initial configuration and inputs,
+// a run produces the identical event order.  Ties in time are broken by
+// insertion sequence number.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/error.hpp"
+
+namespace identxx::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Port number on a node.  Port numbering is per-node, starting at 1 to
+/// match OpenFlow conventions (0 is reserved).
+using PortId = std::uint16_t;
+
+class Simulator;
+
+/// Anything attached to the simulated network: host, switch, controller.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called by the simulator when a packet arrives on `in_port`.
+  virtual void on_packet(const net::Packet& packet, PortId in_port) = 0;
+
+  /// Human-readable name for traces.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Set by the simulator at registration.
+  void attach(Simulator* simulator, NodeId id) noexcept {
+    simulator_ = simulator;
+    id_ = id;
+  }
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+ protected:
+  [[nodiscard]] Simulator* simulator() const noexcept { return simulator_; }
+
+ private:
+  Simulator* simulator_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+/// One direction of a link: sending out of (node, port) reaches `peer` on
+/// `peer_port` after `latency` plus serialization delay.
+struct LinkEnd {
+  NodeId peer = kInvalidNode;
+  PortId peer_port = 0;
+  SimTime latency = 10 * kMicrosecond;
+  /// Bits per simulated second; 0 disables serialization delay.
+  std::uint64_t bandwidth_bps = 10'000'000'000ULL;
+};
+
+/// Counters the trace/benchmark layer reads after a run.
+struct SimStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_no_link = 0;
+};
+
+/// The simulator owns all nodes and the event queue.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Register a node; the simulator takes ownership.  Returns its id.
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  /// Connect two (node, port) pairs bidirectionally.
+  /// Throws SimError if either port is already wired.
+  void connect(NodeId a, PortId a_port, NodeId b, PortId b_port,
+               SimTime latency = 10 * kMicrosecond,
+               std::uint64_t bandwidth_bps = 10'000'000'000ULL);
+
+  /// Send `packet` out of (from, port).  Delivery is scheduled after the
+  /// link latency + serialization delay; silently counted as dropped when
+  /// the port is unwired (mirrors pulling a cable).
+  void send(NodeId from, PortId port, net::Packet packet);
+
+  /// Schedule an arbitrary callback at absolute time `when` (>= now).
+  void schedule_at(SimTime when, std::function<void()> callback);
+
+  /// Schedule a callback `delay` after now.
+  void schedule_after(SimTime delay, std::function<void()> callback);
+
+  /// Run until the event queue drains or `deadline` is reached.
+  /// Returns the number of events executed.
+  std::uint64_t run(SimTime deadline = -1);
+
+  /// Execute at most `max_events` pending events.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// The link wired to (node, port), if any.
+  [[nodiscard]] const LinkEnd* link_at(NodeId node, PortId port) const noexcept;
+
+  /// Observe every packet delivery (debugging / trace capture).  Called at
+  /// delivery time, before the receiving node's on_packet.
+  using DeliveryTracer =
+      std::function<void(SimTime when, NodeId from, PortId from_port,
+                         NodeId to, PortId to_port, const net::Packet&)>;
+  void set_delivery_tracer(DeliveryTracer tracer) {
+    tracer_ = std::move(tracer);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;  // FIFO tiebreaker
+    std::function<void()> action;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::uint64_t, LinkEnd> links_;  // key: node<<16 | port
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  SimStats stats_;
+  DeliveryTracer tracer_;
+
+  [[nodiscard]] static std::uint64_t port_key(NodeId node, PortId port) noexcept {
+    return (static_cast<std::uint64_t>(node) << 16) | port;
+  }
+};
+
+}  // namespace identxx::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+// Error hierarchy for the identxx libraries.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we use exceptions for error
+// reporting and define purpose-specific types so callers can discriminate
+// parse errors from protocol errors from policy errors.
+
+#include <stdexcept>
+#include <string>
+
+namespace identxx {
+
+/// Root of all errors thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input: config files, policy files, wire messages.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line = 0)
+      : Error(line == 0 ? what : what + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+
+  /// 1-based line number of the offending input, 0 if unknown.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
+/// Violation of a protocol contract (ident++ wire format, OpenFlow channel).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Errors raised while evaluating PF+=2 policy (bad function arity, unknown
+/// dictionary, recursive `allowed` beyond depth limit, ...).
+class PolicyError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cryptographic failures that are not mere verification mismatches
+/// (malformed keys, out-of-range scalars).
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulator misuse (unknown node ids, negative delays, ...).
+class SimError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace identxx

@@ -1,0 +1,23 @@
+#pragma once
+
+// Hex encoding/decoding used by the crypto module for key and signature
+// serialization in configuration files.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace identxx::util {
+
+/// Lowercase hex encoding of `bytes`.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> bytes);
+
+/// Decode hex (either case).  Returns nullopt on odd length or non-hex
+/// characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> hex_decode(
+    std::string_view hex);
+
+}  // namespace identxx::util

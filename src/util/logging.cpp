@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace identxx::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  const std::scoped_lock lock(mutex_);
+  std::cerr << '[' << to_string(level) << "] " << component << ": " << msg
+            << '\n';
+  ++lines_;
+}
+
+}  // namespace identxx::util

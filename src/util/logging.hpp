@@ -1,0 +1,69 @@
+#pragma once
+
+// Minimal leveled logger.  The simulator and controller use it for event
+// tracing; tests silence it by default.  Thread-safe for concurrent writers.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace identxx::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Global logger configuration.  Default level is kWarn so tests stay quiet.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  /// Write one formatted line: "[LEVEL] component: message".
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+  /// Number of lines emitted since construction (observable in tests).
+  [[nodiscard]] std::uint64_t lines_written() const noexcept { return lines_; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+  std::uint64_t lines_ = 0;
+};
+
+/// Stream-style helper: LOG_AT(kInfo, "controller") << "flow allowed";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().write(level_, component_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace identxx::util
+
+#define IDXX_LOG(level, component) \
+  ::identxx::util::LogLine(::identxx::util::LogLevel::level, component)

@@ -1,0 +1,49 @@
+#pragma once
+
+// Deterministic pseudo-random generator (SplitMix64) used by the traffic
+// generators, property tests and crypto nonce derivation in tests.
+//
+// Determinism is a core requirement: the simulator must replay identically
+// for a given seed so that experiments are reproducible.
+
+#include <cstdint>
+
+namespace identxx::util {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator.  Not for production
+/// key material; the crypto module derives nonces from message hashes
+/// (deterministic signing) instead.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound).  `bound` must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift rejection-free mapping; slight bias is acceptable for
+    // workload generation.
+    __extension__ typedef unsigned __int128 u128_t;
+    const auto hi = static_cast<u128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(hi >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p`.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace identxx::util

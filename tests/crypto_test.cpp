@@ -1,0 +1,428 @@
+// Unit and property tests for src/crypto: SHA-256 (FIPS vectors), HMAC,
+// U256 arithmetic, secp256k1 group law, and Schnorr signatures.
+
+#include <gtest/gtest.h>
+
+#include "crypto/ec.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/u256.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace identxx::crypto {
+namespace {
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, Fips180EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Fips180Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, Fips180TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Sha256 h;
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    h.update(std::string_view(msg).substr(i, 7));
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding at block boundaries: 55, 56, 63, 64, 65 bytes.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'a');
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash("a"), Sha256::hash("b"));
+  EXPECT_NE(Sha256::hash("abc"), Sha256::hash("abd"));
+}
+
+// ---------------------------------------------------------------- HMAC
+
+TEST(Hmac, Rfc4231Case1) {
+  // Key = 20 bytes of 0x0b, data = "Hi There".
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>("Hi There"), 8));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  // Keys longer than the block size must be hashed first; just check
+  // determinism and sensitivity.
+  const std::string long_key(200, 'k');
+  const auto mac1 = hmac_sha256(long_key, "msg");
+  const auto mac2 = hmac_sha256(long_key, "msg");
+  const auto mac3 = hmac_sha256(long_key, "msh");
+  EXPECT_EQ(mac1, mac2);
+  EXPECT_NE(mac1, mac3);
+}
+
+// ---------------------------------------------------------------- U256
+
+TEST(U256Arith, HexRoundTrip) {
+  const auto v = U256::from_hex(
+      "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(),
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+}
+
+TEST(U256Arith, FromHexShortInputIsPadded) {
+  const auto v = U256::from_hex("ff");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, U256{0xff});
+}
+
+TEST(U256Arith, FromHexRejectsBadInput) {
+  EXPECT_FALSE(U256::from_hex("").has_value());
+  EXPECT_FALSE(U256::from_hex("xyz").has_value());
+  EXPECT_FALSE(U256::from_hex(std::string(65, 'f')).has_value());
+}
+
+TEST(U256Arith, BytesRoundTrip) {
+  const U256 v{0x0123456789abcdefULL, 0xfedcba9876543210ULL, 1, 2};
+  const auto bytes = v.to_bytes();
+  EXPECT_EQ(U256::from_bytes(std::span<const std::uint8_t, 32>(bytes)), v);
+}
+
+TEST(U256Arith, AddCarryPropagates) {
+  const U256 max{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  const auto [sum, carry] = U256::add(max, U256{1});
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(sum.is_zero());
+}
+
+TEST(U256Arith, SubBorrow) {
+  const auto [diff, borrow] = U256::sub(U256{0}, U256{1});
+  EXPECT_TRUE(borrow);
+  EXPECT_EQ(diff, (U256{~0ULL, ~0ULL, ~0ULL, ~0ULL}));
+}
+
+TEST(U256Arith, AddSubInverse) {
+  util::SplitMix64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 b{rng.next(), rng.next(), rng.next(), rng.next()};
+    const auto [sum, carry] = U256::add(a, b);
+    const auto [back, borrow] = U256::sub(sum, b);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256Arith, MulWideSmall) {
+  const U512 prod = U256::mul_wide(U256{3}, U256{5});
+  EXPECT_EQ(prod.low(), U256{15});
+  EXPECT_TRUE(prod.high().is_zero());
+}
+
+TEST(U256Arith, MulWideCrossLimb) {
+  // (2^64)(2^64) = 2^128.
+  const U256 a{0, 1, 0, 0};
+  const U512 prod = U256::mul_wide(a, a);
+  EXPECT_EQ(prod.low(), (U256{0, 0, 1, 0}));
+  EXPECT_TRUE(prod.high().is_zero());
+}
+
+TEST(U256Arith, ModSmallCases) {
+  U512 x{};
+  x.w[0] = 17;
+  EXPECT_EQ(mod(x, U256{5}), U256{2});
+  x.w[0] = 4;
+  EXPECT_EQ(mod(x, U256{5}), U256{4});
+}
+
+TEST(U256Arith, ModMatchesMulIdentity) {
+  // (a * m + r) mod m == r for random a, r < m.
+  util::SplitMix64 rng(13);
+  const U256 m = Secp256k1::n();
+  for (int i = 0; i < 50; ++i) {
+    const U256 a{rng.next(), rng.next(), 0, 0};
+    const U256 r{rng.next() % 1000, 0, 0, 0};
+    U512 prod = U256::mul_wide(a, m);
+    // prod += r (no overflow: a < 2^128 so prod < 2^384).
+    unsigned carry = 0;
+    std::uint64_t add = r.w[0];
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::uint64_t before = prod.w[j];
+      prod.w[j] += add + carry;
+      carry = (prod.w[j] < before || (carry && prod.w[j] == before)) ? 1 : 0;
+      add = 0;
+    }
+    EXPECT_EQ(mod(prod, m), r);
+  }
+}
+
+TEST(U256Arith, ModularOpsStayBelowModulus) {
+  util::SplitMix64 rng(17);
+  const U256 m = Secp256k1::p();
+  for (int i = 0; i < 100; ++i) {
+    U512 wide{};
+    for (auto& w : wide.w) w = rng.next();
+    const U256 a = mod(wide, m);
+    for (auto& w : wide.w) w = rng.next();
+    const U256 b = mod(wide, m);
+    EXPECT_LT(U256::cmp(add_mod(a, b, m), m), 0);
+    EXPECT_LT(U256::cmp(sub_mod(a, b, m), m), 0);
+    EXPECT_LT(U256::cmp(mul_mod(a, b, m), m), 0);
+  }
+}
+
+TEST(U256Arith, InvModFermat) {
+  const U256 m = Secp256k1::n();
+  util::SplitMix64 rng(19);
+  for (int i = 0; i < 10; ++i) {
+    const U256 a{rng.next() | 1, rng.next(), rng.next(), 0};
+    const U256 inv = inv_mod(a, m);
+    EXPECT_EQ(mul_mod(a, inv, m), U256{1});
+  }
+}
+
+TEST(U256Arith, PowModBasics) {
+  const U256 m{1000003};
+  EXPECT_EQ(pow_mod(U256{2}, U256{10}, m), U256{1024});
+  EXPECT_EQ(pow_mod(U256{7}, U256{0}, m), U256{1});
+}
+
+TEST(U256Arith, ShiftInverses) {
+  util::SplitMix64 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a{rng.next(), rng.next(), rng.next(), rng.next() >> 1};
+    EXPECT_EQ(a.shl1().first.shr1(), a);
+  }
+}
+
+TEST(U256Arith, BitLength) {
+  EXPECT_EQ(U256{}.bit_length(), 0u);
+  EXPECT_EQ(U256{1}.bit_length(), 1u);
+  EXPECT_EQ(U256{0xff}.bit_length(), 8u);
+  EXPECT_EQ((U256{0, 0, 0, 1ULL << 63}).bit_length(), 256u);
+}
+
+// ---------------------------------------------------------------- EC group
+
+TEST(Ec, GeneratorIsOnCurve) {
+  EXPECT_TRUE(AffinePoint::generator().on_curve());
+}
+
+TEST(Ec, CurveConstantsSane) {
+  // p and n are odd 256-bit numbers with high bit set.
+  EXPECT_TRUE(Secp256k1::p().bit(0));
+  EXPECT_TRUE(Secp256k1::n().bit(0));
+  EXPECT_EQ(Secp256k1::p().bit_length(), 256u);
+  EXPECT_EQ(Secp256k1::n().bit_length(), 256u);
+}
+
+TEST(Ec, OneTimesGIsG) {
+  const AffinePoint g = AffinePoint::generator();
+  EXPECT_EQ(ec_mul_base(U256{1}).to_affine(), g);
+}
+
+TEST(Ec, OrderTimesGIsIdentity) {
+  // n*G == O validates the full constant set and the group law together.
+  const JacobianPoint ng = ec_mul_base(Secp256k1::n());
+  EXPECT_TRUE(ng.is_identity());
+}
+
+TEST(Ec, OrderMinusOneTimesGIsNegG) {
+  const U256 n_minus_1 = U256::sub(Secp256k1::n(), U256{1}).first;
+  const AffinePoint p = ec_mul_base(n_minus_1).to_affine();
+  EXPECT_EQ(p, ec_negate(AffinePoint::generator()));
+}
+
+TEST(Ec, TwoGKnownAnswer) {
+  // 2*G for secp256k1, a published test vector.
+  const AffinePoint two_g = ec_mul_base(U256{2}).to_affine();
+  EXPECT_EQ(two_g.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Ec, DoubleMatchesAddSelf) {
+  const JacobianPoint g = JacobianPoint::from_affine(AffinePoint::generator());
+  const AffinePoint doubled = ec_double(g).to_affine();
+  const AffinePoint two_g = ec_mul_base(U256{2}).to_affine();
+  EXPECT_EQ(doubled, two_g);
+  EXPECT_TRUE(doubled.on_curve());
+}
+
+TEST(Ec, ScalarDistributivity) {
+  // (a + b)G == aG + bG for random a, b.
+  util::SplitMix64 rng(31);
+  for (int i = 0; i < 5; ++i) {
+    const U256 a{rng.next(), rng.next(), 0, 0};
+    const U256 b{rng.next(), rng.next(), 0, 0};
+    const U256 a_plus_b = add_mod(a, b, Secp256k1::n());
+    const AffinePoint lhs = ec_mul_base(a_plus_b).to_affine();
+    const AffinePoint rhs =
+        ec_add(ec_mul_base(a), ec_mul_base(b)).to_affine();
+    EXPECT_EQ(lhs, rhs);
+    EXPECT_TRUE(lhs.on_curve());
+  }
+}
+
+TEST(Ec, AddIdentityIsNoop) {
+  const JacobianPoint g = JacobianPoint::from_affine(AffinePoint::generator());
+  EXPECT_EQ(ec_add(g, JacobianPoint::identity()).to_affine(),
+            AffinePoint::generator());
+  EXPECT_EQ(ec_add(JacobianPoint::identity(), g).to_affine(),
+            AffinePoint::generator());
+}
+
+TEST(Ec, AddInverseGivesIdentity) {
+  const AffinePoint g = AffinePoint::generator();
+  const JacobianPoint sum =
+      ec_add(JacobianPoint::from_affine(g),
+             JacobianPoint::from_affine(ec_negate(g)));
+  EXPECT_TRUE(sum.is_identity());
+}
+
+TEST(Ec, MulByZeroIsIdentity) {
+  EXPECT_TRUE(ec_mul_base(U256{}).is_identity());
+}
+
+TEST(Ec, FieldInverse) {
+  util::SplitMix64 rng(37);
+  for (int i = 0; i < 10; ++i) {
+    const U256 a{rng.next() | 1, rng.next(), rng.next(), 0};
+    EXPECT_EQ(fp_mul(a, fp_inv(a)), U256{1});
+  }
+}
+
+// ---------------------------------------------------------------- Schnorr
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const PrivateKey key = PrivateKey::from_seed("alice");
+  const Signature sig = key.sign("hello world");
+  EXPECT_TRUE(verify(key.public_key(), "hello world", sig));
+}
+
+TEST(Schnorr, TamperedMessageRejected) {
+  const PrivateKey key = PrivateKey::from_seed("alice");
+  const Signature sig = key.sign("hello world");
+  EXPECT_FALSE(verify(key.public_key(), "hello worle", sig));
+  EXPECT_FALSE(verify(key.public_key(), "", sig));
+}
+
+TEST(Schnorr, WrongKeyRejected) {
+  const PrivateKey alice = PrivateKey::from_seed("alice");
+  const PrivateKey mallory = PrivateKey::from_seed("mallory");
+  const Signature sig = alice.sign("msg");
+  EXPECT_FALSE(verify(mallory.public_key(), "msg", sig));
+}
+
+TEST(Schnorr, TamperedSignatureRejected) {
+  const PrivateKey key = PrivateKey::from_seed("alice");
+  Signature sig = key.sign("msg");
+  sig.s = add_mod(sig.s, U256{1}, Secp256k1::n());
+  EXPECT_FALSE(verify(key.public_key(), "msg", sig));
+}
+
+TEST(Schnorr, DeterministicSignatures) {
+  const PrivateKey key = PrivateKey::from_seed("bob");
+  EXPECT_EQ(key.sign("m").to_hex(), key.sign("m").to_hex());
+  EXPECT_NE(key.sign("m1").to_hex(), key.sign("m2").to_hex());
+}
+
+TEST(Schnorr, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(PrivateKey::from_seed("a").public_key().to_hex(),
+            PrivateKey::from_seed("b").public_key().to_hex());
+}
+
+TEST(Schnorr, PublicKeyHexRoundTrip) {
+  const PrivateKey key = PrivateKey::from_seed("carol");
+  const std::string hex = key.public_key().to_hex();
+  EXPECT_EQ(hex.size(), 128u);
+  const auto parsed = PublicKey::from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, key.public_key());
+}
+
+TEST(Schnorr, PublicKeyFromHexRejectsOffCurve) {
+  // A syntactically valid but off-curve point must be rejected.
+  std::string bogus(128, '1');
+  EXPECT_FALSE(PublicKey::from_hex(bogus).has_value());
+  EXPECT_FALSE(PublicKey::from_hex("abcd").has_value());
+}
+
+TEST(Schnorr, SignatureHexRoundTrip) {
+  const PrivateKey key = PrivateKey::from_seed("dave");
+  const Signature sig = key.sign("payload");
+  const auto parsed = Signature::from_hex(sig.to_hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, sig);
+  EXPECT_FALSE(Signature::from_hex("deadbeef").has_value());
+}
+
+TEST(Schnorr, RejectsOutOfRangeS) {
+  const PrivateKey key = PrivateKey::from_seed("erin");
+  Signature sig = key.sign("msg");
+  sig.s = Secp256k1::n();  // s must be < n
+  EXPECT_FALSE(verify(key.public_key(), "msg", sig));
+  sig.s = U256{};  // s must be nonzero
+  EXPECT_FALSE(verify(key.public_key(), "msg", sig));
+}
+
+TEST(Schnorr, FromScalarValidatesRange) {
+  EXPECT_THROW((void)PrivateKey::from_scalar(U256{}), CryptoError);
+  EXPECT_THROW((void)PrivateKey::from_scalar(Secp256k1::n()), CryptoError);
+  EXPECT_NO_THROW((void)PrivateKey::from_scalar(U256{12345}));
+}
+
+TEST(Schnorr, HashToScalarBelowOrder) {
+  for (const char* m : {"a", "b", "c", "longer message here"}) {
+    const auto bytes = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(m), strlen(m));
+    EXPECT_LT(U256::cmp(hash_to_scalar(bytes), Secp256k1::n()), 0);
+  }
+}
+
+// Property sweep: sign/verify holds across many seeds and messages.
+class SchnorrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrPropertyTest, RoundTripAndCrossRejection) {
+  const int i = GetParam();
+  const PrivateKey key =
+      PrivateKey::from_seed("seed-" + std::to_string(i));
+  const std::string msg = "message-" + std::to_string(i * 7);
+  const Signature sig = key.sign(msg);
+  EXPECT_TRUE(verify(key.public_key(), msg, sig));
+  // A signature never verifies under a different message.
+  EXPECT_FALSE(verify(key.public_key(), msg + "!", sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace identxx::crypto

@@ -1,0 +1,240 @@
+// Unit tests for src/net: addresses, CIDR, MAC, flow tuples, packet
+// serialization and checksums.
+
+#include <gtest/gtest.h>
+
+#include "net/flow.hpp"
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+
+namespace identxx::net {
+namespace {
+
+// ---------------------------------------------------------------- Ipv4
+
+TEST(Ipv4, ParseValid) {
+  const auto addr = Ipv4Address::parse("192.168.0.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xc0a80001u);
+  EXPECT_EQ(addr->to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4, OctetConstructor) {
+  EXPECT_EQ((Ipv4Address{10, 0, 0, 7}).to_string(), "10.0.0.7");
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
+}
+
+// ---------------------------------------------------------------- Cidr
+
+TEST(Cidr, ContainsPrefix) {
+  const auto lan = Cidr::parse("192.168.0.0/24");
+  ASSERT_TRUE(lan.has_value());
+  EXPECT_TRUE(lan->contains(*Ipv4Address::parse("192.168.0.1")));
+  EXPECT_TRUE(lan->contains(*Ipv4Address::parse("192.168.0.255")));
+  EXPECT_FALSE(lan->contains(*Ipv4Address::parse("192.168.1.1")));
+}
+
+TEST(Cidr, BareAddressIsSlash32) {
+  const auto host = Cidr::parse("10.1.2.3");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->prefix_length(), 32u);
+  EXPECT_TRUE(host->contains(*Ipv4Address::parse("10.1.2.3")));
+  EXPECT_FALSE(host->contains(*Ipv4Address::parse("10.1.2.4")));
+}
+
+TEST(Cidr, SlashZeroMatchesEverything) {
+  const auto any = Cidr::parse("0.0.0.0/0");
+  ASSERT_TRUE(any.has_value());
+  EXPECT_TRUE(any->contains(*Ipv4Address::parse("1.2.3.4")));
+  EXPECT_TRUE(any->contains(*Ipv4Address::parse("255.255.255.255")));
+}
+
+TEST(Cidr, NetworkAddressMaskedDown) {
+  const auto c = Cidr::parse("10.0.0.77/8");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->network().to_string(), "10.0.0.0");
+  EXPECT_EQ(c->to_string(), "10.0.0.0/8");
+}
+
+TEST(Cidr, ParseInvalid) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0/24").has_value());
+}
+
+// ---------------------------------------------------------------- Mac
+
+TEST(Mac, ParseAndFormat) {
+  const auto mac = MacAddress::parse("02:00:00:00:00:2a");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->value(), 0x02000000002aULL);
+  EXPECT_EQ(mac->to_string(), "02:00:00:00:00:2a");
+}
+
+TEST(Mac, ParseInvalid) {
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:00:zz").has_value());
+  EXPECT_FALSE(MacAddress::parse("0200:00:00:00:2a").has_value());
+}
+
+TEST(Mac, ForNodeIsLocallyAdministered) {
+  const auto mac = MacAddress::for_node(7);
+  EXPECT_EQ(mac.value() >> 40, 0x02u);
+  EXPECT_EQ(mac.value() & 0xffffffffULL, 7u);
+}
+
+// ---------------------------------------------------------------- tuples
+
+TEST(FiveTuple, ReversedSwapsEnds) {
+  const FiveTuple flow{*Ipv4Address::parse("10.0.0.1"),
+                       *Ipv4Address::parse("10.0.0.2"), IpProto::kTcp, 1234, 80};
+  const FiveTuple rev = flow.reversed();
+  EXPECT_EQ(rev.src_ip, flow.dst_ip);
+  EXPECT_EQ(rev.dst_ip, flow.src_ip);
+  EXPECT_EQ(rev.src_port, flow.dst_port);
+  EXPECT_EQ(rev.dst_port, flow.src_port);
+  EXPECT_EQ(rev.reversed(), flow);
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  const std::hash<FiveTuple> h;
+  FiveTuple a{*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"),
+              IpProto::kTcp, 1234, 80};
+  FiveTuple b = a;
+  b.dst_port = 81;
+  EXPECT_NE(h(a), h(b));
+  b = a;
+  b.proto = IpProto::kUdp;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(TenTuple, ProjectsToFiveTuple) {
+  TenTuple t;
+  t.src_ip = *Ipv4Address::parse("1.1.1.1");
+  t.dst_ip = *Ipv4Address::parse("2.2.2.2");
+  t.proto = IpProto::kUdp;
+  t.src_port = 5;
+  t.dst_port = 6;
+  const FiveTuple f = t.five_tuple();
+  EXPECT_EQ(f.src_ip.to_string(), "1.1.1.1");
+  EXPECT_EQ(f.proto, IpProto::kUdp);
+  EXPECT_EQ(f.dst_port, 6);
+}
+
+// ---------------------------------------------------------------- packets
+
+class PacketRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PacketRoundTrip, TcpSerializeParse) {
+  const std::string payload(GetParam(), 'x');
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 40000,
+      80, payload, TcpFlags::kSyn | TcpFlags::kPsh);
+  const auto bytes = pkt.to_bytes();
+  const auto parsed = Packet::from_bytes(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST_P(PacketRoundTrip, UdpSerializeParse) {
+  const std::string payload(GetParam(), 'u');
+  const Packet pkt = make_udp_packet(
+      MacAddress::for_node(3), MacAddress::for_node(4),
+      *Ipv4Address::parse("172.16.0.1"), *Ipv4Address::parse("172.16.0.2"),
+      5353, 53, payload);
+  const auto bytes = pkt.to_bytes();
+  const auto parsed = Packet::from_bytes(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, PacketRoundTrip,
+                         ::testing::Values(0, 1, 2, 63, 64, 512, 1400));
+
+TEST(Packet, ParseRejectsTruncation) {
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 1, 2,
+      "hello");
+  auto bytes = pkt.to_bytes();
+  for (const std::size_t keep : {0u, 10u, 14u, 20u, 33u, 40u}) {
+    EXPECT_FALSE(Packet::from_bytes(
+                     std::span(bytes.data(), std::min(keep, bytes.size())))
+                     .has_value())
+        << "kept " << keep;
+  }
+}
+
+TEST(Packet, ParseRejectsCorruptedIpChecksum) {
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 1, 2);
+  auto bytes = pkt.to_bytes();
+  bytes[EthernetHeader::kSize + 12] ^= 0xff;  // flip a source IP byte
+  EXPECT_FALSE(Packet::from_bytes(bytes).has_value());
+}
+
+TEST(Packet, ParseRejectsNonIpv4EtherType) {
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 1, 2);
+  auto bytes = pkt.to_bytes();
+  bytes[12] = 0x86;  // 0x86dd = IPv6
+  bytes[13] = 0xdd;
+  EXPECT_FALSE(Packet::from_bytes(bytes).has_value());
+}
+
+TEST(Packet, InternetChecksumKnownValue) {
+  // RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 = 0x220d.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Packet, ChecksumOfBufferWithItsChecksumIsZero) {
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 9, 10,
+      "abc");
+  const auto bytes = pkt.to_bytes();
+  // IPv4 header with embedded checksum sums to zero.
+  EXPECT_EQ(internet_checksum(
+                std::span(bytes.data() + EthernetHeader::kSize, Ipv4Header::kSize)),
+            0);
+}
+
+TEST(Packet, PayloadTextRoundTrip) {
+  Packet pkt;
+  pkt.set_payload_text("ident++ query\nline two\n");
+  EXPECT_EQ(pkt.payload_text(), "ident++ query\nline two\n");
+}
+
+TEST(Packet, TenTupleUsesInPort) {
+  const Packet pkt = make_tcp_packet(
+      MacAddress::for_node(1), MacAddress::for_node(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 7, 8);
+  EXPECT_EQ(pkt.ten_tuple(3).in_port, 3);
+  EXPECT_EQ(pkt.ten_tuple(3).src_mac, MacAddress::for_node(1));
+}
+
+}  // namespace
+}  // namespace identxx::net

@@ -1,0 +1,442 @@
+// Unit tests for src/openflow: match semantics, flow table (priority,
+// timeouts, eviction, stats), switch datapath, topology paths.
+
+#include <gtest/gtest.h>
+
+#include "openflow/flow_table.hpp"
+#include "openflow/match.hpp"
+#include "openflow/switch.hpp"
+#include "openflow/topology.hpp"
+
+namespace identxx::openflow {
+namespace {
+
+net::TenTuple tuple(const char* src = "10.0.0.1", const char* dst = "10.0.0.2",
+                    std::uint16_t sport = 1000, std::uint16_t dport = 80,
+                    std::uint16_t in_port = 1) {
+  net::TenTuple t;
+  t.in_port = in_port;
+  t.src_mac = net::MacAddress::for_node(1);
+  t.dst_mac = net::MacAddress::for_node(2);
+  t.src_ip = *net::Ipv4Address::parse(src);
+  t.dst_ip = *net::Ipv4Address::parse(dst);
+  t.proto = net::IpProto::kTcp;
+  t.src_port = sport;
+  t.dst_port = dport;
+  return t;
+}
+
+// ---------------------------------------------------------------- match
+
+TEST(FlowMatch, AnyMatchesEverything) {
+  EXPECT_TRUE(FlowMatch::any().matches(tuple()));
+  EXPECT_TRUE(FlowMatch::any().matches(tuple("1.2.3.4", "5.6.7.8", 9, 10, 11)));
+}
+
+TEST(FlowMatch, ExactMatchesOnlyIdentical) {
+  const FlowMatch m = FlowMatch::exact(tuple());
+  EXPECT_TRUE(m.matches(tuple()));
+  EXPECT_FALSE(m.matches(tuple("10.0.0.1", "10.0.0.2", 1000, 81)));
+  EXPECT_FALSE(m.matches(tuple("10.0.0.1", "10.0.0.3")));
+  EXPECT_FALSE(m.matches(tuple("10.0.0.1", "10.0.0.2", 1000, 80, 2)));
+  EXPECT_TRUE(m.is_exact());
+}
+
+TEST(FlowMatch, SingleFieldMatch) {
+  FlowMatch m;
+  m.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  m.dst_port = 783;
+  EXPECT_TRUE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 783)));
+  EXPECT_FALSE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 80)));
+  EXPECT_FALSE(m.is_exact());
+}
+
+TEST(FlowMatch, IpPrefixMatch) {
+  FlowMatch m;
+  m.wildcards = without(Wildcard::kAll, Wildcard::kDstIp);
+  m.dst_ip = *net::Ipv4Address::parse("192.168.0.0");
+  m.dst_ip_prefix = 24;
+  EXPECT_TRUE(m.matches(tuple("1.1.1.1", "192.168.0.42")));
+  EXPECT_FALSE(m.matches(tuple("1.1.1.1", "192.168.1.42")));
+}
+
+TEST(FlowMatch, WildcardHelpers) {
+  const Wildcard w = without(Wildcard::kAll, Wildcard::kProto | Wildcard::kDstPort);
+  EXPECT_FALSE(has_wildcard(w, Wildcard::kProto));
+  EXPECT_FALSE(has_wildcard(w, Wildcard::kDstPort));
+  EXPECT_TRUE(has_wildcard(w, Wildcard::kSrcIp));
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(FlowTable, ExactLookupHit) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.action = OutputAction{{2}};
+  table.insert(entry, 0);
+  const FlowEntry* found = table.lookup(tuple(), 10, 100);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->packet_count, 1u);
+  EXPECT_EQ(found->byte_count, 100u);
+  EXPECT_EQ(table.stats().hits, 1u);
+}
+
+TEST(FlowTable, MissIsCounted) {
+  FlowTable table;
+  EXPECT_EQ(table.lookup(tuple(), 0, 0), nullptr);
+  EXPECT_EQ(table.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(table.stats().hit_rate(), 0.0);
+}
+
+TEST(FlowTable, PriorityOrderAmongWildcards) {
+  FlowTable table;
+  FlowEntry low;
+  low.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  low.match.dst_port = 80;
+  low.priority = 10;
+  low.action = DropAction{};
+  FlowEntry high = low;
+  high.priority = 20;
+  high.action = OutputAction{{7}};
+  table.insert(low, 0);
+  table.insert(high, 0);
+  const FlowEntry* found = table.lookup(tuple(), 1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->priority, 20);
+  EXPECT_TRUE(std::holds_alternative<OutputAction>(found->action));
+}
+
+TEST(FlowTable, SameMatchSamePriorityOverwrites) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  entry.match.dst_port = 80;
+  entry.priority = 5;
+  entry.action = DropAction{};
+  table.insert(entry, 0);
+  entry.action = FloodAction{};
+  table.insert(entry, 0);
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry* found = table.lookup(tuple(), 1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(std::holds_alternative<FloodAction>(found->action));
+}
+
+TEST(FlowTable, IdleTimeoutExpires) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.idle_timeout = 100;
+  table.insert(entry, 0);
+  EXPECT_NE(table.lookup(tuple(), 50, 0), nullptr);   // refreshes last_used
+  EXPECT_NE(table.lookup(tuple(), 149, 0), nullptr);  // 99 since last use
+  EXPECT_EQ(table.lookup(tuple(), 249, 0), nullptr);  // 100 past
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, HardTimeoutExpiresRegardlessOfUse) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.hard_timeout = 100;
+  table.insert(entry, 0);
+  EXPECT_NE(table.lookup(tuple(), 99, 0), nullptr);
+  EXPECT_EQ(table.lookup(tuple(), 100, 0), nullptr);
+}
+
+TEST(FlowTable, ExpireSweepsAndNotifies) {
+  FlowTable table;
+  std::vector<RemovalReason> reasons;
+  table.set_removal_listener([&](const FlowEntry&, RemovalReason reason) {
+    reasons.push_back(reason);
+  });
+  FlowEntry idle;
+  idle.match = FlowMatch::exact(tuple());
+  idle.idle_timeout = 10;
+  table.insert(idle, 0);
+  FlowEntry hard;
+  hard.match = FlowMatch::exact(tuple("9.9.9.9", "8.8.8.8"));
+  hard.hard_timeout = 20;
+  table.insert(hard, 0);
+  EXPECT_EQ(table.expire(5), 0u);
+  EXPECT_EQ(table.expire(50), 2u);
+  EXPECT_EQ(reasons.size(), 2u);
+}
+
+TEST(FlowTable, CapacityEvictsLru) {
+  FlowTable table(2);
+  std::vector<RemovalReason> reasons;
+  table.set_removal_listener([&](const FlowEntry&, RemovalReason reason) {
+    reasons.push_back(reason);
+  });
+  FlowEntry a;
+  a.match = FlowMatch::exact(tuple("1.1.1.1", "2.2.2.2"));
+  table.insert(a, 0);
+  FlowEntry b;
+  b.match = FlowMatch::exact(tuple("3.3.3.3", "4.4.4.4"));
+  table.insert(b, 1);
+  // Touch `a` so `b` becomes LRU.
+  (void)table.lookup(tuple("1.1.1.1", "2.2.2.2"), 5, 0);
+  FlowEntry c;
+  c.match = FlowMatch::exact(tuple("5.5.5.5", "6.6.6.6"));
+  table.insert(c, 6);
+  EXPECT_EQ(table.size(), 2u);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], RemovalReason::kEvicted);
+  EXPECT_EQ(table.lookup(tuple("3.3.3.3", "4.4.4.4"), 7, 0), nullptr);
+  EXPECT_NE(table.lookup(tuple("1.1.1.1", "2.2.2.2"), 7, 0), nullptr);
+}
+
+TEST(FlowTable, RemoveIfByCookie) {
+  FlowTable table;
+  for (std::uint64_t cookie = 1; cookie <= 3; ++cookie) {
+    FlowEntry entry;
+    entry.match = FlowMatch::exact(
+        tuple("1.1.1.1", "2.2.2.2", static_cast<std::uint16_t>(cookie), 80));
+    entry.cookie = cookie;
+    table.insert(entry, 0);
+  }
+  EXPECT_EQ(table.remove_if([](const FlowEntry& e) { return e.cookie == 2; }),
+            1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, ClearEmptiesEverything) {
+  FlowTable table;
+  FlowEntry exact;
+  exact.match = FlowMatch::exact(tuple());
+  table.insert(exact, 0);
+  FlowEntry wild;
+  wild.match.wildcards = Wildcard::kAll;
+  table.insert(wild, 0);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.entries().empty());
+}
+
+// ---------------------------------------------------------------- switch
+
+class CapturingControlPlane : public ControlPlane {
+ public:
+  void on_packet_in(const PacketIn& msg) override { packet_ins.push_back(msg); }
+  void on_flow_removed(const FlowRemovedMsg& msg) override {
+    removed.push_back(msg);
+  }
+  std::vector<PacketIn> packet_ins;
+  std::vector<FlowRemovedMsg> removed;
+};
+
+struct SwitchFixture : ::testing::Test {
+  SwitchFixture() {
+    s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+    // Two recorder hosts on ports 1 and 2 of s1.
+    h1 = topo.add_host(std::make_unique<HostStub>("h1"));
+    h2 = topo.add_host(std::make_unique<HostStub>("h2"));
+    topo.link(s1, h1);
+    topo.link(s1, h2);
+    topo.switch_at(s1).set_controller(&controller, 10);
+  }
+
+  class HostStub : public sim::Node {
+   public:
+    explicit HostStub(std::string name) : name_(std::move(name)) {}
+    void on_packet(const net::Packet& packet, sim::PortId) override {
+      received.push_back(packet);
+    }
+    [[nodiscard]] std::string name() const override { return name_; }
+    std::vector<net::Packet> received;
+
+   private:
+    std::string name_;
+  };
+
+  net::Packet packet() {
+    return net::make_tcp_packet(
+        net::MacAddress::for_node(1), net::MacAddress::for_node(2),
+        *net::Ipv4Address::parse("10.0.0.1"), *net::Ipv4Address::parse("10.0.0.2"),
+        1000, 80, "x");
+  }
+
+  Topology topo;
+  CapturingControlPlane controller;
+  sim::NodeId s1{}, h1{}, h2{};
+};
+
+TEST_F(SwitchFixture, TableMissGoesToController) {
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  ASSERT_EQ(controller.packet_ins.size(), 1u);
+  EXPECT_EQ(controller.packet_ins[0].switch_id, s1);
+  EXPECT_EQ(controller.packet_ins[0].in_port, 1);
+  EXPECT_EQ(topo.switch_at(s1).stats().packets_to_controller, 1u);
+}
+
+TEST_F(SwitchFixture, InstalledOutputForwards) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = OutputAction{{2}};
+  topo.switch_at(s1).install_flow(entry);
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  auto& host2 = dynamic_cast<HostStub&>(topo.simulator().node(h2));
+  EXPECT_EQ(host2.received.size(), 1u);
+  EXPECT_TRUE(controller.packet_ins.empty());
+}
+
+TEST_F(SwitchFixture, DropActionDrops) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = DropAction{};
+  topo.switch_at(s1).install_flow(entry);
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  auto& host2 = dynamic_cast<HostStub&>(topo.simulator().node(h2));
+  EXPECT_TRUE(host2.received.empty());
+  EXPECT_EQ(topo.switch_at(s1).stats().packets_dropped, 1u);
+}
+
+TEST_F(SwitchFixture, FloodSkipsIngressPort) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = FloodAction{};
+  topo.switch_at(s1).install_flow(entry);
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  auto& host1 = dynamic_cast<HostStub&>(topo.simulator().node(h1));
+  auto& host2 = dynamic_cast<HostStub&>(topo.simulator().node(h2));
+  EXPECT_TRUE(host1.received.empty());
+  EXPECT_EQ(host2.received.size(), 1u);
+}
+
+TEST_F(SwitchFixture, MissDropBehaviour) {
+  topo.switch_at(s1).set_miss_behaviour(MissBehaviour::kDrop);
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  EXPECT_TRUE(controller.packet_ins.empty());
+  EXPECT_EQ(topo.switch_at(s1).stats().packets_dropped, 1u);
+}
+
+TEST_F(SwitchFixture, CompromisedSwitchFloodsEverything) {
+  topo.switch_at(s1).set_compromised(true);
+  // Even with a drop-all entry installed, traffic passes (§5.2).
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = DropAction{};
+  topo.switch_at(s1).install_flow(entry);
+  topo.simulator().send(h1, 1, packet());
+  topo.simulator().run();
+  auto& host2 = dynamic_cast<HostStub&>(topo.simulator().node(h2));
+  EXPECT_EQ(host2.received.size(), 1u);
+}
+
+TEST_F(SwitchFixture, PacketOutAppliesAction) {
+  topo.switch_at(s1).packet_out(packet(), OutputAction{{2}}, 0);
+  topo.simulator().run();
+  auto& host2 = dynamic_cast<HostStub&>(topo.simulator().node(h2));
+  EXPECT_EQ(host2.received.size(), 1u);
+}
+
+TEST_F(SwitchFixture, FlowRemovedNotifiesController) {
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.idle_timeout = 5;
+  entry.cookie = 42;
+  topo.switch_at(s1).install_flow(entry);
+  topo.simulator().schedule_at(100, [this] {
+    topo.switch_at(s1).table().expire(topo.simulator().now());
+  });
+  topo.simulator().run();
+  ASSERT_EQ(controller.removed.size(), 1u);
+  EXPECT_EQ(controller.removed[0].entry.cookie, 42u);
+}
+
+// ---------------------------------------------------------------- topology
+
+TEST(TopologyTest, AttachmentFindsSwitchPort) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto [host_port, switch_port] = topo.link(h1, s1);
+  (void)host_port;
+  const auto attachment = topo.attachment(h1);
+  ASSERT_TRUE(attachment.has_value());
+  EXPECT_EQ(attachment->switch_id, s1);
+  EXPECT_EQ(attachment->out_port, switch_port);
+}
+
+TEST(TopologyTest, PathAcrossLinearFabric) {
+  // h1 - s1 - s2 - s3 - h2
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+  const auto s3 = topo.add_switch(std::make_unique<Switch>("s3"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  topo.link(s1, s2);
+  topo.link(s2, s3);
+  topo.link(h2, s3);
+  const auto path = topo.path(h1, h2);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[0].switch_id, s1);
+  EXPECT_EQ((*path)[1].switch_id, s2);
+  EXPECT_EQ((*path)[2].switch_id, s3);
+  // in_port of each hop faces the previous node.
+  EXPECT_NE((*path)[1].in_port, 0);
+  EXPECT_NE((*path)[2].in_port, 0);
+}
+
+TEST(TopologyTest, PathPrefersShortestRoute) {
+  // Diamond: h1 - s1 - {s2 - s3} and s1 - s4 - h2 shortcut.
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+  const auto s3 = topo.add_switch(std::make_unique<Switch>("s3"));
+  const auto s4 = topo.add_switch(std::make_unique<Switch>("s4"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  topo.link(s1, s2);
+  topo.link(s2, s3);
+  topo.link(s3, s4);
+  topo.link(s1, s4);
+  topo.link(h2, s4);
+  const auto path = topo.path(h1, h2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);  // s1 -> s4
+}
+
+TEST(TopologyTest, NoPathThroughHosts) {
+  // h1 - hmid - h2: hosts do not forward.
+  Topology topo;
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto hmid = topo.add_host(std::make_unique<SwitchFixture::HostStub>("hm"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, hmid);
+  topo.link(hmid, h2);
+  EXPECT_FALSE(topo.path(h1, h2).has_value());
+}
+
+TEST(TopologyTest, PathFromSwitchStart) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(s1, s2);
+  topo.link(h2, s2);
+  const auto path = topo.path(s1, h2);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ(path->front().switch_id, s1);
+}
+
+TEST(TopologyTest, SwitchAtRejectsHosts) {
+  Topology topo;
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  EXPECT_THROW((void)topo.switch_at(h1), SimError);
+}
+
+}  // namespace
+}  // namespace identxx::openflow

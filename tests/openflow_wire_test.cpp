@@ -1,0 +1,277 @@
+// Tests for the OpenFlow 1.0 wire codec: exact layout sizes, match
+// round-trips including CIDR wildcard bits, all four message types, and
+// rejection of malformed/foreign buffers.
+
+#include <gtest/gtest.h>
+
+#include "openflow/wire.hpp"
+#include "util/rng.hpp"
+
+namespace identxx::openflow::wire {
+namespace {
+
+net::TenTuple sample_tuple() {
+  net::TenTuple t;
+  t.in_port = 3;
+  t.src_mac = net::MacAddress::for_node(7);
+  t.dst_mac = net::MacAddress::for_node(9);
+  t.ether_type = 0x0800;
+  t.vlan_id = 42;
+  t.src_ip = *net::Ipv4Address::parse("10.1.2.3");
+  t.dst_ip = *net::Ipv4Address::parse("192.168.9.8");
+  t.proto = net::IpProto::kTcp;
+  t.src_port = 40001;
+  t.dst_port = 783;
+  return t;
+}
+
+net::Packet sample_packet() {
+  return net::make_tcp_packet(net::MacAddress::for_node(7),
+                              net::MacAddress::for_node(9),
+                              *net::Ipv4Address::parse("10.1.2.3"),
+                              *net::Ipv4Address::parse("192.168.9.8"), 40001,
+                              80, "hello openflow");
+}
+
+// ---------------------------------------------------------------- match
+
+TEST(OfMatch, EncodedSizeIs40Bytes) {
+  std::vector<std::uint8_t> out;
+  encode_match(FlowMatch::exact(sample_tuple()), out);
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST(OfMatch, ExactRoundTrip) {
+  const FlowMatch match = FlowMatch::exact(sample_tuple());
+  std::vector<std::uint8_t> out;
+  encode_match(match, out);
+  const auto decoded = decode_match(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, match);
+}
+
+TEST(OfMatch, FullWildcardRoundTrip) {
+  const FlowMatch match = FlowMatch::any();
+  std::vector<std::uint8_t> out;
+  encode_match(match, out);
+  const auto decoded = decode_match(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->matches(sample_tuple()));
+  EXPECT_EQ(decoded->wildcards, Wildcard::kAll);
+}
+
+TEST(OfMatch, CidrPrefixBitsRoundTrip) {
+  FlowMatch match;
+  match.wildcards = without(Wildcard::kAll, Wildcard::kDstIp);
+  match.dst_ip = *net::Ipv4Address::parse("192.168.0.0");
+  match.dst_ip_prefix = 24;
+  std::vector<std::uint8_t> out;
+  encode_match(match, out);
+  const auto decoded = decode_match(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dst_ip_prefix, 24u);
+  EXPECT_FALSE(has_wildcard(decoded->wildcards, Wildcard::kDstIp));
+  net::TenTuple t = sample_tuple();
+  t.dst_ip = *net::Ipv4Address::parse("192.168.0.200");
+  EXPECT_TRUE(decoded->matches(t));
+  t.dst_ip = *net::Ipv4Address::parse("192.168.1.200");
+  EXPECT_FALSE(decoded->matches(t));
+}
+
+TEST(OfMatch, SingleFieldMatchRoundTrip) {
+  FlowMatch match;
+  match.wildcards = without(Wildcard::kAll, Wildcard::kProto | Wildcard::kDstPort);
+  match.proto = net::IpProto::kTcp;
+  match.dst_port = 783;
+  std::vector<std::uint8_t> out;
+  encode_match(match, out);
+  const auto decoded = decode_match(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->proto, net::IpProto::kTcp);
+  EXPECT_EQ(decoded->dst_port, 783);
+  EXPECT_EQ(decoded->wildcards, match.wildcards);
+}
+
+TEST(OfMatch, TruncatedRejected) {
+  std::vector<std::uint8_t> out;
+  encode_match(FlowMatch::any(), out);
+  out.resize(39);
+  EXPECT_FALSE(decode_match(out).has_value());
+}
+
+// ---------------------------------------------------------------- packet-in
+
+TEST(OfPacketIn, RoundTrip) {
+  PacketIn msg{4, sample_packet(), 3};
+  const auto bytes = encode_packet_in(msg, 0xdeadbeef);
+  const auto header = peek_header(bytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->type, MsgType::kPacketIn);
+  EXPECT_EQ(header->length, bytes.size());
+  EXPECT_EQ(header->xid, 0xdeadbeefu);
+  const auto decoded = decode_packet_in(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->in_port, 3);
+  EXPECT_EQ(decoded->packet, msg.packet);
+  EXPECT_EQ(decoded->reason, PacketInReason::kNoMatch);
+}
+
+// ---------------------------------------------------------------- flow-mod
+
+TEST(OfFlowMod, RoundTripOutputAction) {
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(sample_tuple());
+  entry.priority = 100;
+  entry.cookie = 0x1122334455667788ULL;
+  entry.idle_timeout = 60 * sim::kSecond;
+  entry.hard_timeout = 0;
+  entry.action = OutputAction{{7}};
+  const auto bytes = encode_flow_mod(entry, 5);
+  const auto decoded = decode_flow_mod(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->command, FlowModCommand::kAdd);
+  EXPECT_EQ(decoded->entry.match, entry.match);
+  EXPECT_EQ(decoded->entry.priority, 100);
+  EXPECT_EQ(decoded->entry.cookie, entry.cookie);
+  EXPECT_EQ(decoded->entry.idle_timeout, 60 * sim::kSecond);
+  EXPECT_EQ(decoded->entry.hard_timeout, 0);
+  EXPECT_EQ(decoded->entry.action, Action(OutputAction{{7}}));
+}
+
+TEST(OfFlowMod, DropEncodesAsEmptyActionList) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = DropAction{};
+  const auto bytes = encode_flow_mod(entry, 1);
+  const auto decoded = decode_flow_mod(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<DropAction>(decoded->entry.action));
+}
+
+TEST(OfFlowMod, FloodAndControllerPorts) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = FloodAction{};
+  auto decoded = decode_flow_mod(encode_flow_mod(entry, 1));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<FloodAction>(decoded->entry.action));
+  entry.action = ToControllerAction{};
+  decoded = decode_flow_mod(encode_flow_mod(entry, 2));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(
+      std::holds_alternative<ToControllerAction>(decoded->entry.action));
+}
+
+TEST(OfFlowMod, SubSecondTimeoutRoundsUpNotToZero) {
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.idle_timeout = 5 * sim::kMillisecond;  // < 1 s
+  const auto decoded = decode_flow_mod(encode_flow_mod(entry, 1));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->entry.idle_timeout, 1 * sim::kSecond);
+}
+
+// ---------------------------------------------------------------- packet-out
+
+TEST(OfPacketOut, RoundTripMultiPortOutput) {
+  const auto bytes =
+      encode_packet_out(sample_packet(), OutputAction{{2, 5}}, 1, 77);
+  const auto decoded = decode_packet_out(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->xid, 77u);
+  EXPECT_EQ(decoded->in_port, 1);
+  EXPECT_EQ(decoded->action, Action(OutputAction{{2, 5}}));
+  EXPECT_EQ(decoded->packet, sample_packet());
+}
+
+// ---------------------------------------------------------------- removed
+
+TEST(OfFlowRemoved, RoundTrip) {
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(sample_tuple());
+  entry.priority = 100;
+  entry.cookie = 42;
+  entry.created_at = 0;
+  entry.packet_count = 1234;
+  entry.byte_count = 99999;
+  const auto bytes = encode_flow_removed(
+      entry, FlowRemovedReason::kIdleTimeout, 9, 5 * sim::kSecond);
+  const auto decoded = decode_flow_removed(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cookie, 42u);
+  EXPECT_EQ(decoded->priority, 100);
+  EXPECT_EQ(decoded->reason, FlowRemovedReason::kIdleTimeout);
+  EXPECT_EQ(decoded->packet_count, 1234u);
+  EXPECT_EQ(decoded->byte_count, 99999u);
+  EXPECT_EQ(decoded->match, entry.match);
+}
+
+// ---------------------------------------------------------------- robustness
+
+TEST(OfWire, RejectsForeignAndTruncatedBuffers) {
+  EXPECT_FALSE(peek_header({}).has_value());
+  const std::vector<std::uint8_t> short_buf = {0x01, 10, 0x00};
+  EXPECT_FALSE(peek_header(short_buf).has_value());
+  // Wrong version.
+  std::vector<std::uint8_t> wrong = encode_packet_in(
+      PacketIn{1, sample_packet(), 1}, 1);
+  wrong[0] = 0x04;  // OpenFlow 1.3
+  EXPECT_FALSE(peek_header(wrong).has_value());
+  EXPECT_FALSE(decode_packet_in(wrong).has_value());
+  // Length larger than the buffer.
+  std::vector<std::uint8_t> lying = encode_packet_in(
+      PacketIn{1, sample_packet(), 1}, 1);
+  lying[2] = 0xff;
+  lying[3] = 0xff;
+  EXPECT_FALSE(peek_header(lying).has_value());
+  // Type confusion: a flow-mod buffer fed to the packet-in decoder.
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  EXPECT_FALSE(decode_packet_in(encode_flow_mod(entry, 1)).has_value());
+}
+
+TEST(OfWire, RandomNoiseNeverDecodes) {
+  util::SplitMix64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> noise(rng.next_below(120));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+    // Must not crash; decode may only succeed if the noise happens to be a
+    // valid message (astronomically unlikely with a random version byte —
+    // but tolerate it rather than flake).
+    (void)decode_packet_in(noise);
+    (void)decode_flow_mod(noise);
+    (void)decode_packet_out(noise);
+    (void)decode_flow_removed(noise);
+  }
+  SUCCEED();
+}
+
+/// Fidelity through the wire: encode a switch's packet-in, decode it as a
+/// controller would, encode the controller's flow-mod answer, decode and
+/// install it on the switch's table — the entry must forward the original
+/// packet.
+TEST(OfWire, ControlChannelRoundTripEndToEnd) {
+  const PacketIn original{6, sample_packet(), 2};
+  const auto decoded_in =
+      decode_packet_in(encode_packet_in(original, 1));
+  ASSERT_TRUE(decoded_in.has_value());
+
+  FlowEntry decision;
+  decision.match =
+      FlowMatch::exact(decoded_in->packet.ten_tuple(decoded_in->in_port));
+  decision.priority = 100;
+  decision.action = OutputAction{{4}};
+  decision.idle_timeout = 60 * sim::kSecond;
+  const auto decoded_mod = decode_flow_mod(encode_flow_mod(decision, 2));
+  ASSERT_TRUE(decoded_mod.has_value());
+
+  FlowTable table;
+  table.insert(decoded_mod->entry, 0);
+  const FlowEntry* hit =
+      table.lookup(original.packet.ten_tuple(original.in_port), 1, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action, Action(OutputAction{{4}}));
+}
+
+}  // namespace
+}  // namespace identxx::openflow::wire

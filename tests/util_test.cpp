@@ -1,0 +1,242 @@
+// Unit tests for src/util: strings, hex, rng, logging.
+
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::util {
+namespace {
+
+// ---------------------------------------------------------------- trim
+
+TEST(Strings, TrimRemovesBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\n x \n"), "x");
+}
+
+TEST(Strings, TrimEmptyAndAllSpace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t  "), "");
+}
+
+TEST(Strings, TrimLeftRightIndependent) {
+  EXPECT_EQ(trim_left("  a  "), "a  ");
+  EXPECT_EQ(trim_right("  a  "), "  a");
+}
+
+// ---------------------------------------------------------------- split
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a\t b \n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitOnceFindsFirst) {
+  const auto [head, tail] = split_once("key: value: extra", ':');
+  EXPECT_EQ(head, "key");
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, " value: extra");
+}
+
+TEST(Strings, SplitOnceMissingSeparator) {
+  const auto [head, tail] = split_once("no-colon", ':');
+  EXPECT_EQ(head, "no-colon");
+  EXPECT_FALSE(tail.has_value());
+}
+
+TEST(Strings, SplitLinesHandlesCrLfAndNoTerminator) {
+  const auto lines = split_lines("a\r\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, SplitLinesEmptyLines) {
+  const auto lines = split_lines("a\n\nb\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+// ---------------------------------------------------------------- join
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+}
+
+// ---------------------------------------------------------------- case
+
+TEST(Strings, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Skype", "skype"));
+  EXPECT_FALSE(iequals("skype", "skyped"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("00-local-header.control", "00-"));
+  EXPECT_TRUE(ends_with("00-local-header.control", ".control"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_FALSE(ends_with("ab", "abc"));
+}
+
+// ---------------------------------------------------------------- numbers
+
+TEST(Strings, ParseU64Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("65535"), 65535u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+}
+
+TEST(Strings, ParseU64Invalid) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("12a").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(Strings, ParseI64SignedRange) {
+  EXPECT_EQ(parse_i64("-1"), -1);
+  EXPECT_EQ(parse_i64("+5"), 5);
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_i64("-9223372036854775809").has_value());
+}
+
+TEST(Strings, AllDigits) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("$x + $x", "$x", "y"), "y + y");
+  EXPECT_EQ(replace_all("abc", "z", "y"), "abc");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+// ---------------------------------------------------------------- hex
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xff, 0x12, 0xab};
+  const std::string encoded = hex_encode(bytes);
+  EXPECT_EQ(encoded, "00ff12ab");
+  const auto decoded = hex_decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes);
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  const auto decoded = hex_decode("ABCDEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)[0], 0xab);
+}
+
+TEST(Hex, DecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+}
+
+TEST(Hex, EmptyIsValid) {
+  EXPECT_EQ(hex_encode({}), "");
+  const auto decoded = hex_decode("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  SplitMix64 rng(1234);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    buckets[rng.next_below(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_GT(count, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(count, kDraws / 10 + kDraws / 50);
+  }
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, LevelGating) {
+  auto& logger = Logger::instance();
+  const auto old_level = logger.level();
+  logger.set_level(LogLevel::kOff);
+  const auto before = logger.lines_written();
+  IDXX_LOG(kError, "test") << "should be suppressed";
+  EXPECT_EQ(logger.lines_written(), before);
+  logger.set_level(old_level);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace identxx::util

@@ -1,0 +1,94 @@
+// signctl — the delegate's side of authenticated delegation (Figs 4-7).
+//
+// A researcher (Fig 4) or third-party security company (Fig 6) uses this to
+// produce the signed @app configuration block that their users drop into
+// the ident++ daemon's config directory, and the <pubkeys> dict line the
+// administrator adds to the controller policy.
+//
+//   # show the public key for a signing seed:
+//   $ signctl pubkey --seed "research-group-key"
+//
+//   # sign an application's requirements:
+//   $ signctl sign --seed "research-group-key" <backslash>
+//       --exe /usr/bin/research-app --name research-app <backslash>
+//       --requirements "..." <backslash>
+//       [--image-seed ""]
+//
+// The executable hash is computed exactly as the simulated hosts compute it
+// (host::Host::image_hash), so the emitted block verifies in-simulation.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "crypto/schnorr.hpp"
+#include "host/host.hpp"
+#include "identxx/daemon_config.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: signctl pubkey --seed <seed>\n"
+               "       signctl sign --seed <seed> --exe <path> --name <app>\n"
+               "               --requirements <rules> [--image-seed <seed>]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  std::string seed, exe, name, requirements, image_seed;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw identxx::Error("missing value after " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--seed") seed = next();
+      else if (arg == "--exe") exe = next();
+      else if (arg == "--name") name = next();
+      else if (arg == "--requirements") requirements = next();
+      else if (arg == "--image-seed") image_seed = next();
+      else return usage();
+    } catch (const identxx::Error& e) {
+      std::fprintf(stderr, "signctl: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (seed.empty()) return usage();
+  const identxx::crypto::PrivateKey key =
+      identxx::crypto::PrivateKey::from_seed(seed);
+
+  if (mode == "pubkey") {
+    std::printf("# add to the controller policy:\n");
+    std::printf("dict <pubkeys> { signer : %s }\n",
+                key.public_key().to_hex().c_str());
+    return 0;
+  }
+  if (mode == "sign") {
+    if (exe.empty() || name.empty() || requirements.empty()) return usage();
+    const std::string exe_hash =
+        identxx::host::Host::image_hash(exe, image_seed);
+    const identxx::crypto::Signature sig = key.sign(
+        identxx::proto::signed_message({exe_hash, name, requirements}));
+    std::printf("# daemon configuration block (drop into /etc/identxx):\n");
+    std::printf("@app %s {\n", exe.c_str());
+    std::printf("name : %s\n", name.c_str());
+    std::printf("requirements : %s\n", requirements.c_str());
+    std::printf("req-sig : %s\n", sig.to_hex().c_str());
+    std::printf("}\n\n");
+    std::printf("# controller-side verification (Fig 5 shape):\n");
+    std::printf("#   with allowed(@src[requirements])\n");
+    std::printf("#   with verify(@src[req-sig], @pubkeys[signer],\n");
+    std::printf("#     @src[exe-hash], @src[app-name], @src[requirements])\n");
+    std::printf("# exe-hash the daemon will report: %s\n", exe_hash.c_str());
+    std::printf("# public key: %s\n", key.public_key().to_hex().c_str());
+    return 0;
+  }
+  return usage();
+}
