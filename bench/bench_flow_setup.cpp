@@ -16,14 +16,17 @@
 
 #include <memory>
 
+#include "controller/admission.hpp"
 #include "core/network.hpp"
+#include "pf/parser.hpp"
 
 namespace {
 
 using namespace identxx;
 
 enum class Flavour { kIdentxx, kIdentxxSrcOnly, kIdentxxIngressOnly,
-                     kIdentxxIngressOnlyCached, kEthane, kVanilla };
+                     kIdentxxIngressOnlyCached, kIdentxxIngressOnlyLru,
+                     kEthane, kVanilla };
 
 struct Rig {
   explicit Rig(std::int64_t path_len, Flavour flavour) : flavour_(flavour) {
@@ -61,6 +64,16 @@ struct Rig {
         ctrl::ControllerConfig config;
         config.install_full_path = false;
         config.decision_cache_ttl = 60 * sim::kSecond;
+        controller = &net.install_controller(policy, config);
+        break;
+      }
+      case Flavour::kIdentxxIngressOnlyLru: {
+        // Capacity-bounded LRU variant of the decision cache (the pipeline
+        // swaps in an LruDecisionCache when a capacity is configured).
+        ctrl::ControllerConfig config;
+        config.install_full_path = false;
+        config.decision_cache_ttl = 60 * sim::kSecond;
+        config.decision_cache_capacity = 1024;
         controller = &net.install_controller(policy, config);
         break;
       }
@@ -152,6 +165,11 @@ void BM_IdentxxIngressOnlyWithDecisionCache(benchmark::State& state) {
   run_setup_bench(state, Flavour::kIdentxxIngressOnlyCached);
 }
 BENCHMARK(BM_IdentxxIngressOnlyWithDecisionCache)->Arg(4);
+
+void BM_IdentxxIngressOnlyWithLruCache(benchmark::State& state) {
+  run_setup_bench(state, Flavour::kIdentxxIngressOnlyLru);
+}
+BENCHMARK(BM_IdentxxIngressOnlyWithLruCache)->Arg(4);
 
 void BM_EthaneFlowSetup(benchmark::State& state) {
   run_setup_bench(state, Flavour::kEthane);
@@ -252,6 +270,47 @@ void BM_BlockedRetryNoDropEntries(benchmark::State& state) {
   run_blocked_retry_bench(state, false);
 }
 BENCHMARK(BM_BlockedRetryNoDropEntries);
+
+/// The DecisionEngine's batched entry point in isolation: decide_many over
+/// a packet-in storm where `dup_factor` contexts repeat each 5-tuple (the
+/// shape a shared query deadline produces).  The batch memo evaluates each
+/// distinct flow once, so time/op should scale with unique flows, not
+/// contexts.
+void BM_DecideManyBatch(benchmark::State& state) {
+  ctrl::PolicyDecisionEngine engine(pf::parse(
+      "block all\npass from any to any port 80\n"
+      "pass from any to any port 443\n",
+      "bench"));
+  const std::int64_t unique = state.range(0);
+  const std::int64_t dup_factor = state.range(1);
+  std::vector<ctrl::AdmissionContext> contexts;
+  contexts.reserve(static_cast<std::size_t>(unique * dup_factor));
+  for (std::int64_t i = 0; i < unique; ++i) {
+    ctrl::AdmissionContext ctx;
+    ctx.flow.src_ip = net::Ipv4Address{0x0a000001u + static_cast<std::uint32_t>(i)};
+    ctx.flow.dst_ip = net::Ipv4Address{0xc0a80101u};
+    ctx.flow.proto = net::IpProto::kTcp;
+    ctx.flow.src_port = static_cast<std::uint16_t>(20000 + i);
+    ctx.flow.dst_port = (i % 2) == 0 ? 80 : 23;
+    for (std::int64_t d = 0; d < dup_factor; ++d) contexts.push_back(ctx);
+  }
+  std::vector<const ctrl::AdmissionContext*> batch;
+  batch.reserve(contexts.size());
+  for (const auto& ctx : contexts) batch.push_back(&ctx);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide_many(batch));
+  }
+  state.counters["unique_flows"] = static_cast<double>(unique);
+  state.counters["batch_size"] = static_cast<double>(batch.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_DecideManyBatch)
+    ->Args({16, 1})
+    ->Args({16, 8})
+    ->Args({256, 1})
+    ->Args({256, 8});
 
 }  // namespace
 

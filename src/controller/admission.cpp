@@ -1,0 +1,454 @@
+#include "controller/admission.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace identxx::ctrl {
+
+// ---------------------------------------------------------------- planner
+
+QueryPlan EndpointQueryPlanner::plan(const net::FiveTuple& flow,
+                                     AdmissionEnv& env) {
+  // Figure 1 step 3: query both ends of the flow, each with the other
+  // endpoint spoofed as the query's source (§3.2).
+  QueryPlan plan;
+  plan.targets.push_back(QueryTarget{flow.src_ip, flow.dst_ip, true});
+  if (env.config().query_both_ends) {
+    plan.targets.push_back(QueryTarget{flow.dst_ip, flow.src_ip, false});
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------- collector
+
+ResponseCollector::BeginResult ResponseCollector::begin(
+    const net::FiveTuple& flow, const openflow::PacketIn& msg,
+    sim::SimTime now) {
+  const auto [it, inserted] = pending_.try_emplace(flow);
+  AdmissionContext& ctx = it->second;
+  ctx.buffered.push_back(msg);
+  if (inserted) {
+    ctx.flow = flow;
+    ctx.first_seen = now;
+  }
+  return BeginResult{&ctx, inserted};
+}
+
+AdmissionContext* ResponseCollector::find(const net::FiveTuple& flow) {
+  const auto it = pending_.find(flow);
+  return it == pending_.end() ? nullptr : &it->second;
+}
+
+AdmissionContext* ResponseCollector::accept_response(
+    net::Ipv4Address responder, net::Ipv4Address peer,
+    const proto::Response& response) {
+  // Responder was the flow source?
+  const net::FiveTuple as_src{responder, peer, response.proto,
+                              response.src_port, response.dst_port};
+  if (const auto it = pending_.find(as_src); it != pending_.end()) {
+    it->second.src_response = response;
+    return &it->second;
+  }
+  // Responder was the flow destination?
+  const net::FiveTuple as_dst{peer, responder, response.proto,
+                              response.src_port, response.dst_port};
+  if (const auto it = pending_.find(as_dst); it != pending_.end()) {
+    it->second.dst_response = response;
+    return &it->second;
+  }
+  return nullptr;
+}
+
+void ResponseCollector::set_proxy(net::Ipv4Address ip, proto::Section section) {
+  proxies_[ip] = std::move(section);
+}
+
+bool ResponseCollector::fill_proxy(AdmissionContext& ctx, bool source_side) {
+  std::optional<proto::Response>& slot =
+      source_side ? ctx.src_response : ctx.dst_response;
+  if (slot) return false;
+  const auto proxy =
+      proxies_.find(source_side ? ctx.flow.src_ip : ctx.flow.dst_ip);
+  if (proxy == proxies_.end()) return false;
+  proto::Response response;
+  response.proto = ctx.flow.proto;
+  response.src_port = ctx.flow.src_port;
+  response.dst_port = ctx.flow.dst_port;
+  response.append_section(proxy->second);
+  slot = std::move(response);
+  return true;
+}
+
+std::size_t ResponseCollector::fill_proxies_at_begin(AdmissionContext& ctx,
+                                                     bool query_both_ends) {
+  // Hosts we cannot query may have proxy answers configured (§4
+  // incremental benefit).
+  std::size_t filled = 0;
+  if (!ctx.awaiting_src && fill_proxy(ctx, true)) ++filled;
+  if (!ctx.awaiting_dst && query_both_ends && fill_proxy(ctx, false)) ++filled;
+  return filled;
+}
+
+std::size_t ResponseCollector::fill_proxies_at_decide(AdmissionContext& ctx) {
+  std::size_t filled = 0;
+  if (fill_proxy(ctx, true)) ++filled;
+  if (fill_proxy(ctx, false)) ++filled;
+  return filled;
+}
+
+void ResponseCollector::arm_deadline(AdmissionContext& ctx,
+                                     sim::SimTime deadline) {
+  ctx.deadline = deadline;
+  ctx.generation = ++generation_counter_;
+  deadlines_.push_back(Deadline{deadline, ctx.generation, ctx.flow});
+}
+
+std::vector<AdmissionContext*> ResponseCollector::expired(sim::SimTime now) {
+  std::vector<AdmissionContext*> out;
+  while (!deadlines_.empty() && deadlines_.front().at <= now) {
+    const Deadline deadline = deadlines_.front();
+    deadlines_.pop_front();
+    AdmissionContext* ctx = find(deadline.flow);
+    // The generation (globally unique per arm) skips flows decided in the
+    // meantime and re-created pending entries for the same 5-tuple — even
+    // ones re-armed at the very same timestamp, which a deadline-only
+    // check would hand out twice.
+    if (ctx == nullptr || ctx->generation != deadline.generation) continue;
+    out.push_back(ctx);
+  }
+  return out;
+}
+
+void ResponseCollector::erase(const net::FiveTuple& flow) {
+  pending_.erase(flow);
+}
+
+// ---------------------------------------------------------------- engines
+
+std::vector<AdmissionDecision> DecisionEngine::decide_many(
+    const std::vector<const AdmissionContext*>& batch) {
+  std::vector<AdmissionDecision> out;
+  out.reserve(batch.size());
+  for (const AdmissionContext* ctx : batch) out.push_back(decide(*ctx));
+  return out;
+}
+
+PolicyDecisionEngine::PolicyDecisionEngine(pf::Ruleset ruleset)
+    : PolicyDecisionEngine(std::move(ruleset),
+                           pf::FunctionRegistry::with_builtins()) {}
+
+PolicyDecisionEngine::PolicyDecisionEngine(pf::Ruleset ruleset,
+                                           pf::FunctionRegistry registry,
+                                           bool honor_keep_state)
+    : engine_(std::make_unique<pf::PolicyEngine>(std::move(ruleset),
+                                                 std::move(registry))),
+      honor_keep_state_(honor_keep_state) {}
+
+AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
+  pf::FlowContext flow_ctx;
+  flow_ctx.flow = ctx.flow;
+  if (ctx.src_response) flow_ctx.src = proto::ResponseDict(*ctx.src_response);
+  if (ctx.dst_response) flow_ctx.dst = proto::ResponseDict(*ctx.dst_response);
+  if (!ctx.buffered.empty()) {
+    flow_ctx.openflow =
+        ctx.buffered.front().packet.ten_tuple(ctx.buffered.front().in_port);
+  }
+
+  pf::Verdict verdict;
+  try {
+    verdict = engine_->evaluate(flow_ctx);
+  } catch (const PolicyError& e) {
+    // Administrator configuration error: fail closed.
+    IDXX_LOG(kError, "controller")
+        << "policy error, blocking flow: " << e.what();
+    verdict.action = pf::RuleAction::kBlock;
+    verdict.rule = nullptr;
+    verdict.keep_state = false;
+    verdict.log = false;
+  }
+
+  AdmissionDecision decision;
+  decision.allowed = verdict.allowed();
+  decision.keep_state = honor_keep_state_ && verdict.keep_state;
+  decision.logged = verdict.log;
+  decision.rule = verdict.rule ? pf::to_string(*verdict.rule) : "default";
+  return decision;
+}
+
+std::vector<AdmissionDecision> PolicyDecisionEngine::decide_many(
+    const std::vector<const AdmissionContext*>& batch) {
+  // Repeat packet-ins for the same undecided flow land in one batch when a
+  // shared deadline fires; evaluate each distinct 5-tuple once.
+  std::unordered_map<net::FiveTuple, std::size_t> memo;
+  std::vector<AdmissionDecision> out;
+  out.reserve(batch.size());
+  for (const AdmissionContext* ctx : batch) {
+    const auto [it, inserted] = memo.try_emplace(ctx->flow, out.size());
+    if (inserted) {
+      out.push_back(decide(*ctx));
+    } else {
+      out.push_back(out[it->second]);
+    }
+  }
+  return out;
+}
+
+bool AclDecisionEngine::evaluate_acl(const net::FiveTuple& flow) const {
+  for (const AclRule& rule : acl_) {
+    if (!rule.src.contains(flow.src_ip)) continue;
+    if (!rule.dst.contains(flow.dst_ip)) continue;
+    if (rule.proto && *rule.proto != flow.proto) continue;
+    if (flow.dst_port < rule.dst_port_low || flow.dst_port > rule.dst_port_high)
+      continue;
+    return rule.allow;
+  }
+  return default_allow_;
+}
+
+AdmissionDecision AclDecisionEngine::decide(const AdmissionContext& ctx) {
+  AdmissionDecision decision;
+  // Stateful: the reverse of an allowed flow is allowed.
+  if (allowed_flows_.contains(ctx.flow.reversed())) {
+    decision.allowed = true;
+    decision.rule = "state";
+    return decision;
+  }
+  decision.allowed = evaluate_acl(ctx.flow);
+  decision.rule = decision.allowed ? "acl pass" : "acl block";
+  if (decision.allowed) allowed_flows_.insert(ctx.flow);
+  return decision;
+}
+
+// ---------------------------------------------------------------- caches
+
+std::optional<AdmissionDecision> TtlDecisionCache::lookup(
+    const net::FiveTuple& flow, sim::SimTime now) {
+  const auto it = entries_.find(flow);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now >= it->second.expires) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.decision;
+}
+
+void TtlDecisionCache::store(const net::FiveTuple& flow,
+                             const AdmissionDecision& decision,
+                             sim::SimTime now) {
+  entries_[flow] = Entry{decision, now + ttl_};
+  ++stats_.insertions;
+}
+
+std::size_t TtlDecisionCache::invalidate_if(
+    const std::function<bool(const net::FiveTuple&)>& pred) {
+  const std::size_t removed = std::erase_if(
+      entries_, [&pred](const auto& entry) { return pred(entry.first); });
+  stats_.invalidations += removed;
+  return removed;
+}
+
+void TtlDecisionCache::clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+LruDecisionCache::LruDecisionCache(std::size_t capacity, sim::SimTime ttl)
+    : capacity_(capacity == 0 ? 1 : capacity), ttl_(ttl) {}
+
+std::optional<AdmissionDecision> LruDecisionCache::lookup(
+    const net::FiveTuple& flow, sim::SimTime now) {
+  const auto it = entries_.find(flow);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->expires > 0 && now >= it->second->expires) {
+    order_.erase(it->second);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  order_.splice(order_.begin(), order_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->decision;
+}
+
+void LruDecisionCache::store(const net::FiveTuple& flow,
+                             const AdmissionDecision& decision,
+                             sim::SimTime now) {
+  const sim::SimTime expires = ttl_ > 0 ? now + ttl_ : 0;
+  if (const auto it = entries_.find(flow); it != entries_.end()) {
+    it->second->decision = decision;
+    it->second->expires = expires;
+    order_.splice(order_.begin(), order_, it->second);
+    ++stats_.insertions;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(order_.back().flow);
+    order_.pop_back();
+    ++stats_.evictions;
+  }
+  order_.push_front(Entry{flow, decision, expires});
+  entries_[flow] = order_.begin();
+  ++stats_.insertions;
+}
+
+std::size_t LruDecisionCache::invalidate_if(
+    const std::function<bool(const net::FiveTuple&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = order_.begin(); it != order_.end();) {
+    if (pred(it->flow)) {
+      entries_.erase(it->flow);
+      it = order_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += removed;
+  return removed;
+}
+
+void LruDecisionCache::clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  order_.clear();
+}
+
+// ---------------------------------------------------------------- install
+
+std::size_t PathInstallStrategy::install_allow(AdmissionEnv& env,
+                                               const AdmissionContext& ctx) {
+  const HostInfo* src = env.find_host(ctx.flow.src_ip);
+  const HostInfo* dst = env.find_host(ctx.flow.dst_ip);
+  if (src == nullptr || dst == nullptr) return 0;
+  const auto hops = env.topology().path(src->node, dst->node);
+  if (!hops) return 0;
+
+  const ControllerConfig& config = env.config();
+
+  // Template 10-tuple: MACs from the buffered packet when available so the
+  // installed entries exactly match the flow's packets.
+  net::TenTuple tuple;
+  if (!ctx.buffered.empty()) {
+    tuple = ctx.buffered.front().packet.ten_tuple(0);
+  } else {
+    tuple.src_mac = src->mac;
+    tuple.dst_mac = net::MacAddress{0xffffffffffffULL};
+  }
+  tuple.src_ip = ctx.flow.src_ip;
+  tuple.dst_ip = ctx.flow.dst_ip;
+  tuple.proto = ctx.flow.proto;
+  tuple.src_port = ctx.flow.src_port;
+  tuple.dst_port = ctx.flow.dst_port;
+
+  const std::uint64_t cookie = env.allocate_cookie(ctx.flow);
+  std::size_t installed = 0;
+  bool first_domain_hop = true;
+  for (const openflow::Hop& hop : *hops) {
+    if (!env.domain().contains(hop.switch_id)) continue;
+    if (!config.install_full_path && !first_domain_hop) break;
+    tuple.in_port = hop.in_port;
+    openflow::FlowEntry entry;
+    entry.match = openflow::FlowMatch::exact(tuple);
+    if (hop.in_port == 0) {
+      entry.match.wildcards = openflow::Wildcard::kInPort;
+    }
+    entry.priority = config.flow_priority;
+    entry.action = openflow::OutputAction{{hop.out_port}};
+    entry.idle_timeout = config.flow_idle_timeout;
+    entry.hard_timeout = config.flow_hard_timeout;
+    entry.cookie = cookie;
+    env.topology().switch_at(hop.switch_id).install_flow(std::move(entry));
+    ++installed;
+    first_domain_hop = false;
+  }
+  return installed;
+}
+
+std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
+                                              const AdmissionContext& ctx) {
+  if (!env.config().install_drop_entries) return 0;
+  if (ctx.buffered.empty()) return 0;
+  const openflow::PacketIn& msg = ctx.buffered.front();
+  if (!env.domain().contains(msg.switch_id)) return 0;
+  openflow::FlowEntry entry;
+  entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
+  entry.priority = env.config().flow_priority;
+  entry.action = openflow::DropAction{};
+  entry.idle_timeout = env.config().flow_idle_timeout;
+  entry.hard_timeout = env.config().flow_hard_timeout;
+  entry.cookie = env.allocate_cookie(ctx.flow);
+  env.topology().switch_at(msg.switch_id).install_flow(std::move(entry));
+  return 1;
+}
+
+// ---------------------------------------------------------------- pipeline
+
+AdmissionPipeline& AdmissionPipeline::finish(const ControllerConfig& config) {
+  if (!planner) planner = std::make_unique<EndpointQueryPlanner>();
+  if (!collector) collector = std::make_unique<ResponseCollector>();
+  if (!installer) installer = std::make_unique<PathInstallStrategy>();
+  // Caching activates when either knob is set: a capacity alone means a
+  // pure LRU bound (entries never age out), a TTL alone an unbounded
+  // time-based cache.
+  if (!cache) {
+    if (config.decision_cache_capacity > 0) {
+      cache = std::make_unique<LruDecisionCache>(config.decision_cache_capacity,
+                                                 config.decision_cache_ttl);
+    } else if (config.decision_cache_ttl > 0) {
+      cache = std::make_unique<TtlDecisionCache>(config.decision_cache_ttl);
+    }
+  }
+  return *this;
+}
+
+// The factories only pick stages; defaulting the rest (and cache creation
+// from the config) happens in AdmissionController's constructor, which
+// calls finish() with the controller's actual config.
+
+AdmissionPipeline AdmissionPipeline::identxx(pf::Ruleset ruleset,
+                                             pf::FunctionRegistry registry) {
+  AdmissionPipeline pipeline;
+  pipeline.engine = std::make_unique<PolicyDecisionEngine>(std::move(ruleset),
+                                                           std::move(registry));
+  return pipeline;
+}
+
+AdmissionPipeline AdmissionPipeline::ethane(pf::Ruleset ruleset) {
+  AdmissionPipeline pipeline;
+  pipeline.planner = std::make_unique<NoQueryPlanner>();
+  // Seed-baseline parity: Ethane takes only pass/block from the verdict;
+  // `keep state` never installs reverse entries (the reverse direction
+  // re-decides on its own packet-in).
+  pipeline.engine = std::make_unique<PolicyDecisionEngine>(
+      std::move(ruleset), pf::FunctionRegistry::with_builtins(),
+      /*honor_keep_state=*/false);
+  return pipeline;
+}
+
+AdmissionPipeline AdmissionPipeline::vanilla(bool default_allow) {
+  AdmissionPipeline pipeline;
+  pipeline.planner = std::make_unique<NoQueryPlanner>();
+  pipeline.engine = std::make_unique<AclDecisionEngine>(default_allow);
+  return pipeline;
+}
+
+AdmissionPipeline AdmissionPipeline::distributed() {
+  AdmissionPipeline pipeline;
+  pipeline.planner = std::make_unique<NoQueryPlanner>();
+  pipeline.engine = std::make_unique<AllowAllDecisionEngine>();
+  return pipeline;
+}
+
+}  // namespace identxx::ctrl

@@ -1,0 +1,615 @@
+#pragma once
+
+// The AdmissionPipeline: flow admission decomposed into pluggable stages.
+//
+// The paper's core loop (Figure 1: packet-in -> query daemons -> collect
+// responses -> evaluate PF policy -> install path) used to live fused
+// inside one monolithic controller, with the baseline controllers
+// re-implementing the same adopt/register/install skeleton behind a
+// second, incompatible interface.  This header splits the loop into five
+// stage contracts (DESIGN.md, "AdmissionPipeline stage contract"):
+//
+//   QueryPlanner      — which endpoints to ask about a new flow, and with
+//                       which spoofed source address (§3.2); the src-only
+//                       ablation and the baselines' "ask nobody" live here.
+//   ResponseCollector — pending-flow state: buffered packet-ins, arrived
+//                       responses, proxy answers (§4 incremental benefit)
+//                       and decision deadlines.
+//   DecisionEngine    — renders the verdict.  PF+=2 evaluation for ident++
+//                       and Ethane (the latter simply has no responses to
+//                       look at), ACL first-match for the vanilla firewall,
+//                       allow-everything for the distributed firewall.  The
+//                       batched decide_many() entry point amortizes policy
+//                       evaluation across simultaneous packet-ins.
+//   DecisionCache     — optional TTL/LRU memo of verdicts so repeat
+//                       packet-ins skip the daemon round trip (§6 ablation).
+//   InstallStrategy   — turns a verdict into flow-table state: full-path vs
+//                       ingress-only entries, drop-entry placement.
+//
+// Cross-cutting observation goes through AdmissionObserver, which subsumes
+// the audit log, ControllerStats and DecisionRecord emission.  A pipeline
+// is just the bundle of stages; AdmissionController (see
+// admission_controller.hpp) drives it.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "identxx/dict.hpp"
+#include "identxx/wire.hpp"
+#include "openflow/switch.hpp"
+#include "openflow/topology.hpp"
+#include "pf/eval.hpp"
+
+namespace identxx::ctrl {
+
+/// Tuning knobs; defaults mirror the paper's implied design.  The ablation
+/// flags correspond to DESIGN.md §6.
+struct ControllerConfig {
+  std::string name = "controller";
+  /// How long to wait for daemon responses before deciding with whatever
+  /// information arrived.
+  sim::SimTime query_timeout = 50 * sim::kMillisecond;
+  /// Timeouts stamped on installed flow entries (0 = none).
+  sim::SimTime flow_idle_timeout = 60 * sim::kSecond;
+  sim::SimTime flow_hard_timeout = 0;
+  /// Install entries on every switch along the path (Figure 1 step 4)
+  /// versus only at the ingress switch (each later switch re-asks).
+  bool install_full_path = true;
+  /// Cache negative decisions as drop entries at the ingress switch.
+  bool install_drop_entries = true;
+  /// Query both ends (§2) or only the source.
+  bool query_both_ends = true;
+  /// Controller-level decision cache TTL.  When caching is active, repeat
+  /// packet-ins for an already-decided flow (e.g. from later switches when
+  /// install_full_path is off, or after an idle-timeout race) are answered
+  /// without re-querying the daemons.  Caching is enabled when this or
+  /// decision_cache_capacity is nonzero; ttl=0 with a capacity means
+  /// entries never age out (pure LRU bound).
+  sim::SimTime decision_cache_ttl = 0;
+  /// Bound on cached decisions (0 = unbounded).  With a bound the cache
+  /// evicts least-recently-used entries (LruDecisionCache).
+  std::size_t decision_cache_capacity = 0;
+  /// Priority for installed per-flow entries; ident++ intercept rules are
+  /// installed at kInterceptPriority and must stay on top.
+  std::uint16_t flow_priority = 100;
+  static constexpr std::uint16_t kInterceptPriority = 1000;
+};
+
+/// One line of the audit log ("log and audit the delegates' actions", §1).
+struct DecisionRecord {
+  sim::SimTime time = 0;
+  net::FiveTuple flow;
+  bool allowed = false;
+  bool timed_out = false;        ///< decided without both responses
+  bool logged = false;           ///< matched rule carried PF's `log` modifier
+  std::string rule;              ///< to_string of the matched rule, or "default"
+  std::string src_user;          ///< @src[userID] if provided
+  std::string src_app;           ///< @src[name] if provided
+  std::string dst_user;          ///< @dst[userID] if provided
+  sim::SimTime setup_latency = 0;  ///< first packet-in -> decision
+};
+
+struct ControllerStats {
+  std::uint64_t packet_ins = 0;
+  std::uint64_t flows_seen = 0;
+  std::uint64_t flows_allowed = 0;
+  std::uint64_t flows_blocked = 0;
+  std::uint64_t queries_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t query_timeouts = 0;
+  std::uint64_t entries_installed = 0;
+  std::uint64_t buffered_packets_released = 0;
+  std::uint64_t ident_transit_forwarded = 0;
+  std::uint64_t responses_augmented = 0;
+  std::uint64_t queries_proxied = 0;
+  std::uint64_t flows_expired = 0;
+  std::uint64_t flows_logged = 0;      ///< decisions from `log` rules
+  std::uint64_t decision_cache_hits = 0;
+};
+
+/// Where a registered host lives (IP -> node/attachment/MAC).
+struct HostInfo {
+  sim::NodeId node = sim::kInvalidNode;
+  net::MacAddress mac;
+};
+
+/// What a stage may see of the controller driving it.  Implemented by
+/// AdmissionController; narrow on purpose so stages stay composable and
+/// testable without a full controller behind them.
+class AdmissionEnv {
+ public:
+  virtual ~AdmissionEnv() = default;
+  [[nodiscard]] virtual openflow::Topology& topology() noexcept = 0;
+  [[nodiscard]] virtual const std::unordered_set<sim::NodeId>& domain()
+      const noexcept = 0;
+  [[nodiscard]] virtual const HostInfo* find_host(net::Ipv4Address ip) const = 0;
+  [[nodiscard]] virtual const ControllerConfig& config() const noexcept = 0;
+  [[nodiscard]] virtual sim::Simulator& simulator() noexcept = 0;
+  /// Allocate a flow-entry cookie and register it against `flow` for
+  /// usage accounting (flow_usage()) and expiry attribution.
+  virtual std::uint64_t allocate_cookie(const net::FiveTuple& flow) = 0;
+};
+
+/// Everything collected about one flow between its first packet-in and the
+/// decision (replaces the old controller-private PendingFlow).
+struct AdmissionContext {
+  net::FiveTuple flow;
+  std::vector<openflow::PacketIn> buffered;
+  std::optional<proto::Response> src_response;
+  std::optional<proto::Response> dst_response;
+  sim::SimTime first_seen = 0;
+  sim::SimTime deadline = 0;       ///< 0 = no deadline armed
+  std::uint64_t generation = 0;    ///< set by arm_deadline; guards sweeps
+  bool awaiting_src = false;
+  bool awaiting_dst = false;
+  /// Set (before the engine runs) when the decision fires at the query
+  /// deadline rather than on complete responses; engines may consult it.
+  bool timed_out = false;
+};
+
+/// A DecisionEngine's verdict, decoupled from pf::Verdict so non-PF
+/// engines (ACL, allow-all, test fakes) speak the same language.
+struct AdmissionDecision {
+  bool allowed = false;
+  bool keep_state = false;  ///< also admit the reverse direction
+  bool logged = false;      ///< matched rule carried the `log` modifier
+  std::string rule = "default";  ///< matched rule rendering, for the audit log
+};
+
+// ---------------------------------------------------------------------------
+// Stage 1: QueryPlanner
+// ---------------------------------------------------------------------------
+
+/// One daemon to ask about a flow.  `spoof_src` is stamped as the query
+/// packet's source address — §3.2: the flow's other endpoint, so the
+/// daemon resolves the right socket.
+struct QueryTarget {
+  net::Ipv4Address target;
+  net::Ipv4Address spoof_src;
+  bool is_source_side = false;  ///< answer fills @src (else @dst)
+};
+
+struct QueryPlan {
+  std::vector<QueryTarget> targets;  ///< empty = decide immediately
+};
+
+class QueryPlanner {
+ public:
+  virtual ~QueryPlanner() = default;
+  virtual QueryPlan plan(const net::FiveTuple& flow, AdmissionEnv& env) = 0;
+};
+
+/// ident++ planning: query the source, and the destination unless the
+/// src-only ablation (config.query_both_ends = false) is active.
+class EndpointQueryPlanner : public QueryPlanner {
+ public:
+  QueryPlan plan(const net::FiveTuple& flow, AdmissionEnv& env) override;
+};
+
+/// Baseline planning: ask nobody, decide from network primitives alone.
+class NoQueryPlanner : public QueryPlanner {
+ public:
+  QueryPlan plan(const net::FiveTuple&, AdmissionEnv&) override { return {}; }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 2: ResponseCollector
+// ---------------------------------------------------------------------------
+
+/// Pending-flow bookkeeping: one AdmissionContext per undecided flow,
+/// response matching, proxy answers and decision deadlines.  Contexts are
+/// stable in memory until erase().
+class ResponseCollector {
+ public:
+  virtual ~ResponseCollector() = default;
+
+  struct BeginResult {
+    AdmissionContext* context = nullptr;
+    bool inserted = false;  ///< false: decision already in flight
+  };
+
+  /// Start (or join) the pending entry for `flow`; `msg` is buffered either
+  /// way.
+  virtual BeginResult begin(const net::FiveTuple& flow,
+                            const openflow::PacketIn& msg, sim::SimTime now);
+
+  [[nodiscard]] AdmissionContext* find(const net::FiveTuple& flow);
+
+  /// Match an on-the-wire response to a pending flow: the responder may be
+  /// the flow's source or its destination.  Fills the matching slot and
+  /// returns the context, or nullptr when no pending flow matches (a
+  /// response transiting this domain).
+  virtual AdmissionContext* accept_response(net::Ipv4Address responder,
+                                            net::Ipv4Address peer,
+                                            const proto::Response& response);
+
+  /// Both sides answered (or were never asked)?
+  [[nodiscard]] static bool ready(const AdmissionContext& ctx) noexcept {
+    return (!ctx.awaiting_src || ctx.src_response) &&
+           (!ctx.awaiting_dst || ctx.dst_response);
+  }
+
+  // -- proxy answers (§4 incremental benefit) -------------------------------
+
+  /// Answer queries for `ip` on the host's behalf (host without a daemon).
+  void set_proxy(net::Ipv4Address ip, proto::Section section);
+
+  /// Fill sides that were never queried from configured proxy sections.
+  /// Called right after planning; the destination side is only proxied when
+  /// the deployment queries both ends.  Returns sections filled.
+  std::size_t fill_proxies_at_begin(AdmissionContext& ctx,
+                                    bool query_both_ends);
+
+  /// Late fill-in at decision time for any side that never answered
+  /// (queried-but-timed-out included).  Returns sections filled.
+  std::size_t fill_proxies_at_decide(AdmissionContext& ctx);
+
+  // -- deadlines ------------------------------------------------------------
+
+  /// Record `ctx`'s decision deadline.  Deadlines are armed in arrival
+  /// order with a constant timeout, so the internal queue stays sorted and
+  /// expiry pops are O(expired), not O(pending).
+  void arm_deadline(AdmissionContext& ctx, sim::SimTime deadline);
+
+  /// Pending contexts whose deadline has passed, oldest first.  Consumes
+  /// the matching queue entries.
+  [[nodiscard]] std::vector<AdmissionContext*> expired(sim::SimTime now);
+
+  virtual void erase(const net::FiveTuple& flow);
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  [[nodiscard]] bool fill_proxy(AdmissionContext& ctx, bool source_side);
+
+  struct Deadline {
+    sim::SimTime at = 0;
+    std::uint64_t generation = 0;
+    net::FiveTuple flow;
+  };
+
+  std::unordered_map<net::FiveTuple, AdmissionContext> pending_;
+  std::unordered_map<net::Ipv4Address, proto::Section> proxies_;
+  std::deque<Deadline> deadlines_;  ///< non-decreasing in `at`
+  std::uint64_t generation_counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stage 3: DecisionEngine
+// ---------------------------------------------------------------------------
+
+class DecisionEngine {
+ public:
+  virtual ~DecisionEngine() = default;
+
+  virtual AdmissionDecision decide(const AdmissionContext& ctx) = 0;
+
+  /// Batched decision entry point: contexts that became decidable at the
+  /// same instant (a packet-in storm hitting one query deadline) are
+  /// decided together so engines can amortize evaluation — duplicate flows
+  /// in one batch are evaluated once.  The default just loops decide().
+  virtual std::vector<AdmissionDecision> decide_many(
+      const std::vector<const AdmissionContext*>& batch);
+};
+
+/// PF+=2 evaluation (§3.3).  Drives both the ident++ controller and the
+/// Ethane baseline: Ethane simply never has responses, so @src/@dst stay
+/// empty and only network primitives plus the @flow extension match.
+/// Fails closed (block) on PolicyError — administrator configuration
+/// errors must not admit traffic.
+class PolicyDecisionEngine : public DecisionEngine {
+ public:
+  explicit PolicyDecisionEngine(pf::Ruleset ruleset);
+  /// `honor_keep_state = false` strips `keep state` from verdicts (the
+  /// Ethane baseline: reverse traffic re-decides on its own packet-in).
+  PolicyDecisionEngine(pf::Ruleset ruleset, pf::FunctionRegistry registry,
+                       bool honor_keep_state = true);
+
+  AdmissionDecision decide(const AdmissionContext& ctx) override;
+  /// Memoizes by 5-tuple within the batch.
+  std::vector<AdmissionDecision> decide_many(
+      const std::vector<const AdmissionContext*>& batch) override;
+
+  [[nodiscard]] const pf::PolicyEngine& policy_engine() const noexcept {
+    return *engine_;
+  }
+
+ private:
+  std::unique_ptr<pf::PolicyEngine> engine_;
+  bool honor_keep_state_ = true;
+};
+
+/// Classic firewall rule: first-match ACL over network primitives.
+struct AclRule {
+  net::Cidr src{net::Ipv4Address{}, 0};  // 0.0.0.0/0 = any
+  net::Cidr dst{net::Ipv4Address{}, 0};
+  std::optional<net::IpProto> proto;
+  std::uint16_t dst_port_low = 0;  // 0..65535 = any
+  std::uint16_t dst_port_high = 65535;
+  bool allow = false;
+};
+
+/// Stateful 5-tuple packet filter: ordered first-match ACL, with the
+/// reverse direction of an allowed flow admitted from the state table.
+class AclDecisionEngine : public DecisionEngine {
+ public:
+  explicit AclDecisionEngine(bool default_allow) : default_allow_(default_allow) {}
+
+  void add_rule(AclRule rule) { acl_.push_back(rule); }
+
+  /// First matching rule decides; `default_allow` otherwise.
+  [[nodiscard]] bool evaluate_acl(const net::FiveTuple& flow) const;
+
+  AdmissionDecision decide(const AdmissionContext& ctx) override;
+
+ private:
+  std::vector<AclRule> acl_;
+  bool default_allow_;
+  std::unordered_set<net::FiveTuple> allowed_flows_;  // state table
+};
+
+/// Distributed firewall [9]: the network forwards everything; enforcement
+/// happens in the end-hosts' ingress filters.
+class AllowAllDecisionEngine : public DecisionEngine {
+ public:
+  AdmissionDecision decide(const AdmissionContext&) override {
+    return AdmissionDecision{true, false, false, "pass (end-host enforced)"};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 3b: DecisionCache
+// ---------------------------------------------------------------------------
+
+class DecisionCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t expirations = 0;   ///< entries dropped because TTL passed
+    std::uint64_t evictions = 0;     ///< entries dropped for capacity
+    std::uint64_t invalidations = 0; ///< entries dropped by invalidate_if/clear
+  };
+
+  virtual ~DecisionCache() = default;
+
+  virtual std::optional<AdmissionDecision> lookup(const net::FiveTuple& flow,
+                                                  sim::SimTime now) = 0;
+  virtual void store(const net::FiveTuple& flow,
+                     const AdmissionDecision& decision, sim::SimTime now) = 0;
+
+  /// Drop cached decisions whose flow matches `pred`; returns entries
+  /// dropped.  Revocation MUST call this: a revoked flow silently
+  /// re-admitted from cache would defeat revoke_if entirely.
+  virtual std::size_t invalidate_if(
+      const std::function<bool(const net::FiveTuple&)>& pred) = 0;
+
+  virtual void clear() = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+/// Unbounded TTL cache: every entry expires `ttl` after insertion.
+class TtlDecisionCache : public DecisionCache {
+ public:
+  explicit TtlDecisionCache(sim::SimTime ttl) : ttl_(ttl) {}
+
+  std::optional<AdmissionDecision> lookup(const net::FiveTuple& flow,
+                                          sim::SimTime now) override;
+  void store(const net::FiveTuple& flow, const AdmissionDecision& decision,
+             sim::SimTime now) override;
+  std::size_t invalidate_if(
+      const std::function<bool(const net::FiveTuple&)>& pred) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    AdmissionDecision decision;
+    sim::SimTime expires = 0;
+  };
+  sim::SimTime ttl_;
+  std::unordered_map<net::FiveTuple, Entry> entries_;
+};
+
+/// Capacity-bounded LRU cache with optional TTL (0 = entries never age
+/// out, only eviction bounds them).  Lookup refreshes recency.
+class LruDecisionCache : public DecisionCache {
+ public:
+  LruDecisionCache(std::size_t capacity, sim::SimTime ttl);
+
+  std::optional<AdmissionDecision> lookup(const net::FiveTuple& flow,
+                                          sim::SimTime now) override;
+  void store(const net::FiveTuple& flow, const AdmissionDecision& decision,
+             sim::SimTime now) override;
+  std::size_t invalidate_if(
+      const std::function<bool(const net::FiveTuple&)>& pred) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    net::FiveTuple flow;
+    AdmissionDecision decision;
+    sim::SimTime expires = 0;  ///< 0 = no TTL
+  };
+  using Order = std::list<Entry>;
+
+  std::size_t capacity_;
+  sim::SimTime ttl_;
+  Order order_;  ///< front = most recently used
+  std::unordered_map<net::FiveTuple, Order::iterator> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Stage 4: InstallStrategy
+// ---------------------------------------------------------------------------
+
+class InstallStrategy {
+ public:
+  virtual ~InstallStrategy() = default;
+
+  /// Install entries admitting `ctx.flow`; returns entries installed.
+  virtual std::size_t install_allow(AdmissionEnv& env,
+                                    const AdmissionContext& ctx) = 0;
+
+  /// Install entries discarding `ctx.flow`; returns entries installed.
+  virtual std::size_t install_drop(AdmissionEnv& env,
+                                   const AdmissionContext& ctx) = 0;
+};
+
+/// Figure 1 step 4 placement: exact-match entries along the flow's path —
+/// every domain switch, or only the first (ingress-only ablation); drop
+/// entries at the ingress switch when config.install_drop_entries is set.
+class PathInstallStrategy : public InstallStrategy {
+ public:
+  std::size_t install_allow(AdmissionEnv& env,
+                            const AdmissionContext& ctx) override;
+  std::size_t install_drop(AdmissionEnv& env,
+                           const AdmissionContext& ctx) override;
+};
+
+// ---------------------------------------------------------------------------
+// Observation
+// ---------------------------------------------------------------------------
+
+/// Cross-cutting hook into every pipeline event.  Subsumes the audit log,
+/// ControllerStats and DecisionRecord emission; attach additional
+/// observers for tracing, metrics export, anomaly detection.
+class AdmissionObserver {
+ public:
+  virtual ~AdmissionObserver() = default;
+
+  virtual void on_packet_in(const openflow::PacketIn&) {}
+  virtual void on_flow_seen(const net::FiveTuple&) {}
+  virtual void on_query_sent(const net::FiveTuple&, net::Ipv4Address) {}
+  virtual void on_response_received(net::Ipv4Address /*responder*/) {}
+  virtual void on_query_timeout(const net::FiveTuple&) {}
+  virtual void on_query_proxied(const net::FiveTuple&) {}
+  virtual void on_cache_hit(const net::FiveTuple&, const AdmissionDecision&) {}
+  virtual void on_decision(const DecisionRecord&, const AdmissionDecision&) {}
+  virtual void on_entries_installed(std::size_t /*count*/) {}
+  virtual void on_packets_released(std::size_t /*count*/) {}
+  virtual void on_flow_expired(std::uint64_t /*cookie*/) {}
+  virtual void on_transit_forwarded(const net::FiveTuple&) {}
+  virtual void on_response_augmented(const net::FiveTuple&) {}
+};
+
+/// Populates ControllerStats from pipeline events.
+class StatsObserver : public AdmissionObserver {
+ public:
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+
+  void on_packet_in(const openflow::PacketIn&) override { ++stats_.packet_ins; }
+  void on_flow_seen(const net::FiveTuple&) override { ++stats_.flows_seen; }
+  void on_query_sent(const net::FiveTuple&, net::Ipv4Address) override {
+    ++stats_.queries_sent;
+  }
+  void on_response_received(net::Ipv4Address) override {
+    ++stats_.responses_received;
+  }
+  void on_query_timeout(const net::FiveTuple&) override {
+    ++stats_.query_timeouts;
+  }
+  void on_query_proxied(const net::FiveTuple&) override {
+    ++stats_.queries_proxied;
+  }
+  void on_cache_hit(const net::FiveTuple&, const AdmissionDecision&) override {
+    ++stats_.decision_cache_hits;
+  }
+  void on_decision(const DecisionRecord& record,
+                   const AdmissionDecision&) override {
+    if (record.allowed) {
+      ++stats_.flows_allowed;
+    } else {
+      ++stats_.flows_blocked;
+    }
+    if (record.logged) ++stats_.flows_logged;
+  }
+  void on_entries_installed(std::size_t count) override {
+    stats_.entries_installed += count;
+  }
+  void on_packets_released(std::size_t count) override {
+    stats_.buffered_packets_released += count;
+  }
+  void on_flow_expired(std::uint64_t) override { ++stats_.flows_expired; }
+  void on_transit_forwarded(const net::FiveTuple&) override {
+    ++stats_.ident_transit_forwarded;
+  }
+  void on_response_augmented(const net::FiveTuple&) override {
+    ++stats_.responses_augmented;
+  }
+
+ private:
+  ControllerStats stats_;
+};
+
+/// Appends a DecisionRecord per decision ("log and audit", §1).
+class AuditLogObserver : public AdmissionObserver {
+ public:
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void on_decision(const DecisionRecord& record,
+                   const AdmissionDecision&) override {
+    records_.push_back(record);
+  }
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+// ---------------------------------------------------------------------------
+// The pipeline
+// ---------------------------------------------------------------------------
+
+/// A bundle of admission stages.  The named factories below are the three
+/// baselines and ident++ expressed as configurations of the same API; any
+/// stage can be swapped afterwards (or built from scratch) for new
+/// controller flavours.
+struct AdmissionPipeline {
+  std::unique_ptr<QueryPlanner> planner;
+  std::unique_ptr<ResponseCollector> collector;
+  std::unique_ptr<DecisionEngine> engine;
+  std::unique_ptr<DecisionCache> cache;  ///< nullptr = no decision caching
+  std::unique_ptr<InstallStrategy> installer;
+
+  /// Fill any unset stage with its default (EndpointQueryPlanner,
+  /// ResponseCollector, PathInstallStrategy; engine stays required).
+  AdmissionPipeline& finish(const ControllerConfig& config);
+
+  /// The paper's controller: query endpoints, evaluate PF+=2, install the
+  /// path.  (Cache creation happens in finish(), from the controller's
+  /// config.)
+  static AdmissionPipeline identxx(pf::Ruleset ruleset,
+                                   pf::FunctionRegistry registry);
+  /// Ethane-style [5]: PF+=2 with no end-host information.
+  static AdmissionPipeline ethane(pf::Ruleset ruleset);
+  /// Classic stateful 5-tuple packet filter.
+  static AdmissionPipeline vanilla(bool default_allow);
+  /// Distributed firewall [9]: network admits all, hosts enforce.
+  static AdmissionPipeline distributed();
+};
+
+}  // namespace identxx::ctrl

@@ -1,0 +1,365 @@
+#include "controller/admission_controller.hpp"
+
+#include <algorithm>
+
+#include "identxx/keys.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace identxx::ctrl {
+
+namespace {
+
+[[nodiscard]] std::string dict_summary(const proto::ResponseDict& dict,
+                                       const char* key) {
+  const auto value = dict.latest(key);
+  return value ? std::string(*value) : std::string();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(openflow::Topology* topology,
+                                         AdmissionPipeline pipeline,
+                                         ControllerConfig config)
+    : topology_(topology),
+      pipeline_(std::move(pipeline)),
+      config_(std::move(config)) {
+  pipeline_.finish(config_);
+  if (!pipeline_.engine) {
+    throw Error("AdmissionController: pipeline needs a DecisionEngine");
+  }
+  auto stats = std::make_unique<StatsObserver>();
+  stats_observer_ = stats.get();
+  observers_.push_back(std::move(stats));
+  auto audit = std::make_unique<AuditLogObserver>();
+  audit_observer_ = audit.get();
+  observers_.push_back(std::move(audit));
+}
+
+void AdmissionController::adopt_switch(sim::NodeId switch_id,
+                                       sim::SimTime control_latency) {
+  openflow::Switch& sw = topology_->switch_at(switch_id);
+  sw.set_controller(this, control_latency);
+  domain_.insert(switch_id);
+  on_switch_adopted(sw);
+}
+
+void AdmissionController::register_host(net::Ipv4Address ip, sim::NodeId node,
+                                        net::MacAddress mac) {
+  hosts_[ip] = HostInfo{node, mac};
+}
+
+const HostInfo* AdmissionController::find_host(net::Ipv4Address ip) const {
+  const auto it = hosts_.find(ip);
+  return it == hosts_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t AdmissionController::allocate_cookie(const net::FiveTuple& flow) {
+  const std::uint64_t cookie = next_cookie_++;
+  installed_flows_[cookie] = flow;
+  return cookie;
+}
+
+void AdmissionController::add_observer(
+    std::unique_ptr<AdmissionObserver> observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void AdmissionController::replace_engine(
+    std::unique_ptr<DecisionEngine> engine) {
+  if (!engine) throw Error("replace_engine: null DecisionEngine");
+  pipeline_.engine = std::move(engine);
+  // Stale verdicts must not outlive the policy that produced them.
+  if (pipeline_.cache) pipeline_.cache->clear();
+}
+
+std::size_t AdmissionController::revoke_all() {
+  std::size_t removed = 0;
+  for (const sim::NodeId id : domain_) {
+    removed += topology_->switch_at(id).table().remove_if(
+        [this](const openflow::FlowEntry& entry) {
+          return entry.priority == config_.flow_priority && entry.cookie != 0;
+        });
+  }
+  if (pipeline_.cache) pipeline_.cache->clear();
+  return removed;
+}
+
+std::size_t AdmissionController::revoke_if(
+    const std::function<bool(const net::FiveTuple&)>& pred) {
+  std::size_t removed = 0;
+  for (const sim::NodeId id : domain_) {
+    removed += topology_->switch_at(id).table().remove_if(
+        [this, &pred](const openflow::FlowEntry& entry) {
+          if (entry.priority != config_.flow_priority || entry.cookie == 0) {
+            return false;
+          }
+          net::TenTuple tuple;
+          tuple.src_ip = entry.match.src_ip;
+          tuple.dst_ip = entry.match.dst_ip;
+          tuple.proto = entry.match.proto;
+          tuple.src_port = entry.match.src_port;
+          tuple.dst_port = entry.match.dst_port;
+          return pred(tuple.five_tuple());
+        });
+  }
+  // The cache would otherwise silently re-admit a revoked flow until its
+  // TTL passed — revocation invalidates matching cached decisions too.
+  // Cached keep_state decisions install the reverse direction as well, so
+  // an entry dies when the predicate matches either direction.
+  if (pipeline_.cache) {
+    pipeline_.cache->invalidate_if([&pred](const net::FiveTuple& flow) {
+      return pred(flow) || pred(flow.reversed());
+    });
+  }
+  return removed;
+}
+
+void AdmissionController::on_flow_removed(const openflow::FlowRemovedMsg& msg) {
+  if (msg.entry.cookie != 0) {
+    notify([&](AdmissionObserver& o) { o.on_flow_expired(msg.entry.cookie); });
+  }
+}
+
+void AdmissionController::on_packet_in(const openflow::PacketIn& msg) {
+  notify([&](AdmissionObserver& o) { o.on_packet_in(msg); });
+  const net::FiveTuple flow = msg.packet.five_tuple();
+
+  if (compromised_) {
+    // §5.1: an attacker with the controller disables all protection —
+    // everything is allowed and cached as pass entries.
+    openflow::FlowEntry entry;
+    entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
+    entry.priority = config_.flow_priority;
+    entry.action = openflow::FloodAction{};
+    entry.cookie = allocate_cookie(flow);
+    topology_->switch_at(msg.switch_id).install_flow(entry);
+    topology_->switch_at(msg.switch_id)
+        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
+    return;
+  }
+
+  if (handle_special_packet(msg, flow)) return;
+  handle_new_flow(msg, flow);
+}
+
+void AdmissionController::replay_cached(const openflow::PacketIn& msg,
+                                        const net::FiveTuple& flow,
+                                        const AdmissionDecision& cached) {
+  notify([&](AdmissionObserver& o) { o.on_cache_hit(flow, cached); });
+  AdmissionContext replay;
+  replay.flow = flow;
+  replay.buffered.push_back(msg);
+  apply_decision(replay, cached);
+}
+
+void AdmissionController::apply_decision(AdmissionContext& ctx,
+                                         const AdmissionDecision& decision) {
+  if (decision.allowed) {
+    const std::size_t installed =
+        pipeline_.installer->install_allow(*this, ctx);
+    notify([&](AdmissionObserver& o) { o.on_entries_installed(installed); });
+    if (decision.keep_state) {
+      // keep state also admits the reverse direction of the flow.
+      AdmissionContext reverse;
+      reverse.flow = ctx.flow.reversed();
+      const std::size_t rev =
+          pipeline_.installer->install_allow(*this, reverse);
+      notify([&](AdmissionObserver& o) { o.on_entries_installed(rev); });
+    }
+    release_buffered(ctx, true);
+  } else {
+    const std::size_t installed =
+        pipeline_.installer->install_drop(*this, ctx);
+    notify([&](AdmissionObserver& o) { o.on_entries_installed(installed); });
+    release_buffered(ctx, false);
+  }
+}
+
+void AdmissionController::handle_new_flow(const openflow::PacketIn& msg,
+                                          const net::FiveTuple& flow) {
+  // Decision cache (config ablation): serve repeat packet-ins without
+  // another daemon round trip.
+  if (pipeline_.cache) {
+    if (const auto cached = pipeline_.cache->lookup(flow, simulator().now())) {
+      replay_cached(msg, flow, *cached);
+      return;
+    }
+  }
+
+  const auto [ctx, inserted] =
+      pipeline_.collector->begin(flow, msg, simulator().now());
+  if (!inserted) {
+    return;  // decision already in flight; packet waits
+  }
+  notify([&](AdmissionObserver& o) { o.on_flow_seen(flow); });
+
+  // Stage 1: which daemons to ask (Figure 1 step 3).
+  const QueryPlan plan = pipeline_.planner->plan(flow, *this);
+  for (const QueryTarget& target : plan.targets) {
+    if (!send_query(flow, target)) continue;
+    (target.is_source_side ? ctx->awaiting_src : ctx->awaiting_dst) = true;
+    notify([&](AdmissionObserver& o) { o.on_query_sent(flow, target.target); });
+  }
+
+  // Stage 2: proxy answers for sides we could not query (§4).
+  const std::size_t proxied = pipeline_.collector->fill_proxies_at_begin(
+      *ctx, config_.query_both_ends);
+  for (std::size_t i = 0; i < proxied; ++i) {
+    notify([&](AdmissionObserver& o) { o.on_query_proxied(flow); });
+  }
+
+  if (ResponseCollector::ready(*ctx)) {
+    decide_one(*ctx, false);
+    return;
+  }
+
+  // Arm the decision deadline; expiry is swept in batches so simultaneous
+  // packet-in storms share one decide_many() evaluation.  One sweep per
+  // deadline tick: flows armed at the same instant share a callback.
+  const sim::SimTime deadline = simulator().now() + config_.query_timeout;
+  pipeline_.collector->arm_deadline(*ctx, deadline);
+  if (deadline != last_scheduled_sweep_) {
+    last_scheduled_sweep_ = deadline;
+    simulator().schedule_after(config_.query_timeout,
+                               [this]() { sweep_expired(); });
+  }
+}
+
+void AdmissionController::sweep_expired() {
+  const std::vector<AdmissionContext*> expired =
+      pipeline_.collector->expired(simulator().now());
+  if (expired.empty()) return;  // everything already decided
+
+  std::vector<const AdmissionContext*> batch;
+  batch.reserve(expired.size());
+  for (AdmissionContext* ctx : expired) {
+    notify([&](AdmissionObserver& o) { o.on_query_timeout(ctx->flow); });
+    const std::size_t proxied =
+        pipeline_.collector->fill_proxies_at_decide(*ctx);
+    for (std::size_t i = 0; i < proxied; ++i) {
+      notify([&](AdmissionObserver& o) { o.on_query_proxied(ctx->flow); });
+    }
+    ctx->timed_out = true;
+    batch.push_back(ctx);
+  }
+
+  // Stage 3, batched: one decide_many over every flow that hit this
+  // deadline tick.
+  const std::vector<AdmissionDecision> decisions =
+      pipeline_.engine->decide_many(batch);
+  for (std::size_t i = 0; i < expired.size(); ++i) {
+    finalize(*expired[i], decisions[i]);
+  }
+}
+
+void AdmissionController::maybe_decide(AdmissionContext& ctx) {
+  if (ResponseCollector::ready(ctx)) decide_one(ctx, false);
+}
+
+void AdmissionController::decide_one(AdmissionContext& ctx, bool timed_out) {
+  // Late proxy fill-in for sides that never answered.
+  const std::size_t proxied = pipeline_.collector->fill_proxies_at_decide(ctx);
+  for (std::size_t i = 0; i < proxied; ++i) {
+    notify([&](AdmissionObserver& o) { o.on_query_proxied(ctx.flow); });
+  }
+  ctx.timed_out = timed_out;
+  const AdmissionDecision decision = pipeline_.engine->decide(ctx);
+  finalize(ctx, decision);
+}
+
+void AdmissionController::finalize(AdmissionContext& ctx,
+                                   const AdmissionDecision& decision) {
+  DecisionRecord record;
+  record.time = simulator().now();
+  record.flow = ctx.flow;
+  record.allowed = decision.allowed;
+  record.timed_out = ctx.timed_out;
+  record.logged = decision.logged;
+  record.rule = decision.rule;
+  if (ctx.src_response) {
+    const proto::ResponseDict src(*ctx.src_response);
+    record.src_user = dict_summary(src, proto::keys::kUserId);
+    record.src_app = dict_summary(src, proto::keys::kName);
+  }
+  if (ctx.dst_response) {
+    const proto::ResponseDict dst(*ctx.dst_response);
+    record.dst_user = dict_summary(dst, proto::keys::kUserId);
+  }
+  record.setup_latency = simulator().now() - ctx.first_seen;
+  if (decision.logged) {
+    IDXX_LOG(kInfo, "controller")
+        << config_.name << ": log rule matched: " << ctx.flow.to_string()
+        << " -> " << (decision.allowed ? "pass" : "block");
+  }
+  notify([&](AdmissionObserver& o) { o.on_decision(record, decision); });
+
+  if (pipeline_.cache) {
+    pipeline_.cache->store(ctx.flow, decision, simulator().now());
+  }
+
+  // Stage 4: turn the verdict into flow-table state.
+  apply_decision(ctx, decision);
+  // Copy the key before erasing: `ctx` aliases into the collector's map.
+  const net::FiveTuple key = ctx.flow;
+  pipeline_.collector->erase(key);
+}
+
+void AdmissionController::release_buffered(AdmissionContext& ctx,
+                                           bool allowed) {
+  if (!allowed) {
+    ctx.buffered.clear();
+    return;
+  }
+  const HostInfo* src = find_host(ctx.flow.src_ip);
+  const HostInfo* dst = find_host(ctx.flow.dst_ip);
+  std::optional<std::vector<openflow::Hop>> hops;
+  if (src != nullptr && dst != nullptr) {
+    hops = topology_->path(src->node, dst->node);
+  }
+  std::size_t released = 0;
+  for (const openflow::PacketIn& msg : ctx.buffered) {
+    bool sent = false;
+    if (hops) {
+      for (const openflow::Hop& hop : *hops) {
+        if (hop.switch_id == msg.switch_id) {
+          topology_->switch_at(msg.switch_id)
+              .packet_out(msg.packet, openflow::OutputAction{{hop.out_port}},
+                          msg.in_port);
+          sent = true;
+          break;
+        }
+      }
+    }
+    if (!sent) {
+      // Off-path or unknown: fall back to flooding from that switch.
+      topology_->switch_at(msg.switch_id)
+          .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
+    }
+    ++released;
+  }
+  ctx.buffered.clear();
+  notify([&](AdmissionObserver& o) { o.on_packets_released(released); });
+}
+
+std::vector<AdmissionController::FlowUsage> AdmissionController::flow_usage()
+    const {
+  std::unordered_map<std::uint64_t, FlowUsage> by_cookie;
+  for (const sim::NodeId id : domain_) {
+    for (const openflow::FlowEntry& entry :
+         topology_->switch_at(id).table().entries()) {
+      const auto it = installed_flows_.find(entry.cookie);
+      if (it == installed_flows_.end()) continue;
+      FlowUsage& usage = by_cookie[entry.cookie];
+      usage.flow = it->second;
+      usage.packets = std::max(usage.packets, entry.packet_count);
+      usage.bytes = std::max(usage.bytes, entry.byte_count);
+    }
+  }
+  std::vector<FlowUsage> out;
+  out.reserve(by_cookie.size());
+  for (auto& [cookie, usage] : by_cookie) out.push_back(usage);
+  return out;
+}
+
+}  // namespace identxx::ctrl

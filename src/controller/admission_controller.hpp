@@ -1,0 +1,197 @@
+#pragma once
+
+// AdmissionController: the one flow-admission skeleton.
+//
+// Drives an AdmissionPipeline (admission.hpp) from the OpenFlow control
+// channel: packet-in -> decision cache -> query plan -> collect responses
+// (with deadline) -> DecisionEngine -> InstallStrategy -> release buffered
+// packets, with every step mirrored to the attached AdmissionObservers.
+//
+// The ident++ controller and all three baseline controllers are this class
+// with different pipelines (and, for ident++, the §2/§3.4 wire-level
+// interception layered on top in IdentxxController).  The old duplicated
+// adopt/register/install skeleton in baselines.cpp is gone.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "controller/admission.hpp"
+
+namespace identxx::ctrl {
+
+class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
+ public:
+  /// `topology` must outlive the controller.  `pipeline.engine` is
+  /// required; unset stages are defaulted via AdmissionPipeline::finish.
+  AdmissionController(openflow::Topology* topology, AdmissionPipeline pipeline,
+                      ControllerConfig config = {});
+  ~AdmissionController() override = default;
+
+  // ---- domain wiring -------------------------------------------------------
+
+  /// Take ownership of a switch's control channel: sets this controller on
+  /// it, then lets the subclass install boot rules (on_switch_adopted).
+  void adopt_switch(sim::NodeId switch_id,
+                    sim::SimTime control_latency = 100 * sim::kMicrosecond);
+
+  /// Teach the controller where a host lives (IP -> node/attachment/MAC).
+  void register_host(net::Ipv4Address ip, sim::NodeId node,
+                     net::MacAddress mac);
+
+  // ---- management ----------------------------------------------------------
+
+  /// Swap the decision engine (hot policy reload).  Does not flush
+  /// installed entries — call revoke_all() for that — but does clear the
+  /// decision cache: stale verdicts must not outlive the policy that
+  /// produced them.
+  void replace_engine(std::unique_ptr<DecisionEngine> engine);
+
+  /// Remove every flow entry this controller installed (revocation, §1).
+  /// Boot rules (e.g. ident++ intercepts) stay.  Also invalidates the
+  /// whole decision cache.  Returns entries removed.
+  std::size_t revoke_all();
+
+  /// Remove installed entries whose flow matches `pred`, and invalidate
+  /// matching cached decisions — a revoked flow must not be silently
+  /// re-admitted from cache.
+  std::size_t revoke_if(const std::function<bool(const net::FiveTuple&)>& pred);
+
+  /// §5.1: a compromised controller disables all protection.
+  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+
+  /// Attach an additional observer (tracing, metrics, tests).
+  void add_observer(std::unique_ptr<AdmissionObserver> observer);
+
+  // ---- accounting ----------------------------------------------------------
+
+  /// Datapath usage of a flow this controller admitted, read back from the
+  /// switches' flow tables (OpenFlow counters) — accounting/audit support.
+  struct FlowUsage {
+    net::FiveTuple flow;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Aggregate per-flow counters across the domain's switches.  Entries
+  /// installed on several switches along a path count each packet once
+  /// (the maximum over switches is reported).
+  [[nodiscard]] std::vector<FlowUsage> flow_usage() const;
+
+  // ---- ControlPlane --------------------------------------------------------
+
+  void on_packet_in(const openflow::PacketIn& msg) override;
+  void on_flow_removed(const openflow::FlowRemovedMsg& msg) override;
+
+  // ---- observation ---------------------------------------------------------
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_observer_->stats();
+  }
+  [[nodiscard]] const std::vector<DecisionRecord>& audit_log() const noexcept {
+    return audit_observer_->records();
+  }
+
+  // ---- pipeline access (tests, tuning) -------------------------------------
+
+  [[nodiscard]] QueryPlanner& planner() noexcept { return *pipeline_.planner; }
+  [[nodiscard]] ResponseCollector& collector() noexcept {
+    return *pipeline_.collector;
+  }
+  [[nodiscard]] DecisionEngine& decision_engine() noexcept {
+    return *pipeline_.engine;
+  }
+  [[nodiscard]] const DecisionEngine& decision_engine() const noexcept {
+    return *pipeline_.engine;
+  }
+  [[nodiscard]] DecisionCache* decision_cache() noexcept {
+    return pipeline_.cache.get();
+  }
+  [[nodiscard]] InstallStrategy& installer() noexcept {
+    return *pipeline_.installer;
+  }
+
+  // ---- AdmissionEnv --------------------------------------------------------
+
+  [[nodiscard]] openflow::Topology& topology() noexcept override {
+    return *topology_;
+  }
+  [[nodiscard]] const std::unordered_set<sim::NodeId>& domain()
+      const noexcept override {
+    return domain_;
+  }
+  [[nodiscard]] const HostInfo* find_host(net::Ipv4Address ip) const override;
+  [[nodiscard]] const ControllerConfig& config() const noexcept override {
+    return config_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept override {
+    return topology_->simulator();
+  }
+  std::uint64_t allocate_cookie(const net::FiveTuple& flow) override;
+
+ protected:
+  /// Install boot rules on a freshly adopted switch (ident++ intercepts).
+  virtual void on_switch_adopted(openflow::Switch& sw) { (void)sw; }
+
+  /// First shot at a packet-in (after the compromised check).  Return true
+  /// when fully handled — ident++ claims its TCP-783 control traffic here.
+  virtual bool handle_special_packet(const openflow::PacketIn& msg,
+                                     const net::FiveTuple& flow) {
+    (void)msg;
+    (void)flow;
+    return false;
+  }
+
+  /// Deliver one planned query; returns false when the target cannot be
+  /// reached (unknown host, no daemon transport).  Baselines never plan
+  /// queries, so the default never fires.
+  virtual bool send_query(const net::FiveTuple& flow,
+                          const QueryTarget& target) {
+    (void)flow;
+    (void)target;
+    return false;
+  }
+
+  /// Admission for an ordinary (non-special) packet-in.
+  void handle_new_flow(const openflow::PacketIn& msg,
+                       const net::FiveTuple& flow);
+
+  /// Decide `ctx` now if both sides are ready.
+  void maybe_decide(AdmissionContext& ctx);
+
+  /// Run the decision stages for `ctx` and retire it.
+  void decide_one(AdmissionContext& ctx, bool timed_out);
+
+  template <typename Fn>
+  void notify(Fn&& fn) {
+    for (const auto& observer : observers_) fn(*observer);
+  }
+
+ private:
+  void replay_cached(const openflow::PacketIn& msg, const net::FiveTuple& flow,
+                     const AdmissionDecision& cached);
+  /// Batch-decide every pending flow whose deadline has passed.
+  void sweep_expired();
+  void finalize(AdmissionContext& ctx, const AdmissionDecision& decision);
+  /// Turn a verdict into flow-table state and release/drop the buffered
+  /// packets — shared by fresh decisions (finalize) and cache replays.
+  void apply_decision(AdmissionContext& ctx, const AdmissionDecision& decision);
+  void release_buffered(AdmissionContext& ctx, bool allowed);
+
+  openflow::Topology* topology_;
+  AdmissionPipeline pipeline_;
+  ControllerConfig config_;
+  std::unordered_set<sim::NodeId> domain_;
+  std::unordered_map<net::Ipv4Address, HostInfo> hosts_;
+  std::unordered_map<std::uint64_t, net::FiveTuple> installed_flows_;
+  std::vector<std::unique_ptr<AdmissionObserver>> observers_;
+  StatsObserver* stats_observer_ = nullptr;   // owned via observers_
+  AuditLogObserver* audit_observer_ = nullptr;  // owned via observers_
+  std::uint64_t next_cookie_ = 1;
+  sim::SimTime last_scheduled_sweep_ = -1;  ///< dedupes per-tick sweeps
+  bool compromised_ = false;
+};
+
+}  // namespace identxx::ctrl

@@ -1,109 +1,70 @@
 #include "controller/baselines.hpp"
 
+#include "util/error.hpp"
+
 namespace identxx::ctrl {
 
-void BaselineController::adopt_switch(sim::NodeId switch_id,
-                                      sim::SimTime control_latency) {
-  topology_->switch_at(switch_id).set_controller(this, control_latency);
-  domain_.insert(switch_id);
+namespace {
+
+[[nodiscard]] ControllerConfig baseline_config(const char* name) {
+  ControllerConfig config;
+  config.name = name;
+  return config;
 }
 
-void BaselineController::register_host(net::Ipv4Address ip, sim::NodeId node,
-                                       net::MacAddress mac) {
-  hosts_[ip] = HostInfo{node, mac};
+}  // namespace
+
+// ---------------------------------------------------------------- vanilla
+
+VanillaFirewall::VanillaFirewall(openflow::Topology* topology,
+                                 bool default_allow)
+    : AdmissionController(topology, AdmissionPipeline::vanilla(default_allow),
+                          baseline_config("vanilla")) {}
+
+const AclDecisionEngine& VanillaFirewall::acl_engine() const {
+  const auto* acl = dynamic_cast<const AclDecisionEngine*>(&decision_engine());
+  if (acl == nullptr) {
+    throw Error("VanillaFirewall: decision engine is not an "
+                "AclDecisionEngine (replaced via replace_engine?)");
+  }
+  return *acl;
 }
 
-void BaselineController::on_packet_in(const openflow::PacketIn& msg) {
-  ++stats_.packet_ins;
-  ++stats_.flows_seen;
-  const net::FiveTuple flow = msg.packet.five_tuple();
-  const net::TenTuple tuple = msg.packet.ten_tuple(msg.in_port);
-  if (decide_flow(flow, tuple)) {
-    ++stats_.flows_allowed;
-    install_and_release(msg, flow);
-  } else {
-    ++stats_.flows_blocked;
-    install_drop(msg);
-  }
+AclDecisionEngine& VanillaFirewall::acl_engine() {
+  return const_cast<AclDecisionEngine&>(
+      static_cast<const VanillaFirewall*>(this)->acl_engine());
 }
 
-void BaselineController::install_and_release(const openflow::PacketIn& msg,
-                                             const net::FiveTuple& flow) {
-  const auto src_it = hosts_.find(flow.src_ip);
-  const auto dst_it = hosts_.find(flow.dst_ip);
-  std::optional<std::vector<openflow::Hop>> hops;
-  if (src_it != hosts_.end() && dst_it != hosts_.end()) {
-    hops = topology_->path(src_it->second.node, dst_it->second.node);
-  }
-  if (!hops) {
-    topology_->switch_at(msg.switch_id)
-        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
-    return;
-  }
-  net::TenTuple tuple = msg.packet.ten_tuple(0);
-  const std::uint64_t cookie = next_cookie_++;
-  sim::PortId release_port = 0;
-  for (const openflow::Hop& hop : *hops) {
-    if (hop.switch_id == msg.switch_id) release_port = hop.out_port;
-    if (!domain_.contains(hop.switch_id)) continue;
-    tuple.in_port = hop.in_port;
-    openflow::FlowEntry entry;
-    entry.match = openflow::FlowMatch::exact(tuple);
-    if (hop.in_port == 0) entry.match.wildcards = openflow::Wildcard::kInPort;
-    entry.priority = 100;
-    entry.action = openflow::OutputAction{{hop.out_port}};
-    entry.idle_timeout = flow_idle_timeout_;
-    entry.cookie = cookie;
-    topology_->switch_at(hop.switch_id).install_flow(std::move(entry));
-    ++stats_.entries_installed;
-  }
-  if (release_port != 0) {
-    topology_->switch_at(msg.switch_id)
-        .packet_out(msg.packet, openflow::OutputAction{{release_port}},
-                    msg.in_port);
-  } else {
-    topology_->switch_at(msg.switch_id)
-        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
-  }
-}
-
-void BaselineController::install_drop(const openflow::PacketIn& msg) {
-  if (!domain_.contains(msg.switch_id)) return;
-  openflow::FlowEntry entry;
-  entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
-  entry.priority = 100;
-  entry.action = openflow::DropAction{};
-  entry.idle_timeout = flow_idle_timeout_;
-  entry.cookie = next_cookie_++;
-  topology_->switch_at(msg.switch_id).install_flow(std::move(entry));
-  ++stats_.entries_installed;
-}
-
-// ---------------------------------------------------------------- Vanilla
+void VanillaFirewall::add_rule(AclRule rule) { acl_engine().add_rule(rule); }
 
 bool VanillaFirewall::evaluate_acl(const net::FiveTuple& flow) const {
-  for (const AclRule& rule : acl_) {
-    if (!rule.src.contains(flow.src_ip)) continue;
-    if (!rule.dst.contains(flow.dst_ip)) continue;
-    if (rule.proto && *rule.proto != flow.proto) continue;
-    if (flow.dst_port < rule.dst_port_low || flow.dst_port > rule.dst_port_high)
-      continue;
-    return rule.allow;
+  return acl_engine().evaluate_acl(flow);
+}
+
+// ---------------------------------------------------------------- ethane
+
+EthaneController::EthaneController(openflow::Topology* topology,
+                                   pf::Ruleset ruleset)
+    : AdmissionController(topology,
+                          AdmissionPipeline::ethane(std::move(ruleset)),
+                          baseline_config("ethane")) {}
+
+const pf::PolicyEngine& EthaneController::engine() const {
+  const auto* policy =
+      dynamic_cast<const PolicyDecisionEngine*>(&decision_engine());
+  if (policy == nullptr) {
+    throw Error("EthaneController::engine(): decision engine is not a "
+                "PolicyDecisionEngine (replaced via replace_engine?)");
   }
-  return default_allow_;
+  return policy->policy_engine();
 }
 
-bool VanillaFirewall::decide_flow(const net::FiveTuple& flow,
-                                  const net::TenTuple& tuple) {
-  (void)tuple;
-  // Stateful: the reverse of an allowed flow is allowed.
-  if (allowed_flows_.contains(flow.reversed())) return true;
-  const bool allow = evaluate_acl(flow);
-  if (allow) allowed_flows_.insert(flow);
-  return allow;
-}
+// ---------------------------------------------------------------- distributed
 
-// ---------------------------------------------------------------- Ethane
+DistributedFirewallController::DistributedFirewallController(
+    openflow::Topology* topology)
+    : AdmissionController(topology, AdmissionPipeline::distributed(),
+                          baseline_config("distributed")) {}
 
 // ---------------------------------------------------------------- learning
 
@@ -140,20 +101,6 @@ void LearningSwitchController::on_packet_in(const openflow::PacketIn& msg) {
   ++stats_.entries_installed;
   sw.packet_out(msg.packet, openflow::OutputAction{{dst_it->second}},
                 msg.in_port);
-}
-
-// ---------------------------------------------------------------- ethane
-
-bool EthaneController::decide_flow(const net::FiveTuple& flow,
-                                   const net::TenTuple& tuple) {
-  pf::FlowContext ctx;
-  ctx.flow = flow;
-  ctx.openflow = tuple;  // @src/@dst stay empty: no end-host information
-  try {
-    return engine_.evaluate(ctx).allowed();
-  } catch (const PolicyError&) {
-    return false;  // fail closed on admin configuration errors
-  }
 }
 
 }  // namespace identxx::ctrl

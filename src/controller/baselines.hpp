@@ -15,134 +15,61 @@
 //    (host::Host::set_ingress_filter).  Packets reach the victim before
 //    being discarded — the DoS weakness §6 points out.
 //
-// All three share the decide-immediately skeleton in BaselineController:
-// no daemon queries, so a packet-in resolves to install+release or drop in
-// one control-channel round trip.
+// All three are AdmissionPipeline configurations of the shared
+// AdmissionController skeleton: a NoQueryPlanner (no daemon round trips,
+// so a packet-in resolves to install+release or drop in one control-
+// channel round trip) composed with their flavour's DecisionEngine.
 
-#include <functional>
-#include <optional>
 #include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
-#include "openflow/switch.hpp"
-#include "openflow/topology.hpp"
-#include "pf/eval.hpp"
+#include "controller/admission_controller.hpp"
 
 namespace identxx::ctrl {
 
-struct BaselineStats {
-  std::uint64_t packet_ins = 0;
-  std::uint64_t flows_seen = 0;
-  std::uint64_t flows_allowed = 0;
-  std::uint64_t flows_blocked = 0;
-  std::uint64_t entries_installed = 0;
-};
-
-class BaselineController : public openflow::ControlPlane {
- public:
-  explicit BaselineController(openflow::Topology* topology)
-      : topology_(topology) {}
-
-  void adopt_switch(sim::NodeId switch_id,
-                    sim::SimTime control_latency = 100 * sim::kMicrosecond);
-  void register_host(net::Ipv4Address ip, sim::NodeId node,
-                     net::MacAddress mac);
-
-  void on_packet_in(const openflow::PacketIn& msg) override;
-
-  [[nodiscard]] const BaselineStats& stats() const noexcept { return stats_; }
-
- protected:
-  /// The per-flavour decision: allow this flow?
-  [[nodiscard]] virtual bool decide_flow(const net::FiveTuple& flow,
-                                         const net::TenTuple& tuple) = 0;
-
-  /// Install exact-match entries along the flow's path and emit the packet.
-  void install_and_release(const openflow::PacketIn& msg,
-                           const net::FiveTuple& flow);
-  void install_drop(const openflow::PacketIn& msg);
-
-  openflow::Topology* topology_;
-  std::unordered_set<sim::NodeId> domain_;
-  struct HostInfo {
-    sim::NodeId node = sim::kInvalidNode;
-    net::MacAddress mac;
-  };
-  std::unordered_map<net::Ipv4Address, HostInfo> hosts_;
-  BaselineStats stats_;
-  std::uint64_t next_cookie_ = 1;
-  sim::SimTime flow_idle_timeout_ = 60 * sim::kSecond;
-};
-
 /// Classic firewall: ordered first-match ACL over the 5-tuple, stateful
 /// (reverse direction of an allowed flow is allowed).
-class VanillaFirewall : public BaselineController {
+class VanillaFirewall : public AdmissionController {
  public:
-  struct AclRule {
-    net::Cidr src{net::Ipv4Address{}, 0};   // 0.0.0.0/0 = any
-    net::Cidr dst{net::Ipv4Address{}, 0};
-    std::optional<net::IpProto> proto;
-    std::uint16_t dst_port_low = 0;          // 0..65535 = any
-    std::uint16_t dst_port_high = 65535;
-    bool allow = false;
-  };
+  using AclRule = ctrl::AclRule;
 
   explicit VanillaFirewall(openflow::Topology* topology,
-                           bool default_allow = false)
-      : BaselineController(topology), default_allow_(default_allow) {}
+                           bool default_allow = false);
 
-  void add_rule(AclRule rule) { acl_.push_back(rule); }
+  /// Throws when the decision engine was replaced with a non-ACL engine.
+  void add_rule(AclRule rule);
 
-  /// First matching rule decides; `default_allow` otherwise.
+  /// First matching rule decides; `default_allow` otherwise.  Throws when
+  /// the decision engine was replaced with a non-ACL engine.
   [[nodiscard]] bool evaluate_acl(const net::FiveTuple& flow) const;
 
- protected:
-  [[nodiscard]] bool decide_flow(const net::FiveTuple& flow,
-                                 const net::TenTuple& tuple) override;
-
  private:
-  std::vector<AclRule> acl_;
-  bool default_allow_;
-  std::unordered_set<net::FiveTuple> allowed_flows_;  // state table
+  /// Resolved per call (never cached): replace_engine may swap the engine.
+  [[nodiscard]] AclDecisionEngine& acl_engine();
+  [[nodiscard]] const AclDecisionEngine& acl_engine() const;
 };
 
 /// Ethane-style controller: full PF+=2 policy but no ident++ information —
 /// @src/@dst stay empty, so any `with` predicate over them fails.
-class EthaneController : public BaselineController {
+class EthaneController : public AdmissionController {
  public:
-  EthaneController(openflow::Topology* topology, pf::Ruleset ruleset)
-      : BaselineController(topology), engine_(std::move(ruleset)) {}
+  EthaneController(openflow::Topology* topology, pf::Ruleset ruleset);
 
-  [[nodiscard]] const pf::PolicyEngine& engine() const noexcept {
-    return engine_;
-  }
-
- protected:
-  [[nodiscard]] bool decide_flow(const net::FiveTuple& flow,
-                                 const net::TenTuple& tuple) override;
-
- private:
-  pf::PolicyEngine engine_;
+  /// Throws when the decision engine was replaced with a non-PF engine.
+  [[nodiscard]] const pf::PolicyEngine& engine() const;
 };
 
 /// Distributed firewall: the network passes everything; end-hosts enforce.
-class DistributedFirewallController : public BaselineController {
+class DistributedFirewallController : public AdmissionController {
  public:
-  using BaselineController::BaselineController;
-
- protected:
-  [[nodiscard]] bool decide_flow(const net::FiveTuple&,
-                                 const net::TenTuple&) override {
-    return true;  // enforcement is at the receiving host
-  }
+  explicit DistributedFirewallController(openflow::Topology* topology);
 };
 
 /// The canonical NOX demo application: a MAC-learning switch controller.
 /// No security policy at all — it learns (switch, MAC) -> port bindings
 /// from packet-ins, floods unknown destinations, and installs destination-
 /// MAC forwarding entries once learned.  Serves as the "no enforcement"
-/// reference point for the security comparisons.
+/// reference point for the security comparisons.  (Not an admission
+/// controller: it never decides anything, so it stays a raw ControlPlane.)
 class LearningSwitchController : public openflow::ControlPlane {
  public:
   explicit LearningSwitchController(openflow::Topology* topology)

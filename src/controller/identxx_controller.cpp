@@ -1,7 +1,5 @@
 #include "controller/identxx_controller.hpp"
 
-#include <algorithm>
-
 #include "identxx/keys.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -23,12 +21,6 @@ const std::vector<std::string> kDefaultQueryKeys = {
     proto::keys::kOsPatch,
 };
 
-[[nodiscard]] std::string dict_summary(const proto::ResponseDict& dict,
-                                       const char* key) {
-  const auto value = dict.latest(key);
-  return value ? std::string(*value) : std::string();
-}
-
 }  // namespace
 
 IdentxxController::IdentxxController(openflow::Topology* topology,
@@ -42,20 +34,28 @@ IdentxxController::IdentxxController(openflow::Topology* topology,
                                      pf::Ruleset ruleset,
                                      pf::FunctionRegistry registry,
                                      ControllerConfig config)
-    : topology_(topology),
-      engine_(std::make_unique<pf::PolicyEngine>(std::move(ruleset),
-                                                 std::move(registry))),
-      config_(std::move(config)) {}
+    : AdmissionController(
+          topology,
+          AdmissionPipeline::identxx(std::move(ruleset), std::move(registry)),
+          std::move(config)) {}
 
-void IdentxxController::adopt_switch(sim::NodeId switch_id,
-                                     sim::SimTime control_latency) {
-  openflow::Switch& sw = topology_->switch_at(switch_id);
-  sw.set_controller(this, control_latency);
-  domain_.insert(switch_id);
-  install_intercept_rules(sw);
+void IdentxxController::set_policy(pf::Ruleset ruleset) {
+  replace_engine(std::make_unique<PolicyDecisionEngine>(std::move(ruleset)));
 }
 
-void IdentxxController::install_intercept_rules(openflow::Switch& sw) {
+const pf::PolicyEngine& IdentxxController::engine() const {
+  // The identxx pipeline carries a PolicyDecisionEngine unless a caller
+  // swapped in something else via replace_engine.
+  const auto* policy =
+      dynamic_cast<const PolicyDecisionEngine*>(&decision_engine());
+  if (policy == nullptr) {
+    throw Error("IdentxxController::engine(): decision engine is not a "
+                "PolicyDecisionEngine (replaced via replace_engine?)");
+  }
+  return policy->policy_engine();
+}
+
+void IdentxxController::on_switch_adopted(openflow::Switch& sw) {
   using openflow::Wildcard;
   // Punt ident++ traffic (TCP 783, either direction) so this controller can
   // consume responses to its own queries and intercept transiting ones.
@@ -78,181 +78,18 @@ void IdentxxController::install_intercept_rules(openflow::Switch& sw) {
   sw.install_flow(from_daemon);
 }
 
-void IdentxxController::register_host(net::Ipv4Address ip, sim::NodeId node,
-                                      net::MacAddress mac) {
-  hosts_[ip] = HostInfo{node, mac};
-}
-
-void IdentxxController::set_proxy_response(net::Ipv4Address ip,
-                                           proto::Section section) {
-  proxy_responses_[ip] = std::move(section);
-}
-
-void IdentxxController::set_policy(pf::Ruleset ruleset) {
-  engine_ = std::make_unique<pf::PolicyEngine>(std::move(ruleset),
-                                               pf::FunctionRegistry::with_builtins());
-}
-
-std::size_t IdentxxController::revoke_all() {
-  std::size_t removed = 0;
-  for (const sim::NodeId id : domain_) {
-    removed += topology_->switch_at(id).table().remove_if(
-        [this](const openflow::FlowEntry& entry) {
-          return entry.priority == config_.flow_priority && entry.cookie != 0;
-        });
-  }
-  return removed;
-}
-
-std::size_t IdentxxController::revoke_if(
-    const std::function<bool(const net::FiveTuple&)>& pred) {
-  std::size_t removed = 0;
-  for (const sim::NodeId id : domain_) {
-    removed += topology_->switch_at(id).table().remove_if(
-        [this, &pred](const openflow::FlowEntry& entry) {
-          if (entry.priority != config_.flow_priority || entry.cookie == 0) {
-            return false;
-          }
-          net::TenTuple tuple;
-          tuple.src_ip = entry.match.src_ip;
-          tuple.dst_ip = entry.match.dst_ip;
-          tuple.proto = entry.match.proto;
-          tuple.src_port = entry.match.src_port;
-          tuple.dst_port = entry.match.dst_port;
-          return pred(tuple.five_tuple());
-        });
-  }
-  return removed;
-}
-
-void IdentxxController::on_flow_removed(const openflow::FlowRemovedMsg& msg) {
-  if (msg.entry.cookie != 0) ++stats_.flows_expired;
-}
-
-void IdentxxController::on_packet_in(const openflow::PacketIn& msg) {
-  ++stats_.packet_ins;
-  const net::FiveTuple flow = msg.packet.five_tuple();
-
-  if (compromised_) {
-    // §5.1: an attacker with the controller disables all protection —
-    // everything is allowed and cached as pass entries.
-    openflow::FlowEntry entry;
-    entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
-    entry.priority = config_.flow_priority;
-    entry.action = openflow::FloodAction{};
-    entry.cookie = next_cookie_++;
-    topology_->switch_at(msg.switch_id).install_flow(entry);
-    topology_->switch_at(msg.switch_id)
-        .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
-    return;
-  }
-
-  if (proto::is_ident_traffic(flow)) {
-    handle_ident_packet(msg, flow);
-    return;
-  }
-  handle_new_flow(msg, flow);
-}
-
-void IdentxxController::handle_new_flow(const openflow::PacketIn& msg,
-                                        const net::FiveTuple& flow) {
-  // Controller-level decision cache (config ablation): serve repeat
-  // packet-ins without another daemon round trip.
-  if (config_.decision_cache_ttl > 0) {
-    const auto cached = decision_cache_.find(flow);
-    if (cached != decision_cache_.end()) {
-      if (simulator().now() >= cached->second.expires) {
-        decision_cache_.erase(cached);
-      } else {
-        ++stats_.decision_cache_hits;
-        PendingFlow replay;
-        replay.flow = flow;
-        replay.buffered.push_back(msg);
-        if (cached->second.allowed) {
-          install_allow_path(replay);
-          if (cached->second.keep_state) {
-            PendingFlow reverse;
-            reverse.flow = flow.reversed();
-            install_allow_path(reverse);
-          }
-          release_buffered(replay, true);
-        } else {
-          if (config_.install_drop_entries) install_drop(replay);
-        }
-        return;
-      }
-    }
-  }
-
-  const auto [it, inserted] = pending_.try_emplace(flow);
-  PendingFlow& pending = it->second;
-  pending.buffered.push_back(msg);
-  if (!inserted) {
-    return;  // decision already in flight; packet waits
-  }
-  ++stats_.flows_seen;
-  pending.flow = flow;
-  pending.first_seen = simulator().now();
-  pending.generation = ++generation_counter_;
-
-  // Figure 1 step 3: query both ends of the flow.
-  pending.awaiting_src = send_query(flow, flow.src_ip, flow.dst_ip);
-  if (config_.query_both_ends) {
-    pending.awaiting_dst = send_query(flow, flow.dst_ip, flow.src_ip);
-  }
-
-  // Hosts we cannot query may have proxy answers configured (§4
-  // incremental benefit).
-  if (!pending.awaiting_src) {
-    if (const auto proxy = proxy_responses_.find(flow.src_ip);
-        proxy != proxy_responses_.end()) {
-      proto::Response response;
-      response.proto = flow.proto;
-      response.src_port = flow.src_port;
-      response.dst_port = flow.dst_port;
-      response.append_section(proxy->second);
-      pending.src_response = std::move(response);
-      ++stats_.queries_proxied;
-    }
-  }
-  if (!pending.awaiting_dst && config_.query_both_ends) {
-    if (const auto proxy = proxy_responses_.find(flow.dst_ip);
-        proxy != proxy_responses_.end()) {
-      proto::Response response;
-      response.proto = flow.proto;
-      response.src_port = flow.src_port;
-      response.dst_port = flow.dst_port;
-      response.append_section(proxy->second);
-      pending.dst_response = std::move(response);
-      ++stats_.queries_proxied;
-    }
-  }
-
-  if (!pending.awaiting_src && !pending.awaiting_dst) {
-    decide(pending, false);
-    return;
-  }
-
-  // Arm the decision deadline.
-  const std::uint64_t generation = pending.generation;
-  const net::FiveTuple key = flow;
-  simulator().schedule_after(config_.query_timeout, [this, key, generation]() {
-    const auto pending_it = pending_.find(key);
-    if (pending_it == pending_.end() ||
-        pending_it->second.generation != generation) {
-      return;  // already decided
-    }
-    ++stats_.query_timeouts;
-    decide(pending_it->second, true);
-  });
+bool IdentxxController::handle_special_packet(const openflow::PacketIn& msg,
+                                              const net::FiveTuple& flow) {
+  if (!proto::is_ident_traffic(flow)) return false;
+  handle_ident_packet(msg, flow);
+  return true;
 }
 
 bool IdentxxController::send_query(const net::FiveTuple& flow,
-                                   net::Ipv4Address target_ip,
-                                   net::Ipv4Address spoof_src_ip) {
-  const auto host_it = hosts_.find(target_ip);
-  if (host_it == hosts_.end()) return false;
-  const auto attachment = topology_->attachment(host_it->second.node);
+                                   const QueryTarget& target) {
+  const HostInfo* host = find_host(target.target);
+  if (host == nullptr) return false;
+  const auto attachment = topology().attachment(host->node);
   if (!attachment) return false;
 
   proto::Query query;
@@ -263,15 +100,15 @@ bool IdentxxController::send_query(const net::FiveTuple& flow,
 
   // §3.2: the query's source IP is the flow's other endpoint.
   net::Packet packet = net::make_tcp_packet(
-      kControllerMac, host_it->second.mac, spoof_src_ip, target_ip,
+      kControllerMac, host->mac, target.spoof_src, target.target,
       next_query_port_++, proto::kIdentPort, query.serialize(),
       net::TcpFlags::kPsh | net::TcpFlags::kAck);
   if (next_query_port_ < 20000) next_query_port_ = 20000;  // wrap
 
   // Inject directly out of the host-facing port.
-  topology_->switch_at(attachment->switch_id)
+  topology()
+      .switch_at(attachment->switch_id)
       .packet_out(packet, openflow::OutputAction{{attachment->out_port}}, 0);
-  ++stats_.queries_sent;
   return true;
 }
 
@@ -285,7 +122,7 @@ void IdentxxController::handle_ident_packet(const openflow::PacketIn& msg,
   try {
     response = proto::Response::parse(msg.packet.payload_text());
   } catch (const ParseError& e) {
-    IDXX_LOG(kWarn, "controller") << config_.name
+    IDXX_LOG(kWarn, "controller") << config().name
                                   << ": malformed ident++ response dropped: "
                                   << e.what();
     return;
@@ -311,7 +148,9 @@ void IdentxxController::handle_transit_query(const openflow::PacketIn& msg) {
           kControllerMac, msg.packet.eth.src, target_ip, msg.packet.ip.src,
           proto::kIdentPort, msg.packet.src_port(), response->serialize(),
           net::TcpFlags::kPsh | net::TcpFlags::kAck);
-      ++stats_.queries_proxied;
+      notify([&](AdmissionObserver& o) {
+        o.on_query_proxied(msg.packet.five_tuple());
+      });
       openflow::PacketIn synthetic{msg.switch_id, std::move(reply), msg.in_port};
       forward_one_hop(synthetic, msg.packet.ip.src);
       return;
@@ -322,34 +161,24 @@ void IdentxxController::handle_transit_query(const openflow::PacketIn& msg) {
 
 void IdentxxController::handle_ident_response(const openflow::PacketIn& msg,
                                               const proto::Response& response) {
-  ++stats_.responses_received;
   const net::Ipv4Address responder = msg.packet.ip.src;
   const net::Ipv4Address peer = msg.packet.ip.dst;
+  notify([&](AdmissionObserver& o) { o.on_response_received(responder); });
 
-  // Responder was the flow source?
-  const net::FiveTuple as_src{responder, peer, response.proto,
-                              response.src_port, response.dst_port};
-  if (const auto it = pending_.find(as_src); it != pending_.end()) {
-    it->second.src_response = response;
-    maybe_decide(it->second);
-    return;
-  }
-  // Responder was the flow destination?
-  const net::FiveTuple as_dst{peer, responder, response.proto,
-                              response.src_port, response.dst_port};
-  if (const auto it = pending_.find(as_dst); it != pending_.end()) {
-    it->second.dst_response = response;
-    maybe_decide(it->second);
+  if (AdmissionContext* ctx =
+          collector().accept_response(responder, peer, response)) {
+    maybe_decide(*ctx);
     return;
   }
 
   // Not ours: a response transiting our domain on its way to another
   // firewall.  Optionally augment it (network collaboration, §4), then
   // forward it one hop toward its destination.
+  const net::FiveTuple as_src{responder, peer, response.proto,
+                              response.src_port, response.dst_port};
   openflow::PacketIn forwarded = msg;
   if (augmenter_) {
-    const std::string key =
-        as_src.to_string() + "|" + responder.to_string();
+    const std::string key = as_src.to_string() + "|" + responder.to_string();
     const sim::SimTime now = simulator().now();
     const auto it = augmented_.find(key);
     const bool recently_augmented =
@@ -360,7 +189,7 @@ void IdentxxController::handle_ident_response(const openflow::PacketIn& msg,
         augmented.append_section(std::move(*section));
         forwarded.packet.set_payload_text(augmented.serialize());
         augmented_[key] = now;
-        ++stats_.responses_augmented;
+        notify([&](AdmissionObserver& o) { o.on_response_augmented(as_src); });
         // Bound the cache: drop entries outside the window occasionally.
         if (augmented_.size() > 8192) {
           std::erase_if(augmented_, [now](const auto& entry) {
@@ -370,230 +199,22 @@ void IdentxxController::handle_ident_response(const openflow::PacketIn& msg,
       }
     }
   }
-  ++stats_.ident_transit_forwarded;
+  notify([&](AdmissionObserver& o) { o.on_transit_forwarded(as_src); });
   forward_one_hop(forwarded, peer);
 }
 
 void IdentxxController::forward_one_hop(const openflow::PacketIn& msg,
                                         net::Ipv4Address toward_ip) {
-  const auto host_it = hosts_.find(toward_ip);
-  if (host_it == hosts_.end()) return;
-  const auto hops = topology_->path(msg.switch_id, host_it->second.node);
+  const HostInfo* host = find_host(toward_ip);
+  if (host == nullptr) return;
+  const auto hops = topology().path(msg.switch_id, host->node);
   if (!hops || hops->empty()) return;
   const openflow::Hop& first = hops->front();
   if (first.switch_id != msg.switch_id) return;
-  topology_->switch_at(msg.switch_id)
+  topology()
+      .switch_at(msg.switch_id)
       .packet_out(msg.packet, openflow::OutputAction{{first.out_port}},
                   msg.in_port);
-}
-
-void IdentxxController::maybe_decide(PendingFlow& pending) {
-  const bool src_ready = !pending.awaiting_src || pending.src_response;
-  const bool dst_ready = !pending.awaiting_dst || pending.dst_response;
-  if (src_ready && dst_ready) decide(pending, false);
-}
-
-void IdentxxController::decide(PendingFlow& pending, bool timed_out) {
-  // Late proxy fill-in for sides that never answered.
-  const auto fill_proxy = [this, &pending](std::optional<proto::Response>& slot,
-                                           net::Ipv4Address ip) {
-    if (slot) return;
-    const auto proxy = proxy_responses_.find(ip);
-    if (proxy == proxy_responses_.end()) return;
-    proto::Response response;
-    response.proto = pending.flow.proto;
-    response.src_port = pending.flow.src_port;
-    response.dst_port = pending.flow.dst_port;
-    response.append_section(proxy->second);
-    slot = std::move(response);
-    ++stats_.queries_proxied;
-  };
-  fill_proxy(pending.src_response, pending.flow.src_ip);
-  fill_proxy(pending.dst_response, pending.flow.dst_ip);
-
-  pf::FlowContext ctx;
-  ctx.flow = pending.flow;
-  if (pending.src_response) ctx.src = proto::ResponseDict(*pending.src_response);
-  if (pending.dst_response) ctx.dst = proto::ResponseDict(*pending.dst_response);
-  if (!pending.buffered.empty()) {
-    ctx.openflow = pending.buffered.front().packet.ten_tuple(
-        pending.buffered.front().in_port);
-  }
-
-  pf::Verdict verdict;
-  try {
-    verdict = engine_->evaluate(ctx);
-  } catch (const PolicyError& e) {
-    // Administrator configuration error: fail closed.
-    IDXX_LOG(kError, "controller") << config_.name << ": policy error, "
-                                   << "blocking flow: " << e.what();
-    verdict.action = pf::RuleAction::kBlock;
-  }
-
-  DecisionRecord record;
-  record.time = simulator().now();
-  record.flow = pending.flow;
-  record.allowed = verdict.allowed();
-  record.timed_out = timed_out;
-  record.logged = verdict.log;
-  if (verdict.log) {
-    ++stats_.flows_logged;
-    IDXX_LOG(kInfo, "controller")
-        << config_.name << ": log rule matched: " << pending.flow.to_string()
-        << " -> " << (verdict.allowed() ? "pass" : "block");
-  }
-  record.rule = verdict.rule ? pf::to_string(*verdict.rule) : "default";
-  record.src_user = dict_summary(ctx.src, proto::keys::kUserId);
-  record.src_app = dict_summary(ctx.src, proto::keys::kName);
-  record.dst_user = dict_summary(ctx.dst, proto::keys::kUserId);
-  record.setup_latency = simulator().now() - pending.first_seen;
-  audit_log_.push_back(record);
-
-  if (config_.decision_cache_ttl > 0) {
-    decision_cache_[pending.flow] =
-        CachedDecision{verdict.allowed(), verdict.keep_state,
-                       simulator().now() + config_.decision_cache_ttl};
-  }
-
-  if (verdict.allowed()) {
-    ++stats_.flows_allowed;
-    install_allow_path(pending);
-    if (verdict.keep_state) {
-      // keep state also admits the reverse direction of the flow.
-      PendingFlow reverse;
-      reverse.flow = pending.flow.reversed();
-      install_allow_path(reverse);
-    }
-    release_buffered(pending, true);
-  } else {
-    ++stats_.flows_blocked;
-    if (config_.install_drop_entries) install_drop(pending);
-    release_buffered(pending, false);
-  }
-  // Copy the key before erasing: `pending` aliases into the map node.
-  const net::FiveTuple key = pending.flow;
-  pending_.erase(key);
-}
-
-void IdentxxController::install_allow_path(const PendingFlow& pending) {
-  const auto src_it = hosts_.find(pending.flow.src_ip);
-  const auto dst_it = hosts_.find(pending.flow.dst_ip);
-  if (src_it == hosts_.end() || dst_it == hosts_.end()) return;
-  const auto hops =
-      topology_->path(src_it->second.node, dst_it->second.node);
-  if (!hops) return;
-
-  // Template 10-tuple: MACs from the buffered packet when available so the
-  // installed entries exactly match the flow's packets.
-  net::TenTuple tuple;
-  if (!pending.buffered.empty()) {
-    tuple = pending.buffered.front().packet.ten_tuple(0);
-  } else {
-    tuple.src_ip = pending.flow.src_ip;
-    tuple.dst_ip = pending.flow.dst_ip;
-    tuple.proto = pending.flow.proto;
-    tuple.src_port = pending.flow.src_port;
-    tuple.dst_port = pending.flow.dst_port;
-    tuple.src_mac = src_it->second.mac;
-    tuple.dst_mac = net::MacAddress{0xffffffffffffULL};
-  }
-  tuple.src_ip = pending.flow.src_ip;
-  tuple.dst_ip = pending.flow.dst_ip;
-  tuple.proto = pending.flow.proto;
-  tuple.src_port = pending.flow.src_port;
-  tuple.dst_port = pending.flow.dst_port;
-
-  const std::uint64_t cookie = next_cookie_++;
-  installed_flows_[cookie] = pending.flow;
-  bool first_domain_hop = true;
-  for (const openflow::Hop& hop : *hops) {
-    if (!domain_.contains(hop.switch_id)) continue;
-    if (!config_.install_full_path && !first_domain_hop) break;
-    tuple.in_port = hop.in_port;
-    openflow::FlowEntry entry;
-    entry.match = openflow::FlowMatch::exact(tuple);
-    if (hop.in_port == 0) {
-      entry.match.wildcards = openflow::Wildcard::kInPort;
-    }
-    entry.priority = config_.flow_priority;
-    entry.action = openflow::OutputAction{{hop.out_port}};
-    entry.idle_timeout = config_.flow_idle_timeout;
-    entry.hard_timeout = config_.flow_hard_timeout;
-    entry.cookie = cookie;
-    topology_->switch_at(hop.switch_id).install_flow(std::move(entry));
-    ++stats_.entries_installed;
-    first_domain_hop = false;
-  }
-}
-
-void IdentxxController::install_drop(const PendingFlow& pending) {
-  if (pending.buffered.empty()) return;
-  const openflow::PacketIn& msg = pending.buffered.front();
-  if (!domain_.contains(msg.switch_id)) return;
-  openflow::FlowEntry entry;
-  entry.match =
-      openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
-  entry.priority = config_.flow_priority;
-  entry.action = openflow::DropAction{};
-  entry.idle_timeout = config_.flow_idle_timeout;
-  entry.hard_timeout = config_.flow_hard_timeout;
-  entry.cookie = next_cookie_++;
-  installed_flows_[entry.cookie] = pending.flow;
-  topology_->switch_at(msg.switch_id).install_flow(std::move(entry));
-  ++stats_.entries_installed;
-}
-
-std::vector<IdentxxController::FlowUsage> IdentxxController::flow_usage() const {
-  std::unordered_map<std::uint64_t, FlowUsage> by_cookie;
-  for (const sim::NodeId id : domain_) {
-    for (const openflow::FlowEntry& entry :
-         topology_->switch_at(id).table().entries()) {
-      const auto it = installed_flows_.find(entry.cookie);
-      if (it == installed_flows_.end()) continue;
-      FlowUsage& usage = by_cookie[entry.cookie];
-      usage.flow = it->second;
-      usage.packets = std::max(usage.packets, entry.packet_count);
-      usage.bytes = std::max(usage.bytes, entry.byte_count);
-    }
-  }
-  std::vector<FlowUsage> out;
-  out.reserve(by_cookie.size());
-  for (auto& [cookie, usage] : by_cookie) out.push_back(usage);
-  return out;
-}
-
-void IdentxxController::release_buffered(PendingFlow& pending, bool allowed) {
-  if (!allowed) {
-    pending.buffered.clear();
-    return;
-  }
-  const auto src_it = hosts_.find(pending.flow.src_ip);
-  const auto dst_it = hosts_.find(pending.flow.dst_ip);
-  std::optional<std::vector<openflow::Hop>> hops;
-  if (src_it != hosts_.end() && dst_it != hosts_.end()) {
-    hops = topology_->path(src_it->second.node, dst_it->second.node);
-  }
-  for (const openflow::PacketIn& msg : pending.buffered) {
-    bool sent = false;
-    if (hops) {
-      for (const openflow::Hop& hop : *hops) {
-        if (hop.switch_id == msg.switch_id) {
-          topology_->switch_at(msg.switch_id)
-              .packet_out(msg.packet,
-                          openflow::OutputAction{{hop.out_port}}, msg.in_port);
-          sent = true;
-          break;
-        }
-      }
-    }
-    if (!sent) {
-      // Off-path or unknown: fall back to flooding from that switch.
-      topology_->switch_at(msg.switch_id)
-          .packet_out(msg.packet, openflow::FloodAction{}, msg.in_port);
-    }
-    ++stats_.buffered_packets_released;
-  }
-  pending.buffered.clear();
 }
 
 }  // namespace identxx::ctrl

@@ -21,85 +21,24 @@
 // responses with an additional section — the mechanism behind the §4
 // "network collaboration" scenario.  Compromise and revocation hooks
 // support the §5 security experiments.
+//
+// Structurally this is AdmissionPipeline::identxx() driven by the shared
+// AdmissionController skeleton (admission_controller.hpp), plus the
+// ident++ wire layer: query emission, response interception, transit
+// handling and response augmentation.  The admission loop itself —
+// cache, planning, collection, decision, installation — lives in the
+// pipeline stages (admission.hpp), where the baselines share it.
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
-#include "identxx/dict.hpp"
-#include "identxx/wire.hpp"
-#include "openflow/switch.hpp"
-#include "openflow/topology.hpp"
-#include "pf/eval.hpp"
+#include "controller/admission_controller.hpp"
 
 namespace identxx::ctrl {
 
-/// Tuning knobs; defaults mirror the paper's implied design.  The ablation
-/// flags correspond to DESIGN.md §6.
-struct ControllerConfig {
-  std::string name = "controller";
-  /// How long to wait for daemon responses before deciding with whatever
-  /// information arrived.
-  sim::SimTime query_timeout = 50 * sim::kMillisecond;
-  /// Timeouts stamped on installed flow entries (0 = none).
-  sim::SimTime flow_idle_timeout = 60 * sim::kSecond;
-  sim::SimTime flow_hard_timeout = 0;
-  /// Install entries on every switch along the path (Figure 1 step 4)
-  /// versus only at the ingress switch (each later switch re-asks).
-  bool install_full_path = true;
-  /// Cache negative decisions as drop entries at the ingress switch.
-  bool install_drop_entries = true;
-  /// Query both ends (§2) or only the source.
-  bool query_both_ends = true;
-  /// Controller-level decision cache TTL (0 = disabled).  With it enabled,
-  /// repeat packet-ins for an already-decided flow (e.g. from later
-  /// switches when install_full_path is off, or after an idle-timeout
-  /// race) are answered without re-querying the daemons.
-  sim::SimTime decision_cache_ttl = 0;
-  /// Priority for installed per-flow entries; ident++ intercept rules are
-  /// installed at kInterceptPriority and must stay on top.
-  std::uint16_t flow_priority = 100;
-  static constexpr std::uint16_t kInterceptPriority = 1000;
-};
-
-/// One line of the audit log ("log and audit the delegates' actions", §1).
-struct DecisionRecord {
-  sim::SimTime time = 0;
-  net::FiveTuple flow;
-  bool allowed = false;
-  bool timed_out = false;        ///< decided without both responses
-  bool logged = false;           ///< matched rule carried PF's `log` modifier
-  std::string rule;              ///< to_string of the matched rule, or "default"
-  std::string src_user;          ///< @src[userID] if provided
-  std::string src_app;           ///< @src[name] if provided
-  std::string dst_user;          ///< @dst[userID] if provided
-  sim::SimTime setup_latency = 0;  ///< first packet-in -> decision
-};
-
-struct ControllerStats {
-  std::uint64_t packet_ins = 0;
-  std::uint64_t flows_seen = 0;
-  std::uint64_t flows_allowed = 0;
-  std::uint64_t flows_blocked = 0;
-  std::uint64_t queries_sent = 0;
-  std::uint64_t responses_received = 0;
-  std::uint64_t query_timeouts = 0;
-  std::uint64_t entries_installed = 0;
-  std::uint64_t buffered_packets_released = 0;
-  std::uint64_t ident_transit_forwarded = 0;
-  std::uint64_t responses_augmented = 0;
-  std::uint64_t queries_proxied = 0;
-  std::uint64_t flows_expired = 0;
-  std::uint64_t flows_logged = 0;      ///< decisions from `log` rules
-  std::uint64_t decision_cache_hits = 0;
-};
-
-class IdentxxController : public openflow::ControlPlane {
+class IdentxxController : public AdmissionController {
  public:
   /// `topology` must outlive the controller.
   IdentxxController(openflow::Topology* topology, pf::Ruleset ruleset,
@@ -107,24 +46,14 @@ class IdentxxController : public openflow::ControlPlane {
   IdentxxController(openflow::Topology* topology, pf::Ruleset ruleset,
                     pf::FunctionRegistry registry, ControllerConfig config);
 
-  // ---- domain wiring -------------------------------------------------------
-
-  /// Take ownership of a switch's control channel: sets this controller on
-  /// it and installs the ident++ intercept rules (TCP 783 both directions
-  /// punt to controller).
-  void adopt_switch(sim::NodeId switch_id,
-                    sim::SimTime control_latency = 100 * sim::kMicrosecond);
-
-  /// Teach the controller where a host lives (IP -> node/attachment/MAC).
-  void register_host(net::Ipv4Address ip, sim::NodeId node,
-                     net::MacAddress mac);
-
   // ---- §2 interception hooks ----------------------------------------------
 
   /// Answer queries for `ip` on the host's behalf (host without a daemon —
   /// "incremental benefit", §4).  The pairs are returned as a single
   /// section.  Applies on query timeout as a proxy answer.
-  void set_proxy_response(net::Ipv4Address ip, proto::Section section);
+  void set_proxy_response(net::Ipv4Address ip, proto::Section section) {
+    collector().set_proxy(ip, std::move(section));
+  }
 
   /// Augment transiting responses (network collaboration, §4): called once
   /// per response as it crosses this controller's domain; a returned
@@ -146,65 +75,33 @@ class IdentxxController : public openflow::ControlPlane {
   // ---- management ----------------------------------------------------------
 
   /// Replace the policy (hot reload of .control files).  Does not flush
-  /// installed entries; call revoke_all() for that.
+  /// installed entries — call revoke_all() for that — but does invalidate
+  /// cached decisions.
   void set_policy(pf::Ruleset ruleset);
 
-  /// Remove every flow entry this controller installed (revocation, §1).
-  /// Intercept rules stay.  Returns entries removed.
-  std::size_t revoke_all();
+  // ---- observation ---------------------------------------------------------
 
-  /// Remove installed entries whose flow matches `pred`.
-  std::size_t revoke_if(
-      const std::function<bool(const net::FiveTuple&)>& pred);
+  /// Throws when the decision engine was replaced with a non-PF engine.
+  [[nodiscard]] const pf::PolicyEngine& engine() const;
 
-  /// §5.1: a compromised controller disables all protection.
-  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+ protected:
+  // ---- AdmissionController hooks -------------------------------------------
 
-  /// Datapath usage of a flow this controller admitted, read back from the
-  /// switches' flow tables (OpenFlow counters) — accounting/audit support.
-  struct FlowUsage {
-    net::FiveTuple flow;
-    std::uint64_t packets = 0;
-    std::uint64_t bytes = 0;
-  };
+  /// Install the ident++ intercept rules (TCP 783 both directions punt to
+  /// controller) on every adopted switch.
+  void on_switch_adopted(openflow::Switch& sw) override;
 
-  /// Aggregate per-flow counters across the domain's switches.  Entries
-  /// installed on several switches along a path count each packet once
-  /// (the maximum over switches is reported).
-  [[nodiscard]] std::vector<FlowUsage> flow_usage() const;
+  /// Claims ident++ control traffic (TCP 783) before flow admission.
+  bool handle_special_packet(const openflow::PacketIn& msg,
+                             const net::FiveTuple& flow) override;
 
-  // ---- ControlPlane ----------------------------------------------------------
-
-  void on_packet_in(const openflow::PacketIn& msg) override;
-  void on_flow_removed(const openflow::FlowRemovedMsg& msg) override;
-
-  // ---- observation ------------------------------------------------------------
-
-  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const std::vector<DecisionRecord>& audit_log() const noexcept {
-    return audit_log_;
-  }
-  [[nodiscard]] const pf::PolicyEngine& engine() const noexcept { return *engine_; }
-  [[nodiscard]] const ControllerConfig& config() const noexcept { return config_; }
+  /// Send an ident++ query to the daemon at `target.target` about `flow`,
+  /// spoofing `target.spoof_src` (§3.2).  Returns false when the host is
+  /// unknown or unreachable.
+  bool send_query(const net::FiveTuple& flow,
+                  const QueryTarget& target) override;
 
  private:
-  struct PendingFlow {
-    net::FiveTuple flow;
-    std::vector<openflow::PacketIn> buffered;
-    std::optional<proto::Response> src_response;
-    std::optional<proto::Response> dst_response;
-    sim::SimTime first_seen = 0;
-    std::uint64_t generation = 0;  ///< guards the timeout callback
-    bool awaiting_src = false;
-    bool awaiting_dst = false;
-  };
-
-  [[nodiscard]] sim::Simulator& simulator() noexcept {
-    return topology_->simulator();
-  }
-
-  void handle_new_flow(const openflow::PacketIn& msg,
-                       const net::FiveTuple& flow);
   void handle_ident_packet(const openflow::PacketIn& msg,
                            const net::FiveTuple& flow);
   void handle_ident_response(const openflow::PacketIn& msg,
@@ -213,29 +110,6 @@ class IdentxxController : public openflow::ControlPlane {
   void forward_one_hop(const openflow::PacketIn& msg,
                        net::Ipv4Address toward_ip);
 
-  /// Send an ident++ query to the daemon at `target_ip` about `flow`.
-  /// Returns false when the host is unknown or unreachable.
-  bool send_query(const net::FiveTuple& flow, net::Ipv4Address target_ip,
-                  net::Ipv4Address spoof_src_ip);
-
-  void maybe_decide(PendingFlow& pending);
-  void decide(PendingFlow& pending, bool timed_out);
-  void install_allow_path(const PendingFlow& pending);
-  void install_drop(const PendingFlow& pending);
-  void release_buffered(PendingFlow& pending, bool allowed);
-  void install_intercept_rules(openflow::Switch& sw);
-
-  openflow::Topology* topology_;
-  std::unique_ptr<pf::PolicyEngine> engine_;
-  ControllerConfig config_;
-  std::unordered_set<sim::NodeId> domain_;
-  struct HostInfo {
-    sim::NodeId node = sim::kInvalidNode;
-    net::MacAddress mac;
-  };
-  std::unordered_map<net::Ipv4Address, HostInfo> hosts_;
-  std::unordered_map<net::Ipv4Address, proto::Section> proxy_responses_;
-  std::unordered_map<net::FiveTuple, PendingFlow> pending_;
   /// Responses this controller recently augmented, so a response punted at
   /// every hop through the domain is only augmented once.  Time-bounded:
   /// an entry only suppresses re-augmentation within kAugmentWindow (a
@@ -243,21 +117,9 @@ class IdentxxController : public openflow::ControlPlane {
   /// reuse on long-running networks) augment correctly again.
   static constexpr sim::SimTime kAugmentWindow = 1 * sim::kSecond;
   std::unordered_map<std::string, sim::SimTime> augmented_;
-  struct CachedDecision {
-    bool allowed = false;
-    bool keep_state = false;
-    sim::SimTime expires = 0;
-  };
-  std::unordered_map<net::FiveTuple, CachedDecision> decision_cache_;
   ResponseAugmenter augmenter_;
   QueryInterceptor query_interceptor_;
-  std::vector<DecisionRecord> audit_log_;
-  std::unordered_map<std::uint64_t, net::FiveTuple> installed_flows_;
-  ControllerStats stats_;
-  std::uint64_t next_cookie_ = 1;
   std::uint16_t next_query_port_ = 20000;
-  std::uint64_t generation_counter_ = 0;
-  bool compromised_ = false;
 };
 
 }  // namespace identxx::ctrl

@@ -30,9 +30,6 @@ host::Host& Network::add_host(const std::string& name, const std::string& ip) {
   for (const auto& controller : controllers_) {
     controller->register_host(ref.ip(), id, ref.mac());
   }
-  for (const auto& baseline : baselines_) {
-    baseline->register_host(ref.ip(), id, ref.mac());
-  }
   return ref;
 }
 
@@ -53,6 +50,23 @@ std::vector<sim::NodeId> Network::unadopted_switches() const {
   return out;
 }
 
+ctrl::AdmissionController& Network::attach_controller(
+    std::unique_ptr<ctrl::AdmissionController> controller,
+    const std::vector<sim::NodeId>* switches) {
+  const std::vector<sim::NodeId> unadopted =
+      switches == nullptr ? unadopted_switches() : *switches;
+  for (const sim::NodeId id : unadopted) {
+    controller->adopt_switch(id);
+    adopted_[id] = true;
+  }
+  for (const sim::NodeId id : host_ids_) {
+    auto& h = host(id);
+    controller->register_host(h.ip(), id, h.mac());
+  }
+  controllers_.push_back(std::move(controller));
+  return *controllers_.back();
+}
+
 ctrl::IdentxxController& Network::install_controller(
     std::string_view policy, ctrl::ControllerConfig config) {
   return install_domain_controller(policy, unadopted_switches(),
@@ -62,80 +76,42 @@ ctrl::IdentxxController& Network::install_controller(
 ctrl::IdentxxController& Network::install_controller_files(
     std::vector<pf::ControlFile> files, ctrl::ControllerConfig config) {
   pf::Ruleset ruleset = pf::load_control_files(std::move(files));
-  auto controller = std::make_unique<ctrl::IdentxxController>(
-      &topology_, std::move(ruleset), std::move(config));
-  for (const sim::NodeId id : unadopted_switches()) {
-    controller->adopt_switch(id);
-    adopted_[id] = true;
-  }
-  register_hosts_with(*controller);
-  controllers_.push_back(std::move(controller));
-  return *controllers_.back();
+  return static_cast<ctrl::IdentxxController&>(
+      attach_controller(std::make_unique<ctrl::IdentxxController>(
+          &topology_, std::move(ruleset), std::move(config))));
 }
 
 ctrl::IdentxxController& Network::install_domain_controller(
     std::string_view policy, const std::vector<sim::NodeId>& switches,
     ctrl::ControllerConfig config) {
   pf::Ruleset ruleset = pf::parse(policy, config.name);
-  auto controller = std::make_unique<ctrl::IdentxxController>(
-      &topology_, std::move(ruleset), std::move(config));
-  for (const sim::NodeId id : switches) {
-    controller->adopt_switch(id);
-    adopted_[id] = true;
-  }
-  register_hosts_with(*controller);
-  controllers_.push_back(std::move(controller));
-  return *controllers_.back();
+  return static_cast<ctrl::IdentxxController&>(attach_controller(
+      std::make_unique<ctrl::IdentxxController>(&topology_, std::move(ruleset),
+                                                std::move(config)),
+      &switches));
 }
 
 ctrl::VanillaFirewall& Network::install_vanilla_firewall(bool default_allow) {
-  auto fw = std::make_unique<ctrl::VanillaFirewall>(&topology_, default_allow);
-  for (const sim::NodeId id : unadopted_switches()) {
-    fw->adopt_switch(id);
-    adopted_[id] = true;
-  }
-  register_hosts_with(*fw);
-  baselines_.push_back(std::move(fw));
-  return static_cast<ctrl::VanillaFirewall&>(*baselines_.back());
+  return static_cast<ctrl::VanillaFirewall&>(attach_controller(
+      std::make_unique<ctrl::VanillaFirewall>(&topology_, default_allow)));
 }
 
 ctrl::EthaneController& Network::install_ethane_controller(
     std::string_view policy) {
-  auto controller = std::make_unique<ctrl::EthaneController>(
-      &topology_, pf::parse(policy, "ethane"));
-  for (const sim::NodeId id : unadopted_switches()) {
-    controller->adopt_switch(id);
-    adopted_[id] = true;
-  }
-  register_hosts_with(*controller);
-  baselines_.push_back(std::move(controller));
-  return static_cast<ctrl::EthaneController&>(*baselines_.back());
+  return static_cast<ctrl::EthaneController&>(
+      attach_controller(std::make_unique<ctrl::EthaneController>(
+          &topology_, pf::parse(policy, "ethane"))));
 }
 
 ctrl::DistributedFirewallController& Network::install_distributed_firewall() {
-  auto controller =
-      std::make_unique<ctrl::DistributedFirewallController>(&topology_);
-  for (const sim::NodeId id : unadopted_switches()) {
-    controller->adopt_switch(id);
-    adopted_[id] = true;
-  }
-  register_hosts_with(*controller);
-  baselines_.push_back(std::move(controller));
-  return static_cast<ctrl::DistributedFirewallController&>(*baselines_.back());
+  return static_cast<ctrl::DistributedFirewallController&>(attach_controller(
+      std::make_unique<ctrl::DistributedFirewallController>(&topology_)));
 }
 
-void Network::register_hosts_with(ctrl::IdentxxController& controller) {
-  for (const sim::NodeId id : host_ids_) {
-    auto& h = host(id);
-    controller.register_host(h.ip(), id, h.mac());
-  }
-}
-
-void Network::register_hosts_with(ctrl::BaselineController& controller) {
-  for (const sim::NodeId id : host_ids_) {
-    auto& h = host(id);
-    controller.register_host(h.ip(), id, h.mac());
-  }
+ctrl::AdmissionController& Network::install_pipeline(
+    ctrl::AdmissionPipeline pipeline, ctrl::ControllerConfig config) {
+  return attach_controller(std::make_unique<ctrl::AdmissionController>(
+      &topology_, std::move(pipeline), std::move(config)));
 }
 
 FlowHandle Network::start_flow(host::Host& src, int pid,

@@ -114,16 +114,24 @@ class Network {
     return topology_.switch_ids();
   }
 
+  /// Install a caller-assembled AdmissionPipeline as a controller owning
+  /// every so-far-unadopted switch — the escape hatch for custom stage
+  /// compositions (new flavours, instrumented stages, test fakes).
+  ctrl::AdmissionController& install_pipeline(ctrl::AdmissionPipeline pipeline,
+                                              ctrl::ControllerConfig config = {});
+
  private:
-  void register_hosts_with(ctrl::IdentxxController& controller);
-  void register_hosts_with(ctrl::BaselineController& controller);
+  /// Adopt `switches` (or every unadopted switch when nullptr), register
+  /// all current hosts, take ownership.
+  ctrl::AdmissionController& attach_controller(
+      std::unique_ptr<ctrl::AdmissionController> controller,
+      const std::vector<sim::NodeId>* switches = nullptr);
   [[nodiscard]] std::vector<sim::NodeId> unadopted_switches() const;
 
   openflow::Topology topology_;
   std::unordered_map<std::string, sim::NodeId> hosts_by_name_;
   std::vector<sim::NodeId> host_ids_;
-  std::vector<std::unique_ptr<ctrl::IdentxxController>> controllers_;
-  std::vector<std::unique_ptr<ctrl::BaselineController>> baselines_;
+  std::vector<std::unique_ptr<ctrl::AdmissionController>> controllers_;
   std::unordered_map<sim::NodeId, bool> adopted_;
 };
 

@@ -1,0 +1,526 @@
+// Unit tests for the AdmissionPipeline API seams: stage composition with
+// fake engines/strategies, decision-cache TTL/LRU behaviour and hit
+// accounting, batched decide_many(), the revocation/decision-cache
+// interaction, and a regression net that baseline controllers on the
+// shared pipeline produce the same verdicts and stats as the pre-pipeline
+// (seed) behaviour.
+
+#include <gtest/gtest.h>
+
+#include "controller/admission.hpp"
+#include "controller/admission_controller.hpp"
+#include "core/network.hpp"
+#include "pf/parser.hpp"
+
+namespace identxx {
+namespace {
+
+using core::FlowHandle;
+using core::Network;
+
+[[nodiscard]] net::FiveTuple make_flow(std::uint32_t src, std::uint32_t dst,
+                                       std::uint16_t dst_port) {
+  net::FiveTuple flow;
+  flow.src_ip = net::Ipv4Address{src};
+  flow.dst_ip = net::Ipv4Address{dst};
+  flow.proto = net::IpProto::kTcp;
+  flow.src_port = 40000;
+  flow.dst_port = dst_port;
+  return flow;
+}
+
+// ---------------------------------------------------------------- fakes
+
+/// Scripted engine: allows everything except a configured blocked port;
+/// counts decide()/decide_many() calls.
+class FakeDecisionEngine : public ctrl::DecisionEngine {
+ public:
+  explicit FakeDecisionEngine(std::uint16_t blocked_port)
+      : blocked_port_(blocked_port) {}
+
+  ctrl::AdmissionDecision decide(const ctrl::AdmissionContext& ctx) override {
+    ++decide_calls;
+    ctrl::AdmissionDecision decision;
+    decision.allowed = ctx.flow.dst_port != blocked_port_;
+    decision.rule = decision.allowed ? "fake pass" : "fake block";
+    return decision;
+  }
+
+  std::vector<ctrl::AdmissionDecision> decide_many(
+      const std::vector<const ctrl::AdmissionContext*>& batch) override {
+    batch_sizes.push_back(batch.size());
+    return DecisionEngine::decide_many(batch);
+  }
+
+  std::size_t decide_calls = 0;
+  std::vector<std::size_t> batch_sizes;
+
+ private:
+  std::uint16_t blocked_port_;
+};
+
+/// Counts installs, delegating placement to the real path strategy.
+class CountingInstallStrategy : public ctrl::PathInstallStrategy {
+ public:
+  std::size_t install_allow(ctrl::AdmissionEnv& env,
+                            const ctrl::AdmissionContext& ctx) override {
+    ++allow_calls;
+    return PathInstallStrategy::install_allow(env, ctx);
+  }
+  std::size_t install_drop(ctrl::AdmissionEnv& env,
+                           const ctrl::AdmissionContext& ctx) override {
+    ++drop_calls;
+    return PathInstallStrategy::install_drop(env, ctx);
+  }
+
+  std::size_t allow_calls = 0;
+  std::size_t drop_calls = 0;
+};
+
+/// Records decision events — exercises the AdmissionObserver seam.
+class RecordingObserver : public ctrl::AdmissionObserver {
+ public:
+  void on_decision(const ctrl::DecisionRecord& record,
+                   const ctrl::AdmissionDecision&) override {
+    rules.push_back(record.rule);
+  }
+  std::vector<std::string> rules;
+};
+
+// ---------------------------------------------------------------- composition
+
+TEST(PipelineComposition, FakeStagesDriveAdmission) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+
+  ctrl::AdmissionPipeline pipeline;
+  pipeline.planner = std::make_unique<ctrl::NoQueryPlanner>();
+  auto engine = std::make_unique<FakeDecisionEngine>(23);
+  FakeDecisionEngine* engine_ptr = engine.get();
+  pipeline.engine = std::move(engine);
+  auto installer = std::make_unique<CountingInstallStrategy>();
+  CountingInstallStrategy* installer_ptr = installer.get();
+  pipeline.installer = std::move(installer);
+
+  auto& controller = net.install_pipeline(std::move(pipeline));
+  auto observer = std::make_unique<RecordingObserver>();
+  RecordingObserver* observer_ptr = observer.get();
+  controller.add_observer(std::move(observer));
+
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle web = net.start_flow(client, pid, "10.0.0.2", 80);
+  const FlowHandle telnet = net.start_flow(client, pid, "10.0.0.2", 23);
+  net.run();
+
+  // The fake engine decided both flows; the fake strategy installed both
+  // outcomes; the observer saw both rules.
+  EXPECT_TRUE(net.flow_delivered(web));
+  EXPECT_FALSE(net.flow_delivered(telnet));
+  EXPECT_EQ(engine_ptr->decide_calls, 2u);
+  EXPECT_EQ(installer_ptr->allow_calls, 1u);
+  EXPECT_EQ(installer_ptr->drop_calls, 1u);
+  EXPECT_EQ(controller.stats().flows_allowed, 1u);
+  EXPECT_EQ(controller.stats().flows_blocked, 1u);
+  ASSERT_EQ(observer_ptr->rules.size(), 2u);
+  EXPECT_EQ(observer_ptr->rules[0], "fake pass");
+  EXPECT_EQ(observer_ptr->rules[1], "fake block");
+  // The shared audit log sees pipeline decisions too.
+  ASSERT_EQ(controller.audit_log().size(), 2u);
+  EXPECT_EQ(controller.audit_log()[1].rule, "fake block");
+}
+
+// ---------------------------------------------------------------- caches
+
+TEST(TtlDecisionCacheTest, ExpiryAndHitAccounting) {
+  ctrl::TtlDecisionCache cache(100);  // 100 ns TTL
+  const net::FiveTuple flow = make_flow(1, 2, 80);
+  ctrl::AdmissionDecision decision;
+  decision.allowed = true;
+
+  EXPECT_FALSE(cache.lookup(flow, 0).has_value());
+  cache.store(flow, decision, 10);
+  const auto hit = cache.lookup(flow, 50);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->allowed);
+  // TTL passed: entry expires, lookup misses.
+  EXPECT_FALSE(cache.lookup(flow, 110).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST(LruDecisionCacheTest, EvictsLeastRecentlyUsed) {
+  ctrl::LruDecisionCache cache(2, 0);  // capacity 2, no TTL
+  ctrl::AdmissionDecision decision;
+  const net::FiveTuple a = make_flow(1, 9, 80);
+  const net::FiveTuple b = make_flow(2, 9, 80);
+  const net::FiveTuple c = make_flow(3, 9, 80);
+
+  cache.store(a, decision, 0);
+  cache.store(b, decision, 1);
+  ASSERT_TRUE(cache.lookup(a, 2).has_value());  // refresh a: b becomes LRU
+  cache.store(c, decision, 3);                  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(a, 4).has_value());
+  EXPECT_FALSE(cache.lookup(b, 5).has_value());
+  EXPECT_TRUE(cache.lookup(c, 6).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruDecisionCacheTest, TtlAndInvalidation) {
+  ctrl::LruDecisionCache cache(8, 100);
+  ctrl::AdmissionDecision decision;
+  const net::FiveTuple a = make_flow(1, 9, 80);
+  const net::FiveTuple b = make_flow(2, 9, 80);
+  cache.store(a, decision, 0);
+  cache.store(b, decision, 0);
+
+  EXPECT_TRUE(cache.lookup(a, 50).has_value());
+  EXPECT_FALSE(cache.lookup(a, 150).has_value());  // TTL expiry
+  EXPECT_EQ(cache.stats().expirations, 1u);
+
+  const std::size_t invalidated = cache.invalidate_if(
+      [&b](const net::FiveTuple& flow) { return flow == b; });
+  EXPECT_EQ(invalidated, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+// ---------------------------------------------------------------- decide_many
+
+TEST(DecideMany, PolicyEngineMemoizesDuplicateFlows) {
+  ctrl::PolicyDecisionEngine engine(
+      pf::parse("block all\npass from any to any port 80\n", "test"));
+
+  ctrl::AdmissionContext web1, web2, telnet;
+  web1.flow = make_flow(1, 2, 80);
+  web2.flow = web1.flow;  // duplicate 5-tuple: must evaluate once
+  telnet.flow = make_flow(1, 2, 23);
+
+  const auto decisions = engine.decide_many({&web1, &web2, &telnet});
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_TRUE(decisions[0].allowed);
+  EXPECT_TRUE(decisions[1].allowed);
+  EXPECT_FALSE(decisions[2].allowed);
+  // Two distinct flows, three contexts: the duplicate was served from the
+  // batch memo.
+  EXPECT_EQ(engine.policy_engine().stats().evaluations, 2u);
+}
+
+/// AdmissionController subclass whose queries vanish into the void: every
+/// admission waits for the full query timeout, so simultaneous flows hit
+/// one deadline sweep and decide as a single batch.
+class BlackholeQueryController : public ctrl::AdmissionController {
+ public:
+  using AdmissionController::AdmissionController;
+
+ protected:
+  bool send_query(const net::FiveTuple&, const ctrl::QueryTarget&) override {
+    return true;  // "sent"; no response will ever arrive
+  }
+};
+
+TEST(DecideMany, SimultaneousTimeoutsDecideAsOneBatch) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& a = net.add_host("a", "10.0.0.1");
+  auto& b = net.add_host("b", "10.0.0.2");
+  auto& c = net.add_host("c", "10.0.0.3");
+  auto& server = net.add_host("server", "10.0.0.9");
+  net.link(a, s1);
+  net.link(b, s1);
+  net.link(c, s1);
+  net.link(server, s1);
+
+  ctrl::AdmissionPipeline pipeline;
+  auto engine = std::make_unique<FakeDecisionEngine>(23);
+  FakeDecisionEngine* engine_ptr = engine.get();
+  pipeline.engine = std::move(engine);
+  BlackholeQueryController controller(&net.topology(), std::move(pipeline));
+  controller.adopt_switch(s1);
+  for (auto* h : {&a, &b, &c, &server}) {
+    controller.register_host(h->ip(), h->id(), h->mac());
+  }
+
+  for (auto* h : {&a, &b, &c}) {
+    h->add_user("u", "users");
+    const int pid = h->launch("u", "/bin/x");
+    net.start_flow(*h, pid, "10.0.0.9", 80);
+  }
+  net.run();
+
+  // All three flows armed the same deadline; one sweep decided them
+  // together through decide_many.
+  ASSERT_EQ(engine_ptr->batch_sizes.size(), 1u);
+  EXPECT_EQ(engine_ptr->batch_sizes[0], 3u);
+  EXPECT_EQ(controller.stats().query_timeouts, 3u);
+  EXPECT_EQ(controller.stats().flows_allowed, 3u);
+  for (const auto& record : controller.audit_log()) {
+    EXPECT_TRUE(record.timed_out);
+  }
+}
+
+// ---------------------------------------------------------------- revocation
+
+TEST(RevocationCacheInteraction, RevokeInvalidatesCachedDecisions) {
+  // The seed bug: revoke_if removed installed entries but left decision-
+  // cache entries live, so a revoked flow was silently re-admitted from
+  // cache until its TTL passed.  Revocation must invalidate matching
+  // cached decisions.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.decision_cache_ttl = 60 * sim::kSecond;
+  auto& controller = net.install_controller("pass all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+  ASSERT_EQ(controller.stats().flows_seen, 1u);
+
+  const std::size_t removed = controller.revoke_if(
+      [&client](const net::FiveTuple& flow) { return flow.src_ip == client.ip(); });
+  EXPECT_GE(removed, 1u);
+  ASSERT_NE(controller.decision_cache(), nullptr);
+  EXPECT_GE(controller.decision_cache()->stats().invalidations, 1u);
+
+  // The next packet must re-run the full decision (packet-in, queries),
+  // not replay the revoked verdict from cache.
+  client.send_flow_packet(h.flow, "after revoke", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_EQ(controller.stats().flows_seen, 2u);
+}
+
+TEST(RevocationCacheInteraction, ReverseDirectionRevokeKillsKeepStateEntry) {
+  // A cached keep_state decision installs entries for both directions but
+  // is keyed on the forward flow; revoking by a predicate that matches
+  // only the reverse direction must still invalidate it.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.decision_cache_ttl = 60 * sim::kSecond;
+  auto& controller = net.install_controller("pass all keep state\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+
+  // Predicate matches only flows *from the server* — the reverse direction
+  // of the cached (forward-keyed) decision.
+  (void)controller.revoke_if([&server](const net::FiveTuple& flow) {
+    return flow.src_ip == server.ip();
+  });
+  EXPECT_GE(controller.decision_cache()->stats().invalidations, 1u);
+
+  // Flush the surviving forward entries at the switch (bypassing revoke_if
+  // so the cache is untouched): the next forward packet becomes a
+  // packet-in, and it must re-decide instead of replaying the cached
+  // keep_state verdict — a replay would silently reinstall the revoked
+  // reverse entries.
+  controller.topology().switch_at(s1).table().remove_if(
+      [](const openflow::FlowEntry& e) { return e.cookie != 0; });
+  client.send_flow_packet(h.flow, "again", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_EQ(controller.stats().flows_seen, 2u);
+}
+
+TEST(RevocationCacheInteraction, CapacityAloneEnablesLruCache) {
+  // decision_cache_capacity with ttl=0 means a pure LRU-bounded cache —
+  // not "no cache".
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.decision_cache_capacity = 64;  // ttl stays 0
+  config.install_full_path = false;
+  auto& controller = net.install_controller("pass all\n", config);
+  ASSERT_NE(controller.decision_cache(), nullptr);
+  EXPECT_NE(dynamic_cast<ctrl::LruDecisionCache*>(controller.decision_cache()),
+            nullptr);
+
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+  // Flush the installed entries: the next packet becomes a packet-in that
+  // the (never-aging) cache answers without re-querying daemons.
+  controller.topology().switch_at(s1).table().remove_if(
+      [](const openflow::FlowEntry& e) { return e.cookie != 0; });
+  const auto queries_before = controller.stats().queries_sent;
+  client.send_flow_packet(h.flow, "later", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_GE(controller.stats().decision_cache_hits, 1u);
+  EXPECT_EQ(controller.stats().queries_sent, queries_before);
+}
+
+TEST(RevocationCacheInteraction, PolicyReloadClearsCache) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.decision_cache_ttl = 60 * sim::kSecond;
+  auto& controller = net.install_controller("pass all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+
+  // Tighten the policy and revoke: the cached "pass" must not survive the
+  // reload and re-admit the flow.
+  controller.set_policy(pf::parse("block all\n", "revised"));
+  controller.revoke_all();
+  const auto delivered_before = server.stats().flow_payloads_received;
+  client.send_flow_packet(h.flow, "after reload", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_EQ(server.stats().flow_payloads_received, delivered_before);
+  EXPECT_GE(controller.stats().flows_blocked, 1u);
+}
+
+// ---------------------------------------------------------------- regression
+
+// Baselines on the shared pipeline must keep the seed behaviour bit-for-
+// bit: same verdicts, same stats counters.
+
+TEST(BaselineRegression, VanillaMatchesSeedVerdictsAndStats) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "192.168.1.1");
+  net.link(client, s1);
+  net.link(server, s1);
+  auto& fw = net.install_vanilla_firewall(false);
+  ctrl::VanillaFirewall::AclRule allow;
+  allow.dst_port_low = 80;
+  allow.dst_port_high = 80;
+  allow.allow = true;
+  fw.add_rule(allow);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+
+  const FlowHandle web = net.start_flow(client, pid, "192.168.1.1", 80);
+  const FlowHandle ssh = net.start_flow(client, pid, "192.168.1.1", 22);
+  net.run();
+
+  EXPECT_TRUE(net.flow_delivered(web));
+  EXPECT_FALSE(net.flow_delivered(ssh));
+  // Seed BaselineController counters: one packet-in per flow, immediate
+  // decisions, one path entry (+1 reverse none), one drop entry.
+  EXPECT_EQ(fw.stats().packet_ins, 2u);
+  EXPECT_EQ(fw.stats().flows_seen, 2u);
+  EXPECT_EQ(fw.stats().flows_allowed, 1u);
+  EXPECT_EQ(fw.stats().flows_blocked, 1u);
+  EXPECT_EQ(fw.stats().entries_installed, 2u);  // 1 allow path + 1 drop
+  // No daemon machinery on baselines.
+  EXPECT_EQ(fw.stats().queries_sent, 0u);
+  EXPECT_EQ(fw.stats().query_timeouts, 0u);
+
+  // Stateful reverse direction rides the state table, as in the seed.
+  server.send_flow_packet(web.flow.reversed(), "SYN-ACK",
+                          net::TcpFlags::kSyn | net::TcpFlags::kAck);
+  net.run();
+  EXPECT_EQ(client.stats().flow_payloads_received, 1u);
+  EXPECT_EQ(fw.stats().flows_allowed, 2u);
+}
+
+TEST(BaselineRegression, EthaneSeesNoEndHostInformation) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  // Port rule works; @src predicate can never match (no queries).
+  auto& ethane = net.install_ethane_controller(
+      "block all\n"
+      "pass from any to any port 80\n"
+      "pass from any to any port 22 with eq(@src[userID], alice)\n");
+  client.add_user("alice", "users");
+  const int pid = client.launch("alice", "/usr/bin/ssh");
+
+  const FlowHandle web = net.start_flow(client, pid, "10.0.0.2", 80);
+  const FlowHandle ssh = net.start_flow(client, pid, "10.0.0.2", 22);
+  net.run();
+
+  EXPECT_TRUE(net.flow_delivered(web));
+  EXPECT_FALSE(net.flow_delivered(ssh));  // alice IS the user, but Ethane
+                                          // cannot know that
+  EXPECT_EQ(ethane.stats().flows_allowed, 1u);
+  EXPECT_EQ(ethane.stats().flows_blocked, 1u);
+  EXPECT_EQ(ethane.stats().queries_sent, 0u);
+  EXPECT_EQ(ethane.engine().stats().evaluations, 2u);
+}
+
+TEST(BaselineRegression, EthaneIgnoresKeepState) {
+  // The seed Ethane baseline took only pass/block from the verdict: a
+  // `keep state` rule never installed reverse-direction entries, so
+  // reverse traffic re-decides on its own packet-in.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  auto& ethane = net.install_ethane_controller("pass all keep state\n");
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+  // Forward decision installed forward entries only.
+  const auto flows_after_forward = ethane.stats().flows_seen;
+  server.send_flow_packet(h.flow.reversed(), "SYN-ACK",
+                          net::TcpFlags::kSyn | net::TcpFlags::kAck);
+  net.run();
+  EXPECT_EQ(ethane.stats().flows_seen, flows_after_forward + 1);
+  EXPECT_EQ(client.stats().flow_payloads_received, 1u);  // still delivered
+}
+
+TEST(BaselineRegression, DistributedFirewallAdmitsEverything) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  auto& dfw = net.install_distributed_firewall();
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 4444);
+  net.run();
+  EXPECT_TRUE(net.flow_delivered(h));
+  EXPECT_EQ(dfw.stats().flows_allowed, 1u);
+  EXPECT_EQ(dfw.stats().flows_blocked, 0u);
+}
+
+}  // namespace
+}  // namespace identxx
