@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_test.dir/tests/admission_test.cpp.o"
+  "CMakeFiles/admission_test.dir/tests/admission_test.cpp.o.d"
+  "admission_test"
+  "admission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crypto.dir/bench/bench_crypto.cpp.o"
+  "CMakeFiles/bench_crypto.dir/bench/bench_crypto.cpp.o.d"
+  "bench_crypto"
+  "bench_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

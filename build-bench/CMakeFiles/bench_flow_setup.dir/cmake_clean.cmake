@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_setup.dir/bench/bench_flow_setup.cpp.o"
+  "CMakeFiles/bench_flow_setup.dir/bench/bench_flow_setup.cpp.o.d"
+  "bench_flow_setup"
+  "bench_flow_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

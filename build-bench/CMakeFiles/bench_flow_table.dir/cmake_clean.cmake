@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_table.dir/bench/bench_flow_table.cpp.o"
+  "CMakeFiles/bench_flow_table.dir/bench/bench_flow_table.cpp.o.d"
+  "bench_flow_table"
+  "bench_flow_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

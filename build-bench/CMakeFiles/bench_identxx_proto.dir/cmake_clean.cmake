@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identxx_proto.dir/bench/bench_identxx_proto.cpp.o"
+  "CMakeFiles/bench_identxx_proto.dir/bench/bench_identxx_proto.cpp.o.d"
+  "bench_identxx_proto"
+  "bench_identxx_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identxx_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_identxx_proto.
+# This may be replaced when dependencies are built.

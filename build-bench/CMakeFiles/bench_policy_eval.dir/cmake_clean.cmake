@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_eval.dir/bench/bench_policy_eval.cpp.o"
+  "CMakeFiles/bench_policy_eval.dir/bench/bench_policy_eval.cpp.o.d"
+  "bench_policy_eval"
+  "bench_policy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

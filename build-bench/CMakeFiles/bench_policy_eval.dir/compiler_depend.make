@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_policy_eval.
+# This may be replaced when dependencies are built.

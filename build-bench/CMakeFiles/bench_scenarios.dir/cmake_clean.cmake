@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenarios.dir/bench/bench_scenarios.cpp.o"
+  "CMakeFiles/bench_scenarios.dir/bench/bench_scenarios.cpp.o.d"
+  "bench_scenarios"
+  "bench_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

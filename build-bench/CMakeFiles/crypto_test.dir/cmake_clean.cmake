@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/tests/crypto_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/tests/crypto_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_audit_and_revoke.dir/examples/audit_and_revoke.cpp.o"
+  "CMakeFiles/example_audit_and_revoke.dir/examples/audit_and_revoke.cpp.o.d"
+  "audit_and_revoke"
+  "audit_and_revoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_audit_and_revoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

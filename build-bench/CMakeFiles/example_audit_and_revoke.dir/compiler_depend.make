@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_audit_and_revoke.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_audit_and_revoke.
+# This may be replaced when dependencies are built.

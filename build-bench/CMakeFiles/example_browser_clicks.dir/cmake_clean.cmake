@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_browser_clicks.dir/examples/browser_clicks.cpp.o"
+  "CMakeFiles/example_browser_clicks.dir/examples/browser_clicks.cpp.o.d"
+  "browser_clicks"
+  "browser_clicks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_browser_clicks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_browser_clicks.
+# This may be replaced when dependencies are built.

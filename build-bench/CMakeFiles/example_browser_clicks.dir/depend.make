@@ -1,0 +1,2 @@
+# Empty dependencies file for example_browser_clicks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_conficker_mitigation.dir/examples/conficker_mitigation.cpp.o"
+  "CMakeFiles/example_conficker_mitigation.dir/examples/conficker_mitigation.cpp.o.d"
+  "conficker_mitigation"
+  "conficker_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_conficker_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_collaboration.dir/examples/network_collaboration.cpp.o"
+  "CMakeFiles/example_network_collaboration.dir/examples/network_collaboration.cpp.o.d"
+  "network_collaboration"
+  "network_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

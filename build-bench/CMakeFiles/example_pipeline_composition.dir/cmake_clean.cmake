@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_composition.dir/examples/pipeline_composition.cpp.o"
+  "CMakeFiles/example_pipeline_composition.dir/examples/pipeline_composition.cpp.o.d"
+  "pipeline_composition"
+  "pipeline_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pipeline_composition.
+# This may be replaced when dependencies are built.

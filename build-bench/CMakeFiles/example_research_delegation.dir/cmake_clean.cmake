@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_research_delegation.dir/examples/research_delegation.cpp.o"
+  "CMakeFiles/example_research_delegation.dir/examples/research_delegation.cpp.o.d"
+  "research_delegation"
+  "research_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_research_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

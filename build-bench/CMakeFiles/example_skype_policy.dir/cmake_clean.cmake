@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skype_policy.dir/examples/skype_policy.cpp.o"
+  "CMakeFiles/example_skype_policy.dir/examples/skype_policy.cpp.o.d"
+  "skype_policy"
+  "skype_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skype_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_skype_policy.
+# This may be replaced when dependencies are built.

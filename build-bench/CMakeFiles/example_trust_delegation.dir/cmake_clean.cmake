@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trust_delegation.dir/examples/trust_delegation.cpp.o"
+  "CMakeFiles/example_trust_delegation.dir/examples/trust_delegation.cpp.o.d"
+  "trust_delegation"
+  "trust_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trust_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_trust_delegation.
+# This may be replaced when dependencies are built.

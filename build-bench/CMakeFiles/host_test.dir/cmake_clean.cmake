@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_test.dir/tests/host_test.cpp.o"
+  "CMakeFiles/host_test.dir/tests/host_test.cpp.o.d"
+  "host_test"
+  "host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

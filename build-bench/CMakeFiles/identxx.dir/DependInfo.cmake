@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/admission.cpp" "CMakeFiles/identxx.dir/src/controller/admission.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/controller/admission.cpp.o.d"
+  "/root/repo/src/controller/admission_controller.cpp" "CMakeFiles/identxx.dir/src/controller/admission_controller.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/controller/admission_controller.cpp.o.d"
+  "/root/repo/src/controller/baselines.cpp" "CMakeFiles/identxx.dir/src/controller/baselines.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/controller/baselines.cpp.o.d"
+  "/root/repo/src/controller/identxx_controller.cpp" "CMakeFiles/identxx.dir/src/controller/identxx_controller.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/controller/identxx_controller.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "CMakeFiles/identxx.dir/src/core/network.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/core/network.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "CMakeFiles/identxx.dir/src/core/scenario.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/core/scenario.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "CMakeFiles/identxx.dir/src/crypto/ec.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/crypto/ec.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/identxx.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "CMakeFiles/identxx.dir/src/crypto/schnorr.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/identxx.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "CMakeFiles/identxx.dir/src/crypto/u256.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/crypto/u256.cpp.o.d"
+  "/root/repo/src/host/host.cpp" "CMakeFiles/identxx.dir/src/host/host.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/host/host.cpp.o.d"
+  "/root/repo/src/identxx/daemon.cpp" "CMakeFiles/identxx.dir/src/identxx/daemon.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/identxx/daemon.cpp.o.d"
+  "/root/repo/src/identxx/daemon_config.cpp" "CMakeFiles/identxx.dir/src/identxx/daemon_config.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/identxx/daemon_config.cpp.o.d"
+  "/root/repo/src/identxx/dict.cpp" "CMakeFiles/identxx.dir/src/identxx/dict.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/identxx/dict.cpp.o.d"
+  "/root/repo/src/identxx/wire.cpp" "CMakeFiles/identxx.dir/src/identxx/wire.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/identxx/wire.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "CMakeFiles/identxx.dir/src/net/ipv4.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "CMakeFiles/identxx.dir/src/net/packet.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/net/packet.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "CMakeFiles/identxx.dir/src/openflow/flow_table.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/openflow/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "CMakeFiles/identxx.dir/src/openflow/match.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/openflow/match.cpp.o.d"
+  "/root/repo/src/openflow/switch.cpp" "CMakeFiles/identxx.dir/src/openflow/switch.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/openflow/switch.cpp.o.d"
+  "/root/repo/src/openflow/topology.cpp" "CMakeFiles/identxx.dir/src/openflow/topology.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/openflow/topology.cpp.o.d"
+  "/root/repo/src/openflow/wire.cpp" "CMakeFiles/identxx.dir/src/openflow/wire.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/openflow/wire.cpp.o.d"
+  "/root/repo/src/pf/control_files.cpp" "CMakeFiles/identxx.dir/src/pf/control_files.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/pf/control_files.cpp.o.d"
+  "/root/repo/src/pf/eval.cpp" "CMakeFiles/identxx.dir/src/pf/eval.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/pf/eval.cpp.o.d"
+  "/root/repo/src/pf/functions.cpp" "CMakeFiles/identxx.dir/src/pf/functions.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/pf/functions.cpp.o.d"
+  "/root/repo/src/pf/lexer.cpp" "CMakeFiles/identxx.dir/src/pf/lexer.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/pf/lexer.cpp.o.d"
+  "/root/repo/src/pf/parser.cpp" "CMakeFiles/identxx.dir/src/pf/parser.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/pf/parser.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/identxx.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "CMakeFiles/identxx.dir/src/util/hex.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/util/hex.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/identxx.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/identxx.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/identxx.dir/src/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

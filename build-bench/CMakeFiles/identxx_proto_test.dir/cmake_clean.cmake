@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identxx_proto_test.dir/tests/identxx_proto_test.cpp.o"
+  "CMakeFiles/identxx_proto_test.dir/tests/identxx_proto_test.cpp.o.d"
+  "identxx_proto_test"
+  "identxx_proto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identxx_proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for identxx_proto_test.
+# This may be replaced when dependencies are built.

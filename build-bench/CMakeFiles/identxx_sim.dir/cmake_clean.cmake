@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identxx_sim.dir/tools/identxx_sim.cpp.o"
+  "CMakeFiles/identxx_sim.dir/tools/identxx_sim.cpp.o.d"
+  "identxx_sim"
+  "identxx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identxx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

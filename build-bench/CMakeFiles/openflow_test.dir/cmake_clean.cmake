@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openflow_test.dir/tests/openflow_test.cpp.o"
+  "CMakeFiles/openflow_test.dir/tests/openflow_test.cpp.o.d"
+  "openflow_test"
+  "openflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

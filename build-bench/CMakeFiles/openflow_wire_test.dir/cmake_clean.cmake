@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openflow_wire_test.dir/tests/openflow_wire_test.cpp.o"
+  "CMakeFiles/openflow_wire_test.dir/tests/openflow_wire_test.cpp.o.d"
+  "openflow_wire_test"
+  "openflow_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openflow_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

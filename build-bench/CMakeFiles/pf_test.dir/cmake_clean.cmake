@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_test.dir/tests/pf_test.cpp.o"
+  "CMakeFiles/pf_test.dir/tests/pf_test.cpp.o.d"
+  "pf_test"
+  "pf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

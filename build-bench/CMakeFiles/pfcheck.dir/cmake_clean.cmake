@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfcheck.dir/tools/pfcheck.cpp.o"
+  "CMakeFiles/pfcheck.dir/tools/pfcheck.cpp.o.d"
+  "pfcheck"
+  "pfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

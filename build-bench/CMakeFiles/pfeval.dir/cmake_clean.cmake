@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfeval.dir/tools/pfeval.cpp.o"
+  "CMakeFiles/pfeval.dir/tools/pfeval.cpp.o.d"
+  "pfeval"
+  "pfeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

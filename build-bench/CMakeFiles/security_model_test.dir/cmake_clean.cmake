@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_model_test.dir/tests/security_model_test.cpp.o"
+  "CMakeFiles/security_model_test.dir/tests/security_model_test.cpp.o.d"
+  "security_model_test"
+  "security_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

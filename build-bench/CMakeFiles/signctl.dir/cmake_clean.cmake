@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signctl.dir/tools/signctl.cpp.o"
+  "CMakeFiles/signctl.dir/tools/signctl.cpp.o.d"
+  "signctl"
+  "signctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for signctl.
+# This may be replaced when dependencies are built.
