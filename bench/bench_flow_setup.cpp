@@ -271,6 +271,86 @@ void BM_BlockedRetryNoDropEntries(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockedRetryNoDropEntries);
 
+/// Rule-cache aggregation ablation: a port scan (one source walking dst
+/// ports) against `block all`.  Per-flow exact installs pay one controller
+/// round trip AND one table entry per probe; the aggregating strategy
+/// caches the covering rule once and the rest of the scan dies in the
+/// switch.  Counters: flow_entries = drop entries installed at the ingress
+/// switch, packet_ins = probes that reached the controller.
+void run_port_scan_bench(benchmark::State& state, bool aggregate) {
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& attacker = net.add_host("attacker", "10.0.0.66");
+  auto& victim = net.add_host("victim", "10.0.0.2");
+  net.link(attacker, s1);
+  net.link(victim, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = aggregate;
+  config.flow_idle_timeout = 0;  // entries persist across the whole scan
+  auto& controller = net.install_controller("block all\n", config);
+  attacker.add_user("eve", "users");
+  const int pid = attacker.launch("eve", "/bin/scan");
+
+  std::uint16_t port = 1;
+  for (auto _ : state) {
+    net.start_flow(attacker, pid, "10.0.0.2", port);
+    net.run();
+    port = static_cast<std::uint16_t>(port == 65535 ? 1 : port + 1);
+  }
+  std::size_t entries = 0;
+  for (const auto& entry : net.switch_at(s1).table().entries()) {
+    if (entry.cookie != 0) ++entries;
+  }
+  state.counters["flow_entries"] = static_cast<double>(entries);
+  state.counters["packet_ins"] =
+      static_cast<double>(controller.stats().packet_ins);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PortScanPerFlowInstall(benchmark::State& state) {
+  run_port_scan_bench(state, false);
+}
+BENCHMARK(BM_PortScanPerFlowInstall);
+
+void BM_PortScanAggregatedInstall(benchmark::State& state) {
+  run_port_scan_bench(state, true);
+}
+BENCHMARK(BM_PortScanAggregatedInstall);
+
+/// Topology::path memoization ablation: the exact query the controller
+/// issues per admission, repeated over a fixed attachment pair (the
+/// steady-state shape — most admissions share few (src,dst) switch pairs).
+void run_path_query_bench(benchmark::State& state, bool cached) {
+  core::Network net;
+  std::vector<sim::NodeId> switches;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    switches.push_back(net.add_switch("s" + std::to_string(i)));
+  }
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, switches.front());
+  for (std::size_t i = 0; i + 1 < switches.size(); ++i) {
+    net.link(switches[i], switches[i + 1]);
+  }
+  net.link(server, switches.back());
+  net.topology().set_path_cache_enabled(cached);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.topology().path(client.id(), server.id()));
+  }
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PathQueryUncachedBfs(benchmark::State& state) {
+  run_path_query_bench(state, false);
+}
+BENCHMARK(BM_PathQueryUncachedBfs)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PathQueryCached(benchmark::State& state) {
+  run_path_query_bench(state, true);
+}
+BENCHMARK(BM_PathQueryCached)->Arg(2)->Arg(8)->Arg(32);
+
 /// The DecisionEngine's batched entry point in isolation: decide_many over
 /// a packet-in storm where `dup_factor` contexts repeat each 5-tuple (the
 /// shape a shared query deadline produces).  The batch memo evaluates each

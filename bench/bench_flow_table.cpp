@@ -64,7 +64,9 @@ void BM_LookupMiss(benchmark::State& state) {
 BENCHMARK(BM_LookupMiss)->Arg(1024)->Arg(65536);
 
 void BM_WildcardScan(benchmark::State& state) {
-  // All-wildcard-but-port entries force the linear scan path.
+  // Wildcard entries spread over 100 priorities.  Pre-bucketing this was a
+  // linear scan over every entry; now it costs one hash probe per
+  // (priority bucket × shape), independent of entries per bucket.
   FlowTable table(1 << 20);
   for (std::int64_t i = 0; i < state.range(0); ++i) {
     FlowEntry entry;
@@ -75,7 +77,8 @@ void BM_WildcardScan(benchmark::State& state) {
     entry.action = openflow::DropAction{};
     table.insert(entry, 0);
   }
-  // Target matches the last-inserted port (worst case for the scan).
+  // Target matches the last-inserted port (worst case for a scan: under
+  // the bucketed layout only the match's own bucket probe can hit).
   net::TenTuple target = tuple_for(0);
   target.dst_port = static_cast<std::uint16_t>(1000 + state.range(0) - 1);
   for (auto _ : state) {
@@ -83,6 +86,37 @@ void BM_WildcardScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WildcardScan)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_WildcardAggregatedTable(benchmark::State& state) {
+  // The aggregated rule-cache shape: many covering entries at ONE
+  // priority and one shape (e.g. thousands of (dst_ip, dst_port) covers
+  // installed by AggregatingInstallStrategy).  Lookup is a single hash
+  // probe regardless of occupancy — O(buckets), not O(entries).
+  FlowTable table(1 << 20);
+  const auto entries = state.range(0);
+  for (std::int64_t i = 0; i < entries; ++i) {
+    FlowEntry entry;
+    entry.match.wildcards = openflow::without(
+        openflow::Wildcard::kAll,
+        openflow::Wildcard::kDstIp | openflow::Wildcard::kDstPort);
+    entry.match.dst_ip =
+        net::Ipv4Address(static_cast<std::uint32_t>(0xc0a80000 + i));
+    entry.match.dst_port = 80;
+    entry.priority = 100;
+    entry.action = openflow::OutputAction{{2}};
+    table.insert(entry, 0);
+  }
+  util::SplitMix64 rng(3);
+  for (auto _ : state) {
+    const auto i = rng.next_below(static_cast<std::uint64_t>(entries));
+    net::TenTuple target = tuple_for(i);
+    target.dst_ip = net::Ipv4Address(static_cast<std::uint32_t>(0xc0a80000 + i));
+    target.dst_port = 80;
+    benchmark::DoNotOptimize(table.lookup(target, 1, 100));
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_WildcardAggregatedTable)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_InsertWithEviction(benchmark::State& state) {
   FlowTable table(static_cast<std::size_t>(state.range(0)));

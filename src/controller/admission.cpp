@@ -125,6 +125,202 @@ void ResponseCollector::erase(const net::FiveTuple& flow) {
   pending_.erase(flow);
 }
 
+// ---------------------------------------------------------------- covers
+
+namespace {
+
+// Aggregation soundness analysis.  A rule R may be cached in the switches
+// as one wildcard/prefix entry iff every flow the entry matches would get
+// R's verdict from the full policy.  With last-match-wins + `quick`
+// semantics that holds exactly when:
+//   * R's own scope is expressible as a FlowMatch: endpoints are `any` or
+//     a single CIDR (no negation, no tables/lists), ports single-valued,
+//     and there are no `with` predicates (those depend on end-host
+//     responses a switch cannot see);
+//   * R carries no `keep state` (reverse admission is flow-specific) and
+//     no `log` (covered flows bypass the controller, so a log rule would
+//     silently stop producing audit records);
+//   * no *earlier* `quick` rule and no *later* rule overlapping R's scope
+//     can produce a different outcome.  Earlier non-quick rules are
+//     always overridden by R (last match wins) and need no check.
+// Overlap tests are conservative: anything unanalyzable (negated
+// endpoints, unknown tables) counts as overlapping.
+
+/// Conservative field box of one rule, for pairwise overlap tests.
+struct RuleScope {
+  bool analyzable = false;
+  std::optional<net::IpProto> proto;
+  std::vector<net::Cidr> src, dst;  ///< empty = any
+  std::uint16_t src_lo = 0, src_hi = 65535;
+  std::uint16_t dst_lo = 0, dst_hi = 65535;
+};
+
+[[nodiscard]] bool cidrs_overlap(const net::Cidr& a, const net::Cidr& b) {
+  return a.prefix_length() <= b.prefix_length() ? a.contains(b.network())
+                                                : b.contains(a.network());
+}
+
+[[nodiscard]] bool cidr_sets_overlap(const std::vector<net::Cidr>& a,
+                                     const std::vector<net::Cidr>& b) {
+  if (a.empty() || b.empty()) return true;  // `any` overlaps everything
+  for (const net::Cidr& ca : a) {
+    for (const net::Cidr& cb : b) {
+      if (cidrs_overlap(ca, cb)) return true;
+    }
+  }
+  return false;
+}
+
+/// Resolve an endpoint's host spec into CIDRs; false when unanalyzable.
+[[nodiscard]] bool resolve_host(const pf::HostSpec& host,
+                                const pf::Ruleset& ruleset,
+                                std::vector<net::Cidr>& out) {
+  struct Visitor {
+    const pf::Ruleset& ruleset;
+    std::vector<net::Cidr>& out;
+    bool operator()(const pf::AnyHost&) const { return true; }
+    bool operator()(const pf::CidrHost& h) const {
+      out.push_back(h.cidr);
+      return true;
+    }
+    bool operator()(const pf::TableHost& h) const {
+      const auto it = ruleset.tables.find(h.table);
+      if (it == ruleset.tables.end()) return false;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+      return true;
+    }
+    bool operator()(const pf::ListHost& h) const {
+      for (const auto& item : h.items) {
+        if (const auto* cidr = std::get_if<net::Cidr>(&item)) {
+          out.push_back(*cidr);
+        } else if (!(*this)(pf::TableHost{std::get<std::string>(item)})) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+  return std::visit(Visitor{ruleset, out}, host);
+}
+
+[[nodiscard]] RuleScope scope_of(const pf::Rule& rule,
+                                 const pf::Ruleset& ruleset) {
+  RuleScope scope;
+  if (rule.from.negated || rule.to.negated) return scope;  // unanalyzable
+  if (!resolve_host(rule.from.host, ruleset, scope.src)) return scope;
+  if (!resolve_host(rule.to.host, ruleset, scope.dst)) return scope;
+  scope.proto = rule.proto;
+  if (rule.from.port) {
+    scope.src_lo = rule.from.port->low;
+    scope.src_hi = rule.from.port->high;
+  }
+  if (rule.to.port) {
+    scope.dst_lo = rule.to.port->low;
+    scope.dst_hi = rule.to.port->high;
+  }
+  scope.analyzable = true;
+  return scope;
+}
+
+/// Could any single flow match both scopes?  Conservative: true unless a
+/// field provably separates them.  `with` predicates only narrow a rule,
+/// so they never make this answer wrong.
+[[nodiscard]] bool scopes_overlap(const RuleScope& a, const RuleScope& b) {
+  if (!a.analyzable || !b.analyzable) return true;
+  if (a.proto && b.proto && *a.proto != *b.proto) return false;
+  if (a.src_hi < b.src_lo || b.src_hi < a.src_lo) return false;
+  if (a.dst_hi < b.dst_lo || b.dst_hi < a.dst_lo) return false;
+  if (!cidr_sets_overlap(a.src, b.src)) return false;
+  if (!cidr_sets_overlap(a.dst, b.dst)) return false;
+  return true;
+}
+
+/// Same datapath outcome for every flow, so an "overlapping" rule is
+/// harmless: identical action, no reverse-direction state, no logging.
+[[nodiscard]] bool outcome_equivalent(const pf::Rule& a, const pf::Rule& b) {
+  return a.action == b.action && !a.keep_state && !b.keep_state && !a.log &&
+         !b.log;
+}
+
+[[nodiscard]] std::optional<openflow::FlowMatch> cover_for(
+    std::size_t index, const pf::Ruleset& ruleset,
+    const std::vector<RuleScope>& scopes) {
+  const pf::Rule& rule = ruleset.rules[index];
+  if (rule.keep_state || rule.log || !rule.withs.empty()) return std::nullopt;
+  if (rule.from.negated || rule.to.negated) return std::nullopt;
+  // Scope must fit in ONE FlowMatch: any/single-CIDR hosts, single ports.
+  const bool from_ok = std::holds_alternative<pf::AnyHost>(rule.from.host) ||
+                       std::holds_alternative<pf::CidrHost>(rule.from.host);
+  const bool to_ok = std::holds_alternative<pf::AnyHost>(rule.to.host) ||
+                     std::holds_alternative<pf::CidrHost>(rule.to.host);
+  if (!from_ok || !to_ok) return std::nullopt;
+  if (rule.from.port && rule.from.port->low != rule.from.port->high) {
+    return std::nullopt;
+  }
+  if (rule.to.port && rule.to.port->low != rule.to.port->high) {
+    return std::nullopt;
+  }
+
+  const RuleScope& scope = scopes[index];
+  for (std::size_t j = 0; j < ruleset.rules.size(); ++j) {
+    if (j == index) continue;
+    const pf::Rule& other = ruleset.rules[j];
+    // Earlier rules only pre-empt R via `quick`; later rules win by
+    // matching last.  Non-quick earlier rules are always overridden.
+    const bool can_override = j > index || other.quick;
+    if (!can_override) continue;
+    if (outcome_equivalent(rule, other)) continue;
+    if (scopes_overlap(scope, scopes[j])) return std::nullopt;
+  }
+
+  using openflow::Wildcard;
+  openflow::FlowMatch match;  // starts all-wildcard
+  if (rule.proto) {
+    match.wildcards = without(match.wildcards, Wildcard::kProto);
+    match.proto = *rule.proto;
+  }
+  if (const auto* from = std::get_if<pf::CidrHost>(&rule.from.host);
+      from != nullptr && from->cidr.prefix_length() > 0) {
+    match.wildcards = without(match.wildcards, Wildcard::kSrcIp);
+    match.src_ip = from->cidr.network();
+    match.src_ip_prefix = from->cidr.prefix_length();
+  }
+  if (const auto* to = std::get_if<pf::CidrHost>(&rule.to.host);
+      to != nullptr && to->cidr.prefix_length() > 0) {
+    match.wildcards = without(match.wildcards, Wildcard::kDstIp);
+    match.dst_ip = to->cidr.network();
+    match.dst_ip_prefix = to->cidr.prefix_length();
+  }
+  if (rule.from.port) {
+    match.wildcards = without(match.wildcards, Wildcard::kSrcPort);
+    match.src_port = rule.from.port->low;
+  }
+  if (rule.to.port) {
+    match.wildcards = without(match.wildcards, Wildcard::kDstPort);
+    match.dst_port = rule.to.port->low;
+  }
+  return match;
+}
+
+[[nodiscard]] std::vector<std::optional<openflow::FlowMatch>> compute_covers(
+    const pf::Ruleset& ruleset) {
+  // Resolve every rule's field box once (table resolution copies CIDR
+  // vectors); the pairwise overlap loop below then stays cheap.
+  std::vector<RuleScope> scopes;
+  scopes.reserve(ruleset.rules.size());
+  for (const pf::Rule& rule : ruleset.rules) {
+    scopes.push_back(scope_of(rule, ruleset));
+  }
+  std::vector<std::optional<openflow::FlowMatch>> covers;
+  covers.reserve(ruleset.rules.size());
+  for (std::size_t i = 0; i < ruleset.rules.size(); ++i) {
+    covers.push_back(cover_for(i, ruleset, scopes));
+  }
+  return covers;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- engines
 
 std::vector<AdmissionDecision> DecisionEngine::decide_many(
@@ -144,7 +340,8 @@ PolicyDecisionEngine::PolicyDecisionEngine(pf::Ruleset ruleset,
                                            bool honor_keep_state)
     : engine_(std::make_unique<pf::PolicyEngine>(std::move(ruleset),
                                                  std::move(registry))),
-      honor_keep_state_(honor_keep_state) {}
+      honor_keep_state_(honor_keep_state),
+      covers_(compute_covers(engine_->ruleset())) {}
 
 AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
   pf::FlowContext flow_ctx;
@@ -174,6 +371,14 @@ AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
   decision.keep_state = honor_keep_state_ && verdict.keep_state;
   decision.logged = verdict.log;
   decision.rule = verdict.rule ? pf::to_string(*verdict.rule) : "default";
+  if (verdict.rule != nullptr) {
+    // Attach the precomputed aggregation cover of the matched rule.
+    const auto& rules = engine_->ruleset().rules;
+    if (!rules.empty() && verdict.rule >= rules.data() &&
+        verdict.rule < rules.data() + rules.size()) {
+      decision.cover = covers_[static_cast<std::size_t>(verdict.rule - rules.data())];
+    }
+  }
   return decision;
 }
 
@@ -327,8 +532,9 @@ void LruDecisionCache::clear() {
 
 // ---------------------------------------------------------------- install
 
-std::size_t PathInstallStrategy::install_allow(AdmissionEnv& env,
-                                               const AdmissionContext& ctx) {
+std::size_t PathInstallStrategy::install_along_path(
+    AdmissionEnv& env, const AdmissionContext& ctx,
+    const openflow::FlowMatch* fixed_match) {
   const HostInfo* src = env.find_host(ctx.flow.src_ip);
   const HostInfo* dst = env.find_host(ctx.flow.dst_ip);
   if (src == nullptr || dst == nullptr) return 0;
@@ -337,60 +543,131 @@ std::size_t PathInstallStrategy::install_allow(AdmissionEnv& env,
 
   const ControllerConfig& config = env.config();
 
-  // Template 10-tuple: MACs from the buffered packet when available so the
-  // installed entries exactly match the flow's packets.
+  // Per-flow template 10-tuple: MACs from the buffered packet when
+  // available so the installed entries exactly match the flow's packets.
   net::TenTuple tuple;
-  if (!ctx.buffered.empty()) {
-    tuple = ctx.buffered.front().packet.ten_tuple(0);
-  } else {
-    tuple.src_mac = src->mac;
-    tuple.dst_mac = net::MacAddress{0xffffffffffffULL};
+  if (fixed_match == nullptr) {
+    if (!ctx.buffered.empty()) {
+      tuple = ctx.buffered.front().packet.ten_tuple(0);
+    } else {
+      tuple.src_mac = src->mac;
+      tuple.dst_mac = net::MacAddress{0xffffffffffffULL};
+    }
+    tuple.src_ip = ctx.flow.src_ip;
+    tuple.dst_ip = ctx.flow.dst_ip;
+    tuple.proto = ctx.flow.proto;
+    tuple.src_port = ctx.flow.src_port;
+    tuple.dst_port = ctx.flow.dst_port;
   }
-  tuple.src_ip = ctx.flow.src_ip;
-  tuple.dst_ip = ctx.flow.dst_ip;
-  tuple.proto = ctx.flow.proto;
-  tuple.src_port = ctx.flow.src_port;
-  tuple.dst_port = ctx.flow.dst_port;
 
-  const std::uint64_t cookie = env.allocate_cookie(ctx.flow);
+  std::uint64_t cookie = 0;
   std::size_t installed = 0;
   bool first_domain_hop = true;
   for (const openflow::Hop& hop : *hops) {
     if (!env.domain().contains(hop.switch_id)) continue;
     if (!config.install_full_path && !first_domain_hop) break;
-    tuple.in_port = hop.in_port;
-    openflow::FlowEntry entry;
-    entry.match = openflow::FlowMatch::exact(tuple);
-    if (hop.in_port == 0) {
-      entry.match.wildcards = openflow::Wildcard::kInPort;
+    first_domain_hop = false;
+    openflow::FlowMatch match;
+    if (fixed_match != nullptr) {
+      match = *fixed_match;
+    } else {
+      tuple.in_port = hop.in_port;
+      match = openflow::FlowMatch::exact(tuple);
+      if (hop.in_port == 0) match.wildcards = openflow::Wildcard::kInPort;
     }
+    openflow::Switch& sw = env.topology().switch_at(hop.switch_id);
+    if (fixed_match != nullptr &&
+        sw.table().find(match, config.flow_priority,
+                        env.simulator().now()) != nullptr) {
+      continue;  // the rule is already cached here: ≤1 entry per cover
+    }
+    if (cookie == 0) cookie = env.allocate_cookie(ctx.flow);
+    openflow::FlowEntry entry;
+    entry.match = match;
     entry.priority = config.flow_priority;
     entry.action = openflow::OutputAction{{hop.out_port}};
     entry.idle_timeout = config.flow_idle_timeout;
     entry.hard_timeout = config.flow_hard_timeout;
     entry.cookie = cookie;
-    env.topology().switch_at(hop.switch_id).install_flow(std::move(entry));
+    sw.install_flow(std::move(entry));
     ++installed;
-    first_domain_hop = false;
   }
   return installed;
 }
 
-std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
-                                              const AdmissionContext& ctx) {
+std::size_t PathInstallStrategy::install_allow(AdmissionEnv& env,
+                                               const AdmissionContext& ctx,
+                                               const AdmissionDecision&) {
+  return install_along_path(env, ctx, nullptr);
+}
+
+std::size_t PathInstallStrategy::install_drop_at_ingress(
+    AdmissionEnv& env, const AdmissionContext& ctx,
+    const openflow::FlowMatch& match, bool dedupe) {
   if (!env.config().install_drop_entries) return 0;
   if (ctx.buffered.empty()) return 0;
   const openflow::PacketIn& msg = ctx.buffered.front();
   if (!env.domain().contains(msg.switch_id)) return 0;
+  openflow::Switch& sw = env.topology().switch_at(msg.switch_id);
+  if (dedupe && sw.table().find(match, env.config().flow_priority,
+                                env.simulator().now()) != nullptr) {
+    return 0;
+  }
   openflow::FlowEntry entry;
-  entry.match = openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port));
+  entry.match = match;
   entry.priority = env.config().flow_priority;
   entry.action = openflow::DropAction{};
   entry.idle_timeout = env.config().flow_idle_timeout;
   entry.hard_timeout = env.config().flow_hard_timeout;
   entry.cookie = env.allocate_cookie(ctx.flow);
-  env.topology().switch_at(msg.switch_id).install_flow(std::move(entry));
+  sw.install_flow(std::move(entry));
   return 1;
+}
+
+std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
+                                              const AdmissionContext& ctx,
+                                              const AdmissionDecision&) {
+  if (ctx.buffered.empty()) return 0;
+  const openflow::PacketIn& msg = ctx.buffered.front();
+  return install_drop_at_ingress(
+      env, ctx, openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port)),
+      /*dedupe=*/false);
+}
+
+std::size_t AggregatingInstallStrategy::install_allow(
+    AdmissionEnv& env, const AdmissionContext& ctx,
+    const AdmissionDecision& decision) {
+  if (!decision.cover) {
+    return PathInstallStrategy::install_allow(env, ctx, decision);
+  }
+  // Narrow the cover to this flow's destination host: the output action
+  // is destination-determined, so the installed entry must not capture
+  // traffic for other destinations.  Everything else (source addresses,
+  // source ports, in_port, MACs) stays aggregated.
+  openflow::FlowMatch match = *decision.cover;
+  match.wildcards = without(match.wildcards, openflow::Wildcard::kDstIp);
+  match.dst_ip = ctx.flow.dst_ip;
+  match.dst_ip_prefix = 32;
+  return install_along_path(env, ctx, &match);
+}
+
+std::size_t AggregatingInstallStrategy::install_drop(
+    AdmissionEnv& env, const AdmissionContext& ctx,
+    const AdmissionDecision& decision) {
+  if (!decision.cover) {
+    return PathInstallStrategy::install_drop(env, ctx, decision);
+  }
+  // Drops have no output port, so the rule's full scope caches as-is.
+  return install_drop_at_ingress(env, ctx, *decision.cover, /*dedupe=*/true);
+}
+
+bool AggregatingInstallStrategy::is_aggregate_entry(
+    const openflow::FlowEntry& entry) noexcept {
+  using openflow::Wildcard;
+  const Wildcard beyond_in_port =
+      without(entry.match.wildcards, Wildcard::kInPort);
+  if (beyond_in_port != Wildcard::kNone) return true;
+  return entry.match.src_ip_prefix < 32 || entry.match.dst_ip_prefix < 32;
 }
 
 // ---------------------------------------------------------------- pipeline
@@ -398,7 +675,13 @@ std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
 AdmissionPipeline& AdmissionPipeline::finish(const ControllerConfig& config) {
   if (!planner) planner = std::make_unique<EndpointQueryPlanner>();
   if (!collector) collector = std::make_unique<ResponseCollector>();
-  if (!installer) installer = std::make_unique<PathInstallStrategy>();
+  if (!installer) {
+    if (config.aggregate_installs) {
+      installer = std::make_unique<AggregatingInstallStrategy>();
+    } else {
+      installer = std::make_unique<PathInstallStrategy>();
+    }
+  }
   // Caching activates when either knob is set: a capacity alone means a
   // pure LRU bound (entries never age out), a TTL alone an unbounded
   // time-based cache.

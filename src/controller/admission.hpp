@@ -81,6 +81,18 @@ struct ControllerConfig {
   /// installed at kInterceptPriority and must stay on top.
   std::uint16_t flow_priority = 100;
   static constexpr std::uint16_t kInterceptPriority = 1000;
+  /// Aggregated rule cache: when a decision's matched policy rule
+  /// constrains only switch-visible fields (proto, ports, CIDRs), install
+  /// ONE wildcard/prefix entry covering the whole rule instead of a
+  /// per-flow exact entry (AggregatingInstallStrategy).  Off by default:
+  /// aggregated flows bypass the controller entirely, so per-flow audit
+  /// records and daemon queries are traded for table compactness.
+  bool aggregate_installs = false;
+  /// Bound on retained audit-log records (ring buffer: oldest records
+  /// drop first, counted in AuditLogObserver::dropped()).  The default is
+  /// high enough that bounded behaviour is invisible in normal runs.
+  static constexpr std::size_t kDefaultAuditLogCapacity = 1 << 20;
+  std::size_t audit_log_capacity = kDefaultAuditLogCapacity;
 };
 
 /// One line of the audit log ("log and audit the delegates' actions", §1).
@@ -162,6 +174,12 @@ struct AdmissionDecision {
   bool keep_state = false;  ///< also admit the reverse direction
   bool logged = false;      ///< matched rule carried the `log` modifier
   std::string rule = "default";  ///< matched rule rendering, for the audit log
+  /// Rule-level cover: set when the matched rule's scope is expressible
+  /// as a single wildcard/prefix FlowMatch AND no other rule can decide
+  /// a covered flow differently — i.e. caching the whole rule in a
+  /// switch is sound.  Consumed by AggregatingInstallStrategy; engines
+  /// that cannot prove soundness leave it empty.
+  std::optional<openflow::FlowMatch> cover;
 };
 
 // ---------------------------------------------------------------------------
@@ -324,9 +342,18 @@ class PolicyDecisionEngine : public DecisionEngine {
     return *engine_;
   }
 
+  /// The precomputed rule cover for rule index `i` (tests/inspection):
+  /// set iff caching rule `i` as one wildcard entry is sound.
+  [[nodiscard]] const std::optional<openflow::FlowMatch>& rule_cover(
+      std::size_t i) const {
+    return covers_.at(i);
+  }
+
  private:
   std::unique_ptr<pf::PolicyEngine> engine_;
   bool honor_keep_state_ = true;
+  /// Per-rule aggregation covers, computed once from the ruleset.
+  std::vector<std::optional<openflow::FlowMatch>> covers_;
 };
 
 /// Classic firewall rule: first-match ACL over network primitives.
@@ -363,7 +390,10 @@ class AclDecisionEngine : public DecisionEngine {
 class AllowAllDecisionEngine : public DecisionEngine {
  public:
   AdmissionDecision decide(const AdmissionContext&) override {
-    return AdmissionDecision{true, false, false, "pass (end-host enforced)"};
+    AdmissionDecision decision;
+    decision.allowed = true;
+    decision.rule = "pass (end-host enforced)";
+    return decision;
   }
 };
 
@@ -469,13 +499,16 @@ class InstallStrategy {
  public:
   virtual ~InstallStrategy() = default;
 
-  /// Install entries admitting `ctx.flow`; returns entries installed.
+  /// Install entries admitting `ctx.flow`; `decision` carries the
+  /// optional rule-level cover.  Returns entries installed.
   virtual std::size_t install_allow(AdmissionEnv& env,
-                                    const AdmissionContext& ctx) = 0;
+                                    const AdmissionContext& ctx,
+                                    const AdmissionDecision& decision) = 0;
 
   /// Install entries discarding `ctx.flow`; returns entries installed.
   virtual std::size_t install_drop(AdmissionEnv& env,
-                                   const AdmissionContext& ctx) = 0;
+                                   const AdmissionContext& ctx,
+                                   const AdmissionDecision& decision) = 0;
 };
 
 /// Figure 1 step 4 placement: exact-match entries along the flow's path —
@@ -483,10 +516,52 @@ class InstallStrategy {
 /// entries at the ingress switch when config.install_drop_entries is set.
 class PathInstallStrategy : public InstallStrategy {
  public:
-  std::size_t install_allow(AdmissionEnv& env,
-                            const AdmissionContext& ctx) override;
-  std::size_t install_drop(AdmissionEnv& env,
-                           const AdmissionContext& ctx) override;
+  std::size_t install_allow(AdmissionEnv& env, const AdmissionContext& ctx,
+                            const AdmissionDecision& decision) override;
+  std::size_t install_drop(AdmissionEnv& env, const AdmissionContext& ctx,
+                           const AdmissionDecision& decision) override;
+
+ protected:
+  /// The shared Figure-1-step-4 walk: install allow entries along
+  /// ctx.flow's domain path.  With `fixed_match` set (aggregation), that
+  /// match is installed verbatim and hops already carrying an identical
+  /// live entry are skipped; otherwise each hop gets a per-flow exact
+  /// entry (in_port wildcarded at the host-facing ingress).  The cookie
+  /// is allocated lazily on the first actual install.
+  static std::size_t install_along_path(AdmissionEnv& env,
+                                        const AdmissionContext& ctx,
+                                        const openflow::FlowMatch* fixed_match);
+
+  /// Shared drop placement: one entry with `match` at the flow's ingress
+  /// switch, honouring config.install_drop_entries.  With `dedupe`, an
+  /// identical live entry suppresses the install.
+  static std::size_t install_drop_at_ingress(AdmissionEnv& env,
+                                             const AdmissionContext& ctx,
+                                             const openflow::FlowMatch& match,
+                                             bool dedupe);
+};
+
+/// The aggregated rule cache (§3.1 scaled up, SRMCA-style forwarding-state
+/// aggregation): when the decision carries a rule-level cover, install ONE
+/// wildcard/prefix entry caching the whole rule instead of a per-flow
+/// exact entry, so a port scan / flash crowd covered by one rule costs one
+/// table entry and one controller round trip total.  Allow entries are
+/// narrowed to the flow's destination host (/32) because the output port
+/// is destination-determined; drop entries cache the rule's full scope at
+/// the ingress switch.  Decisions without a cover fall back to the exact
+/// per-flow placement.
+class AggregatingInstallStrategy : public PathInstallStrategy {
+ public:
+  std::size_t install_allow(AdmissionEnv& env, const AdmissionContext& ctx,
+                            const AdmissionDecision& decision) override;
+  std::size_t install_drop(AdmissionEnv& env, const AdmissionContext& ctx,
+                           const AdmissionDecision& decision) override;
+
+  /// Entry installed as a rule cover (wildcards beyond the in_port bit
+  /// PathInstallStrategy sometimes uses, or a sub-/32 prefix)?  Used by
+  /// revocation/policy-reload to flush aggregates specifically.
+  [[nodiscard]] static bool is_aggregate_entry(
+      const openflow::FlowEntry& entry) noexcept;
 };
 
 // ---------------------------------------------------------------------------
@@ -564,20 +639,36 @@ class StatsObserver : public AdmissionObserver {
   ControllerStats stats_;
 };
 
-/// Appends a DecisionRecord per decision ("log and audit", §1).
+/// Appends a DecisionRecord per decision ("log and audit", §1).  Retention
+/// is bounded (ring-buffer semantics): beyond `capacity` records the
+/// oldest drop first and are counted in dropped() — the seed grew without
+/// bound under sustained traffic.
 class AuditLogObserver : public AdmissionObserver {
  public:
-  [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+  explicit AuditLogObserver(
+      std::size_t capacity = ControllerConfig::kDefaultAuditLogCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] const std::deque<DecisionRecord>& records() const noexcept {
     return records_;
   }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records discarded to stay within capacity.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   void on_decision(const DecisionRecord& record,
                    const AdmissionDecision&) override {
+    if (records_.size() >= capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
     records_.push_back(record);
   }
 
  private:
-  std::vector<DecisionRecord> records_;
+  std::size_t capacity_;
+  std::deque<DecisionRecord> records_;
+  std::uint64_t dropped_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -31,7 +31,7 @@ AdmissionController::AdmissionController(openflow::Topology* topology,
   auto stats = std::make_unique<StatsObserver>();
   stats_observer_ = stats.get();
   observers_.push_back(std::move(stats));
-  auto audit = std::make_unique<AuditLogObserver>();
+  auto audit = std::make_unique<AuditLogObserver>(config_.audit_log_capacity);
   audit_observer_ = audit.get();
   observers_.push_back(std::move(audit));
 }
@@ -71,6 +71,17 @@ void AdmissionController::replace_engine(
   pipeline_.engine = std::move(engine);
   // Stale verdicts must not outlive the policy that produced them.
   if (pipeline_.cache) pipeline_.cache->clear();
+  // Aggregated rule covers encode the OLD ruleset's scope.  Unlike
+  // per-flow exact entries (which only keep admitting flows already
+  // decided), a covering wildcard entry silently admits *new* flows under
+  // the replaced policy — flush them.
+  for (const sim::NodeId id : domain_) {
+    topology_->switch_at(id).table().remove_if(
+        [this](const openflow::FlowEntry& entry) {
+          return entry.cookie != 0 && entry.priority == config_.flow_priority &&
+                 AggregatingInstallStrategy::is_aggregate_entry(entry);
+        });
+  }
 }
 
 std::size_t AdmissionController::revoke_all() {
@@ -94,13 +105,14 @@ std::size_t AdmissionController::revoke_if(
           if (entry.priority != config_.flow_priority || entry.cookie == 0) {
             return false;
           }
-          net::TenTuple tuple;
-          tuple.src_ip = entry.match.src_ip;
-          tuple.dst_ip = entry.match.dst_ip;
-          tuple.proto = entry.match.proto;
-          tuple.src_port = entry.match.src_port;
-          tuple.dst_port = entry.match.dst_port;
-          return pred(tuple.five_tuple());
+          // Judge by the flow registered at install time (cookie map):
+          // reading the 5-tuple back out of the match is wrong for
+          // covering wildcard entries, whose match fields are partly
+          // unset.  An aggregate entry is revoked when its *seeding*
+          // flow matches; flow-level quarantine of traffic still covered
+          // by a rule belongs to higher-priority wildcard drops.
+          const auto it = installed_flows_.find(entry.cookie);
+          return it != installed_flows_.end() && pred(it->second);
         });
   }
   // The cache would otherwise silently re-admit a revoked flow until its
@@ -157,20 +169,24 @@ void AdmissionController::apply_decision(AdmissionContext& ctx,
                                          const AdmissionDecision& decision) {
   if (decision.allowed) {
     const std::size_t installed =
-        pipeline_.installer->install_allow(*this, ctx);
+        pipeline_.installer->install_allow(*this, ctx, decision);
     notify([&](AdmissionObserver& o) { o.on_entries_installed(installed); });
     if (decision.keep_state) {
-      // keep state also admits the reverse direction of the flow.
+      // keep state also admits the reverse direction of the flow.  The
+      // cover (if any) describes the forward direction only — strip it
+      // so the reverse install stays per-flow.
       AdmissionContext reverse;
       reverse.flow = ctx.flow.reversed();
+      AdmissionDecision reverse_decision = decision;
+      reverse_decision.cover.reset();
       const std::size_t rev =
-          pipeline_.installer->install_allow(*this, reverse);
+          pipeline_.installer->install_allow(*this, reverse, reverse_decision);
       notify([&](AdmissionObserver& o) { o.on_entries_installed(rev); });
     }
     release_buffered(ctx, true);
   } else {
     const std::size_t installed =
-        pipeline_.installer->install_drop(*this, ctx);
+        pipeline_.installer->install_drop(*this, ctx, decision);
     notify([&](AdmissionObserver& o) { o.on_entries_installed(installed); });
     release_buffered(ctx, false);
   }

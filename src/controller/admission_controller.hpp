@@ -90,8 +90,13 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   [[nodiscard]] const ControllerStats& stats() const noexcept {
     return stats_observer_->stats();
   }
-  [[nodiscard]] const std::vector<DecisionRecord>& audit_log() const noexcept {
+  /// Bounded audit trail (ring buffer of config.audit_log_capacity).
+  [[nodiscard]] const std::deque<DecisionRecord>& audit_log() const noexcept {
     return audit_observer_->records();
+  }
+  /// Audit records discarded to stay within the retention bound.
+  [[nodiscard]] std::uint64_t audit_dropped() const noexcept {
+    return audit_observer_->dropped();
   }
 
   // ---- pipeline access (tests, tuning) -------------------------------------

@@ -286,7 +286,8 @@ ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
     result.flows.push_back(std::move(flow_result));
   }
   result.controller_stats = controller.stats();
-  result.audit_log = controller.audit_log();
+  result.audit_log.assign(controller.audit_log().begin(),
+                          controller.audit_log().end());
   return result;
 }
 

@@ -4,6 +4,27 @@
 
 namespace identxx::openflow {
 
+namespace {
+
+/// Effective prefix length for shape identity: irrelevant (0) when the
+/// field is fully wildcarded, clamped to [0,32] otherwise.
+[[nodiscard]] unsigned norm_prefix(Wildcard set, Wildcard bit,
+                                   unsigned prefix) noexcept {
+  if (has_wildcard(set, bit)) return 0;
+  return prefix > 32 ? 32 : prefix;
+}
+
+/// OpenFlow overwrite semantics: replacing an entry with an equivalent
+/// match at the same priority keeps its counters and creation time.
+void overwrite(FlowEntry& slot, FlowEntry fresh) noexcept {
+  fresh.packet_count = slot.packet_count;
+  fresh.byte_count = slot.byte_count;
+  fresh.created_at = slot.created_at;
+  slot = std::move(fresh);
+}
+
+}  // namespace
+
 std::string to_string(const Action& action) {
   struct Visitor {
     std::string operator()(const OutputAction& a) const {
@@ -23,19 +44,12 @@ std::string to_string(const Action& action) {
   return std::visit(Visitor{}, action);
 }
 
-net::TenTuple FlowTable::key_of(const FlowMatch& m) noexcept {
-  net::TenTuple t;
-  t.in_port = m.in_port;
-  t.src_mac = m.src_mac;
-  t.dst_mac = m.dst_mac;
-  t.ether_type = m.ether_type;
-  t.vlan_id = m.vlan_id;
-  t.src_ip = m.src_ip;
-  t.dst_ip = m.dst_ip;
-  t.proto = m.proto;
-  t.src_port = m.src_port;
-  t.dst_port = m.dst_port;
-  return t;
+bool FlowTable::shape_fits(const Shape& shape, const FlowMatch& match) noexcept {
+  return shape.wildcards == match.wildcards &&
+         shape.src_prefix ==
+             norm_prefix(match.wildcards, Wildcard::kSrcIp, match.src_ip_prefix) &&
+         shape.dst_prefix ==
+             norm_prefix(match.wildcards, Wildcard::kDstIp, match.dst_ip_prefix);
 }
 
 bool FlowTable::expired(const FlowEntry& e, sim::SimTime now) const noexcept {
@@ -44,198 +58,239 @@ bool FlowTable::expired(const FlowEntry& e, sim::SimTime now) const noexcept {
   return false;
 }
 
+RemovalReason FlowTable::expiry_reason(const FlowEntry& e,
+                                       sim::SimTime now) const noexcept {
+  return e.hard_timeout > 0 && now >= e.created_at + e.hard_timeout
+             ? RemovalReason::kHardTimeout
+             : RemovalReason::kIdleTimeout;
+}
+
 void FlowTable::notify_removal(const FlowEntry& entry, RemovalReason reason) {
   ++stats_.removals;
   if (removal_listener_) removal_listener_(entry, reason);
 }
 
+void FlowTable::erase_stored(Iter it, RemovalReason reason) {
+  const FlowEntry entry = std::move(*it);
+  if (entry.match.is_exact()) {
+    exact_.erase(entry.match.key());
+  } else if (const auto bit = wild_.find(entry.priority); bit != wild_.end()) {
+    Bucket& bucket = bit->second;
+    for (std::size_t i = 0; i < bucket.shapes.size(); ++i) {
+      if (!shape_fits(bucket.shapes[i], entry.match)) continue;
+      bucket.shapes[i].by_key.erase(entry.match.key());
+      if (bucket.shapes[i].by_key.empty()) {
+        bucket.shapes.erase(bucket.shapes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      }
+      break;
+    }
+    if (bucket.shapes.empty()) wild_.erase(bit);
+  }
+  order_.erase(it);
+  notify_removal(entry, reason);
+}
+
 void FlowTable::evict_lru() {
-  // Find the least-recently-used entry across both stores.
-  auto lru_exact = exact_.end();
-  for (auto it = exact_.begin(); it != exact_.end(); ++it) {
-    if (lru_exact == exact_.end() ||
-        it->second.last_used_at < lru_exact->second.last_used_at) {
-      lru_exact = it;
-    }
-  }
-  auto lru_wild = wild_.end();
-  for (auto it = wild_.begin(); it != wild_.end(); ++it) {
-    if (lru_wild == wild_.end() || it->last_used_at < lru_wild->last_used_at) {
-      lru_wild = it;
-    }
-  }
-  const bool pick_exact =
-      lru_exact != exact_.end() &&
-      (lru_wild == wild_.end() ||
-       lru_exact->second.last_used_at <= lru_wild->last_used_at);
-  if (pick_exact) {
-    const FlowEntry victim = lru_exact->second;
-    exact_.erase(lru_exact);
-    notify_removal(victim, RemovalReason::kEvicted);
-  } else if (lru_wild != wild_.end()) {
-    const FlowEntry victim = *lru_wild;
-    wild_.erase(lru_wild);
-    notify_removal(victim, RemovalReason::kEvicted);
-  }
+  if (order_.empty()) return;
+  erase_stored(std::prev(order_.end()), RemovalReason::kEvicted);
+}
+
+const FlowEntry* FlowTable::touch(Iter it, sim::SimTime now,
+                                  std::size_t packet_bytes) {
+  it->last_used_at = now;
+  ++it->packet_count;
+  it->byte_count += packet_bytes;
+  order_.splice(order_.begin(), order_, it);
+  ++stats_.hits;
+  return &*it;
 }
 
 void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
   entry.created_at = now;
   entry.last_used_at = now;
   ++stats_.inserts;
+  const net::TenTuple key = entry.match.key();
+
   if (entry.match.is_exact()) {
-    const auto key = key_of(entry.match);
-    const auto it = exact_.find(key);
-    if (it != exact_.end()) {
-      it->second = entry;  // overwrite, not a new entry
-      return;
+    if (const auto it = exact_.find(key); it != exact_.end()) {
+      // An expired-but-unswept entry is replaced, not refreshed: its
+      // counters belong to a rule that already ended.
+      if (expired(*it->second, now)) {
+        erase_stored(it->second, expiry_reason(*it->second, now));
+      } else {
+        overwrite(*it->second, std::move(entry));
+        order_.splice(order_.begin(), order_, it->second);  // refresh recency
+        return;
+      }
     }
     if (size() >= capacity_) evict_lru();
-    exact_.emplace(key, std::move(entry));
+    order_.push_front(std::move(entry));
+    exact_.emplace(key, order_.begin());
     return;
   }
-  // Overwrite an existing wildcard entry with identical match + priority.
-  for (auto& existing : wild_) {
-    if (existing.match == entry.match && existing.priority == entry.priority) {
-      existing = entry;
-      return;
+
+  // Overwrite an existing wildcard entry covering the same packets at the
+  // same priority.
+  if (const auto bit = wild_.find(entry.priority); bit != wild_.end()) {
+    for (Shape& shape : bit->second.shapes) {
+      if (!shape_fits(shape, entry.match)) continue;
+      if (const auto it = shape.by_key.find(key); it != shape.by_key.end()) {
+        if (expired(*it->second, now)) {
+          erase_stored(it->second, expiry_reason(*it->second, now));
+          break;  // insert fresh below
+        }
+        overwrite(*it->second, std::move(entry));
+        order_.splice(order_.begin(), order_, it->second);
+        return;
+      }
+      break;  // at most one shape fits
     }
   }
-  if (size() >= capacity_) evict_lru();
-  // Keep sorted by priority descending; stable w.r.t. insertion order.
-  const auto pos = std::upper_bound(
-      wild_.begin(), wild_.end(), entry,
-      [](const FlowEntry& a, const FlowEntry& b) {
-        return a.priority > b.priority;
-      });
-  wild_.insert(pos, std::move(entry));
+
+  if (size() >= capacity_) evict_lru();  // may prune shapes/buckets
+  order_.push_front(std::move(entry));
+  const FlowMatch& match = order_.front().match;
+  Bucket& bucket = wild_[order_.front().priority];
+  Shape* shape = nullptr;
+  for (Shape& candidate : bucket.shapes) {
+    if (shape_fits(candidate, match)) {
+      shape = &candidate;
+      break;
+    }
+  }
+  if (shape == nullptr) {
+    bucket.shapes.push_back(Shape{
+        match.wildcards,
+        norm_prefix(match.wildcards, Wildcard::kSrcIp, match.src_ip_prefix),
+        norm_prefix(match.wildcards, Wildcard::kDstIp, match.dst_ip_prefix),
+        {}});
+    shape = &bucket.shapes.back();
+  }
+  shape->by_key.emplace(key, order_.begin());
 }
 
 const FlowEntry* FlowTable::lookup(const net::TenTuple& tuple, sim::SimTime now,
                                    std::size_t packet_bytes) {
   ++stats_.lookups;
-  // Exact path first (it can only be outranked by a wildcard entry with
-  // strictly higher priority — OpenFlow 1.0 gives exact entries top
-  // priority, which we mirror by checking them first).
-  const auto it = exact_.find(tuple);
-  if (it != exact_.end()) {
-    if (expired(it->second, now)) {
-      const FlowEntry victim = it->second;
-      exact_.erase(it);
-      notify_removal(victim,
-                     victim.hard_timeout > 0 &&
-                             now >= victim.created_at + victim.hard_timeout
-                         ? RemovalReason::kHardTimeout
-                         : RemovalReason::kIdleTimeout);
+
+  // Exact candidate first; it wins unless a wildcard entry of *strictly*
+  // higher priority also matches.  (The seed returned the exact hit
+  // unconditionally, shadowing high-priority wildcard drop/quarantine
+  // rules — the wildcard-shadowing regression in tests/openflow_test.cpp.)
+  Iter exact_hit = order_.end();
+  if (const auto it = exact_.find(tuple); it != exact_.end()) {
+    if (expired(*it->second, now)) {
+      erase_stored(it->second, expiry_reason(*it->second, now));
     } else {
-      FlowEntry& entry = it->second;
-      entry.last_used_at = now;
-      ++entry.packet_count;
-      entry.byte_count += packet_bytes;
-      ++stats_.hits;
-      return &entry;
+      exact_hit = it->second;
     }
   }
-  for (auto wit = wild_.begin(); wit != wild_.end();) {
-    if (expired(*wit, now)) {
-      const FlowEntry victim = *wit;
-      wit = wild_.erase(wit);
-      notify_removal(victim,
-                     victim.hard_timeout > 0 &&
-                             now >= victim.created_at + victim.hard_timeout
-                         ? RemovalReason::kHardTimeout
-                         : RemovalReason::kIdleTimeout);
-      continue;
+  const bool have_exact = exact_hit != order_.end();
+
+  auto bit = wild_.begin();
+  while (bit != wild_.end()) {
+    const std::uint16_t bucket_priority = bit->first;
+    if (have_exact && bucket_priority <= exact_hit->priority) break;
+    Bucket& bucket = bit->second;
+    Iter matched = order_.end();
+    Iter dead[2];
+    std::size_t dead_count = 0;
+    std::vector<Iter> dead_overflow;
+    for (Shape& shape : bucket.shapes) {
+      const auto kit = shape.by_key.find(project_tuple(
+          tuple, shape.wildcards, shape.src_prefix, shape.dst_prefix));
+      if (kit == shape.by_key.end()) continue;
+      if (expired(*kit->second, now)) {
+        if (dead_count < 2) {
+          dead[dead_count++] = kit->second;
+        } else {
+          dead_overflow.push_back(kit->second);
+        }
+        continue;
+      }
+      matched = kit->second;
+      break;
     }
-    if (wit->match.matches(tuple)) {
-      wit->last_used_at = now;
-      ++wit->packet_count;
-      wit->byte_count += packet_bytes;
-      ++stats_.hits;
-      return &*wit;
+    // Remove expired entries only after the shape scan: erase_stored may
+    // prune shapes (and this bucket, and even rebalance wild_), which
+    // would invalidate the references the scan holds.
+    for (std::size_t i = 0; i < dead_count; ++i) {
+      erase_stored(dead[i], expiry_reason(*dead[i], now));
     }
-    ++wit;
+    for (const Iter it : dead_overflow) {
+      erase_stored(it, expiry_reason(*it, now));
+    }
+    if (matched != order_.end()) return touch(matched, now, packet_bytes);
+    // Re-seek: the bucket (or others) may have been erased above.
+    bit = wild_.upper_bound(bucket_priority);
   }
+
+  if (have_exact) return touch(exact_hit, now, packet_bytes);
   ++stats_.misses;
   return nullptr;
+}
+
+const FlowEntry* FlowTable::find(const FlowMatch& match, std::uint16_t priority,
+                                 sim::SimTime now) const {
+  const net::TenTuple key = match.key();
+  const FlowEntry* entry = nullptr;
+  if (match.is_exact()) {
+    if (const auto it = exact_.find(key);
+        it != exact_.end() && it->second->priority == priority) {
+      entry = &*it->second;
+    }
+  } else if (const auto bit = wild_.find(priority); bit != wild_.end()) {
+    for (const Shape& shape : bit->second.shapes) {
+      if (!shape_fits(shape, match)) continue;
+      if (const auto kit = shape.by_key.find(key); kit != shape.by_key.end()) {
+        entry = &*kit->second;
+      }
+      break;
+    }
+  }
+  // An expired-but-unswept entry is dead state, not a live rule.
+  return entry != nullptr && !expired(*entry, now) ? entry : nullptr;
 }
 
 std::size_t FlowTable::remove_if(
     const std::function<bool(const FlowEntry&)>& pred) {
   std::size_t removed = 0;
-  for (auto it = exact_.begin(); it != exact_.end();) {
-    if (pred(it->second)) {
-      const FlowEntry victim = it->second;
-      it = exact_.erase(it);
-      notify_removal(victim, RemovalReason::kDeleted);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = wild_.begin(); it != wild_.end();) {
+  for (auto it = order_.begin(); it != order_.end();) {
+    const auto next = std::next(it);
     if (pred(*it)) {
-      const FlowEntry victim = *it;
-      it = wild_.erase(it);
-      notify_removal(victim, RemovalReason::kDeleted);
+      erase_stored(it, RemovalReason::kDeleted);
       ++removed;
-    } else {
-      ++it;
     }
+    it = next;
   }
   return removed;
 }
 
 std::size_t FlowTable::expire(sim::SimTime now) {
   std::size_t removed = 0;
-  for (auto it = exact_.begin(); it != exact_.end();) {
-    if (expired(it->second, now)) {
-      const FlowEntry victim = it->second;
-      it = exact_.erase(it);
-      notify_removal(victim,
-                     victim.hard_timeout > 0 &&
-                             now >= victim.created_at + victim.hard_timeout
-                         ? RemovalReason::kHardTimeout
-                         : RemovalReason::kIdleTimeout);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = wild_.begin(); it != wild_.end();) {
+  for (auto it = order_.begin(); it != order_.end();) {
+    const auto next = std::next(it);
     if (expired(*it, now)) {
-      const FlowEntry victim = *it;
-      it = wild_.erase(it);
-      notify_removal(victim,
-                     victim.hard_timeout > 0 &&
-                             now >= victim.created_at + victim.hard_timeout
-                         ? RemovalReason::kHardTimeout
-                         : RemovalReason::kIdleTimeout);
+      erase_stored(it, expiry_reason(*it, now));
       ++removed;
-    } else {
-      ++it;
     }
+    it = next;
   }
   return removed;
 }
 
 void FlowTable::clear() {
-  for (const auto& [key, entry] : exact_) {
+  for (const FlowEntry& entry : order_) {
     notify_removal(entry, RemovalReason::kDeleted);
   }
-  for (const auto& entry : wild_) {
-    notify_removal(entry, RemovalReason::kDeleted);
-  }
+  order_.clear();
   exact_.clear();
   wild_.clear();
 }
 
 std::vector<FlowEntry> FlowTable::entries() const {
-  std::vector<FlowEntry> out;
-  out.reserve(size());
-  for (const auto& [key, entry] : exact_) out.push_back(entry);
-  for (const auto& entry : wild_) out.push_back(entry);
-  return out;
+  return {order_.begin(), order_.end()};
 }
 
 }  // namespace identxx::openflow

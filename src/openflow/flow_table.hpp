@@ -6,13 +6,29 @@
 // entry to cache its allow/drop decision so later packets of the flow
 // never reach the controller.
 //
-// Lookup strategy: entries whose match is fully exact go into a hash map
-// keyed by the 10-tuple (O(1) hit path — the dominant case under ident++,
-// which installs exact entries).  Wildcard entries live in a vector sorted
-// by descending priority and are scanned linearly.
+// Lookup strategy (DESIGN.md §8): entries whose match is fully exact go
+// into a hash map keyed by the 10-tuple (O(1) hit path — the dominant
+// case under ident++, which installs exact entries).  Wildcard entries
+// live in per-priority buckets, each bucket partitioned into tuple-space
+// "shapes" (one per distinct wildcard mask + prefix lengths); within a
+// shape a lookup is a single hash probe on the tuple projected onto the
+// shape's constrained fields.  Aggregated tables therefore cost
+// O(buckets × shapes-per-bucket), not O(entries).
+//
+// Priority semantics: an exact hit wins over wildcard entries of equal or
+// lower priority, but a wildcard entry of *strictly higher* priority that
+// matches the packet beats it (OpenFlow tie-break: exact before wildcard
+// at the same priority).  The seed's fast path returned the exact hit
+// unconditionally, which silently shadowed high-priority wildcard
+// quarantine/drop rules.
+//
+// Recency: every use splices the entry to the front of an intrusive LRU
+// list, so capacity eviction is O(1) — pop the back.
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -55,8 +71,11 @@ struct TableStats {
 class FlowTable {
  public:
   /// `capacity` caps the number of entries (hardware TCAM analogue);
-  /// inserts beyond it evict the least-recently-used entry.
-  explicit FlowTable(std::size_t capacity = 65536) : capacity_(capacity) {}
+  /// inserts beyond it evict the least-recently-used entry.  Clamped to
+  /// ≥ 1 — a zero capacity would let inserts grow the table unbounded
+  /// (eviction of an empty table is a no-op).
+  explicit FlowTable(std::size_t capacity = 65536)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   using RemovalListener =
       std::function<void(const FlowEntry&, RemovalReason)>;
@@ -66,7 +85,11 @@ class FlowTable {
     removal_listener_ = std::move(listener);
   }
 
-  /// Insert or overwrite (same match + priority overwrites).
+  /// Insert or overwrite.  An entry whose match covers the same packets
+  /// at the same priority overwrites the old one, *preserving* its
+  /// packet/byte counters and creation time (OpenFlow overwrite
+  /// semantics — controllers refresh rules and read the counters for
+  /// accounting).
   void insert(FlowEntry entry, sim::SimTime now);
 
   /// Highest-priority matching entry, updating stats; nullptr on miss.
@@ -74,6 +97,13 @@ class FlowTable {
   [[nodiscard]] const FlowEntry* lookup(const net::TenTuple& tuple,
                                         sim::SimTime now,
                                         std::size_t packet_bytes);
+
+  /// Structural lookup: the live (non-expired as of `now`) entry with
+  /// exactly this match (same covered packets) and priority, if any.
+  /// Does not update stats or recency.
+  [[nodiscard]] const FlowEntry* find(const FlowMatch& match,
+                                      std::uint16_t priority,
+                                      sim::SimTime now) const;
 
   /// Remove entries matching predicate; returns count.
   std::size_t remove_if(const std::function<bool(const FlowEntry&)>& pred);
@@ -84,24 +114,50 @@ class FlowTable {
   /// Remove all entries.
   void clear();
 
-  [[nodiscard]] std::size_t size() const noexcept {
-    return exact_.size() + wild_.size();
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const TableStats& stats() const noexcept { return stats_; }
 
-  /// Snapshot of all entries (for tests and debugging).
+  /// Snapshot of all entries (for tests and debugging), most recently
+  /// used first.
   [[nodiscard]] std::vector<FlowEntry> entries() const;
 
  private:
-  [[nodiscard]] static net::TenTuple key_of(const FlowMatch& match) noexcept;
+  using Order = std::list<FlowEntry>;
+  using Iter = Order::iterator;
+
+  /// One tuple-space shape within a priority bucket: the entries sharing
+  /// a wildcard mask and prefix lengths, indexed by projected key so a
+  /// lookup is one hash probe instead of a scan.
+  struct Shape {
+    Wildcard wildcards = Wildcard::kAll;
+    unsigned src_prefix = 0;  ///< 0 when kSrcIp is wildcarded
+    unsigned dst_prefix = 0;
+    std::unordered_map<net::TenTuple, Iter> by_key;
+  };
+
+  /// All wildcard entries of one priority, shapes in creation order.
+  struct Bucket {
+    std::vector<Shape> shapes;
+  };
+
+  [[nodiscard]] static bool shape_fits(const Shape& shape,
+                                       const FlowMatch& match) noexcept;
   [[nodiscard]] bool expired(const FlowEntry& entry, sim::SimTime now) const noexcept;
+  [[nodiscard]] RemovalReason expiry_reason(const FlowEntry& entry,
+                                            sim::SimTime now) const noexcept;
   void notify_removal(const FlowEntry& entry, RemovalReason reason);
+  /// Unlink `it` from its index (exact map or bucket/shape) and the LRU
+  /// list, then notify.  Empty shapes and buckets are pruned.
+  void erase_stored(Iter it, RemovalReason reason);
   void evict_lru();
+  const FlowEntry* touch(Iter it, sim::SimTime now, std::size_t packet_bytes);
 
   std::size_t capacity_;
-  std::unordered_map<net::TenTuple, FlowEntry> exact_;
-  std::vector<FlowEntry> wild_;  // sorted by priority desc, stable
+  Order order_;  ///< front = most recently used; back = eviction victim
+  std::unordered_map<net::TenTuple, Iter> exact_;
+  /// Wildcard buckets, highest priority first.
+  std::map<std::uint16_t, Bucket, std::greater<std::uint16_t>> wild_;
   TableStats stats_;
   RemovalListener removal_listener_;
 };

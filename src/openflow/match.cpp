@@ -12,7 +12,55 @@ namespace {
   return (value.value() & mask) == (base.value() & mask);
 }
 
+[[nodiscard]] net::Ipv4Address masked(net::Ipv4Address addr,
+                                      unsigned prefix) noexcept {
+  if (prefix == 0) return net::Ipv4Address{};
+  if (prefix > 32) prefix = 32;
+  return net::Ipv4Address{addr.value() & (~std::uint32_t{0} << (32 - prefix))};
+}
+
 }  // namespace
+
+net::TenTuple project_tuple(const net::TenTuple& t, Wildcard wildcards,
+                            unsigned src_prefix, unsigned dst_prefix) noexcept {
+  net::TenTuple out;  // wildcarded fields keep the default value
+  if (!has_wildcard(wildcards, Wildcard::kInPort)) out.in_port = t.in_port;
+  if (!has_wildcard(wildcards, Wildcard::kSrcMac)) out.src_mac = t.src_mac;
+  if (!has_wildcard(wildcards, Wildcard::kDstMac)) out.dst_mac = t.dst_mac;
+  if (!has_wildcard(wildcards, Wildcard::kEtherType)) {
+    out.ether_type = t.ether_type;
+  }
+  if (!has_wildcard(wildcards, Wildcard::kVlanId)) out.vlan_id = t.vlan_id;
+  if (!has_wildcard(wildcards, Wildcard::kSrcIp)) {
+    out.src_ip = masked(t.src_ip, src_prefix);
+  }
+  if (!has_wildcard(wildcards, Wildcard::kDstIp)) {
+    out.dst_ip = masked(t.dst_ip, dst_prefix);
+  }
+  if (!has_wildcard(wildcards, Wildcard::kProto)) out.proto = t.proto;
+  if (!has_wildcard(wildcards, Wildcard::kSrcPort)) out.src_port = t.src_port;
+  if (!has_wildcard(wildcards, Wildcard::kDstPort)) out.dst_port = t.dst_port;
+  return out;
+}
+
+net::TenTuple FlowMatch::project(const net::TenTuple& tuple) const noexcept {
+  return project_tuple(tuple, wildcards, src_ip_prefix, dst_ip_prefix);
+}
+
+net::TenTuple FlowMatch::key() const noexcept {
+  net::TenTuple t;
+  t.in_port = in_port;
+  t.src_mac = src_mac;
+  t.dst_mac = dst_mac;
+  t.ether_type = ether_type;
+  t.vlan_id = vlan_id;
+  t.src_ip = src_ip;
+  t.dst_ip = dst_ip;
+  t.proto = proto;
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  return project(t);
+}
 
 FlowMatch FlowMatch::exact(const net::TenTuple& tuple) noexcept {
   FlowMatch m;

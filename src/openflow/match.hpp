@@ -82,7 +82,25 @@ struct FlowMatch {
   /// are eligible for the exact-match fast path in FlowTable.
   [[nodiscard]] bool is_exact() const noexcept;
 
+  /// Project `tuple` onto this match's constrained fields: wildcarded
+  /// fields take their default value and IPs are masked to the prefix.
+  /// Two tuples project equally iff the match cannot tell them apart,
+  /// so `matches(t)` ⇔ `project(t) == key()` — this is what lets the
+  /// FlowTable index wildcard entries of one shape in a hash map.
+  [[nodiscard]] net::TenTuple project(const net::TenTuple& tuple) const noexcept;
+
+  /// This match's own bucket key: its concrete field values projected
+  /// through its own shape.
+  [[nodiscard]] net::TenTuple key() const noexcept;
+
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Projection under an explicit shape (wildcard mask + prefix lengths) —
+/// FlowMatch::project with the shape taken from elsewhere.
+[[nodiscard]] net::TenTuple project_tuple(const net::TenTuple& tuple,
+                                          Wildcard wildcards,
+                                          unsigned src_prefix,
+                                          unsigned dst_prefix) noexcept;
 
 }  // namespace identxx::openflow

@@ -21,6 +21,7 @@ sim::NodeId Topology::add_host(std::unique_ptr<sim::Node> host) {
 
 std::pair<sim::PortId, sim::PortId> Topology::link(sim::NodeId a, sim::NodeId b,
                                                    sim::SimTime latency) {
+  invalidate_paths();  // adjacency changes below
   const sim::PortId port_a = next_port_.at(a)++;
   const sim::PortId port_b = next_port_.at(b)++;
   sim_.connect(a, port_a, b, port_b, latency);
@@ -55,8 +56,34 @@ std::optional<Hop> Topology::attachment(sim::NodeId host) const {
   return std::nullopt;
 }
 
+void Topology::invalidate_paths() noexcept {
+  if (path_cache_.empty()) return;
+  path_cache_.clear();
+  ++path_cache_stats_.invalidations;
+}
+
+void Topology::set_path_cache_enabled(bool enabled) noexcept {
+  path_cache_enabled_ = enabled;
+  if (!enabled) path_cache_.clear();
+}
+
 std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
                                                sim::NodeId dst_host) const {
+  if (!path_cache_enabled_) return compute_path(src_host, dst_host);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src_host) << 32) | dst_host;
+  if (const auto it = path_cache_.find(key); it != path_cache_.end()) {
+    ++path_cache_stats_.hits;
+    return it->second;
+  }
+  auto result = compute_path(src_host, dst_host);
+  ++path_cache_stats_.misses;
+  path_cache_.emplace(key, result);
+  return result;
+}
+
+std::optional<std::vector<Hop>> Topology::compute_path(
+    sim::NodeId src_host, sim::NodeId dst_host) const {
   if (src_host == dst_host) return std::vector<Hop>{};
   // BFS from src_host; only switches forward traffic.
   std::unordered_map<sim::NodeId, std::pair<sim::NodeId, sim::PortId>> parent;

@@ -5,6 +5,7 @@
 // fabric) so the controller can install entries along the whole path
 // preemptively (Figure 1 step 4).
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -22,6 +23,15 @@ struct Hop {
   sim::PortId out_port = 0;
   sim::PortId in_port = 0;
   [[nodiscard]] bool operator==(const Hop&) const noexcept = default;
+};
+
+/// Accounting for the (src,dst)-keyed memo in front of the BFS in
+/// Topology::path — admissions hammer the same attachment pairs, so the
+/// controller should not recompute the fabric walk per flow.
+struct PathCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     ///< BFS runs stored into the cache
+  std::uint64_t invalidations = 0;  ///< cache flushes (topology changed)
 };
 
 class Topology {
@@ -61,7 +71,8 @@ class Topology {
 
   /// Hop list forwarding a packet from `src_host` to `dst_host`: one entry
   /// per switch, ending with the hop whose out_port faces `dst_host`.
-  /// nullopt when no path exists.
+  /// nullopt when no path exists.  Results are memoized per (src,dst)
+  /// pair; `link()` (the only topology mutation) flushes the memo.
   [[nodiscard]] std::optional<std::vector<Hop>> path(sim::NodeId src_host,
                                                      sim::NodeId dst_host) const;
 
@@ -69,13 +80,36 @@ class Topology {
   [[nodiscard]] const std::vector<std::pair<sim::PortId, sim::NodeId>>&
   neighbours(sim::NodeId id) const;
 
+  // -- path cache -----------------------------------------------------------
+
+  [[nodiscard]] const PathCacheStats& path_cache_stats() const noexcept {
+    return path_cache_stats_;
+  }
+  [[nodiscard]] std::size_t path_cache_size() const noexcept {
+    return path_cache_.size();
+  }
+  /// Ablation / benchmarking knob: disabling drops the cache and makes
+  /// every path() call run the BFS.
+  void set_path_cache_enabled(bool enabled) noexcept;
+
  private:
+  [[nodiscard]] std::optional<std::vector<Hop>> compute_path(
+      sim::NodeId src_host, sim::NodeId dst_host) const;
+  void invalidate_paths() noexcept;
+
   sim::Simulator sim_;
   std::unordered_map<sim::NodeId, Switch*> switches_;
   std::vector<sim::NodeId> switch_order_;
   std::unordered_map<sim::NodeId, std::vector<std::pair<sim::PortId, sim::NodeId>>>
       adjacency_;
   std::unordered_map<sim::NodeId, sim::PortId> next_port_;
+
+  // Memoized path() results keyed by (src << 32) | dst.  Mutable: the
+  // cache is an implementation detail of the logically-const query.
+  mutable std::unordered_map<std::uint64_t, std::optional<std::vector<Hop>>>
+      path_cache_;
+  mutable PathCacheStats path_cache_stats_;
+  bool path_cache_enabled_ = true;
 };
 
 }  // namespace identxx::openflow

@@ -63,14 +63,16 @@ class FakeDecisionEngine : public ctrl::DecisionEngine {
 class CountingInstallStrategy : public ctrl::PathInstallStrategy {
  public:
   std::size_t install_allow(ctrl::AdmissionEnv& env,
-                            const ctrl::AdmissionContext& ctx) override {
+                            const ctrl::AdmissionContext& ctx,
+                            const ctrl::AdmissionDecision& decision) override {
     ++allow_calls;
-    return PathInstallStrategy::install_allow(env, ctx);
+    return PathInstallStrategy::install_allow(env, ctx, decision);
   }
   std::size_t install_drop(ctrl::AdmissionEnv& env,
-                           const ctrl::AdmissionContext& ctx) override {
+                           const ctrl::AdmissionContext& ctx,
+                           const ctrl::AdmissionDecision& decision) override {
     ++drop_calls;
-    return PathInstallStrategy::install_drop(env, ctx);
+    return PathInstallStrategy::install_drop(env, ctx, decision);
   }
 
   std::size_t allow_calls = 0;
@@ -502,6 +504,187 @@ TEST(BaselineRegression, EthaneIgnoresKeepState) {
   net.run();
   EXPECT_EQ(ethane.stats().flows_seen, flows_after_forward + 1);
   EXPECT_EQ(client.stats().flow_payloads_received, 1u);  // still delivered
+}
+
+// ---------------------------------------------------------------- aggregation
+
+[[nodiscard]] std::size_t installed_entries(core::Network& net, sim::NodeId sw) {
+  std::size_t count = 0;
+  for (const auto& entry : net.switch_at(sw).table().entries()) {
+    if (entry.cookie != 0) ++count;  // skip boot/intercept rules
+  }
+  return count;
+}
+
+TEST(Aggregation, PortScanInstallsOneCoveringDrop) {
+  // A port scan against a block-all policy: per-flow exact drops install
+  // one entry per probe and punt every probe to the controller; the
+  // aggregating strategy caches the covering rule once, after which the
+  // scan dies in the switch.
+  for (const bool aggregate : {false, true}) {
+    Network net;
+    const auto s1 = net.add_switch("s1");
+    auto& attacker = net.add_host("attacker", "10.0.0.66");
+    auto& victim = net.add_host("victim", "10.0.0.2");
+    net.link(attacker, s1);
+    net.link(victim, s1);
+    ctrl::ControllerConfig config;
+    config.aggregate_installs = aggregate;
+    auto& controller = net.install_controller("block all\n", config);
+    attacker.add_user("eve", "users");
+    const int pid = attacker.launch("eve", "/bin/scan");
+
+    constexpr std::uint16_t kProbes = 20;
+    for (std::uint16_t port = 1000; port < 1000 + kProbes; ++port) {
+      net.start_flow(attacker, pid, "10.0.0.2", port);
+      net.run();
+    }
+
+    if (aggregate) {
+      EXPECT_EQ(installed_entries(net, s1), 1u);   // one covering drop
+      EXPECT_EQ(controller.stats().flows_seen, 1u);  // probes 2..N die in-switch
+    } else {
+      EXPECT_EQ(installed_entries(net, s1), kProbes);  // one drop per probe
+      EXPECT_EQ(controller.stats().flows_seen, kProbes);
+    }
+  }
+}
+
+TEST(Aggregation, AllowCoverAdmitsLaterFlowsWithoutController) {
+  // `pass from any to any port 80` (with an earlier, overridden
+  // `block all`) is coverable: one wildcard entry per switch admits every
+  // client, and only the first flow pays the controller round trip.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& a = net.add_host("a", "10.0.0.1");
+  auto& b = net.add_host("b", "10.0.0.2");
+  auto& server = net.add_host("server", "10.0.0.9");
+  net.link(a, s1);
+  net.link(b, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = true;
+  auto& controller = net.install_controller(
+      "block all\npass from any to any port 80\n", config);
+
+  core::FlowHandle first, second;
+  a.add_user("u", "users");
+  const int pa = a.launch("u", "/bin/x");
+  first = net.start_flow(a, pa, "10.0.0.9", 80);
+  net.run();
+  b.add_user("v", "users");
+  const int pb = b.launch("v", "/bin/x");
+  second = net.start_flow(b, pb, "10.0.0.9", 80);
+  net.run();
+
+  EXPECT_TRUE(net.flow_delivered(first));
+  EXPECT_TRUE(net.flow_delivered(second));
+  EXPECT_EQ(installed_entries(net, s1), 1u);       // one covering allow
+  EXPECT_EQ(controller.stats().flows_seen, 1u);    // second flow never punted
+}
+
+TEST(Aggregation, UncoverableRuleFallsBackToExactEntries) {
+  // A rule guarded by a `with` predicate depends on daemon responses a
+  // switch cannot evaluate — it must never be aggregated.
+  ctrl::PolicyDecisionEngine engine(pf::parse(
+      "block all\n"
+      "pass from any to any port 22 with eq(@src[userID], alice)\n",
+      "test"));
+  EXPECT_FALSE(engine.rule_cover(1).has_value());
+  // And a rule shadowed by a later overlapping rule of opposite action is
+  // unsound to cache wholesale.
+  ctrl::PolicyDecisionEngine layered(pf::parse(
+      "pass from any to any port 80\n"
+      "block from 10.0.0.0/8 to any\n",
+      "test"));
+  EXPECT_FALSE(layered.rule_cover(0).has_value());
+  EXPECT_TRUE(layered.rule_cover(1).has_value());
+}
+
+TEST(Aggregation, PolicyReloadFlushesCoveringEntries) {
+  // set_policy keeps per-flow exact entries (seed behaviour) but MUST
+  // flush rule covers: a covering entry keeps admitting/refusing *new*
+  // flows under the old policy.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = true;
+  auto& controller = net.install_controller("block all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const core::FlowHandle blocked = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  EXPECT_FALSE(net.flow_delivered(blocked));
+  ASSERT_EQ(installed_entries(net, s1), 1u);  // covering drop
+
+  controller.set_policy(pf::parse("pass all\n", "revised"));
+  EXPECT_EQ(installed_entries(net, s1), 0u);  // cover flushed with the policy
+  const core::FlowHandle now_ok = net.start_flow(client, pid, "10.0.0.2", 81);
+  net.run();
+  EXPECT_TRUE(net.flow_delivered(now_ok));
+}
+
+TEST(Aggregation, RevokeIfRemovesCoverBySeedingFlow) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = true;
+  auto& controller = net.install_controller("block all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_EQ(installed_entries(net, s1), 1u);
+
+  const std::size_t removed = controller.revoke_if(
+      [&client](const net::FiveTuple& flow) { return flow.src_ip == client.ip(); });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(installed_entries(net, s1), 0u);
+}
+
+// ---------------------------------------------------------------- audit log
+
+TEST(AuditLogCap, RingBufferDropsOldestAndCounts) {
+  ctrl::AuditLogObserver log(2);
+  ctrl::AdmissionDecision decision;
+  for (std::uint16_t port : {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3}}) {
+    ctrl::DecisionRecord record;
+    record.flow = make_flow(1, 2, port);
+    log.on_decision(record, decision);
+  }
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records().front().flow.dst_port, 2);  // oldest (port 1) dropped
+  EXPECT_EQ(log.records().back().flow.dst_port, 3);
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+TEST(AuditLogCap, ControllerHonoursConfiguredCapacity) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.audit_log_capacity = 1;
+  auto& controller = net.install_controller("pass all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  net.start_flow(client, pid, "10.0.0.2", 81);
+  net.run();
+  ASSERT_EQ(controller.audit_log().size(), 1u);
+  EXPECT_EQ(controller.audit_log().front().flow.dst_port, 81);
+  EXPECT_EQ(controller.audit_dropped(), 1u);
 }
 
 TEST(BaselineRegression, DistributedFirewallAdmitsEverything) {

@@ -188,6 +188,161 @@ TEST(FlowTable, CapacityEvictsLru) {
   EXPECT_NE(table.lookup(tuple("1.1.1.1", "2.2.2.2"), 7, 0), nullptr);
 }
 
+TEST(FlowTable, HighPriorityWildcardDropBeatsExactAllow) {
+  // Wildcard-shadowing regression: the seed's exact-match fast path
+  // returned without consulting wildcard entries of strictly higher
+  // priority, so a quarantine drop covering the flow's source never
+  // fired once a per-flow allow entry existed.
+  FlowTable table;
+  FlowEntry allow;
+  allow.match = FlowMatch::exact(tuple());
+  allow.priority = 100;
+  allow.action = OutputAction{{2}};
+  table.insert(allow, 0);
+
+  FlowEntry quarantine;
+  quarantine.match.wildcards = without(Wildcard::kAll, Wildcard::kSrcIp);
+  quarantine.match.src_ip = *net::Ipv4Address::parse("10.0.0.1");
+  quarantine.priority = 900;  // strictly above the allow entry
+  quarantine.action = DropAction{};
+  table.insert(quarantine, 0);
+
+  const FlowEntry* found = table.lookup(tuple(), 1, 64);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->priority, 900);
+  EXPECT_TRUE(std::holds_alternative<DropAction>(found->action));
+}
+
+TEST(FlowTable, ExactBeatsEqualAndLowerPriorityWildcards) {
+  // OpenFlow tie-break: the exact entry wins at equal (and lower)
+  // wildcard priority.
+  FlowTable table;
+  FlowEntry allow;
+  allow.match = FlowMatch::exact(tuple());
+  allow.priority = 100;
+  allow.action = OutputAction{{2}};
+  table.insert(allow, 0);
+
+  FlowEntry same_priority;
+  same_priority.match.wildcards = without(Wildcard::kAll, Wildcard::kSrcIp);
+  same_priority.match.src_ip = *net::Ipv4Address::parse("10.0.0.1");
+  same_priority.priority = 100;
+  same_priority.action = DropAction{};
+  table.insert(same_priority, 0);
+
+  FlowEntry lower;
+  lower.match.wildcards = Wildcard::kAll;
+  lower.priority = 10;
+  lower.action = DropAction{};
+  table.insert(lower, 0);
+
+  const FlowEntry* found = table.lookup(tuple(), 1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->priority, 100);
+  EXPECT_TRUE(std::holds_alternative<OutputAction>(found->action));
+  EXPECT_TRUE(found->match.is_exact());
+}
+
+TEST(FlowTable, OverwritePreservesCountersAndCreation) {
+  // A controller refreshing a rule (same match + priority) must not wipe
+  // the counters AdmissionController::flow_usage reads for accounting.
+  FlowTable table;
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.action = OutputAction{{2}};
+  table.insert(entry, 0);
+  (void)table.lookup(tuple(), 5, 100);
+  (void)table.lookup(tuple(), 6, 100);
+
+  entry.action = OutputAction{{3}};  // refreshed rule, new action
+  table.insert(entry, 50);
+  const FlowEntry* found = table.lookup(tuple(), 51, 100);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->packet_count, 3u);  // 2 before the refresh + this one
+  EXPECT_EQ(found->byte_count, 300u);
+  EXPECT_EQ(found->created_at, 0);
+  EXPECT_TRUE(std::holds_alternative<OutputAction>(found->action));
+  EXPECT_EQ(std::get<OutputAction>(found->action).ports[0], 3);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, WildcardOverwritePreservesCounters) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  entry.match.dst_port = 80;
+  entry.priority = 7;
+  entry.action = DropAction{};
+  table.insert(entry, 0);
+  (void)table.lookup(tuple(), 1, 40);
+
+  table.insert(entry, 10);  // refresh
+  const FlowEntry* found = table.lookup(tuple(), 11, 40);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->packet_count, 2u);
+  EXPECT_EQ(found->byte_count, 80u);
+  EXPECT_EQ(found->created_at, 0);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, ZeroCapacityClampsToOne) {
+  // capacity == 0 used to disable eviction entirely (evict_lru no-oped on
+  // the empty stores) and let the table grow past its cap.
+  FlowTable table(0);
+  EXPECT_EQ(table.capacity(), 1u);
+  FlowEntry a;
+  a.match = FlowMatch::exact(tuple("1.1.1.1", "2.2.2.2"));
+  table.insert(a, 0);
+  FlowEntry b;
+  b.match = FlowMatch::exact(tuple("3.3.3.3", "4.4.4.4"));
+  table.insert(b, 1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(tuple("1.1.1.1", "2.2.2.2"), 2, 0), nullptr);
+  EXPECT_NE(table.lookup(tuple("3.3.3.3", "4.4.4.4"), 2, 0), nullptr);
+}
+
+TEST(FlowTable, BucketedLookupFindsLowerPriorityMatch) {
+  // Many disjoint wildcard entries across several priorities: the bucketed
+  // tuple-space index must still fall through to the only matching entry.
+  FlowTable table;
+  for (std::uint16_t p = 1; p <= 50; ++p) {
+    FlowEntry entry;
+    entry.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+    entry.match.dst_port = static_cast<std::uint16_t>(5000 + p);
+    entry.priority = p;
+    entry.action = DropAction{};
+    table.insert(entry, 0);
+  }
+  FlowEntry target;
+  target.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  target.match.dst_port = 80;
+  target.priority = 3;
+  target.action = OutputAction{{9}};
+  table.insert(target, 0);
+
+  const FlowEntry* found = table.lookup(tuple(), 1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->priority, 3);
+  EXPECT_TRUE(std::holds_alternative<OutputAction>(found->action));
+}
+
+TEST(FlowTable, FindByMatchAndPriority) {
+  FlowTable table;
+  FlowEntry wild;
+  wild.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  wild.match.dst_port = 80;
+  wild.priority = 42;
+  wild.idle_timeout = 100;
+  table.insert(wild, 0);
+  EXPECT_NE(table.find(wild.match, 42, 1), nullptr);
+  EXPECT_EQ(table.find(wild.match, 43, 1), nullptr);
+  FlowMatch other = wild.match;
+  other.dst_port = 81;
+  EXPECT_EQ(table.find(other, 42, 1), nullptr);
+  // An expired-but-unswept entry is not a live rule.
+  EXPECT_EQ(table.find(wild.match, 42, 500), nullptr);
+}
+
 TEST(FlowTable, RemoveIfByCookie) {
   FlowTable table;
   for (std::uint64_t cookie = 1; cookie <= 3; ++cookie) {
@@ -430,6 +585,48 @@ TEST(TopologyTest, PathFromSwitchStart) {
   ASSERT_TRUE(path.has_value());
   ASSERT_EQ(path->size(), 2u);
   EXPECT_EQ(path->front().switch_id, s1);
+}
+
+TEST(TopologyTest, PathCacheHitsAndInvalidatesOnLink) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  topo.link(s1, s2);
+  topo.link(h2, s2);
+
+  const auto first = topo.path(h1, h2);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->size(), 2u);
+  EXPECT_EQ(topo.path_cache_stats().misses, 1u);
+  const auto second = topo.path(h1, h2);
+  EXPECT_EQ(second, first);  // served from cache, identical hops
+  EXPECT_EQ(topo.path_cache_stats().hits, 1u);
+
+  // Topology change: a direct s1—h2 shortcut.  The cache must not keep
+  // handing out the stale two-hop path.
+  topo.link(s1, h2);
+  EXPECT_GE(topo.path_cache_stats().invalidations, 1u);
+  const auto after = topo.path(h1, h2);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->size(), 1u);  // now one hop: s1 straight to h2
+  EXPECT_EQ(after->front().switch_id, s1);
+}
+
+TEST(TopologyTest, PathCacheDisableFallsBackToBfs) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  topo.link(h2, s1);
+  topo.set_path_cache_enabled(false);
+  ASSERT_TRUE(topo.path(h1, h2).has_value());
+  ASSERT_TRUE(topo.path(h1, h2).has_value());
+  EXPECT_EQ(topo.path_cache_stats().hits, 0u);
+  EXPECT_EQ(topo.path_cache_size(), 0u);
 }
 
 TEST(TopologyTest, SwitchAtRejectsHosts) {
