@@ -2,11 +2,21 @@
 // sign/verify, and the full PF+=2 `verify()` predicate as used by the
 // delegation rules (Figs 5/7).  These bound how expensive authenticated
 // delegation is per flow-setup.
+//
+// The fast-path flavours (DESIGN.md §9): BM_SchnorrVerifyPrecomputed
+// (per-key comb table, no doubling chain), BM_SchnorrVerifyColdKeys (keys
+// never seen twice — the no-precomputation floor), BM_EcMulAdd* (fused
+// Shamir double-scalar vs two full multiplications), BM_ScalarReduce*
+// (folding reduction mod n vs binary long division), and
+// BM_SchnorrVerifierMemoHit (the controller-layer verification memo).
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/verifier.hpp"
 #include "identxx/daemon_config.hpp"
 #include "pf/eval.hpp"
 #include "pf/parser.hpp"
@@ -52,6 +62,106 @@ void BM_SchnorrVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrVerify);
+
+/// Verification against a key whose comb table was built at registration:
+/// the per-daemon-key steady state on the flow-setup hot path.
+void BM_SchnorrVerifyPrecomputed(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const crypto::PrecomputedPublicKey pre(key.public_key());
+  const std::string message(256, 'm');
+  const crypto::Signature sig = key.sign(message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(pre, message, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerifyPrecomputed);
+
+/// Verification floor with NO per-key amortization: a pool of keys larger
+/// than the shared table cache, so every verify runs the fused Shamir pass
+/// from scratch.
+void BM_SchnorrVerifyColdKeys(benchmark::State& state) {
+  struct Case {
+    crypto::PublicKey key;
+    crypto::Signature sig;
+  };
+  std::vector<Case> cases;
+  const std::string message(256, 'm');
+  for (int i = 0; i < 256; ++i) {
+    const crypto::PrivateKey key =
+        crypto::PrivateKey::from_seed("cold-" + std::to_string(i));
+    cases.push_back(Case{key.public_key(), key.sign(message)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Case& c = cases[i++ % cases.size()];
+    benchmark::DoNotOptimize(crypto::verify(c.key, message, c.sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerifyColdKeys);
+
+/// The controller-layer verification memo: byte-identical attestations
+/// (retransmissions, one app's flows in a batch) cost a hash + LRU probe.
+void BM_SchnorrVerifierMemoHit(benchmark::State& state) {
+  crypto::SchnorrVerifier verifier;
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  verifier.register_key(key.public_key());
+  const std::string message(256, 'm');
+  const crypto::Signature sig = key.sign(message);
+  benchmark::DoNotOptimize(verifier.verify(key.public_key(), message, sig));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(key.public_key(), message, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerifierMemoHit);
+
+/// Fused a*G + b*P (one Shamir-interleaved wNAF pass) ...
+void BM_EcMulAdd(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const crypto::AffinePoint p = key.public_key().point;
+  const crypto::U256 a = crypto::hash_to_scalar(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("a"), 1));
+  const crypto::U256 b = crypto::hash_to_scalar(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("b"), 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ec_mul_add(a, b, p));
+  }
+}
+BENCHMARK(BM_EcMulAdd);
+
+/// ... versus the pre-fusion shape: two full multiplications plus an add.
+void BM_EcMulAddTwoMuls(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const crypto::AffinePoint p = key.public_key().point;
+  const crypto::U256 a = crypto::hash_to_scalar(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("a"), 1));
+  const crypto::U256 b = crypto::hash_to_scalar(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("b"), 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::ec_add(crypto::ec_mul(a, crypto::AffinePoint::generator()),
+                       crypto::ec_mul(b, p)));
+  }
+}
+BENCHMARK(BM_EcMulAddTwoMuls);
+
+/// Scalar reduction mod n: specialized folding vs generic long division.
+void BM_ScalarReduceFast(benchmark::State& state) {
+  crypto::U512 wide;
+  for (std::size_t i = 0; i < 8; ++i) wide.w[i] = 0x9e3779b97f4a7c15ULL * (i + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sn_reduce(wide));
+  }
+}
+BENCHMARK(BM_ScalarReduceFast);
+
+void BM_ScalarReduceGeneric(benchmark::State& state) {
+  crypto::U512 wide;
+  for (std::size_t i = 0; i < 8; ++i) wide.w[i] = 0x9e3779b97f4a7c15ULL * (i + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::mod(wide, crypto::Secp256k1::n()));
+  }
+}
+BENCHMARK(BM_ScalarReduceGeneric);
 
 /// The whole Fig 5-style predicate: verify(@dst[req-sig], @pubkeys[k], ...)
 /// evaluated through the policy engine.

@@ -18,6 +18,8 @@
 
 #include "controller/admission.hpp"
 #include "core/network.hpp"
+#include "crypto/schnorr.hpp"
+#include "identxx/daemon_config.hpp"
 #include "pf/parser.hpp"
 
 namespace {
@@ -180,6 +182,79 @@ void BM_VanillaFlowSetup(benchmark::State& state) {
   run_setup_bench(state, Flavour::kVanilla);
 }
 BENCHMARK(BM_VanillaFlowSetup)->Arg(1)->Arg(4)->Arg(8);
+
+/// Batch-verify flavour of the flow-setup bench: `range(0)` clients all run
+/// the same signed application, and every iteration launches one flow per
+/// client *simultaneously*, so the attestations land on the controller
+/// together.  Each flow's admission evaluates the Fig-5-style verify()
+/// predicate; the per-key comb table (built once at policy load) plus the
+/// verification memo mean one batch costs ~one signature verification
+/// total instead of one per flow.
+void BM_IdentxxFlowSetupBatchVerify(benchmark::State& state) {
+  const std::int64_t kClients = state.range(0);
+  core::Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& server = net.add_host("server", "10.0.1.1");
+  net.link(server, s1);
+
+  const crypto::PrivateKey vendor = crypto::PrivateKey::from_seed("vendor");
+  const std::string exe = "/usr/bin/app";
+  const std::string requirements = "pass from any to any port 80";
+  const std::string exe_hash = host::Host::image_hash(exe, "");
+  const crypto::Signature req_sig = vendor.sign(
+      proto::signed_message({exe_hash, "app", requirements}));
+  net.install_controller(
+      "dict <pubkeys> { vendor : " + vendor.public_key().to_hex() + " }\n"
+      "block all\n"
+      "pass from any to any port 80 with verify(@src[req-sig], "
+      "@pubkeys[vendor], @src[exe-hash], @src[app-name], "
+      "@src[requirements])\n");
+  server.add_user("www", "daemons");
+  const int srv = server.launch("www", "/usr/sbin/httpd");
+  server.listen(srv, 80);
+
+  std::vector<host::Host*> clients;
+  std::vector<int> pids;
+  for (std::int64_t i = 0; i < kClients; ++i) {
+    auto& c = net.add_host("c" + std::to_string(i),
+                           "10.0.0." + std::to_string(i + 1));
+    net.link(c, s1);
+    c.add_user("u", "users");
+    const int pid = c.launch("u", exe);
+    proto::DaemonConfig config;
+    proto::AppConfig app;
+    app.exe_path = exe;
+    app.pairs = {{"name", "app"},
+                 {"requirements", requirements},
+                 {"req-sig", req_sig.to_hex()}};
+    config.apps.push_back(app);
+    c.daemon().add_config(proto::ConfigTrust::kUser, config);
+    clients.push_back(&c);
+    pids.push_back(pid);
+  }
+
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    std::vector<net::FiveTuple> flows;
+    flows.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const net::FiveTuple flow =
+          clients[i]->connect_flow(pids[i], server.ip(), 80);
+      clients[i]->send_flow_packet(flow);
+      flows.push_back(flow);
+    }
+    net.run();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->close_flow(flows[i]);
+    }
+    delivered += static_cast<std::int64_t>(server.delivered().size());
+    server.clear_delivered();
+  }
+  state.counters["batch_size"] = static_cast<double>(kClients);
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.SetItemsProcessed(state.iterations() * kClients);
+}
+BENCHMARK(BM_IdentxxFlowSetupBatchVerify)->Arg(1)->Arg(8)->Arg(32);
 
 /// Decision caching ablation, part 1: packets of an established flow ride
 /// the installed entries (no controller involvement).

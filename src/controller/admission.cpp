@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/verifier.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -242,24 +243,50 @@ struct RuleScope {
          !b.log;
 }
 
-[[nodiscard]] std::optional<openflow::FlowMatch> cover_for(
+/// One aligned power-of-two block of a port range: all ports with
+/// (port & mask) == value.
+struct PortBlock {
+  std::uint16_t value = 0;
+  std::uint16_t mask = 0xffff;
+};
+
+/// Greedy decomposition of the contiguous range [lo, hi] into maximal
+/// aligned power-of-two blocks — the port analogue of splitting an IP
+/// range into CIDRs.  At most 30 blocks for an arbitrary range; common
+/// admin ranges (8000:8007, 1024:2047) need one or two.
+[[nodiscard]] std::vector<PortBlock> port_range_blocks(std::uint16_t lo,
+                                                       std::uint16_t hi) {
+  std::vector<PortBlock> out;
+  std::uint32_t cur = lo;
+  while (cur <= hi) {
+    std::uint32_t size = 1;
+    while (size < 0x10000u) {
+      const std::uint32_t next = size * 2;
+      if ((cur & (next - 1)) != 0) break;          // alignment
+      if (cur + next - 1 > hi) break;              // fit
+      size = next;
+    }
+    out.push_back(PortBlock{static_cast<std::uint16_t>(cur),
+                            static_cast<std::uint16_t>(~(size - 1))});
+    cur += size;
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<openflow::FlowMatch> cover_for(
     std::size_t index, const pf::Ruleset& ruleset,
     const std::vector<RuleScope>& scopes) {
   const pf::Rule& rule = ruleset.rules[index];
-  if (rule.keep_state || rule.log || !rule.withs.empty()) return std::nullopt;
-  if (rule.from.negated || rule.to.negated) return std::nullopt;
-  // Scope must fit in ONE FlowMatch: any/single-CIDR hosts, single ports.
+  if (rule.keep_state || rule.log || !rule.withs.empty()) return {};
+  if (rule.from.negated || rule.to.negated) return {};
+  // Scope must fit a small set of FlowMatches: any/single-CIDR hosts;
+  // ports may be single values or contiguous ranges (each range becomes a
+  // set of prefix-masked port blocks).
   const bool from_ok = std::holds_alternative<pf::AnyHost>(rule.from.host) ||
                        std::holds_alternative<pf::CidrHost>(rule.from.host);
   const bool to_ok = std::holds_alternative<pf::AnyHost>(rule.to.host) ||
                      std::holds_alternative<pf::CidrHost>(rule.to.host);
-  if (!from_ok || !to_ok) return std::nullopt;
-  if (rule.from.port && rule.from.port->low != rule.from.port->high) {
-    return std::nullopt;
-  }
-  if (rule.to.port && rule.to.port->low != rule.to.port->high) {
-    return std::nullopt;
-  }
+  if (!from_ok || !to_ok) return {};
 
   const RuleScope& scope = scopes[index];
   for (std::size_t j = 0; j < ruleset.rules.size(); ++j) {
@@ -270,39 +297,70 @@ struct RuleScope {
     const bool can_override = j > index || other.quick;
     if (!can_override) continue;
     if (outcome_equivalent(rule, other)) continue;
-    if (scopes_overlap(scope, scopes[j])) return std::nullopt;
+    if (scopes_overlap(scope, scopes[j])) return {};
   }
 
   using openflow::Wildcard;
-  openflow::FlowMatch match;  // starts all-wildcard
+  openflow::FlowMatch base;  // starts all-wildcard
   if (rule.proto) {
-    match.wildcards = without(match.wildcards, Wildcard::kProto);
-    match.proto = *rule.proto;
+    base.wildcards = without(base.wildcards, Wildcard::kProto);
+    base.proto = *rule.proto;
   }
   if (const auto* from = std::get_if<pf::CidrHost>(&rule.from.host);
       from != nullptr && from->cidr.prefix_length() > 0) {
-    match.wildcards = without(match.wildcards, Wildcard::kSrcIp);
-    match.src_ip = from->cidr.network();
-    match.src_ip_prefix = from->cidr.prefix_length();
+    base.wildcards = without(base.wildcards, Wildcard::kSrcIp);
+    base.src_ip = from->cidr.network();
+    base.src_ip_prefix = from->cidr.prefix_length();
   }
   if (const auto* to = std::get_if<pf::CidrHost>(&rule.to.host);
       to != nullptr && to->cidr.prefix_length() > 0) {
-    match.wildcards = without(match.wildcards, Wildcard::kDstIp);
-    match.dst_ip = to->cidr.network();
-    match.dst_ip_prefix = to->cidr.prefix_length();
+    base.wildcards = without(base.wildcards, Wildcard::kDstIp);
+    base.dst_ip = to->cidr.network();
+    base.dst_ip_prefix = to->cidr.prefix_length();
   }
-  if (rule.from.port) {
-    match.wildcards = without(match.wildcards, Wildcard::kSrcPort);
-    match.src_port = rule.from.port->low;
+  // Each port side contributes its block set; the cover is the cross
+  // product.  {{0, 0xffff-wildcard}} stands in for an unconstrained side.
+  std::vector<PortBlock> src_blocks{PortBlock{}};
+  std::vector<PortBlock> dst_blocks{PortBlock{}};
+  bool src_constrained = false;
+  bool dst_constrained = false;
+  if (rule.from.port && !(rule.from.port->low == 0 &&
+                          rule.from.port->high == 65535)) {
+    src_blocks = port_range_blocks(rule.from.port->low, rule.from.port->high);
+    src_constrained = true;
   }
-  if (rule.to.port) {
-    match.wildcards = without(match.wildcards, Wildcard::kDstPort);
-    match.dst_port = rule.to.port->low;
+  if (rule.to.port && !(rule.to.port->low == 0 &&
+                        rule.to.port->high == 65535)) {
+    dst_blocks = port_range_blocks(rule.to.port->low, rule.to.port->high);
+    dst_constrained = true;
   }
-  return match;
+  if (src_blocks.size() * dst_blocks.size() >
+      AdmissionDecision::kMaxCoverEntries) {
+    return {};  // awkwardly aligned range: per-flow installs stay cheaper
+  }
+
+  std::vector<openflow::FlowMatch> covers;
+  covers.reserve(src_blocks.size() * dst_blocks.size());
+  for (const PortBlock& src : src_blocks) {
+    for (const PortBlock& dst : dst_blocks) {
+      openflow::FlowMatch match = base;
+      if (src_constrained) {
+        match.wildcards = without(match.wildcards, Wildcard::kSrcPort);
+        match.src_port = src.value;
+        match.src_port_mask = src.mask;
+      }
+      if (dst_constrained) {
+        match.wildcards = without(match.wildcards, Wildcard::kDstPort);
+        match.dst_port = dst.value;
+        match.dst_port_mask = dst.mask;
+      }
+      covers.push_back(match);
+    }
+  }
+  return covers;
 }
 
-[[nodiscard]] std::vector<std::optional<openflow::FlowMatch>> compute_covers(
+[[nodiscard]] std::vector<std::vector<openflow::FlowMatch>> compute_covers(
     const pf::Ruleset& ruleset) {
   // Resolve every rule's field box once (table resolution copies CIDR
   // vectors); the pairwise overlap loop below then stays cheap.
@@ -311,7 +369,7 @@ struct RuleScope {
   for (const pf::Rule& rule : ruleset.rules) {
     scopes.push_back(scope_of(rule, ruleset));
   }
-  std::vector<std::optional<openflow::FlowMatch>> covers;
+  std::vector<std::vector<openflow::FlowMatch>> covers;
   covers.reserve(ruleset.rules.size());
   for (std::size_t i = 0; i < ruleset.rules.size(); ++i) {
     covers.push_back(cover_for(i, ruleset, scopes));
@@ -341,7 +399,39 @@ PolicyDecisionEngine::PolicyDecisionEngine(pf::Ruleset ruleset,
     : engine_(std::make_unique<pf::PolicyEngine>(std::move(ruleset),
                                                  std::move(registry))),
       honor_keep_state_(honor_keep_state),
-      covers_(compute_covers(engine_->ruleset())) {}
+      covers_(compute_covers(engine_->ruleset())) {
+  // Public keys embedded in the policy (dict values, e.g. @pubkeys[...])
+  // are long-lived — register each with the verifier now so its comb table
+  // is built once, here, instead of lazily on the flow-setup hot path.
+  // Registration costs ~1000 EC ops and ~69 KB per key, so only policies
+  // that can actually verify signatures (a verify() predicate, or
+  // allowed() whose delegated rules may call verify) pay it; anything
+  // else leaves keys to the lazy second-sighting cache in schnorr.cpp.
+  const auto& verifier = engine_->registry().verifier();
+  bool verifies = false;
+  for (const pf::Rule& rule : engine_->ruleset().rules) {
+    for (const pf::FuncCall& call : rule.withs) {
+      if (call.name == "verify" || call.name == "allowed") {
+        verifies = true;
+        break;
+      }
+    }
+    if (verifies) break;
+  }
+  if (verifier && verifies) {
+    for (const auto& [dict_name, entries] : engine_->ruleset().dicts) {
+      for (const auto& [key_name, value] : entries) {
+        if (const auto key = crypto::PublicKey::from_hex(value)) {
+          verifier->register_key(*key);
+        }
+      }
+    }
+  }
+}
+
+crypto::SchnorrVerifier* PolicyDecisionEngine::verifier() const noexcept {
+  return engine_->registry().verifier().get();
+}
 
 AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
   pf::FlowContext flow_ctx;
@@ -372,11 +462,11 @@ AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
   decision.logged = verdict.log;
   decision.rule = verdict.rule ? pf::to_string(*verdict.rule) : "default";
   if (verdict.rule != nullptr) {
-    // Attach the precomputed aggregation cover of the matched rule.
+    // Attach the precomputed aggregation covers of the matched rule.
     const auto& rules = engine_->ruleset().rules;
     if (!rules.empty() && verdict.rule >= rules.data() &&
         verdict.rule < rules.data() + rules.size()) {
-      decision.cover = covers_[static_cast<std::size_t>(verdict.rule - rules.data())];
+      decision.covers = covers_[static_cast<std::size_t>(verdict.rule - rules.data())];
     }
   }
   return decision;
@@ -637,28 +727,36 @@ std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
 std::size_t AggregatingInstallStrategy::install_allow(
     AdmissionEnv& env, const AdmissionContext& ctx,
     const AdmissionDecision& decision) {
-  if (!decision.cover) {
+  if (decision.covers.empty()) {
     return PathInstallStrategy::install_allow(env, ctx, decision);
   }
-  // Narrow the cover to this flow's destination host: the output action
-  // is destination-determined, so the installed entry must not capture
+  // Narrow each cover to this flow's destination host: the output action
+  // is destination-determined, so the installed entries must not capture
   // traffic for other destinations.  Everything else (source addresses,
-  // source ports, in_port, MACs) stays aggregated.
-  openflow::FlowMatch match = *decision.cover;
-  match.wildcards = without(match.wildcards, openflow::Wildcard::kDstIp);
-  match.dst_ip = ctx.flow.dst_ip;
-  match.dst_ip_prefix = 32;
-  return install_along_path(env, ctx, &match);
+  // source ports, port blocks, in_port, MACs) stays aggregated.
+  std::size_t installed = 0;
+  for (const openflow::FlowMatch& cover : decision.covers) {
+    openflow::FlowMatch match = cover;
+    match.wildcards = without(match.wildcards, openflow::Wildcard::kDstIp);
+    match.dst_ip = ctx.flow.dst_ip;
+    match.dst_ip_prefix = 32;
+    installed += install_along_path(env, ctx, &match);
+  }
+  return installed;
 }
 
 std::size_t AggregatingInstallStrategy::install_drop(
     AdmissionEnv& env, const AdmissionContext& ctx,
     const AdmissionDecision& decision) {
-  if (!decision.cover) {
+  if (decision.covers.empty()) {
     return PathInstallStrategy::install_drop(env, ctx, decision);
   }
   // Drops have no output port, so the rule's full scope caches as-is.
-  return install_drop_at_ingress(env, ctx, *decision.cover, /*dedupe=*/true);
+  std::size_t installed = 0;
+  for (const openflow::FlowMatch& cover : decision.covers) {
+    installed += install_drop_at_ingress(env, ctx, cover, /*dedupe=*/true);
+  }
+  return installed;
 }
 
 bool AggregatingInstallStrategy::is_aggregate_entry(
@@ -667,7 +765,9 @@ bool AggregatingInstallStrategy::is_aggregate_entry(
   const Wildcard beyond_in_port =
       without(entry.match.wildcards, Wildcard::kInPort);
   if (beyond_in_port != Wildcard::kNone) return true;
-  return entry.match.src_ip_prefix < 32 || entry.match.dst_ip_prefix < 32;
+  return entry.match.src_ip_prefix < 32 || entry.match.dst_ip_prefix < 32 ||
+         entry.match.src_port_mask != 0xffff ||
+         entry.match.dst_port_mask != 0xffff;
 }
 
 // ---------------------------------------------------------------- pipeline

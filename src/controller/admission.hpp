@@ -48,6 +48,10 @@
 #include "openflow/topology.hpp"
 #include "pf/eval.hpp"
 
+namespace identxx::crypto {
+class SchnorrVerifier;
+}
+
 namespace identxx::ctrl {
 
 /// Tuning knobs; defaults mirror the paper's implied design.  The ablation
@@ -174,12 +178,16 @@ struct AdmissionDecision {
   bool keep_state = false;  ///< also admit the reverse direction
   bool logged = false;      ///< matched rule carried the `log` modifier
   std::string rule = "default";  ///< matched rule rendering, for the audit log
-  /// Rule-level cover: set when the matched rule's scope is expressible
-  /// as a single wildcard/prefix FlowMatch AND no other rule can decide
-  /// a covered flow differently — i.e. caching the whole rule in a
-  /// switch is sound.  Consumed by AggregatingInstallStrategy; engines
-  /// that cannot prove soundness leave it empty.
-  std::optional<openflow::FlowMatch> cover;
+  /// Rule-level cover: non-empty when the matched rule's scope is
+  /// expressible as a small set of wildcard/prefix FlowMatches AND no
+  /// other rule can decide a covered flow differently — i.e. caching the
+  /// whole rule in a switch is sound.  A single-valued rule covers with
+  /// one entry; contiguous port ranges decompose into prefix-masked port
+  /// entries (at most kMaxCoverEntries).  Consumed by
+  /// AggregatingInstallStrategy; engines that cannot prove soundness
+  /// leave it empty.
+  static constexpr std::size_t kMaxCoverEntries = 8;
+  std::vector<openflow::FlowMatch> covers;
 };
 
 // ---------------------------------------------------------------------------
@@ -342,18 +350,24 @@ class PolicyDecisionEngine : public DecisionEngine {
     return *engine_;
   }
 
-  /// The precomputed rule cover for rule index `i` (tests/inspection):
-  /// set iff caching rule `i` as one wildcard entry is sound.
-  [[nodiscard]] const std::optional<openflow::FlowMatch>& rule_cover(
+  /// The precomputed rule covers for rule index `i` (tests/inspection):
+  /// non-empty iff caching rule `i` as that set of wildcard/prefix-masked
+  /// entries is sound.  Port ranges decompose into several entries.
+  [[nodiscard]] const std::vector<openflow::FlowMatch>& rule_cover(
       std::size_t i) const {
     return covers_.at(i);
   }
+
+  /// The Schnorr verifier behind the policy's `verify` builtin (per-key
+  /// tables + bounded memo); nullptr for registries without it.  Keys
+  /// embedded in the policy's dicts are registered at engine construction.
+  [[nodiscard]] crypto::SchnorrVerifier* verifier() const noexcept;
 
  private:
   std::unique_ptr<pf::PolicyEngine> engine_;
   bool honor_keep_state_ = true;
   /// Per-rule aggregation covers, computed once from the ruleset.
-  std::vector<std::optional<openflow::FlowMatch>> covers_;
+  std::vector<std::vector<openflow::FlowMatch>> covers_;
 };
 
 /// Classic firewall rule: first-match ACL over network primitives.
@@ -542,14 +556,16 @@ class PathInstallStrategy : public InstallStrategy {
 };
 
 /// The aggregated rule cache (§3.1 scaled up, SRMCA-style forwarding-state
-/// aggregation): when the decision carries a rule-level cover, install ONE
-/// wildcard/prefix entry caching the whole rule instead of a per-flow
-/// exact entry, so a port scan / flash crowd covered by one rule costs one
-/// table entry and one controller round trip total.  Allow entries are
-/// narrowed to the flow's destination host (/32) because the output port
-/// is destination-determined; drop entries cache the rule's full scope at
-/// the ingress switch.  Decisions without a cover fall back to the exact
-/// per-flow placement.
+/// aggregation): when the decision carries rule-level covers, install that
+/// small set of wildcard/prefix entries caching the whole rule instead of
+/// a per-flow exact entry, so a port scan / flash crowd covered by one
+/// rule costs a handful of table entries and one controller round trip
+/// total.  Single-valued rules cover with one entry; a contiguous port
+/// range decomposes into at most kMaxCoverEntries prefix-masked port
+/// entries.  Allow entries are narrowed to the flow's destination host
+/// (/32) because the output port is destination-determined; drop entries
+/// cache the rule's full scope at the ingress switch.  Decisions without
+/// covers fall back to the exact per-flow placement.
 class AggregatingInstallStrategy : public PathInstallStrategy {
  public:
   std::size_t install_allow(AdmissionEnv& env, const AdmissionContext& ctx,

@@ -82,6 +82,7 @@ void AdmissionController::replace_engine(
                  AggregatingInstallStrategy::is_aggregate_entry(entry);
         });
   }
+  prune_installed_flows();
 }
 
 std::size_t AdmissionController::revoke_all() {
@@ -93,6 +94,7 @@ std::size_t AdmissionController::revoke_all() {
         });
   }
   if (pipeline_.cache) pipeline_.cache->clear();
+  prune_installed_flows();
   return removed;
 }
 
@@ -124,12 +126,32 @@ std::size_t AdmissionController::revoke_if(
       return pred(flow) || pred(flow.reversed());
     });
   }
+  prune_installed_flows();
   return removed;
+}
+
+bool AdmissionController::cookie_live(std::uint64_t cookie) const {
+  for (const sim::NodeId id : domain_) {
+    if (topology_->switch_at(id).table().has_cookie(cookie)) return true;
+  }
+  return false;
+}
+
+void AdmissionController::prune_installed_flows() {
+  std::erase_if(installed_flows_, [this](const auto& entry) {
+    return !cookie_live(entry.first);
+  });
 }
 
 void AdmissionController::on_flow_removed(const openflow::FlowRemovedMsg& msg) {
   if (msg.entry.cookie != 0) {
     notify([&](AdmissionObserver& o) { o.on_flow_expired(msg.entry.cookie); });
+    // Retire the cookie-map entry once the cookie's last entry anywhere in
+    // the domain is gone (full-path installs share one cookie across
+    // switches) — otherwise installed_flows_ grows for the whole run.
+    if (!cookie_live(msg.entry.cookie)) {
+      installed_flows_.erase(msg.entry.cookie);
+    }
   }
 }
 
@@ -173,12 +195,12 @@ void AdmissionController::apply_decision(AdmissionContext& ctx,
     notify([&](AdmissionObserver& o) { o.on_entries_installed(installed); });
     if (decision.keep_state) {
       // keep state also admits the reverse direction of the flow.  The
-      // cover (if any) describes the forward direction only — strip it
+      // covers (if any) describe the forward direction only — strip them
       // so the reverse install stays per-flow.
       AdmissionContext reverse;
       reverse.flow = ctx.flow.reversed();
       AdmissionDecision reverse_decision = decision;
-      reverse_decision.cover.reset();
+      reverse_decision.covers.clear();
       const std::size_t rev =
           pipeline_.installer->install_allow(*this, reverse, reverse_decision);
       notify([&](AdmissionObserver& o) { o.on_entries_installed(rev); });

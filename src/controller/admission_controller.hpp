@@ -80,6 +80,14 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   /// (the maximum over switches is reported).
   [[nodiscard]] std::vector<FlowUsage> flow_usage() const;
 
+  /// Cookies with live flow-table entries somewhere in the domain.  The
+  /// map shrinks as entries expire/evict (flow-removed notifications) and
+  /// synchronously on revoke_all/revoke_if/replace_engine — the seed kept
+  /// every cookie forever, an unbounded leak under sustained traffic.
+  [[nodiscard]] std::size_t installed_flow_count() const noexcept {
+    return installed_flows_.size();
+  }
+
   // ---- ControlPlane --------------------------------------------------------
 
   void on_packet_in(const openflow::PacketIn& msg) override;
@@ -175,6 +183,10 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   }
 
  private:
+  /// Does any domain switch still hold an entry with this cookie?
+  [[nodiscard]] bool cookie_live(std::uint64_t cookie) const;
+  /// Drop cookie-map entries whose last flow-table entry is gone.
+  void prune_installed_flows();
   void replay_cached(const openflow::PacketIn& msg, const net::FiveTuple& flow,
                      const AdmissionDecision& cached);
   /// Batch-decide every pending flow whose deadline has passed.

@@ -1,5 +1,7 @@
 #include "crypto/ec.hpp"
 
+#include <vector>
+
 namespace identxx::crypto {
 
 namespace {
@@ -17,6 +19,11 @@ const U256 kGx{0x59f2815b16f81798ULL, 0x029bfcdb2dce28d9ULL,
                0x55a06295ce870b07ULL, 0x79be667ef9dcbbacULL};
 const U256 kGy{0x9c47d08ffb10d4b8ULL, 0xfd17b448a6855419ULL,
                0x5da4fbfc0e1108a8ULL, 0x483ada7726a3c465ULL};
+
+// n = 2^256 - kNC where kNC = 0x14551231950b75fc4402da1732fc9bebf
+// (129 bits, three limbs little-endian).
+constexpr std::array<std::uint64_t, 3> kNC{0x402da1732fc9bebfULL,
+                                           0x4551231950b75fc4ULL, 1ULL};
 
 /// Multiply a 256-bit value by the 33-bit constant kC and add `addend`;
 /// the result has at most 290 significant bits, returned as 5 limbs.
@@ -63,6 +70,76 @@ U256 fp_reduce(const U512& x) noexcept {
   return folded;
 }
 
+/// Width-5 wNAF digit string, least-significant first: digits are zero or
+/// odd in [-15, 15], and any two nonzero digits are at least 5 apart.
+/// `k` must be < n (so the in-place adjustments cannot overflow 256 bits).
+/// Returns the digit count (<= 257).
+unsigned wnaf5(U256 k, std::array<std::int8_t, 257>& digits) noexcept {
+  unsigned len = 0;
+  while (!k.is_zero()) {
+    std::int8_t d = 0;
+    if (k.bit(0)) {
+      const std::uint64_t low = k.w[0] & 31u;
+      if (low >= 16) {
+        d = static_cast<std::int8_t>(static_cast<int>(low) - 32);
+        k = U256::add(k, U256{32u - low}).first;
+      } else {
+        d = static_cast<std::int8_t>(low);
+        k = U256::sub(k, U256{low}).first;
+      }
+    }
+    digits[len++] = d;
+    k = k.shr1();
+  }
+  return len;
+}
+
+/// Odd multiples {1P, 3P, ..., 15P} in Jacobian coordinates.
+std::array<JacobianPoint, 8> odd_multiples(const AffinePoint& p) noexcept {
+  std::array<JacobianPoint, 8> tab;
+  tab[0] = JacobianPoint::from_affine(p);
+  const JacobianPoint p2 = ec_double(tab[0]);
+  for (std::size_t i = 1; i < tab.size(); ++i) {
+    tab[i] = ec_add(tab[i - 1], p2);
+  }
+  return tab;
+}
+
+/// Normalize `points` to affine with ONE field inversion (Montgomery's
+/// trick); identities map to the affine identity.
+void batch_normalize(const JacobianPoint* points, AffinePoint* out,
+                     std::size_t count) {
+  std::vector<U256> prefix(count);
+  U256 running{1};
+  for (std::size_t i = 0; i < count; ++i) {
+    prefix[i] = running;
+    if (!points[i].is_identity()) running = fp_mul(running, points[i].z);
+  }
+  U256 inv = running.is_zero() ? U256{} : fp_inv(running);
+  for (std::size_t i = count; i-- > 0;) {
+    if (points[i].is_identity()) {
+      out[i] = AffinePoint::identity();
+      continue;
+    }
+    const U256 z_inv = fp_mul(inv, prefix[i]);
+    inv = fp_mul(inv, points[i].z);
+    const U256 z_inv2 = fp_sqr(z_inv);
+    out[i] = AffinePoint{fp_mul(points[i].x, z_inv2),
+                         fp_mul(points[i].y, fp_mul(z_inv2, z_inv)), false};
+  }
+}
+
+/// Shared affine odd multiples {1G, 3G, ..., 15G} for the Shamir pass.
+const std::array<AffinePoint, 8>& generator_odd_multiples() {
+  static const std::array<AffinePoint, 8> tab = [] {
+    const auto jac = odd_multiples(AffinePoint::generator());
+    std::array<AffinePoint, 8> affine;
+    batch_normalize(jac.data(), affine.data(), jac.size());
+    return affine;
+  }();
+  return tab;
+}
+
 }  // namespace
 
 const U256& Secp256k1::p() noexcept { return kP; }
@@ -94,6 +171,52 @@ U256 fp_inv(const U256& a) noexcept {
     if (e.bit(static_cast<unsigned>(i))) result = fp_mul(result, a);
   }
   return result;
+}
+
+U256 sn_reduce(const U512& x) noexcept {
+  // Fold x = H*2^256 + L ==> L + H*kNC until the high half vanishes.
+  // kNC is 129 bits, so every fold shrinks the value by ~127 bits; the
+  // loop runs at most five times for a full 512-bit input.
+  std::array<std::uint64_t, 8> t = x.w;
+  while (t[4] | t[5] | t[6] | t[7]) {
+    const std::array<std::uint64_t, 4> hi{t[4], t[5], t[6], t[7]};
+    std::array<std::uint64_t, 8> acc{t[0], t[1], t[2], t[3], 0, 0, 0, 0};
+    for (std::size_t i = 0; i < 4; ++i) {
+      u128 carry = 0;
+      for (std::size_t j = 0; j < 3; ++j) {
+        const u128 cur =
+            acc[i + j] + static_cast<u128>(hi[i]) * kNC[j] + carry;
+        acc[i + j] = static_cast<std::uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      for (std::size_t k = i + 3; carry != 0 && k < 8; ++k) {
+        const u128 cur = acc[k] + carry;
+        acc[k] = static_cast<std::uint64_t>(cur);
+        carry = cur >> 64;
+      }
+    }
+    t = acc;
+  }
+  U256 r{t[0], t[1], t[2], t[3]};
+  while (U256::cmp(r, kN) >= 0) r = U256::sub(r, kN).first;
+  return r;
+}
+
+U256 sn_reduce(const U256& x) noexcept {
+  // x < 2^256 < 2n, so one conditional subtraction suffices.
+  return U256::cmp(x, kN) >= 0 ? U256::sub(x, kN).first : x;
+}
+
+U256 sn_add(const U256& a, const U256& b) noexcept {
+  return add_mod(a, b, kN);
+}
+
+U256 sn_sub(const U256& a, const U256& b) noexcept {
+  return sub_mod(a, b, kN);
+}
+
+U256 sn_mul(const U256& a, const U256& b) noexcept {
+  return sn_reduce(U256::mul_wide(a, b));
 }
 
 bool AffinePoint::on_curve() const noexcept {
@@ -172,11 +295,55 @@ JacobianPoint ec_add(const JacobianPoint& p, const JacobianPoint& q) noexcept {
   return JacobianPoint{x3, y3, z3};
 }
 
-JacobianPoint ec_add_affine(const JacobianPoint& p, const AffinePoint& q) noexcept {
-  return ec_add(p, JacobianPoint::from_affine(q));
+JacobianPoint ec_add_mixed(const JacobianPoint& p, const AffinePoint& q) noexcept {
+  if (q.infinity) return p;
+  if (p.is_identity()) return JacobianPoint::from_affine(q);
+  // madd-2007-bl formulas (Z2 = 1).
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 u2 = fp_mul(q.x, z1z1);
+  const U256 s2 = fp_mul(fp_mul(q.y, p.z), z1z1);
+  if (u2 == p.x) {
+    if (s2 == p.y) return ec_double(p);
+    return JacobianPoint::identity();  // P + (-P)
+  }
+  const U256 h = fp_sub(u2, p.x);
+  const U256 hh = fp_sqr(h);
+  U256 i = fp_add(hh, hh);
+  i = fp_add(i, i);                                 // I = 4HH
+  const U256 j = fp_mul(h, i);
+  U256 r = fp_sub(s2, p.y);
+  r = fp_add(r, r);                                 // r = 2(S2 - Y1)
+  const U256 v = fp_mul(p.x, i);
+  const U256 x3 = fp_sub(fp_sub(fp_sqr(r), j), fp_add(v, v));
+  U256 yj = fp_mul(p.y, j);
+  yj = fp_add(yj, yj);
+  const U256 y3 = fp_sub(fp_mul(r, fp_sub(v, x3)), yj);
+  // Z3 = (Z1 + H)^2 - Z1Z1 - HH.
+  const U256 z3 = fp_sub(fp_sub(fp_sqr(fp_add(p.z, h)), z1z1), hh);
+  return JacobianPoint{x3, y3, z3};
 }
 
 JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept {
+  if (p.infinity) return JacobianPoint::identity();
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero()) return JacobianPoint::identity();
+  const std::array<JacobianPoint, 8> tab = odd_multiples(p);
+  std::array<std::int8_t, 257> digits;
+  const unsigned len = wnaf5(kr, digits);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = static_cast<int>(len) - 1; i >= 0; --i) {
+    acc = ec_double(acc);
+    const int d = digits[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      acc = ec_add(acc, tab[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      acc = ec_add(acc, ec_negate(tab[static_cast<std::size_t>((-d - 1) / 2)]));
+    }
+  }
+  return acc;
+}
+
+JacobianPoint ec_mul_naive(const U256& k, const AffinePoint& p) noexcept {
   JacobianPoint acc = JacobianPoint::identity();
   const JacobianPoint base = JacobianPoint::from_affine(p);
   const unsigned bits = k.bit_length();
@@ -187,13 +354,119 @@ JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept {
   return acc;
 }
 
+FixedBaseTable::FixedBaseTable(const AffinePoint& base) : base_(base) {
+  // Row i holds {1, 2, ..., 15} * (16^i * base) in Jacobian form; one
+  // batch normalization turns all 960 points affine with a single
+  // inversion.
+  std::vector<JacobianPoint> jac(kWindows * kEntries);
+  JacobianPoint window_base = JacobianPoint::from_affine(base);
+  for (unsigned i = 0; i < kWindows; ++i) {
+    JacobianPoint cur = window_base;
+    for (unsigned j = 0; j < kEntries; ++j) {
+      jac[i * kEntries + j] = cur;
+      cur = ec_add(cur, window_base);
+    }
+    window_base = cur;  // 16^(i+1) * base
+  }
+  std::vector<AffinePoint> affine(jac.size());
+  batch_normalize(jac.data(), affine.data(), jac.size());
+  for (unsigned i = 0; i < kWindows; ++i) {
+    for (unsigned j = 0; j < kEntries; ++j) {
+      table_[i][j] = affine[i * kEntries + j];
+    }
+  }
+}
+
+JacobianPoint FixedBaseTable::mul(const U256& k) const noexcept {
+  const U256 kr = sn_reduce(k);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (unsigned i = 0; i < kWindows; ++i) {
+    const unsigned window =
+        static_cast<unsigned>(kr.w[i / 16] >> ((i % 16) * kWindowBits)) & 0xfu;
+    if (window != 0) acc = ec_add_mixed(acc, table_[i][window - 1]);
+  }
+  return acc;
+}
+
+const FixedBaseTable& FixedBaseTable::generator() {
+  static const FixedBaseTable table(AffinePoint::generator());
+  return table;
+}
+
 JacobianPoint ec_mul_base(const U256& k) noexcept {
-  return ec_mul(k, AffinePoint::generator());
+  return FixedBaseTable::generator().mul(k);
+}
+
+JacobianPoint ec_mul_add(const U256& a, const U256& b,
+                         const AffinePoint& p) noexcept {
+  if (p.infinity || sn_reduce(b).is_zero()) return ec_mul_base(a);
+  const U256 ar = sn_reduce(a);
+  const U256 br = sn_reduce(b);
+  if (ar.is_zero()) return ec_mul(br, p);
+
+  const std::array<AffinePoint, 8>& g_tab = generator_odd_multiples();
+  const std::array<JacobianPoint, 8> p_tab = odd_multiples(p);
+  std::array<std::int8_t, 257> da;
+  std::array<std::int8_t, 257> db;
+  const unsigned la = wnaf5(ar, da);
+  const unsigned lb = wnaf5(br, db);
+  const unsigned len = la > lb ? la : lb;
+
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = static_cast<int>(len) - 1; i >= 0; --i) {
+    acc = ec_double(acc);
+    const std::size_t idx = static_cast<std::size_t>(i);
+    if (idx < la && da[idx] != 0) {
+      const int d = da[idx];
+      acc = d > 0 ? ec_add_mixed(acc, g_tab[static_cast<std::size_t>((d - 1) / 2)])
+                  : ec_add_mixed(
+                        acc, ec_negate(g_tab[static_cast<std::size_t>((-d - 1) / 2)]));
+    }
+    if (idx < lb && db[idx] != 0) {
+      const int d = db[idx];
+      acc = d > 0 ? ec_add(acc, p_tab[static_cast<std::size_t>((d - 1) / 2)])
+                  : ec_add(acc,
+                           ec_negate(p_tab[static_cast<std::size_t>((-d - 1) / 2)]));
+    }
+  }
+  return acc;
+}
+
+JacobianPoint ec_mul_add(const U256& a, const U256& b,
+                         const FixedBaseTable& p_table) noexcept {
+  // No doubling chain: both bases are comb tables, so the whole sum is a
+  // sequence of mixed additions into one accumulator.
+  const U256 ar = sn_reduce(a);
+  const U256 br = sn_reduce(b);
+  JacobianPoint acc = JacobianPoint::identity();
+  const FixedBaseTable& g_table = FixedBaseTable::generator();
+  for (unsigned i = 0; i < FixedBaseTable::kWindows; ++i) {
+    const unsigned shift = (i % 16) * FixedBaseTable::kWindowBits;
+    const unsigned wa = static_cast<unsigned>(ar.w[i / 16] >> shift) & 0xfu;
+    const unsigned wb = static_cast<unsigned>(br.w[i / 16] >> shift) & 0xfu;
+    if (wa != 0) acc = ec_add_mixed(acc, g_table.table_[i][wa - 1]);
+    if (wb != 0) acc = ec_add_mixed(acc, p_table.table_[i][wb - 1]);
+  }
+  return acc;
+}
+
+bool ec_equals_affine(const JacobianPoint& p, const AffinePoint& q) noexcept {
+  if (p.is_identity()) return q.infinity;
+  if (q.infinity) return false;
+  // X/Z^2 == qx  and  Y/Z^3 == qy, cross-multiplied.
+  const U256 z2 = fp_sqr(p.z);
+  if (p.x != fp_mul(q.x, z2)) return false;
+  return p.y == fp_mul(q.y, fp_mul(z2, p.z));
 }
 
 AffinePoint ec_negate(const AffinePoint& p) noexcept {
   if (p.infinity) return p;
   return AffinePoint{p.x, fp_sub(U256{}, p.y), false};
+}
+
+JacobianPoint ec_negate(const JacobianPoint& p) noexcept {
+  if (p.is_identity()) return p;
+  return JacobianPoint{p.x, fp_sub(U256{}, p.y), p.z};
 }
 
 }  // namespace identxx::crypto

@@ -9,7 +9,17 @@
 // the short Weierstrass curve y^2 = x^3 + 7 over F_p,
 //   p = 2^256 - 2^32 - 977,
 // with the standard base point G of prime order n.
+//
+// Performance model (DESIGN.md §9): signature verification sits on the
+// flow-setup hot path, so scalar multiplication is precomputation-heavy:
+// both moduli reduce by folding against 2^256 - modulus (no division),
+// variable-base multiplication is width-5 wNAF, fixed bases (G, and any
+// long-lived public key) use a 4-bit windowed comb table that eliminates
+// the doubling chain entirely, and Schnorr's s*G - e*P is one fused
+// double-scalar pass.  The textbook double-and-add survives as
+// `ec_mul_naive`, the oracle the differential tests compare against.
 
+#include <array>
 #include <optional>
 
 #include "crypto/u256.hpp"
@@ -31,6 +41,22 @@ struct Secp256k1 {
 [[nodiscard]] U256 fp_mul(const U256& a, const U256& b) noexcept;
 [[nodiscard]] U256 fp_sqr(const U256& a) noexcept;
 [[nodiscard]] U256 fp_inv(const U256& a) noexcept;  ///< a^(p-2); a must be nonzero
+
+// ---- Scalar arithmetic mod n (specialized reduction for n = 2^256 - c) ----
+//
+// n's fold constant c = 2^256 - n is 129 bits, so a 512-bit product
+// reduces in a handful of multiply-accumulate folds instead of the
+// 512-iteration binary long division `mod(U512, n)` costs.  The generic
+// path in u256.cpp remains for arbitrary moduli (and as the scalar
+// differential-test oracle).
+
+/// Reduce a full 512-bit value mod n.
+[[nodiscard]] U256 sn_reduce(const U512& x) noexcept;
+/// Reduce a 256-bit value mod n (a single conditional subtraction).
+[[nodiscard]] U256 sn_reduce(const U256& x) noexcept;
+[[nodiscard]] U256 sn_add(const U256& a, const U256& b) noexcept;  ///< a,b < n
+[[nodiscard]] U256 sn_sub(const U256& a, const U256& b) noexcept;  ///< a,b < n
+[[nodiscard]] U256 sn_mul(const U256& a, const U256& b) noexcept;
 
 // ---- Points ----
 
@@ -71,16 +97,73 @@ struct JacobianPoint {
 [[nodiscard]] JacobianPoint ec_double(const JacobianPoint& p) noexcept;
 [[nodiscard]] JacobianPoint ec_add(const JacobianPoint& p,
                                    const JacobianPoint& q) noexcept;
-[[nodiscard]] JacobianPoint ec_add_affine(const JacobianPoint& p,
-                                          const AffinePoint& q) noexcept;
+/// Mixed addition p + q with q affine (madd-2007-bl): saves the four
+/// field multiplications a full Jacobian add spends on q's Z.
+[[nodiscard]] JacobianPoint ec_add_mixed(const JacobianPoint& p,
+                                         const AffinePoint& q) noexcept;
 
-/// Scalar multiplication k * P (double-and-add, MSB first).
+/// Scalar multiplication k * P.  Width-5 wNAF over Jacobian odd multiples;
+/// k is reduced mod n first (sound: the curve group has prime order n, so
+/// k*P == (k mod n)*P for every on-curve P).
 [[nodiscard]] JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept;
 
-/// k * G.
+/// Textbook MSB-first double-and-add.  Slow; retained as the oracle the
+/// differential tests check the optimized paths against.
+[[nodiscard]] JacobianPoint ec_mul_naive(const U256& k,
+                                         const AffinePoint& p) noexcept;
+
+/// k * G via the shared fixed-base generator table.
 [[nodiscard]] JacobianPoint ec_mul_base(const U256& k) noexcept;
+
+/// Windowed fixed-base table for one point: table[i][j-1] = j * 16^i * P
+/// in affine coordinates (64 windows x 15 entries, ~69 KB).  Build cost is
+/// ~1000 point operations plus ONE field inversion (Montgomery batch
+/// normalization), amortized across every later multiplication: a mul is
+/// then at most 64 mixed additions and zero doublings.  Intended for
+/// long-lived bases — G itself (`generator()`, built once per process) and
+/// registered daemon public keys (built at key registration).
+class FixedBaseTable {
+ public:
+  static constexpr unsigned kWindowBits = 4;
+  static constexpr unsigned kWindows = 256 / kWindowBits;
+  static constexpr unsigned kEntries = (1u << kWindowBits) - 1;
+
+  explicit FixedBaseTable(const AffinePoint& base);
+
+  /// k * base (k reduced mod n, as in ec_mul).
+  [[nodiscard]] JacobianPoint mul(const U256& k) const noexcept;
+
+  [[nodiscard]] const AffinePoint& base() const noexcept { return base_; }
+
+  /// The process-wide table for G.
+  [[nodiscard]] static const FixedBaseTable& generator();
+
+ private:
+  friend JacobianPoint ec_mul_add(const U256& a, const U256& b,
+                                  const FixedBaseTable& p_table) noexcept;
+
+  AffinePoint base_;
+  std::array<std::array<AffinePoint, kEntries>, kWindows> table_;
+};
+
+/// Fused double-scalar multiplication a*G + b*P in ONE Shamir-interleaved
+/// wNAF pass: a single doubling chain serves both scalars (G's odd
+/// multiples are a shared precomputed affine set; P's are built per call).
+[[nodiscard]] JacobianPoint ec_mul_add(const U256& a, const U256& b,
+                                       const AffinePoint& p) noexcept;
+
+/// a*G + b*P with a precomputed table for P: two comb walks, no doubling
+/// chain at all (at most 128 mixed additions total).
+[[nodiscard]] JacobianPoint ec_mul_add(const U256& a, const U256& b,
+                                       const FixedBaseTable& p_table) noexcept;
+
+/// p == q without normalizing p (two field multiplications instead of the
+/// field inversion `to_affine` costs).
+[[nodiscard]] bool ec_equals_affine(const JacobianPoint& p,
+                                    const AffinePoint& q) noexcept;
 
 /// Point negation (x, -y).
 [[nodiscard]] AffinePoint ec_negate(const AffinePoint& p) noexcept;
+[[nodiscard]] JacobianPoint ec_negate(const JacobianPoint& p) noexcept;
 
 }  // namespace identxx::crypto

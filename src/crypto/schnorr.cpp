@@ -1,8 +1,13 @@
 #include "crypto/schnorr.hpp"
 
 #include <cstring>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "crypto/hmac.hpp"
+#include "crypto/key_id.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
 
@@ -10,12 +15,10 @@ namespace identxx::crypto {
 
 namespace {
 
-/// Reduce a 32-byte digest modulo the group order.
+/// Reduce a 32-byte digest modulo the group order (one conditional
+/// subtraction — the digest is < 2^256 < 2n).
 U256 digest_to_scalar(const Digest& digest) noexcept {
-  const U256 raw = U256::from_bytes(std::span<const std::uint8_t, 32>(digest));
-  U512 wide;
-  for (std::size_t i = 0; i < 4; ++i) wide.w[i] = raw.w[i];
-  return mod(wide, Secp256k1::n());
+  return sn_reduce(U256::from_bytes(std::span<const std::uint8_t, 32>(digest)));
 }
 
 /// Challenge e = H(Rx || Ry || Px || Py || m) mod n.
@@ -36,6 +39,74 @@ U256 challenge(const AffinePoint& r, const AffinePoint& p,
 
 std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Process-wide LRU of per-key comb tables: public keys are long-lived
+/// (daemon/vendor keys baked into policies), so the second verification
+/// under a key pays the one-time table build and every later one runs
+/// doubling-free.  Bounded so an attacker spraying one-shot keys cannot
+/// grow memory; building only on the second sighting keeps one-shot keys
+/// from paying the build at all.  Keys are the raw (x, y) limbs — a probe
+/// allocates nothing.  Single-threaded by design, like the simulator
+/// substrate (DESIGN.md §9).
+class KeyTableCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  /// The table for `point` if it is already built; otherwise counts the
+  /// sighting (building on the second one) and returns nullptr.
+  const FixedBaseTable* lookup(const AffinePoint& point) {
+    const detail::PointId id = detail::point_id(point);
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      Entry& entry = *it->second;
+      if (!entry.table) {
+        entry.table = std::make_unique<FixedBaseTable>(point);
+      }
+      return entry.table.get();
+    }
+    if (index_.size() >= kCapacity) {
+      index_.erase(order_.back().id);
+      order_.pop_back();
+    }
+    order_.push_front(Entry{id, nullptr});
+    index_[id] = order_.begin();
+    return nullptr;
+  }
+
+  static KeyTableCache& instance() {
+    static KeyTableCache cache;
+    return cache;
+  }
+
+ private:
+  struct Entry {
+    detail::PointId id;
+    std::unique_ptr<FixedBaseTable> table;  ///< null until the 2nd sighting
+  };
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<detail::PointId, std::list<Entry>::iterator,
+                     detail::PointIdHash>
+      index_;
+};
+
+/// The shared verification core: s*G == R + e*P rewritten as
+/// s*G + (n-e)*P == R, evaluated in one pass and compared projectively.
+/// Callers have already validated `pub` (on curve, not the identity).
+bool verify_core(const AffinePoint& pub, const FixedBaseTable* table,
+                 std::span<const std::uint8_t> message,
+                 const Signature& sig) noexcept {
+  if (sig.r.infinity || !sig.r.on_curve()) return false;
+  if (sig.s.is_zero() || U256::cmp(sig.s, Secp256k1::n()) >= 0) return false;
+
+  const U256 e = challenge(sig.r, pub, message);
+  const U256 e_neg =
+      e.is_zero() ? U256{} : U256::sub(Secp256k1::n(), e).first;
+  const JacobianPoint lhs = table != nullptr
+                                ? ec_mul_add(sig.s, e_neg, *table)
+                                : ec_mul_add(sig.s, e_neg, pub);
+  return ec_equals_affine(lhs, sig.r);
 }
 
 }  // namespace
@@ -116,8 +187,7 @@ Signature PrivateKey::sign(std::span<const std::uint8_t> message) const {
     const AffinePoint r = ec_mul_base(k).to_affine();
     if (r.infinity) continue;
     const U256 e = challenge(r, public_.point, message);
-    const U256 ed = mul_mod(e, d_, Secp256k1::n());
-    const U256 s = add_mod(k, ed, Secp256k1::n());
+    const U256 s = sn_add(k, sn_mul(e, d_));
     return Signature{r, s};
   }
 }
@@ -130,16 +200,29 @@ bool verify(const PublicKey& key, std::string_view message,
 bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
             const Signature& sig) noexcept {
   if (key.point.infinity || !key.point.on_curve()) return false;
-  if (sig.r.infinity || !sig.r.on_curve()) return false;
-  if (sig.s.is_zero() || U256::cmp(sig.s, Secp256k1::n()) >= 0) return false;
+  // The cache may allocate (node insertion, table build); verify() is
+  // noexcept, so degrade to the tableless pass rather than terminate
+  // under memory pressure.
+  const FixedBaseTable* table = nullptr;
+  try {
+    table = KeyTableCache::instance().lookup(key.point);
+  } catch (...) {
+    table = nullptr;
+  }
+  return verify_core(key.point, table, message, sig);
+}
 
-  const U256 e = challenge(sig.r, key.point, message);
-  // Check s*G == R + e*P.
-  const AffinePoint lhs = ec_mul_base(sig.s).to_affine();
-  const JacobianPoint ep = ec_mul(e, key.point);
-  const AffinePoint rhs =
-      ec_add(JacobianPoint::from_affine(sig.r), ep).to_affine();
-  return lhs == rhs;
+bool verify(const PrecomputedPublicKey& key, std::string_view message,
+            const Signature& sig) noexcept {
+  return verify(key, as_bytes(message), sig);
+}
+
+bool verify(const PrecomputedPublicKey& key,
+            std::span<const std::uint8_t> message,
+            const Signature& sig) noexcept {
+  const AffinePoint& point = key.key().point;
+  if (point.infinity || !point.on_curve()) return false;
+  return verify_core(point, &key.table(), message, sig);
 }
 
 U256 hash_to_scalar(std::span<const std::uint8_t> data) noexcept {

@@ -17,6 +17,7 @@
 //
 // Signatures serialize to 96 bytes (192 hex chars); public keys to 64 bytes.
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +34,23 @@ struct PublicKey {
   [[nodiscard]] std::string to_hex() const;
   [[nodiscard]] static std::optional<PublicKey> from_hex(std::string_view hex);
   [[nodiscard]] bool operator==(const PublicKey&) const noexcept = default;
+};
+
+/// A public key with its fixed-base comb table built eagerly.  Verifying
+/// against it does no doubling chain at all (DESIGN.md §9) — build one per
+/// long-lived key (daemon/vendor keys) at registration time.  Copies share
+/// the table.
+class PrecomputedPublicKey {
+ public:
+  explicit PrecomputedPublicKey(const PublicKey& key)
+      : key_(key), table_(std::make_shared<FixedBaseTable>(key.point)) {}
+
+  [[nodiscard]] const PublicKey& key() const noexcept { return key_; }
+  [[nodiscard]] const FixedBaseTable& table() const noexcept { return *table_; }
+
+ private:
+  PublicKey key_;
+  std::shared_ptr<const FixedBaseTable> table_;
 };
 
 struct Signature {
@@ -69,9 +87,22 @@ class PrivateKey {
 
 /// Verify `sig` over `message` with `key`.  Returns false (never throws) on
 /// any mismatch, off-curve point or out-of-range scalar.
+///
+/// The check s*G == R + e*P runs as one fused pass computing
+/// s*G + (n-e)*P and comparing against R projectively (no field
+/// inversion).  Keys seen repeatedly are promoted into a small process-wide
+/// table cache, so steady-state verification per long-lived key costs only
+/// comb additions; use PrecomputedPublicKey to build the table explicitly
+/// (and to bypass the shared cache).
 [[nodiscard]] bool verify(const PublicKey& key, std::string_view message,
                           const Signature& sig) noexcept;
 [[nodiscard]] bool verify(const PublicKey& key,
+                          std::span<const std::uint8_t> message,
+                          const Signature& sig) noexcept;
+[[nodiscard]] bool verify(const PrecomputedPublicKey& key,
+                          std::string_view message,
+                          const Signature& sig) noexcept;
+[[nodiscard]] bool verify(const PrecomputedPublicKey& key,
                           std::span<const std::uint8_t> message,
                           const Signature& sig) noexcept;
 

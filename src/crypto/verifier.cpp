@@ -1,0 +1,90 @@
+#include "crypto/verifier.hpp"
+
+namespace identxx::crypto {
+
+namespace {
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+void hash_u256(Sha256& h, const U256& v) {
+  const auto bytes = v.to_bytes();
+  h.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+void hash_u64(Sha256& h, std::uint64_t v) {
+  std::array<std::uint8_t, 8> bytes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+}  // namespace
+
+void SchnorrVerifier::register_key(const PublicKey& key) {
+  const detail::PointId id = detail::point_id(key.point);
+  if (registered_.contains(id)) return;
+  const std::uint64_t generation = ++generations_[id];
+  registered_.emplace(id, RegisteredKey{PrecomputedPublicKey(key), generation});
+}
+
+void SchnorrVerifier::invalidate_key(const PublicKey& key) {
+  const detail::PointId id = detail::point_id(key.point);
+  registered_.erase(id);
+  ++generations_[id];  // old memo entries become unreachable
+}
+
+bool SchnorrVerifier::verify(const PublicKey& key, std::string_view message,
+                             const Signature& sig) {
+  return verify(key, as_bytes(message), sig);
+}
+
+bool SchnorrVerifier::verify(const PublicKey& key,
+                             std::span<const std::uint8_t> message,
+                             const Signature& sig) {
+  ++stats_.verifications;
+
+  const detail::PointId id = detail::point_id(key.point);
+  const auto gen_it = generations_.find(id);
+
+  // Memo identity: SHA-256 over (key value, key generation, signature,
+  // message digest) — a fixed 32-byte key, nothing heap-built per call.
+  const Digest msg_digest = Sha256::hash(message);
+  Sha256 h;
+  hash_u256(h, key.point.x);
+  hash_u256(h, key.point.y);
+  hash_u64(h, gen_it == generations_.end() ? 0 : gen_it->second);
+  hash_u256(h, sig.r.x);
+  hash_u256(h, sig.r.y);
+  hash_u256(h, sig.s);
+  h.update(std::span<const std::uint8_t>(msg_digest.data(), msg_digest.size()));
+  const Digest memo_key = h.finish();
+
+  if (const auto it = memo_.find(memo_key); it != memo_.end()) {
+    ++stats_.memo_hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->ok;
+  }
+  ++stats_.memo_misses;
+
+  bool ok = false;
+  if (const auto reg = registered_.find(id); reg != registered_.end()) {
+    ++stats_.table_verifications;
+    ok = crypto::verify(reg->second.key, message, sig);
+  } else {
+    ok = crypto::verify(key, message, sig);
+  }
+
+  if (memo_.size() >= memo_capacity_) {
+    memo_.erase(order_.back().id);
+    order_.pop_back();
+    ++stats_.memo_evictions;
+  }
+  order_.push_front(MemoEntry{memo_key, ok});
+  memo_[memo_key] = order_.begin();
+  return ok;
+}
+
+}  // namespace identxx::crypto

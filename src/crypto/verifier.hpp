@@ -1,0 +1,111 @@
+#pragma once
+
+// SchnorrVerifier: registered-key tables + memoized verification.
+//
+// The flow-setup hot path verifies one signature per daemon attestation,
+// and the same attestation recurs constantly: retransmitted responses,
+// several flows from one application inside a decide_many batch, repeat
+// packet-ins for an undecided flow.  This wrapper adds two layers on top
+// of crypto::verify (DESIGN.md §9):
+//
+//   * a key registry — register_key() builds the fixed-base comb table for
+//     a long-lived public key once, at registration, so every verification
+//     under it skips both the doubling chain and the shared table cache;
+//   * a bounded LRU memo of (key, message digest, signature) -> bool, so a
+//     byte-identical attestation verifies exactly once per retention
+//     window.
+//
+// Soundness of the memo: the key is part of the memo identity (the entry
+// binds the *value* of the key, not a name), so a daemon rotating its key
+// can never be served a verdict computed under the old key.  Re-registering
+// or invalidating a key additionally bumps its generation, which makes
+// every memo entry recorded under the old generation unreachable — they
+// age out of the LRU like any cold entry.
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "crypto/key_id.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace identxx::crypto {
+
+class SchnorrVerifier {
+ public:
+  static constexpr std::size_t kDefaultMemoCapacity = 4096;
+
+  struct Stats {
+    std::uint64_t verifications = 0;  ///< verify() calls
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t memo_evictions = 0;
+    std::uint64_t table_verifications = 0;  ///< served via a registered table
+  };
+
+  explicit SchnorrVerifier(std::size_t memo_capacity = kDefaultMemoCapacity)
+      : memo_capacity_(memo_capacity == 0 ? 1 : memo_capacity) {}
+
+  /// Build (once) the comb table for a long-lived key.  Idempotent.
+  void register_key(const PublicKey& key);
+
+  /// Drop `key`'s table and make its memoized verdicts unreachable (key
+  /// change / revocation).  A later register_key starts a new generation.
+  void invalidate_key(const PublicKey& key);
+
+  [[nodiscard]] bool verify(const PublicKey& key, std::string_view message,
+                            const Signature& sig);
+  [[nodiscard]] bool verify(const PublicKey& key,
+                            std::span<const std::uint8_t> message,
+                            const Signature& sig);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t registered_key_count() const noexcept {
+    return registered_.size();
+  }
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+  [[nodiscard]] std::size_t memo_capacity() const noexcept {
+    return memo_capacity_;
+  }
+
+ private:
+  /// Memo keys are SHA-256 digests of (key, generation, sig, msg digest);
+  /// the digest is uniform, so its first bytes are hash enough.
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const noexcept {
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(h); ++i) {
+        h = (h << 8) | d[i];
+      }
+      return h;
+    }
+  };
+
+  struct RegisteredKey {
+    PrecomputedPublicKey key;
+    std::uint64_t generation = 0;
+  };
+
+  struct MemoEntry {
+    Digest id{};
+    bool ok = false;
+  };
+  using Order = std::list<MemoEntry>;
+
+  std::size_t memo_capacity_;
+  Order order_;  ///< front = most recently used
+  std::unordered_map<Digest, Order::iterator, DigestHash> memo_;
+  std::unordered_map<detail::PointId, RegisteredKey, detail::PointIdHash>
+      registered_;
+  /// Per-key memo generation; bumped by invalidate_key/re-register so old
+  /// entries can never match again.
+  std::unordered_map<detail::PointId, std::uint64_t, detail::PointIdHash>
+      generations_;
+  Stats stats_;
+};
+
+}  // namespace identxx::crypto

@@ -14,6 +14,13 @@ namespace {
   return prefix > 32 ? 32 : prefix;
 }
 
+/// Effective port mask for shape identity: irrelevant (full) when the
+/// field is fully wildcarded.
+[[nodiscard]] std::uint16_t norm_port_mask(Wildcard set, Wildcard bit,
+                                           std::uint16_t mask) noexcept {
+  return has_wildcard(set, bit) ? 0xffff : mask;
+}
+
 /// OpenFlow overwrite semantics: replacing an entry with an equivalent
 /// match at the same priority keeps its counters and creation time.
 void overwrite(FlowEntry& slot, FlowEntry fresh) noexcept {
@@ -49,7 +56,13 @@ bool FlowTable::shape_fits(const Shape& shape, const FlowMatch& match) noexcept 
          shape.src_prefix ==
              norm_prefix(match.wildcards, Wildcard::kSrcIp, match.src_ip_prefix) &&
          shape.dst_prefix ==
-             norm_prefix(match.wildcards, Wildcard::kDstIp, match.dst_ip_prefix);
+             norm_prefix(match.wildcards, Wildcard::kDstIp, match.dst_ip_prefix) &&
+         shape.src_port_mask == norm_port_mask(match.wildcards,
+                                               Wildcard::kSrcPort,
+                                               match.src_port_mask) &&
+         shape.dst_port_mask == norm_port_mask(match.wildcards,
+                                               Wildcard::kDstPort,
+                                               match.dst_port_mask);
 }
 
 bool FlowTable::expired(const FlowEntry& e, sim::SimTime now) const noexcept {
@@ -65,6 +78,17 @@ RemovalReason FlowTable::expiry_reason(const FlowEntry& e,
              : RemovalReason::kIdleTimeout;
 }
 
+void FlowTable::cookie_added(std::uint64_t cookie) noexcept {
+  if (cookie != 0) ++cookie_counts_[cookie];
+}
+
+void FlowTable::cookie_removed(std::uint64_t cookie) noexcept {
+  if (cookie == 0) return;
+  const auto it = cookie_counts_.find(cookie);
+  if (it == cookie_counts_.end()) return;
+  if (--it->second == 0) cookie_counts_.erase(it);
+}
+
 void FlowTable::notify_removal(const FlowEntry& entry, RemovalReason reason) {
   ++stats_.removals;
   if (removal_listener_) removal_listener_(entry, reason);
@@ -72,6 +96,7 @@ void FlowTable::notify_removal(const FlowEntry& entry, RemovalReason reason) {
 
 void FlowTable::erase_stored(Iter it, RemovalReason reason) {
   const FlowEntry entry = std::move(*it);
+  cookie_removed(entry.cookie);
   if (entry.match.is_exact()) {
     exact_.erase(entry.match.key());
   } else if (const auto bit = wild_.find(entry.priority); bit != wild_.end()) {
@@ -119,12 +144,21 @@ void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
       if (expired(*it->second, now)) {
         erase_stored(it->second, expiry_reason(*it->second, now));
       } else {
+        if (it->second->cookie != entry.cookie) {
+          // A cookie-changing overwrite deletes the old rule as far as
+          // its owner can tell — notify, or the controller's cookie map
+          // never learns the old cookie left this table.
+          cookie_removed(it->second->cookie);
+          cookie_added(entry.cookie);
+          notify_removal(*it->second, RemovalReason::kDeleted);
+        }
         overwrite(*it->second, std::move(entry));
         order_.splice(order_.begin(), order_, it->second);  // refresh recency
         return;
       }
     }
     if (size() >= capacity_) evict_lru();
+    cookie_added(entry.cookie);
     order_.push_front(std::move(entry));
     exact_.emplace(key, order_.begin());
     return;
@@ -140,6 +174,11 @@ void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
           erase_stored(it->second, expiry_reason(*it->second, now));
           break;  // insert fresh below
         }
+        if (it->second->cookie != entry.cookie) {
+          cookie_removed(it->second->cookie);
+          cookie_added(entry.cookie);
+          notify_removal(*it->second, RemovalReason::kDeleted);
+        }
         overwrite(*it->second, std::move(entry));
         order_.splice(order_.begin(), order_, it->second);
         return;
@@ -149,6 +188,7 @@ void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
   }
 
   if (size() >= capacity_) evict_lru();  // may prune shapes/buckets
+  cookie_added(entry.cookie);
   order_.push_front(std::move(entry));
   const FlowMatch& match = order_.front().match;
   Bucket& bucket = wild_[order_.front().priority];
@@ -164,6 +204,8 @@ void FlowTable::insert(FlowEntry entry, sim::SimTime now) {
         match.wildcards,
         norm_prefix(match.wildcards, Wildcard::kSrcIp, match.src_ip_prefix),
         norm_prefix(match.wildcards, Wildcard::kDstIp, match.dst_ip_prefix),
+        norm_port_mask(match.wildcards, Wildcard::kSrcPort, match.src_port_mask),
+        norm_port_mask(match.wildcards, Wildcard::kDstPort, match.dst_port_mask),
         {}});
     shape = &bucket.shapes.back();
   }
@@ -198,8 +240,10 @@ const FlowEntry* FlowTable::lookup(const net::TenTuple& tuple, sim::SimTime now,
     std::size_t dead_count = 0;
     std::vector<Iter> dead_overflow;
     for (Shape& shape : bucket.shapes) {
-      const auto kit = shape.by_key.find(project_tuple(
-          tuple, shape.wildcards, shape.src_prefix, shape.dst_prefix));
+      const auto kit = shape.by_key.find(
+          project_tuple(tuple, shape.wildcards, shape.src_prefix,
+                        shape.dst_prefix, shape.src_port_mask,
+                        shape.dst_port_mask));
       if (kit == shape.by_key.end()) continue;
       if (expired(*kit->second, now)) {
         if (dead_count < 2) {
@@ -287,6 +331,7 @@ void FlowTable::clear() {
   order_.clear();
   exact_.clear();
   wild_.clear();
+  cookie_counts_.clear();
 }
 
 std::vector<FlowEntry> FlowTable::entries() const {

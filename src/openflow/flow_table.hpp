@@ -118,6 +118,13 @@ class FlowTable {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const TableStats& stats() const noexcept { return stats_; }
 
+  /// Any live-or-unswept entry carrying `cookie`?  O(1) via a refcounted
+  /// cookie index — controllers use it to retire per-cookie bookkeeping
+  /// the moment a cookie's last entry leaves the table.
+  [[nodiscard]] bool has_cookie(std::uint64_t cookie) const noexcept {
+    return cookie_counts_.contains(cookie);
+  }
+
   /// Snapshot of all entries (for tests and debugging), most recently
   /// used first.
   [[nodiscard]] std::vector<FlowEntry> entries() const;
@@ -127,12 +134,14 @@ class FlowTable {
   using Iter = Order::iterator;
 
   /// One tuple-space shape within a priority bucket: the entries sharing
-  /// a wildcard mask and prefix lengths, indexed by projected key so a
-  /// lookup is one hash probe instead of a scan.
+  /// a wildcard mask, prefix lengths and port masks, indexed by projected
+  /// key so a lookup is one hash probe instead of a scan.
   struct Shape {
     Wildcard wildcards = Wildcard::kAll;
     unsigned src_prefix = 0;  ///< 0 when kSrcIp is wildcarded
     unsigned dst_prefix = 0;
+    std::uint16_t src_port_mask = 0xffff;  ///< 0xffff when wildcarded
+    std::uint16_t dst_port_mask = 0xffff;
     std::unordered_map<net::TenTuple, Iter> by_key;
   };
 
@@ -153,11 +162,18 @@ class FlowTable {
   void evict_lru();
   const FlowEntry* touch(Iter it, sim::SimTime now, std::size_t packet_bytes);
 
+  void cookie_added(std::uint64_t cookie) noexcept;
+  void cookie_removed(std::uint64_t cookie) noexcept;
+
   std::size_t capacity_;
   Order order_;  ///< front = most recently used; back = eviction victim
   std::unordered_map<net::TenTuple, Iter> exact_;
   /// Wildcard buckets, highest priority first.
   std::map<std::uint16_t, Bucket, std::greater<std::uint16_t>> wild_;
+  /// Live entries per nonzero cookie (an entry may sit on several
+  /// switches, but within one table a cookie can also cover several
+  /// aggregate entries).
+  std::unordered_map<std::uint64_t, std::size_t> cookie_counts_;
   TableStats stats_;
   RemovalListener removal_listener_;
 };

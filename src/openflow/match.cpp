@@ -22,7 +22,9 @@ namespace {
 }  // namespace
 
 net::TenTuple project_tuple(const net::TenTuple& t, Wildcard wildcards,
-                            unsigned src_prefix, unsigned dst_prefix) noexcept {
+                            unsigned src_prefix, unsigned dst_prefix,
+                            std::uint16_t src_port_mask,
+                            std::uint16_t dst_port_mask) noexcept {
   net::TenTuple out;  // wildcarded fields keep the default value
   if (!has_wildcard(wildcards, Wildcard::kInPort)) out.in_port = t.in_port;
   if (!has_wildcard(wildcards, Wildcard::kSrcMac)) out.src_mac = t.src_mac;
@@ -38,13 +40,18 @@ net::TenTuple project_tuple(const net::TenTuple& t, Wildcard wildcards,
     out.dst_ip = masked(t.dst_ip, dst_prefix);
   }
   if (!has_wildcard(wildcards, Wildcard::kProto)) out.proto = t.proto;
-  if (!has_wildcard(wildcards, Wildcard::kSrcPort)) out.src_port = t.src_port;
-  if (!has_wildcard(wildcards, Wildcard::kDstPort)) out.dst_port = t.dst_port;
+  if (!has_wildcard(wildcards, Wildcard::kSrcPort)) {
+    out.src_port = t.src_port & src_port_mask;
+  }
+  if (!has_wildcard(wildcards, Wildcard::kDstPort)) {
+    out.dst_port = t.dst_port & dst_port_mask;
+  }
   return out;
 }
 
 net::TenTuple FlowMatch::project(const net::TenTuple& tuple) const noexcept {
-  return project_tuple(tuple, wildcards, src_ip_prefix, dst_ip_prefix);
+  return project_tuple(tuple, wildcards, src_ip_prefix, dst_ip_prefix,
+                       src_port_mask, dst_port_mask);
 }
 
 net::TenTuple FlowMatch::key() const noexcept {
@@ -100,16 +107,19 @@ bool FlowMatch::matches(const net::TenTuple& t) const noexcept {
     return false;
   if (!has_wildcard(wildcards, Wildcard::kProto) && proto != t.proto)
     return false;
-  if (!has_wildcard(wildcards, Wildcard::kSrcPort) && src_port != t.src_port)
+  if (!has_wildcard(wildcards, Wildcard::kSrcPort) &&
+      (src_port & src_port_mask) != (t.src_port & src_port_mask))
     return false;
-  if (!has_wildcard(wildcards, Wildcard::kDstPort) && dst_port != t.dst_port)
+  if (!has_wildcard(wildcards, Wildcard::kDstPort) &&
+      (dst_port & dst_port_mask) != (t.dst_port & dst_port_mask))
     return false;
   return true;
 }
 
 bool FlowMatch::is_exact() const noexcept {
   return wildcards == Wildcard::kNone && src_ip_prefix == 32 &&
-         dst_ip_prefix == 32;
+         dst_ip_prefix == 32 && src_port_mask == 0xffff &&
+         dst_port_mask == 0xffff;
 }
 
 std::string FlowMatch::to_string() const {
@@ -131,8 +141,16 @@ std::string FlowMatch::to_string() const {
   field(Wildcard::kDstIp,
         "dst=" + dst_ip.to_string() + "/" + std::to_string(dst_ip_prefix));
   field(Wildcard::kProto, "proto=" + net::to_string(proto));
-  field(Wildcard::kSrcPort, "sport=" + std::to_string(src_port));
-  field(Wildcard::kDstPort, "dport=" + std::to_string(dst_port));
+  const auto port_text = [](std::uint16_t port, std::uint16_t mask) {
+    std::string text = std::to_string(port & mask);
+    if (mask != 0xffff) {
+      text += '&';
+      text += std::to_string(mask);
+    }
+    return text;
+  };
+  field(Wildcard::kSrcPort, "sport=" + port_text(src_port, src_port_mask));
+  field(Wildcard::kDstPort, "dport=" + port_text(dst_port, dst_port_mask));
   out += '}';
   return out;
 }

@@ -50,7 +50,10 @@ enum class Wildcard : std::uint16_t {
 
 /// A match over the 10-tuple.  Fields under a wildcard bit are ignored.
 /// IP fields additionally support CIDR prefixes (prefix length 32 = exact,
-/// 0 = same as wildcarded).
+/// 0 = same as wildcarded), and port fields support bitmasks (0xffff =
+/// exact, 0 = same as wildcarded) — an aligned power-of-two port block
+/// such as 8080/0xfff0 is one masked entry, which is how the aggregated
+/// rule cache caches contiguous port *ranges* (DESIGN.md §8.2).
 struct FlowMatch {
   Wildcard wildcards = Wildcard::kAll;
   std::uint16_t in_port = 0;
@@ -65,6 +68,8 @@ struct FlowMatch {
   net::IpProto proto = net::IpProto::kTcp;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
+  std::uint16_t src_port_mask = 0xffff;
+  std::uint16_t dst_port_mask = 0xffff;
 
   [[nodiscard]] bool operator==(const FlowMatch&) const noexcept = default;
 
@@ -78,8 +83,9 @@ struct FlowMatch {
   /// Does `tuple` fall under this match?
   [[nodiscard]] bool matches(const net::TenTuple& tuple) const noexcept;
 
-  /// True when no field is wildcarded and prefixes are /32 — such entries
-  /// are eligible for the exact-match fast path in FlowTable.
+  /// True when no field is wildcarded, prefixes are /32 and port masks are
+  /// full — such entries are eligible for the exact-match fast path in
+  /// FlowTable.
   [[nodiscard]] bool is_exact() const noexcept;
 
   /// Project `tuple` onto this match's constrained fields: wildcarded
@@ -96,11 +102,13 @@ struct FlowMatch {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Projection under an explicit shape (wildcard mask + prefix lengths) —
-/// FlowMatch::project with the shape taken from elsewhere.
+/// Projection under an explicit shape (wildcard mask + prefix lengths +
+/// port masks) — FlowMatch::project with the shape taken from elsewhere.
 [[nodiscard]] net::TenTuple project_tuple(const net::TenTuple& tuple,
                                           Wildcard wildcards,
                                           unsigned src_prefix,
-                                          unsigned dst_prefix) noexcept;
+                                          unsigned dst_prefix,
+                                          std::uint16_t src_port_mask = 0xffff,
+                                          std::uint16_t dst_port_mask = 0xffff) noexcept;
 
 }  // namespace identxx::openflow

@@ -120,6 +120,16 @@ void put_actions(std::vector<std::uint8_t>& out, const Action& action) {
 
 }  // namespace
 
+bool of10_representable(const FlowMatch& match) noexcept {
+  const bool src_masked =
+      !has_wildcard(match.wildcards, Wildcard::kSrcPort) &&
+      match.src_port_mask != 0xffff;
+  const bool dst_masked =
+      !has_wildcard(match.wildcards, Wildcard::kDstPort) &&
+      match.dst_port_mask != 0xffff;
+  return !src_masked && !dst_masked;
+}
+
 void encode_match(const FlowMatch& match, std::vector<std::uint8_t>& out) {
   std::uint32_t wildcards = 0;
   if (has_wildcard(match.wildcards, Wildcard::kInPort)) wildcards |= kWildcardInPort;
@@ -156,8 +166,10 @@ void encode_match(const FlowMatch& match, std::vector<std::uint8_t>& out) {
   put_u16(out, 0);  // pad
   put_u32(out, match.src_ip.value());
   put_u32(out, match.dst_ip.value());
-  put_u16(out, match.src_port);
-  put_u16(out, match.dst_port);
+  // ofp_match has no port masks; emit each masked block's base value
+  // (the narrowing documented at of10_representable).
+  put_u16(out, match.src_port & match.src_port_mask);
+  put_u16(out, match.dst_port & match.dst_port_mask);
 }
 
 std::optional<FlowMatch> decode_match(std::span<const std::uint8_t> bytes) {

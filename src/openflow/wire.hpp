@@ -140,6 +140,16 @@ struct DecodedFlowRemoved {
 [[nodiscard]] std::optional<DecodedFlowRemoved> decode_flow_removed(
     std::span<const std::uint8_t> bytes);
 
+/// Can OpenFlow 1.0 express this match exactly?  ofp_match carries no
+/// transport-port masks, so the aggregated port-block entries
+/// (DESIGN.md §8.5) are not representable.  encode_match narrows a
+/// partially-masked port to the block's base value — sound (packets the
+/// narrowed entry no longer matches miss the table and punt to the
+/// controller for a fresh per-flow decision) but it forfeits the
+/// aggregation, so a bridge to a real OpenFlow 1.0 switch should check
+/// this predicate and install per-flow entries instead.
+[[nodiscard]] bool of10_representable(const FlowMatch& match) noexcept;
+
 /// Match <-> 40-byte ofp_match conversion (exposed for tests).
 void encode_match(const FlowMatch& match, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<FlowMatch> decode_match(

@@ -1,6 +1,7 @@
 #include "pf/functions.hpp"
 
 #include "crypto/schnorr.hpp"
+#include "crypto/verifier.hpp"
 #include "identxx/daemon_config.hpp"
 #include "pf/ast.hpp"
 #include "pf/eval.hpp"
@@ -172,8 +173,10 @@ bool fn_allowed(const EvalContext& ctx, const FuncCall& call,
 }
 
 /// verify(sig, pubkey, data...): Schnorr verification; the message is the
-/// data values joined with '\n' (matching proto::signed_message).
-bool fn_verify(const EvalContext&, const FuncCall& call,
+/// data values joined with '\n' (matching proto::signed_message).  Runs
+/// through `verifier` when provided, so repeat attestations hit the
+/// verification memo and registered keys use their precomputed tables.
+bool fn_verify(crypto::SchnorrVerifier* verifier, const FuncCall& call,
                const std::vector<Value>& args) {
   require_min_arity(call, 3);
   const auto sig_hex = value_to_string(args[0]);
@@ -189,7 +192,9 @@ bool fn_verify(const EvalContext&, const FuncCall& call,
     if (!piece) return false;
     data.push_back(*piece);
   }
-  return crypto::verify(*key, proto::signed_message(data), *sig);
+  const std::string message = proto::signed_message(data);
+  if (verifier != nullptr) return verifier->verify(*key, message, *sig);
+  return crypto::verify(*key, message, *sig);
 }
 
 }  // namespace
@@ -220,7 +225,15 @@ FunctionRegistry FunctionRegistry::with_builtins() {
   registry.register_function("member", fn_member);
   registry.register_function("includes", fn_includes);
   registry.register_function("allowed", fn_allowed);
-  registry.register_function("verify", fn_verify);
+  // The verifier is shared by every copy of this registry (delegated-rule
+  // evaluation reuses the registry), so one memo serves the whole engine.
+  registry.verifier_ = std::make_shared<crypto::SchnorrVerifier>();
+  registry.register_function(
+      "verify",
+      [verifier = registry.verifier_](const EvalContext&, const FuncCall& call,
+                                      const std::vector<Value>& args) {
+        return fn_verify(verifier.get(), call, args);
+      });
   return registry;
 }
 

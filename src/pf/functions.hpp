@@ -11,11 +11,16 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
+
+namespace identxx::crypto {
+class SchnorrVerifier;
+}
 
 namespace identxx::pf {
 
@@ -62,8 +67,20 @@ class FunctionRegistry {
 
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// The Schnorr verifier backing the `verify` builtin: per-key precomputed
+  /// tables plus the bounded (key, message digest, signature) memo, so
+  /// identical attestations across flows and retransmissions verify once.
+  /// Copies of a registry share one verifier; null for registries built
+  /// without the builtins.  PolicyDecisionEngine registers the policy's
+  /// dict-embedded public keys here at construction (DESIGN.md §9).
+  [[nodiscard]] const std::shared_ptr<crypto::SchnorrVerifier>& verifier()
+      const noexcept {
+    return verifier_;
+  }
+
  private:
   std::map<std::string, PolicyFunction, std::less<>> functions_;
+  std::shared_ptr<crypto::SchnorrVerifier> verifier_;
 };
 
 }  // namespace identxx::pf

@@ -10,6 +10,9 @@
 #include "controller/admission.hpp"
 #include "controller/admission_controller.hpp"
 #include "core/network.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/verifier.hpp"
+#include "identxx/daemon_config.hpp"
 #include "pf/parser.hpp"
 
 namespace identxx {
@@ -590,15 +593,15 @@ TEST(Aggregation, UncoverableRuleFallsBackToExactEntries) {
       "block all\n"
       "pass from any to any port 22 with eq(@src[userID], alice)\n",
       "test"));
-  EXPECT_FALSE(engine.rule_cover(1).has_value());
+  EXPECT_TRUE(engine.rule_cover(1).empty());
   // And a rule shadowed by a later overlapping rule of opposite action is
   // unsound to cache wholesale.
   ctrl::PolicyDecisionEngine layered(pf::parse(
       "pass from any to any port 80\n"
       "block from 10.0.0.0/8 to any\n",
       "test"));
-  EXPECT_FALSE(layered.rule_cover(0).has_value());
-  EXPECT_TRUE(layered.rule_cover(1).has_value());
+  EXPECT_TRUE(layered.rule_cover(0).empty());
+  EXPECT_FALSE(layered.rule_cover(1).empty());
 }
 
 TEST(Aggregation, PolicyReloadFlushesCoveringEntries) {
@@ -651,6 +654,199 @@ TEST(Aggregation, RevokeIfRemovesCoverBySeedingFlow) {
 }
 
 // ---------------------------------------------------------------- audit log
+
+TEST(Aggregation, PortRangeRuleCoversAsMaskedBlocks) {
+  // An aligned contiguous range is one prefix-masked port entry...
+  ctrl::PolicyDecisionEngine aligned(pf::parse(
+      "block all\npass from any to any port 8000:8007\n", "test"));
+  EXPECT_TRUE(aligned.rule_cover(0).empty());  // overlapped by the pass rule
+  ASSERT_EQ(aligned.rule_cover(1).size(), 1u);
+  EXPECT_EQ(aligned.rule_cover(1)[0].dst_port, 8000);
+  EXPECT_EQ(aligned.rule_cover(1)[0].dst_port_mask, 0xfff8);
+
+  // ...an unaligned one decomposes greedily (8000-8003 + 8004-8005)...
+  ctrl::PolicyDecisionEngine split(pf::parse(
+      "block all\npass from any to any port 8000:8005\n", "test"));
+  ASSERT_EQ(split.rule_cover(1).size(), 2u);
+  EXPECT_EQ(split.rule_cover(1)[0].dst_port_mask, 0xfffc);
+  EXPECT_EQ(split.rule_cover(1)[1].dst_port, 8004);
+  EXPECT_EQ(split.rule_cover(1)[1].dst_port_mask, 0xfffe);
+
+  // ...and a range needing more than kMaxCoverEntries blocks stays
+  // per-flow (worst-case alignment).
+  ctrl::PolicyDecisionEngine awkward(pf::parse(
+      "block all\npass from any to any port 1:65534\n", "test"));
+  EXPECT_TRUE(awkward.rule_cover(1).empty());
+}
+
+TEST(Aggregation, PortRangeCoverAdmitsWholeRangeWithoutController) {
+  // One decision against a port-range rule caches the range as masked
+  // entries; later flows to OTHER ports of the range never punt.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& a = net.add_host("a", "10.0.0.1");
+  auto& b = net.add_host("b", "10.0.0.2");
+  auto& server = net.add_host("server", "10.0.0.9");
+  net.link(a, s1);
+  net.link(b, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = true;
+  auto& controller = net.install_controller(
+      "block all\npass from any to any port 8000:8007\n", config);
+
+  a.add_user("u", "users");
+  const int pa = a.launch("u", "/bin/x");
+  const auto first = net.start_flow(a, pa, "10.0.0.9", 8000);
+  net.run();
+  b.add_user("v", "users");
+  const int pb = b.launch("v", "/bin/x");
+  const auto second = net.start_flow(b, pb, "10.0.0.9", 8005);
+  net.run();
+
+  EXPECT_TRUE(net.flow_delivered(first));
+  EXPECT_TRUE(net.flow_delivered(second));
+  EXPECT_EQ(installed_entries(net, s1), 1u);     // one masked allow block
+  EXPECT_EQ(controller.stats().flows_seen, 1u);  // second flow died in-switch
+}
+
+// ---------------------------------------------------------------- cookies
+
+TEST(CookieMap, RevokeAllEmptiesCookieMap) {
+  // The seed's installed_flows_ map never shrank; after a full revoke it
+  // must return to zero (acceptance regression for the leak fix).
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  auto& controller =
+      net.install_controller("block all\npass from any to any port 80\n");
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  server.add_user("www", "daemons");
+  const int srv = server.launch("www", "/usr/sbin/httpd");
+  server.listen(srv, 80);
+
+  for (int i = 0; i < 4; ++i) {
+    net.start_flow(client, pid, "10.0.0.2", 80);
+    net.run();
+  }
+  EXPECT_GE(controller.installed_flow_count(), 4u);
+  controller.revoke_all();
+  EXPECT_EQ(controller.installed_flow_count(), 0u);
+}
+
+TEST(CookieMap, FlowExpiryRetiresCookies) {
+  // Idle-timeout expiry notifies the controller, which must drop the
+  // cookie-map entry once the cookie's last flow-table entry is gone.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.flow_idle_timeout = 1 * sim::kSecond;
+  auto& controller = net.install_controller(
+      "block all\npass from any to any port 80\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+
+  net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_GT(controller.installed_flow_count(), 0u);
+
+  // Sweep the table well past the idle timeout, then deliver the
+  // flow-removed notifications.
+  net.switch_at(s1).table().expire(net.simulator().now() + 5 * sim::kSecond);
+  net.run();
+  EXPECT_EQ(controller.installed_flow_count(), 0u);
+  EXPECT_GT(controller.stats().flows_expired, 0u);
+}
+
+TEST(CookieMap, RevokeIfRetiresOnlyMatchingCookies) {
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& other = net.add_host("other", "10.0.0.3");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(other, s1);
+  net.link(server, s1);
+  auto& controller =
+      net.install_controller("block all\npass from any to any port 80\n");
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  other.add_user("v", "users");
+  const int po = other.launch("v", "/bin/x");
+
+  net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  net.start_flow(other, po, "10.0.0.2", 80);
+  net.run();
+  const std::size_t before = controller.installed_flow_count();
+  ASSERT_GE(before, 2u);
+
+  const auto quarantined = *net::Ipv4Address::parse("10.0.0.1");
+  controller.revoke_if([quarantined](const net::FiveTuple& flow) {
+    return flow.src_ip == quarantined;
+  });
+  EXPECT_LT(controller.installed_flow_count(), before);
+  EXPECT_GT(controller.installed_flow_count(), 0u);
+}
+
+// ---------------------------------------------------------------- verifier
+
+TEST(VerifierIntegration, PolicyVerifyMemoizesAcrossDecisions) {
+  // The policy's dict-embedded public key is registered (table built) at
+  // engine construction, and identical attestations across decisions and
+  // within a decide_many batch verify exactly once.
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("vendor");
+  const std::string requirements = "block all pass all";
+  const std::string exe_hash(64, 'a');
+  const crypto::Signature sig =
+      key.sign(proto::signed_message({exe_hash, "app", requirements}));
+
+  proto::Response response;
+  proto::Section section;
+  section.add("exe-hash", exe_hash);
+  section.add("app-name", "app");
+  section.add("requirements", requirements);
+  section.add("req-sig", sig.to_hex());
+  response.append_section(section);
+
+  ctrl::PolicyDecisionEngine engine(pf::parse(
+      "dict <pubkeys> { vendor : " + key.public_key().to_hex() + " }\n"
+      "block all\n"
+      "pass all with verify(@dst[req-sig], @pubkeys[vendor], "
+      "@dst[exe-hash], @dst[app-name], @dst[requirements])\n",
+      "test"));
+  ASSERT_NE(engine.verifier(), nullptr);
+  EXPECT_EQ(engine.verifier()->registered_key_count(), 1u);
+
+  ctrl::AdmissionContext ctx;
+  ctx.flow.src_ip = *net::Ipv4Address::parse("10.0.0.1");
+  ctx.flow.dst_ip = *net::Ipv4Address::parse("10.0.0.2");
+  ctx.flow.dst_port = 80;
+  ctx.dst_response = response;
+  EXPECT_TRUE(engine.decide(ctx).allowed);
+  EXPECT_EQ(engine.verifier()->stats().memo_misses, 1u);
+  EXPECT_EQ(engine.verifier()->stats().table_verifications, 1u);
+  EXPECT_TRUE(engine.decide(ctx).allowed);
+  EXPECT_EQ(engine.verifier()->stats().memo_hits, 1u);
+
+  // A batch of distinct flows carrying the same attestation: the 5-tuple
+  // batch memo covers duplicates, the verification memo covers the rest.
+  ctrl::AdmissionContext ctx2 = ctx;
+  ctx2.flow.src_ip = *net::Ipv4Address::parse("10.0.0.7");
+  const std::vector<const ctrl::AdmissionContext*> batch{&ctx, &ctx2, &ctx2};
+  const auto decisions = engine.decide_many(batch);
+  ASSERT_EQ(decisions.size(), 3u);
+  for (const auto& d : decisions) EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(engine.verifier()->stats().table_verifications, 1u);  // still one
+}
 
 TEST(AuditLogCap, RingBufferDropsOldestAndCounts) {
   ctrl::AuditLogObserver log(2);

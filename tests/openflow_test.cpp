@@ -60,6 +60,105 @@ TEST(FlowMatch, IpPrefixMatch) {
   EXPECT_FALSE(m.matches(tuple("1.1.1.1", "192.168.1.42")));
 }
 
+TEST(FlowMatch, PortMaskMatchesAlignedBlock) {
+  // dport block 8000-8007 as one masked entry (8000 & 0xfff8 == 8000).
+  FlowMatch m;
+  m.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  m.dst_port = 8000;
+  m.dst_port_mask = 0xfff8;
+  EXPECT_TRUE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 8000)));
+  EXPECT_TRUE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 8007)));
+  EXPECT_FALSE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 7999)));
+  EXPECT_FALSE(m.matches(tuple("1.1.1.1", "2.2.2.2", 5, 8008)));
+  EXPECT_FALSE(m.is_exact());
+  // Projection folds every in-block port onto the same key.
+  EXPECT_EQ(m.project(tuple("1.1.1.1", "2.2.2.2", 5, 8003)),
+            m.project(tuple("3.3.3.3", "4.4.4.4", 7, 8005)));
+  EXPECT_EQ(m.project(tuple("1.1.1.1", "2.2.2.2", 5, 8003)), m.key());
+}
+
+TEST(FlowMatch, FullPortMaskStaysExact) {
+  const FlowMatch m = FlowMatch::exact(tuple());
+  EXPECT_TRUE(m.is_exact());
+  FlowMatch masked = m;
+  masked.dst_port_mask = 0xfff0;
+  EXPECT_FALSE(masked.is_exact());
+}
+
+TEST(FlowTable, PortMaskedEntriesLookupByBlock) {
+  FlowTable table;
+  // Two masked drop blocks at one priority: 8000-8003 and 8004-8005.
+  for (const auto& [port, mask] :
+       {std::pair<std::uint16_t, std::uint16_t>{8000, 0xfffc},
+        std::pair<std::uint16_t, std::uint16_t>{8004, 0xfffe}}) {
+    FlowEntry entry;
+    entry.match.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+    entry.match.dst_port = port;
+    entry.match.dst_port_mask = mask;
+    entry.priority = 10;
+    entry.action = DropAction{};
+    entry.cookie = port;
+    table.insert(entry, 0);
+  }
+  for (std::uint16_t port = 8000; port <= 8005; ++port) {
+    const FlowEntry* found =
+        table.lookup(tuple("1.1.1.1", "2.2.2.2", 5, port), 1, 10);
+    ASSERT_NE(found, nullptr) << "port " << port;
+    EXPECT_EQ(found->cookie, port <= 8003 ? 8000u : 8004u);
+  }
+  EXPECT_EQ(table.lookup(tuple("1.1.1.1", "2.2.2.2", 5, 8006), 1, 10), nullptr);
+  // find() locates a masked entry structurally (cover dedupe path).
+  FlowMatch probe;
+  probe.wildcards = without(Wildcard::kAll, Wildcard::kDstPort);
+  probe.dst_port = 8000;
+  probe.dst_port_mask = 0xfffc;
+  EXPECT_NE(table.find(probe, 10, 1), nullptr);
+  probe.dst_port_mask = 0xfffe;
+  EXPECT_EQ(table.find(probe, 10, 1), nullptr);
+}
+
+TEST(FlowTable, CookieIndexTracksLiveEntries) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match = FlowMatch::exact(tuple());
+  entry.cookie = 42;
+  table.insert(entry, 0);
+  FlowEntry second;
+  second.match = FlowMatch::exact(tuple("10.0.0.1", "10.0.0.9"));
+  second.cookie = 42;
+  table.insert(second, 0);
+  EXPECT_TRUE(table.has_cookie(42));
+
+  EXPECT_EQ(table.remove_if([](const FlowEntry& e) {
+    return e.match.key().dst_ip == *net::Ipv4Address::parse("10.0.0.9");
+  }), 1u);
+  EXPECT_TRUE(table.has_cookie(42));  // one entry left
+  table.clear();
+  EXPECT_FALSE(table.has_cookie(42));
+
+  // Overwrite with a different cookie retires the old one AND notifies —
+  // without the notification the controller's cookie map would never
+  // learn the old cookie left this table.
+  std::vector<std::pair<std::uint64_t, RemovalReason>> removed;
+  table.set_removal_listener([&](const FlowEntry& e, RemovalReason reason) {
+    removed.emplace_back(e.cookie, reason);
+  });
+  entry.cookie = 7;
+  table.insert(entry, 0);
+  FlowEntry replacement = entry;
+  replacement.cookie = 8;
+  table.insert(replacement, 0);
+  EXPECT_FALSE(table.has_cookie(7));
+  EXPECT_TRUE(table.has_cookie(8));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (std::pair<std::uint64_t, RemovalReason>{
+                            7, RemovalReason::kDeleted}));
+  // A same-cookie refresh is not a removal.
+  removed.clear();
+  table.insert(replacement, 0);
+  EXPECT_TRUE(removed.empty());
+}
+
 TEST(FlowMatch, WildcardHelpers) {
   const Wildcard w = without(Wildcard::kAll, Wildcard::kProto | Wildcard::kDstPort);
   EXPECT_FALSE(has_wildcard(w, Wildcard::kProto));

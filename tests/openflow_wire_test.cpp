@@ -41,6 +41,36 @@ TEST(OfMatch, EncodedSizeIs40Bytes) {
   EXPECT_EQ(out.size(), 40u);
 }
 
+TEST(OfMatch, PortMasksAreNotRepresentableAndNarrowSoundly) {
+  // ofp_match has no transport-port masks: a port-block entry (DESIGN.md
+  // §8.5) is flagged unrepresentable, and encoding narrows it to the
+  // block's base port — the decoded entry matches a strict subset of the
+  // original (sound: missed packets punt to the controller).
+  FlowMatch match = FlowMatch::exact(sample_tuple());
+  EXPECT_TRUE(of10_representable(match));
+  match.dst_port = 8000;
+  match.dst_port_mask = 0xfff8;  // block 8000-8007
+  EXPECT_FALSE(of10_representable(match));
+
+  std::vector<std::uint8_t> out;
+  encode_match(match, out);
+  const auto decoded = decode_match(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(of10_representable(*decoded));
+  EXPECT_EQ(decoded->dst_port, 8000);
+  EXPECT_EQ(decoded->dst_port_mask, 0xffff);
+  net::TenTuple t = sample_tuple();
+  for (std::uint16_t port : {8000, 8003, 8007}) {
+    t.dst_port = port;
+    EXPECT_TRUE(match.matches(t));
+    EXPECT_EQ(decoded->matches(t), port == 8000);  // narrowed, never widened
+  }
+  // A wildcarded port with a stale mask value stays representable.
+  FlowMatch wild = FlowMatch::any();
+  wild.dst_port_mask = 0xff00;
+  EXPECT_TRUE(of10_representable(wild));
+}
+
 TEST(OfMatch, ExactRoundTrip) {
   const FlowMatch match = FlowMatch::exact(sample_tuple());
   std::vector<std::uint8_t> out;
