@@ -1,6 +1,7 @@
 #include "controller/admission.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "crypto/verifier.hpp"
 #include "util/error.hpp"
@@ -273,20 +274,66 @@ struct PortBlock {
   return out;
 }
 
+/// Prepare one endpoint's resolved CIDR list for cover generation: a /0
+/// member makes the whole side unconstrained (empty list = any), exact
+/// duplicates collapse, and CIDRs already contained in a wider member are
+/// dropped — { 10.0.0.0/24, 10.0.0.0/25 } needs one entry, not two.
+void normalize_cover_cidrs(std::vector<net::Cidr>& cidrs) {
+  for (const net::Cidr& cidr : cidrs) {
+    if (cidr.prefix_length() == 0) {
+      cidrs.clear();
+      return;
+    }
+  }
+  std::vector<net::Cidr> kept;
+  kept.reserve(cidrs.size());
+  for (const net::Cidr& candidate : cidrs) {
+    bool redundant = false;
+    for (const net::Cidr& other : cidrs) {
+      if (other == candidate) continue;
+      // Strictly wider `other` absorbs candidate; equal-width duplicates
+      // keep only their first occurrence (covered by the == dedupe below).
+      if (other.prefix_length() < candidate.prefix_length() &&
+          other.contains(candidate.network())) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant &&
+        std::find(kept.begin(), kept.end(), candidate) == kept.end()) {
+      kept.push_back(candidate);
+    }
+  }
+  cidrs = std::move(kept);
+}
+
 [[nodiscard]] std::vector<openflow::FlowMatch> cover_for(
     std::size_t index, const pf::Ruleset& ruleset,
     const std::vector<RuleScope>& scopes) {
   const pf::Rule& rule = ruleset.rules[index];
   if (rule.keep_state || rule.log || !rule.withs.empty()) return {};
   if (rule.from.negated || rule.to.negated) return {};
-  // Scope must fit a small set of FlowMatches: any/single-CIDR hosts;
+  // Scope must fit a small set of FlowMatches: each endpoint must resolve
+  // to an explicit CIDR list (any / single CIDR / table / brace list);
   // ports may be single values or contiguous ranges (each range becomes a
-  // set of prefix-masked port blocks).
-  const bool from_ok = std::holds_alternative<pf::AnyHost>(rule.from.host) ||
-                       std::holds_alternative<pf::CidrHost>(rule.from.host);
-  const bool to_ok = std::holds_alternative<pf::AnyHost>(rule.to.host) ||
-                     std::holds_alternative<pf::CidrHost>(rule.to.host);
-  if (!from_ok || !to_ok) return {};
+  // set of prefix-masked port blocks).  Multi-CIDR hosts contribute one
+  // prefix cover per CIDR — the IP analogue of the port-range block
+  // decomposition — with the whole cross product capped at
+  // kMaxCoverEntries.
+  std::vector<net::Cidr> src_cidrs;
+  std::vector<net::Cidr> dst_cidrs;
+  if (!resolve_host(rule.from.host, ruleset, src_cidrs)) return {};
+  if (!resolve_host(rule.to.host, ruleset, dst_cidrs)) return {};
+  // A table/list that resolved to nothing matches no flow; an "any"-wide
+  // cover for it would capture traffic the rule never decides.  (Such a
+  // rule never matches, so no decision carries its cover anyway.)
+  const bool src_any = std::holds_alternative<pf::AnyHost>(rule.from.host);
+  const bool dst_any = std::holds_alternative<pf::AnyHost>(rule.to.host);
+  if ((src_cidrs.empty() && !src_any) || (dst_cidrs.empty() && !dst_any)) {
+    return {};
+  }
+  normalize_cover_cidrs(src_cidrs);
+  normalize_cover_cidrs(dst_cidrs);
 
   const RuleScope& scope = scopes[index];
   for (std::size_t j = 0; j < ruleset.rules.size(); ++j) {
@@ -306,20 +353,9 @@ struct PortBlock {
     base.wildcards = without(base.wildcards, Wildcard::kProto);
     base.proto = *rule.proto;
   }
-  if (const auto* from = std::get_if<pf::CidrHost>(&rule.from.host);
-      from != nullptr && from->cidr.prefix_length() > 0) {
-    base.wildcards = without(base.wildcards, Wildcard::kSrcIp);
-    base.src_ip = from->cidr.network();
-    base.src_ip_prefix = from->cidr.prefix_length();
-  }
-  if (const auto* to = std::get_if<pf::CidrHost>(&rule.to.host);
-      to != nullptr && to->cidr.prefix_length() > 0) {
-    base.wildcards = without(base.wildcards, Wildcard::kDstIp);
-    base.dst_ip = to->cidr.network();
-    base.dst_ip_prefix = to->cidr.prefix_length();
-  }
-  // Each port side contributes its block set; the cover is the cross
-  // product.  {{0, 0xffff-wildcard}} stands in for an unconstrained side.
+  // Each side contributes its CIDR set and its port-block set; the cover
+  // is the cross product.  An empty CIDR list / {{0, 0xffff-wildcard}}
+  // block stands in for an unconstrained side.
   std::vector<PortBlock> src_blocks{PortBlock{}};
   std::vector<PortBlock> dst_blocks{PortBlock{}};
   bool src_constrained = false;
@@ -334,27 +370,57 @@ struct PortBlock {
     dst_blocks = port_range_blocks(rule.to.port->low, rule.to.port->high);
     dst_constrained = true;
   }
-  if (src_blocks.size() * dst_blocks.size() >
-      AdmissionDecision::kMaxCoverEntries) {
-    return {};  // awkwardly aligned range: per-flow installs stay cheaper
+  const std::size_t total = std::max<std::size_t>(src_cidrs.size(), 1) *
+                            std::max<std::size_t>(dst_cidrs.size(), 1) *
+                            src_blocks.size() * dst_blocks.size();
+  if (total > AdmissionDecision::kMaxCoverEntries) {
+    return {};  // awkward range / wide host list: per-flow installs win
+  }
+
+  // Iterate "unconstrained" as a single null CIDR so the loop shape stays
+  // one cross product.
+  std::vector<const net::Cidr*> src_iter{nullptr};
+  std::vector<const net::Cidr*> dst_iter{nullptr};
+  if (!src_cidrs.empty()) {
+    src_iter.assign(src_cidrs.size(), nullptr);
+    for (std::size_t i = 0; i < src_cidrs.size(); ++i) src_iter[i] = &src_cidrs[i];
+  }
+  if (!dst_cidrs.empty()) {
+    dst_iter.assign(dst_cidrs.size(), nullptr);
+    for (std::size_t i = 0; i < dst_cidrs.size(); ++i) dst_iter[i] = &dst_cidrs[i];
   }
 
   std::vector<openflow::FlowMatch> covers;
-  covers.reserve(src_blocks.size() * dst_blocks.size());
-  for (const PortBlock& src : src_blocks) {
-    for (const PortBlock& dst : dst_blocks) {
-      openflow::FlowMatch match = base;
-      if (src_constrained) {
-        match.wildcards = without(match.wildcards, Wildcard::kSrcPort);
-        match.src_port = src.value;
-        match.src_port_mask = src.mask;
+  covers.reserve(total);
+  for (const net::Cidr* src_cidr : src_iter) {
+    for (const net::Cidr* dst_cidr : dst_iter) {
+      openflow::FlowMatch ip_base = base;
+      if (src_cidr != nullptr) {
+        ip_base.wildcards = without(ip_base.wildcards, Wildcard::kSrcIp);
+        ip_base.src_ip = src_cidr->network();
+        ip_base.src_ip_prefix = src_cidr->prefix_length();
       }
-      if (dst_constrained) {
-        match.wildcards = without(match.wildcards, Wildcard::kDstPort);
-        match.dst_port = dst.value;
-        match.dst_port_mask = dst.mask;
+      if (dst_cidr != nullptr) {
+        ip_base.wildcards = without(ip_base.wildcards, Wildcard::kDstIp);
+        ip_base.dst_ip = dst_cidr->network();
+        ip_base.dst_ip_prefix = dst_cidr->prefix_length();
       }
-      covers.push_back(match);
+      for (const PortBlock& src : src_blocks) {
+        for (const PortBlock& dst : dst_blocks) {
+          openflow::FlowMatch match = ip_base;
+          if (src_constrained) {
+            match.wildcards = without(match.wildcards, Wildcard::kSrcPort);
+            match.src_port = src.value;
+            match.src_port_mask = src.mask;
+          }
+          if (dst_constrained) {
+            match.wildcards = without(match.wildcards, Wildcard::kDstPort);
+            match.dst_port = dst.value;
+            match.dst_port_mask = dst.mask;
+          }
+          covers.push_back(match);
+        }
+      }
     }
   }
   return covers;
@@ -378,6 +444,36 @@ struct PortBlock {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------- records
+
+void ControllerStats::accumulate(const ControllerStats& other) noexcept {
+  packet_ins += other.packet_ins;
+  flows_seen += other.flows_seen;
+  flows_allowed += other.flows_allowed;
+  flows_blocked += other.flows_blocked;
+  queries_sent += other.queries_sent;
+  responses_received += other.responses_received;
+  query_timeouts += other.query_timeouts;
+  entries_installed += other.entries_installed;
+  buffered_packets_released += other.buffered_packets_released;
+  ident_transit_forwarded += other.ident_transit_forwarded;
+  responses_augmented += other.responses_augmented;
+  queries_proxied += other.queries_proxied;
+  flows_expired += other.flows_expired;
+  flows_logged += other.flows_logged;
+  decision_cache_hits += other.decision_cache_hits;
+}
+
+bool audit_record_before(const DecisionRecord& a,
+                         const DecisionRecord& b) noexcept {
+  const auto key = [](const DecisionRecord& r) {
+    return std::tie(r.time, r.flow.src_ip, r.flow.dst_ip, r.flow.proto,
+                    r.flow.src_port, r.flow.dst_port, r.allowed, r.rule,
+                    r.src_user, r.dst_user, r.src_app);
+  };
+  return key(a) < key(b);
+}
 
 // ---------------------------------------------------------------- engines
 

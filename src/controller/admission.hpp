@@ -97,6 +97,17 @@ struct ControllerConfig {
   /// high enough that bounded behaviour is invisible in normal runs.
   static constexpr std::size_t kDefaultAuditLogCapacity = 1 << 20;
   std::size_t audit_log_capacity = kDefaultAuditLogCapacity;
+  /// Sharded-domain wiring (sharded_controller.hpp, DESIGN.md §10).  When
+  /// decision_lane is a shard lane (nonzero), the DecisionEngine runs on
+  /// that lane — potentially in parallel with sibling domains — and the
+  /// resulting verdict commits back on the global lane at the same virtual
+  /// instant, so sharding never changes simulated timings.
+  sim::LaneId decision_lane = sim::kGlobalLane;
+  /// Cookie namespace tag (top 16 bits of every allocated cookie).  Zero
+  /// for classic standalone controllers; domain i of a sharded controller
+  /// uses i + 1, so domains sharing switch tables revoke only their own
+  /// entries.
+  std::uint16_t cookie_namespace = 0;
 };
 
 /// One line of the audit log ("log and audit the delegates' actions", §1).
@@ -111,7 +122,15 @@ struct DecisionRecord {
   std::string src_app;           ///< @src[name] if provided
   std::string dst_user;          ///< @dst[userID] if provided
   sim::SimTime setup_latency = 0;  ///< first packet-in -> decision
+
+  [[nodiscard]] bool operator==(const DecisionRecord&) const = default;
 };
+
+/// Canonical total order for merging per-domain audit logs: time first,
+/// then the flow identity and verdict fields, so a merged log is
+/// identical whatever the shard count that produced it.
+[[nodiscard]] bool audit_record_before(const DecisionRecord& a,
+                                       const DecisionRecord& b) noexcept;
 
 struct ControllerStats {
   std::uint64_t packet_ins = 0;
@@ -129,6 +148,11 @@ struct ControllerStats {
   std::uint64_t flows_expired = 0;
   std::uint64_t flows_logged = 0;      ///< decisions from `log` rules
   std::uint64_t decision_cache_hits = 0;
+
+  [[nodiscard]] bool operator==(const ControllerStats&) const = default;
+
+  /// Field-wise sum — aggregating a sharded controller's per-domain stats.
+  void accumulate(const ControllerStats& other) noexcept;
 };
 
 /// Where a registered host lives (IP -> node/attachment/MAC).
@@ -169,6 +193,11 @@ struct AdmissionContext {
   /// Set (before the engine runs) when the decision fires at the query
   /// deadline rather than on complete responses; engines may consult it.
   bool timed_out = false;
+  /// A sharded domain has dispatched this context's decision to its shard
+  /// lane; the verdict commits on the global lane at the same virtual
+  /// instant.  Guards against double decisions (e.g. a response arriving
+  /// in the same wave as the deadline sweep).
+  bool decision_in_flight = false;
 };
 
 /// A DecisionEngine's verdict, decoupled from pf::Verdict so non-PF

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "controller/shard_map.hpp"
 #include "identxx/keys.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -44,6 +45,11 @@ void AdmissionController::adopt_switch(sim::NodeId switch_id,
   on_switch_adopted(sw);
 }
 
+void AdmissionController::join_domain(sim::NodeId switch_id) {
+  (void)topology_->switch_at(switch_id);  // validate the id
+  domain_.insert(switch_id);
+}
+
 void AdmissionController::register_host(net::Ipv4Address ip, sim::NodeId node,
                                         net::MacAddress mac) {
   hosts_[ip] = HostInfo{node, mac};
@@ -55,9 +61,17 @@ const HostInfo* AdmissionController::find_host(net::Ipv4Address ip) const {
 }
 
 std::uint64_t AdmissionController::allocate_cookie(const net::FiveTuple& flow) {
-  const std::uint64_t cookie = next_cookie_++;
+  const std::uint64_t cookie =
+      (static_cast<std::uint64_t>(config_.cookie_namespace)
+       << ShardMap::kCookieShardShift) |
+      next_cookie_++;
   installed_flows_[cookie] = flow;
   return cookie;
+}
+
+bool AdmissionController::owns_cookie(std::uint64_t cookie) const noexcept {
+  return cookie != 0 &&
+         ShardMap::cookie_shard_tag(cookie) == config_.cookie_namespace;
 }
 
 void AdmissionController::add_observer(
@@ -69,6 +83,9 @@ void AdmissionController::replace_engine(
     std::unique_ptr<DecisionEngine> engine) {
   if (!engine) throw Error("replace_engine: null DecisionEngine");
   pipeline_.engine = std::move(engine);
+  // Decisions in flight on a shard lane were computed by the replaced
+  // engine; the epoch bump makes their commit re-decide.
+  ++control_epoch_;
   // Stale verdicts must not outlive the policy that produced them.
   if (pipeline_.cache) pipeline_.cache->clear();
   // Aggregated rule covers encode the OLD ruleset's scope.  Unlike
@@ -78,7 +95,8 @@ void AdmissionController::replace_engine(
   for (const sim::NodeId id : domain_) {
     topology_->switch_at(id).table().remove_if(
         [this](const openflow::FlowEntry& entry) {
-          return entry.cookie != 0 && entry.priority == config_.flow_priority &&
+          return owns_cookie(entry.cookie) &&
+                 entry.priority == config_.flow_priority &&
                  AggregatingInstallStrategy::is_aggregate_entry(entry);
         });
   }
@@ -86,11 +104,13 @@ void AdmissionController::replace_engine(
 }
 
 std::size_t AdmissionController::revoke_all() {
+  ++control_epoch_;
   std::size_t removed = 0;
   for (const sim::NodeId id : domain_) {
     removed += topology_->switch_at(id).table().remove_if(
         [this](const openflow::FlowEntry& entry) {
-          return entry.priority == config_.flow_priority && entry.cookie != 0;
+          return entry.priority == config_.flow_priority &&
+                 owns_cookie(entry.cookie);
         });
   }
   if (pipeline_.cache) pipeline_.cache->clear();
@@ -100,11 +120,13 @@ std::size_t AdmissionController::revoke_all() {
 
 std::size_t AdmissionController::revoke_if(
     const std::function<bool(const net::FiveTuple&)>& pred) {
+  ++control_epoch_;
   std::size_t removed = 0;
   for (const sim::NodeId id : domain_) {
     removed += topology_->switch_at(id).table().remove_if(
         [this, &pred](const openflow::FlowEntry& entry) {
-          if (entry.priority != config_.flow_priority || entry.cookie == 0) {
+          if (entry.priority != config_.flow_priority ||
+              !owns_cookie(entry.cookie)) {
             return false;
           }
           // Judge by the flow registered at install time (cookie map):
@@ -265,12 +287,13 @@ void AdmissionController::handle_new_flow(const openflow::PacketIn& msg,
 }
 
 void AdmissionController::sweep_expired() {
-  const std::vector<AdmissionContext*> expired =
+  std::vector<AdmissionContext*> expired =
       pipeline_.collector->expired(simulator().now());
+  std::erase_if(expired, [](const AdmissionContext* ctx) {
+    return ctx->decision_in_flight;
+  });
   if (expired.empty()) return;  // everything already decided
 
-  std::vector<const AdmissionContext*> batch;
-  batch.reserve(expired.size());
   for (AdmissionContext* ctx : expired) {
     notify([&](AdmissionObserver& o) { o.on_query_timeout(ctx->flow); });
     const std::size_t proxied =
@@ -279,16 +302,41 @@ void AdmissionController::sweep_expired() {
       notify([&](AdmissionObserver& o) { o.on_query_proxied(ctx->flow); });
     }
     ctx->timed_out = true;
-    batch.push_back(ctx);
   }
 
   // Stage 3, batched: one decide_many over every flow that hit this
   // deadline tick.
-  const std::vector<AdmissionDecision> decisions =
-      pipeline_.engine->decide_many(batch);
-  for (std::size_t i = 0; i < expired.size(); ++i) {
-    finalize(*expired[i], decisions[i]);
+  if (config_.decision_lane == sim::kGlobalLane) {
+    std::vector<const AdmissionContext*> batch(expired.begin(), expired.end());
+    const std::vector<AdmissionDecision> decisions =
+        pipeline_.engine->decide_many(batch);
+    for (std::size_t i = 0; i < expired.size(); ++i) {
+      finalize(*expired[i], decisions[i]);
+    }
+    return;
   }
+
+  // Sharded domain: evaluate the whole batch on the shard lane (in
+  // parallel with sibling domains' batches), commit on the global lane at
+  // the same virtual instant.
+  for (AdmissionContext* ctx : expired) ctx->decision_in_flight = true;
+  const std::uint64_t epoch = control_epoch_;
+  simulator().schedule_on(
+      config_.decision_lane, simulator().now(),
+      [this, expired = std::move(expired), epoch] {
+        std::vector<const AdmissionContext*> batch(expired.begin(),
+                                                   expired.end());
+        std::vector<AdmissionDecision> decisions =
+            pipeline_.engine->decide_many(batch);
+        simulator().schedule_on(
+            sim::kGlobalLane, simulator().now(),
+            [this, expired, epoch,
+             decisions = std::move(decisions)]() mutable {
+              for (std::size_t i = 0; i < expired.size(); ++i) {
+                commit_decision(*expired[i], std::move(decisions[i]), epoch);
+              }
+            });
+      });
 }
 
 void AdmissionController::maybe_decide(AdmissionContext& ctx) {
@@ -296,13 +344,47 @@ void AdmissionController::maybe_decide(AdmissionContext& ctx) {
 }
 
 void AdmissionController::decide_one(AdmissionContext& ctx, bool timed_out) {
+  if (ctx.decision_in_flight) return;
   // Late proxy fill-in for sides that never answered.
   const std::size_t proxied = pipeline_.collector->fill_proxies_at_decide(ctx);
   for (std::size_t i = 0; i < proxied; ++i) {
     notify([&](AdmissionObserver& o) { o.on_query_proxied(ctx.flow); });
   }
   ctx.timed_out = timed_out;
-  const AdmissionDecision decision = pipeline_.engine->decide(ctx);
+  if (config_.decision_lane == sim::kGlobalLane) {
+    const AdmissionDecision decision = pipeline_.engine->decide(ctx);
+    finalize(ctx, decision);
+    return;
+  }
+  // Sharded domain: the engine (shard-local policy engine, verifier and
+  // caches) runs on this domain's lane; the commit runs back on the
+  // global lane, same virtual instant, so sharding never changes
+  // simulated timings.
+  ctx.decision_in_flight = true;
+  const std::uint64_t epoch = control_epoch_;
+  simulator().schedule_on(
+      config_.decision_lane, simulator().now(), [this, &ctx, epoch] {
+        AdmissionDecision decision = pipeline_.engine->decide(ctx);
+        simulator().schedule_on(
+            sim::kGlobalLane, simulator().now(),
+            [this, &ctx, epoch, decision = std::move(decision)]() mutable {
+              commit_decision(ctx, std::move(decision), epoch);
+            });
+      });
+}
+
+void AdmissionController::commit_decision(AdmissionContext& ctx,
+                                          AdmissionDecision decision,
+                                          std::uint64_t dispatch_epoch) {
+  ctx.decision_in_flight = false;
+  if (dispatch_epoch != control_epoch_) {
+    // A revocation or policy swap landed between dispatch and commit; the
+    // computed verdict may carry covers (or would cache a decision) from
+    // the replaced control state.  Re-decide under the current engine —
+    // shard lanes are quiescent while the global lane runs, so the inline
+    // re-decide cannot race a sibling domain.
+    decision = pipeline_.engine->decide(ctx);
+  }
   finalize(ctx, decision);
 }
 

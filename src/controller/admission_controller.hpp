@@ -37,6 +37,12 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   void adopt_switch(sim::NodeId switch_id,
                     sim::SimTime control_latency = 100 * sim::kMicrosecond);
 
+  /// Add a switch to this controller's install domain WITHOUT taking its
+  /// control channel or installing boot rules — sharded admission domains
+  /// share every switch while a ShardedAdmissionController front-end owns
+  /// the channels and dispatches messages by flow shard.
+  void join_domain(sim::NodeId switch_id);
+
   /// Teach the controller where a host lives (IP -> node/attachment/MAC).
   void register_host(net::Ipv4Address ip, sim::NodeId node,
                      net::MacAddress mac);
@@ -64,6 +70,14 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
 
   /// Attach an additional observer (tracing, metrics, tests).
   void add_observer(std::unique_ptr<AdmissionObserver> observer);
+
+  /// Record a control-channel packet-in handled through a sharded
+  /// front-end dispatch path that bypasses on_packet_in (direct response
+  /// consumption) — keeps per-domain packet_in accounting equal to a
+  /// standalone controller's.
+  void observe_packet_in(const openflow::PacketIn& msg) {
+    notify([&](AdmissionObserver& o) { o.on_packet_in(msg); });
+  }
 
   // ---- accounting ----------------------------------------------------------
 
@@ -174,7 +188,10 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   /// Decide `ctx` now if both sides are ready.
   void maybe_decide(AdmissionContext& ctx);
 
-  /// Run the decision stages for `ctx` and retire it.
+  /// Run the decision stages for `ctx` and retire it.  With a shard
+  /// decision lane configured, evaluation is dispatched to that lane and
+  /// the verdict commits back on the global lane at the same virtual
+  /// instant (commit_decision).
   void decide_one(AdmissionContext& ctx, bool timed_out);
 
   template <typename Fn>
@@ -183,6 +200,16 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   }
 
  private:
+  /// Did this controller allocate `cookie`?  Namespacing (the top 16 bits
+  /// carry config.cookie_namespace) lets sharded domains share switch
+  /// tables yet revoke only their own entries.
+  [[nodiscard]] bool owns_cookie(std::uint64_t cookie) const noexcept;
+  /// Commit a shard-lane verdict on the global lane.  If a control-plane
+  /// change (revocation / policy swap) happened since dispatch, the stale
+  /// verdict is discarded and the flow re-decides under the current
+  /// engine — never a stale cover or cache entry.
+  void commit_decision(AdmissionContext& ctx, AdmissionDecision decision,
+                       std::uint64_t dispatch_epoch);
   /// Does any domain switch still hold an entry with this cookie?
   [[nodiscard]] bool cookie_live(std::uint64_t cookie) const;
   /// Drop cookie-map entries whose last flow-table entry is gone.
@@ -207,6 +234,10 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   StatsObserver* stats_observer_ = nullptr;   // owned via observers_
   AuditLogObserver* audit_observer_ = nullptr;  // owned via observers_
   std::uint64_t next_cookie_ = 1;
+  /// Bumped by revoke_all / revoke_if / replace_engine; shard-lane
+  /// decisions dispatched under an older epoch are discarded at commit
+  /// and re-decided (commit_decision).
+  std::uint64_t control_epoch_ = 0;
   sim::SimTime last_scheduled_sweep_ = -1;  ///< dedupes per-tick sweeps
   bool compromised_ = false;
 };

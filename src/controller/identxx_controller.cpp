@@ -56,6 +56,10 @@ const pf::PolicyEngine& IdentxxController::engine() const {
 }
 
 void IdentxxController::on_switch_adopted(openflow::Switch& sw) {
+  install_intercept_rules(sw);
+}
+
+void IdentxxController::install_intercept_rules(openflow::Switch& sw) {
   using openflow::Wildcard;
   // Punt ident++ traffic (TCP 783, either direction) so this controller can
   // consume responses to its own queries and intercept transiting ones.
@@ -98,12 +102,21 @@ bool IdentxxController::send_query(const net::FiveTuple& flow,
   query.dst_port = flow.dst_port;
   query.keys = kDefaultQueryKeys;
 
-  // §3.2: the query's source IP is the flow's other endpoint.
+  // §3.2: the query's source IP is the flow's other endpoint.  The
+  // ephemeral source port comes from the per-controller seeded stream when
+  // one is configured (seed_query_ports), else the sequential counter.
+  std::uint16_t query_port;
+  if (query_port_rng_) {
+    query_port =
+        static_cast<std::uint16_t>(20000 + query_port_rng_->next_below(40000));
+  } else {
+    query_port = next_query_port_++;
+    if (next_query_port_ < 20000) next_query_port_ = 20000;  // wrap
+  }
   net::Packet packet = net::make_tcp_packet(
       kControllerMac, host->mac, target.spoof_src, target.target,
-      next_query_port_++, proto::kIdentPort, query.serialize(),
+      query_port, proto::kIdentPort, query.serialize(),
       net::TcpFlags::kPsh | net::TcpFlags::kAck);
-  if (next_query_port_ < 20000) next_query_port_ = 20000;  // wrap
 
   // Inject directly out of the host-facing port.
   topology()
@@ -161,19 +174,30 @@ void IdentxxController::handle_transit_query(const openflow::PacketIn& msg) {
 
 void IdentxxController::handle_ident_response(const openflow::PacketIn& msg,
                                               const proto::Response& response) {
+  if (try_consume_response(msg, response)) return;
+  handle_transit_response(msg, response);
+}
+
+bool IdentxxController::try_consume_response(const openflow::PacketIn& msg,
+                                             const proto::Response& response) {
+  const net::Ipv4Address responder = msg.packet.ip.src;
+  const net::Ipv4Address peer = msg.packet.ip.dst;
+  AdmissionContext* ctx = collector().accept_response(responder, peer, response);
+  if (ctx == nullptr) return false;
+  notify([&](AdmissionObserver& o) { o.on_response_received(responder); });
+  maybe_decide(*ctx);
+  return true;
+}
+
+void IdentxxController::handle_transit_response(const openflow::PacketIn& msg,
+                                                const proto::Response& response) {
   const net::Ipv4Address responder = msg.packet.ip.src;
   const net::Ipv4Address peer = msg.packet.ip.dst;
   notify([&](AdmissionObserver& o) { o.on_response_received(responder); });
 
-  if (AdmissionContext* ctx =
-          collector().accept_response(responder, peer, response)) {
-    maybe_decide(*ctx);
-    return;
-  }
-
-  // Not ours: a response transiting our domain on its way to another
-  // firewall.  Optionally augment it (network collaboration, §4), then
-  // forward it one hop toward its destination.
+  // A response transiting our domain on its way to another firewall.
+  // Optionally augment it (network collaboration, §4), then forward it
+  // one hop toward its destination.
   const net::FiveTuple as_src{responder, peer, response.proto,
                               response.src_port, response.dst_port};
   openflow::PacketIn forwarded = msg;

@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "controller/admission_controller.hpp"
+#include "util/rng.hpp"
 
 namespace identxx::ctrl {
 
@@ -79,6 +80,37 @@ class IdentxxController : public AdmissionController {
   /// cached decisions.
   void set_policy(pf::Ruleset ruleset);
 
+  /// Draw query ephemeral source ports from a deterministic per-controller
+  /// stream instead of the sequential counter.  Sharded scenario runs give
+  /// every domain its own seed-derived stream (util::SplitMix64), so the
+  /// ports one domain draws never depend on a sibling's draw order — a
+  /// precondition for shard-count-invariant replay (DESIGN.md §10).
+  void seed_query_ports(std::uint64_t seed) noexcept {
+    query_port_rng_.emplace(seed);
+  }
+
+  /// The TCP-783 intercept rules every ident++ deployment boots a switch
+  /// with (both directions punt to the controller).  Shared with the
+  /// sharded front-end, which owns switch channels itself.
+  static void install_intercept_rules(openflow::Switch& sw);
+
+  // ---- sharded front-end hooks ---------------------------------------------
+  // A ShardedAdmissionController parses responses once and probes candidate
+  // domains directly (a response names the queried flow's ports in flow
+  // orientation, so either endpoint may be the flow's source — the two
+  // orientations can hash to different shards).
+
+  /// Consume `response` if it matches one of this controller's pending
+  /// flows: counts it, fills the context and decides.  Returns false —
+  /// with nothing counted — when no pending flow matches.
+  bool try_consume_response(const openflow::PacketIn& msg,
+                            const proto::Response& response);
+
+  /// A response transiting the domain (matched nowhere): optionally
+  /// augment it (§4 network collaboration) and forward it one hop.
+  void handle_transit_response(const openflow::PacketIn& msg,
+                               const proto::Response& response);
+
   // ---- observation ---------------------------------------------------------
 
   /// Throws when the decision engine was replaced with a non-PF engine.
@@ -120,6 +152,7 @@ class IdentxxController : public AdmissionController {
   ResponseAugmenter augmenter_;
   QueryInterceptor query_interceptor_;
   std::uint16_t next_query_port_ = 20000;
+  std::optional<util::SplitMix64> query_port_rng_;  ///< seeded stream, if any
 };
 
 }  // namespace identxx::ctrl

@@ -1,0 +1,57 @@
+#include "controller/shard_map.hpp"
+
+namespace identxx::ctrl {
+
+namespace {
+
+/// SplitMix64 finalizer: cheap, well-mixed 64 -> 64 bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t ShardMap::shard_of(const net::FiveTuple& flow) const noexcept {
+  // Canonical endpoint ordering: the (ip, port) pair with the smaller
+  // address (port breaks ties) goes first, so both directions hash alike.
+  std::uint64_t a = (static_cast<std::uint64_t>(flow.src_ip.value()) << 16) |
+                    flow.src_port;
+  std::uint64_t b = (static_cast<std::uint64_t>(flow.dst_ip.value()) << 16) |
+                    flow.dst_port;
+  net::Ipv4Address lo_ip = flow.src_ip;
+  net::Ipv4Address hi_ip = flow.dst_ip;
+  if (b < a) {
+    std::swap(a, b);
+    std::swap(lo_ip, hi_ip);
+  }
+  if (!pins_.empty()) {
+    if (const auto it = pins_.find(lo_ip); it != pins_.end()) {
+      return it->second % shard_count_;
+    }
+    if (const auto it = pins_.find(hi_ip); it != pins_.end()) {
+      return it->second % shard_count_;
+    }
+  }
+  const std::uint64_t h =
+      mix64(mix64(a) ^ mix64(b ^ 0x5851f42d4c957f2dULL) ^
+            static_cast<std::uint64_t>(flow.proto));
+  return static_cast<std::uint32_t>(h % shard_count_);
+}
+
+void ShardMap::pin_endpoint(net::Ipv4Address ip, std::uint32_t shard) {
+  pins_[ip] = shard % shard_count_;
+}
+
+void ShardMap::bind_switch(sim::NodeId switch_id, std::uint32_t shard) {
+  switch_shards_[switch_id] = shard % shard_count_;
+}
+
+std::uint32_t ShardMap::switch_shard(sim::NodeId switch_id) const noexcept {
+  const auto it = switch_shards_.find(switch_id);
+  return it == switch_shards_.end() ? 0 : it->second;
+}
+
+}  // namespace identxx::ctrl

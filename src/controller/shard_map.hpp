@@ -1,0 +1,65 @@
+#pragma once
+
+// ShardMap: the consistent partitioning behind sharded admission domains
+// (DESIGN.md §10).  Maps every flow to exactly one admission domain by
+// hashing the *canonical* 5-tuple — both directions of a flow hash
+// identically, so a domain's decision cache, ACL state table and
+// keep-state reverse installs stay shard-local (endpoint affinity).
+// Explicit endpoint pins override the hash for operators who want a busy
+// server's flows concentrated on (or spread away from) one domain.
+//
+// Switches are bound to domains too (round-robin by default): the binding
+// decides which domain handles transit ident++ queries seen at a switch
+// and attributes per-switch bookkeeping.  Cookies are namespaced by shard
+// (the top 16 bits) so domains sharing the network's switch tables can
+// revoke their own entries without touching a sibling's.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/flow.hpp"
+#include "sim/simulator.hpp"
+
+namespace identxx::ctrl {
+
+class ShardMap {
+ public:
+  /// Cookie layout: the shard tag lives in the top 16 bits.  Tag 0 is the
+  /// classic unsharded namespace; domain i uses tag i + 1.
+  static constexpr unsigned kCookieShardShift = 48;
+
+  explicit ShardMap(std::uint32_t shard_count)
+      : shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return shard_count_;
+  }
+
+  /// The domain owning `flow`.  Direction-insensitive:
+  /// shard_of(f) == shard_of(f.reversed()).
+  [[nodiscard]] std::uint32_t shard_of(const net::FiveTuple& flow) const noexcept;
+
+  /// Pin every flow touching `ip` to `shard` (endpoint affinity).  When
+  /// both endpoints of a flow are pinned differently, the pin of the
+  /// numerically smaller address wins — still direction-insensitive.
+  void pin_endpoint(net::Ipv4Address ip, std::uint32_t shard);
+
+  /// Bind a switch to a domain (transit-query handling, bookkeeping).
+  void bind_switch(sim::NodeId switch_id, std::uint32_t shard);
+  /// The domain a switch is bound to; 0 when never bound.
+  [[nodiscard]] std::uint32_t switch_shard(sim::NodeId switch_id) const noexcept;
+
+  /// The shard tag embedded in a cookie (0 = classic unsharded namespace).
+  [[nodiscard]] static std::uint32_t cookie_shard_tag(
+      std::uint64_t cookie) noexcept {
+    return static_cast<std::uint32_t>(cookie >> kCookieShardShift);
+  }
+
+ private:
+  std::uint32_t shard_count_;
+  std::unordered_map<net::Ipv4Address, std::uint32_t> pins_;
+  std::unordered_map<sim::NodeId, std::uint32_t> switch_shards_;
+};
+
+}  // namespace identxx::ctrl

@@ -30,6 +30,9 @@ host::Host& Network::add_host(const std::string& name, const std::string& ip) {
   for (const auto& controller : controllers_) {
     controller->register_host(ref.ip(), id, ref.mac());
   }
+  for (const auto& controller : sharded_controllers_) {
+    controller->register_host(ref.ip(), id, ref.mac());
+  }
   return ref;
 }
 
@@ -89,6 +92,26 @@ ctrl::IdentxxController& Network::install_domain_controller(
       std::make_unique<ctrl::IdentxxController>(&topology_, std::move(ruleset),
                                                 std::move(config)),
       &switches));
+}
+
+ctrl::ShardedAdmissionController& Network::install_sharded_controller(
+    std::string_view policy, std::uint32_t shards, std::uint32_t workers,
+    ctrl::ControllerConfig config) {
+  simulator().configure_shard_lanes(shards == 0 ? 1 : shards);
+  simulator().set_workers(workers == 0 ? 1 : workers);
+  pf::Ruleset ruleset = pf::parse(policy, config.name);
+  auto controller = std::make_unique<ctrl::ShardedAdmissionController>(
+      &topology_, std::move(ruleset), shards, std::move(config));
+  for (const sim::NodeId id : unadopted_switches()) {
+    controller->adopt_switch(id);
+    adopted_[id] = true;
+  }
+  for (const sim::NodeId id : host_ids_) {
+    auto& h = host(id);
+    controller->register_host(h.ip(), id, h.mac());
+  }
+  sharded_controllers_.push_back(std::move(controller));
+  return *sharded_controllers_.back();
 }
 
 ctrl::VanillaFirewall& Network::install_vanilla_firewall(bool default_allow) {

@@ -23,6 +23,7 @@
 
 #include "controller/baselines.hpp"
 #include "controller/identxx_controller.hpp"
+#include "controller/sharded_controller.hpp"
 #include "host/host.hpp"
 #include "openflow/topology.hpp"
 #include "pf/control_files.hpp"
@@ -76,6 +77,15 @@ class Network {
   /// concatenated per §3.4, as in Figure 2).
   ctrl::IdentxxController& install_controller_files(
       std::vector<pf::ControlFile> files, ctrl::ControllerConfig config = {});
+
+  /// Sharded admission domains (DESIGN.md §10): partition flows across
+  /// `shards` parallel AdmissionControllers with shard-local caches and
+  /// verifiers, evaluated on `workers` real threads (1 = serial; results
+  /// are identical either way).  Adopts every so-far-unadopted switch and
+  /// configures the simulator's shard lanes and worker pool.
+  ctrl::ShardedAdmissionController& install_sharded_controller(
+      std::string_view policy, std::uint32_t shards, std::uint32_t workers = 1,
+      ctrl::ControllerConfig config = {});
 
   /// Baselines (each adopts every unadopted switch).
   ctrl::VanillaFirewall& install_vanilla_firewall(bool default_allow = false);
@@ -132,6 +142,8 @@ class Network {
   std::unordered_map<std::string, sim::NodeId> hosts_by_name_;
   std::vector<sim::NodeId> host_ids_;
   std::vector<std::unique_ptr<ctrl::AdmissionController>> controllers_;
+  std::vector<std::unique_ptr<ctrl::ShardedAdmissionController>>
+      sharded_controllers_;
   std::unordered_map<sim::NodeId, bool> adopted_;
 };
 

@@ -1,8 +1,11 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
+
 #include "crypto/schnorr.hpp"
 #include "identxx/keys.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace identxx::core {
@@ -85,7 +88,12 @@ Scenario Scenario::parse(std::string_view text) {
     const auto fields = fields_of(line, lineno);
     const std::string& directive = fields[0];
 
-    if (directive == "switch") {
+    if (directive == "seed") {
+      require_fields(fields, 2, "seed <n>", lineno);
+      const auto seed = util::parse_u64(fields[1]);
+      if (!seed) throw ParseError("invalid seed '" + fields[1] + "'", lineno);
+      scenario.seed_ = *seed;
+    } else if (directive == "switch") {
       require_fields(fields, 2, "switch <name>", lineno);
       scenario.switches_.push_back({fields[1]});
     } else if (directive == "link") {
@@ -163,6 +171,12 @@ Scenario Scenario::parse(std::string_view text) {
 }
 
 ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
+  ScenarioOptions options;
+  options.config = std::move(config);
+  return run(options);
+}
+
+ScenarioResult Scenario::run(const ScenarioOptions& options) const {
   Network net;
   std::unordered_map<std::string, sim::NodeId> switches;
   for (const auto& decl : switches_) {
@@ -205,7 +219,26 @@ ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
     policy.replace(pos, close - pos + 1, hex);
     pos += hex.size();
   }
-  auto& controller = net.install_controller(policy, std::move(config));
+  // Controller flavour: classic single controller, or sharded admission
+  // domains (DESIGN.md §10).  Identical seeds replay identically at any
+  // shard count: every domain draws from its own seed-derived RNG stream,
+  // so no draw order ever crosses a shard boundary.
+  ctrl::IdentxxController* classic = nullptr;
+  ctrl::ShardedAdmissionController* sharded = nullptr;
+  const std::uint64_t seed = options.seed != 0 ? options.seed : seed_;
+  if (options.shards == 0) {
+    classic = &net.install_controller(policy, options.config);
+    if (seed != 0) {
+      // Same derivation as sharded domain 0, so classic and 1-shard runs
+      // draw identical streams.
+      util::SplitMix64 derive(seed ^ 0x9e3779b97f4a7c15ULL);
+      classic->seed_query_ports(derive.next());
+    }
+  } else {
+    sharded = &net.install_sharded_controller(policy, options.shards,
+                                              options.workers, options.config);
+    if (seed != 0) sharded->seed_query_ports(seed);
+  }
 
   const auto host_of = [&hosts](const std::string& name) -> host::Host& {
     const auto it = hosts.find(name);
@@ -285,9 +318,22 @@ ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
     }
     result.flows.push_back(std::move(flow_result));
   }
-  result.controller_stats = controller.stats();
-  result.audit_log.assign(controller.audit_log().begin(),
-                          controller.audit_log().end());
+  if (sharded != nullptr) {
+    result.controller_stats = sharded->aggregated_stats();
+    for (std::uint32_t i = 0; i < sharded->shard_count(); ++i) {
+      result.domain_stats.push_back(sharded->domain(i).stats());
+    }
+    result.audit_log = sharded->merged_audit_log();
+  } else {
+    result.controller_stats = classic->stats();
+    result.domain_stats.push_back(classic->stats());
+    result.audit_log.assign(classic->audit_log().begin(),
+                            classic->audit_log().end());
+    // Same canonical order as merged sharded logs, so results compare
+    // across run configurations.
+    std::sort(result.audit_log.begin(), result.audit_log.end(),
+              ctrl::audit_record_before);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 //
 // Directive language (one directive per line, '#' comments):
 //
+//     seed 42                            # RNG seed for deterministic replay
 //     switch s1
 //     switch s2
 //     link s1 s2 [latency_us]
@@ -56,11 +57,19 @@ struct ScenarioFlowResult {
   [[nodiscard]] bool matches_expectation() const noexcept {
     return !expectation_known || delivered == expected_delivered;
   }
+
+  [[nodiscard]] bool operator==(const ScenarioFlowResult&) const = default;
 };
 
 struct ScenarioResult {
   std::vector<ScenarioFlowResult> flows;
+  /// Aggregate over all admission domains (a single controller's stats
+  /// verbatim for unsharded runs).
   ctrl::ControllerStats controller_stats;
+  /// Per-domain breakdown; one entry for unsharded runs.
+  std::vector<ctrl::ControllerStats> domain_stats;
+  /// Canonically ordered (audit_record_before) so the log is comparable
+  /// across shard counts.
   std::vector<ctrl::DecisionRecord> audit_log;
 
   /// All expectations met?
@@ -70,6 +79,27 @@ struct ScenarioResult {
     }
     return true;
   }
+
+  /// The shard-count/worker-count invariant (DESIGN.md §10): everything
+  /// observable — flow verdicts, aggregate stats, the canonical audit
+  /// log — must be identical however the run was partitioned.  The
+  /// per-domain breakdown is intentionally not compared.
+  [[nodiscard]] bool equivalent_to(const ScenarioResult& other) const {
+    return flows == other.flows && controller_stats == other.controller_stats &&
+           audit_log == other.audit_log;
+  }
+};
+
+/// Knobs for Scenario::run.
+struct ScenarioOptions {
+  ctrl::ControllerConfig config;
+  /// 0 = classic single controller; >= 1 = sharded admission domains.
+  std::uint32_t shards = 0;
+  /// Real parallelism for sharded runs (1 = serial; results identical).
+  std::uint32_t workers = 1;
+  /// Seed for the deterministic per-domain RNG streams (query ephemeral
+  /// ports).  0 falls back to the scenario file's `seed` directive (or 0).
+  std::uint64_t seed = 0;
 };
 
 /// A parsed scenario, ready to run.  Parsing and execution are split so
@@ -83,7 +113,13 @@ class Scenario {
   /// expectations.  Throws Error for semantic problems (unknown names).
   [[nodiscard]] ScenarioResult run(ctrl::ControllerConfig config = {}) const;
 
+  /// As above, with sharding/worker/seed control.  A given scenario and
+  /// seed produce an equivalent_to-identical result at any shard count
+  /// and any worker count.
+  [[nodiscard]] ScenarioResult run(const ScenarioOptions& options) const;
+
   [[nodiscard]] const std::string& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t switch_count() const noexcept {
     return switches_.size();
   }
@@ -140,6 +176,7 @@ class Scenario {
   std::vector<FlowDecl> flows_;
   std::unordered_map<std::string, bool> expectations_;  // flow id -> delivered
   std::string policy_;
+  std::uint64_t seed_ = 0;  ///< `seed <n>` directive; 0 when absent
 };
 
 }  // namespace identxx::core

@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -47,24 +49,32 @@ std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
 /// doubling-free.  Bounded so an attacker spraying one-shot keys cannot
 /// grow memory; building only on the second sighting keeps one-shot keys
 /// from paying the build at all.  Keys are the raw (x, y) limbs — a probe
-/// allocates nothing.  Single-threaded by design, like the simulator
-/// substrate (DESIGN.md §9).
+/// allocates nothing beyond the lock.
+///
+/// Mutex-guarded: sharded admission domains verify on parallel simulator
+/// lanes (DESIGN.md §10).  This lock sits only on the *cold-key* fallback
+/// path — domain verifiers hold their own per-key tables and memo
+/// (SchnorrVerifier, shard-local), so the decision hot path stays
+/// lock-free.
 class KeyTableCache {
  public:
   static constexpr std::size_t kCapacity = 64;
 
   /// The table for `point` if it is already built; otherwise counts the
-  /// sighting (building on the second one) and returns nullptr.
-  const FixedBaseTable* lookup(const AffinePoint& point) {
+  /// sighting (building on the second one) and returns null.  Shared
+  /// ownership keeps the table alive for the caller even if a concurrent
+  /// cold-key burst evicts the entry mid-verification.
+  std::shared_ptr<const FixedBaseTable> lookup(const AffinePoint& point) {
+    const std::scoped_lock lock(mutex_);
     const detail::PointId id = detail::point_id(point);
     const auto it = index_.find(id);
     if (it != index_.end()) {
       order_.splice(order_.begin(), order_, it->second);
       Entry& entry = *it->second;
       if (!entry.table) {
-        entry.table = std::make_unique<FixedBaseTable>(point);
+        entry.table = std::make_shared<const FixedBaseTable>(point);
       }
-      return entry.table.get();
+      return entry.table;
     }
     if (index_.size() >= kCapacity) {
       index_.erase(order_.back().id);
@@ -83,8 +93,9 @@ class KeyTableCache {
  private:
   struct Entry {
     detail::PointId id;
-    std::unique_ptr<FixedBaseTable> table;  ///< null until the 2nd sighting
+    std::shared_ptr<const FixedBaseTable> table;  ///< null until 2nd sighting
   };
+  std::mutex mutex_;
   std::list<Entry> order_;  ///< front = most recently used
   std::unordered_map<detail::PointId, std::list<Entry>::iterator,
                      detail::PointIdHash>
@@ -203,13 +214,13 @@ bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
   // The cache may allocate (node insertion, table build); verify() is
   // noexcept, so degrade to the tableless pass rather than terminate
   // under memory pressure.
-  const FixedBaseTable* table = nullptr;
+  std::shared_ptr<const FixedBaseTable> table;
   try {
     table = KeyTableCache::instance().lookup(key.point);
   } catch (...) {
     table = nullptr;
   }
-  return verify_core(key.point, table, message, sig);
+  return verify_core(key.point, table.get(), message, sig);
 }
 
 bool verify(const PrecomputedPublicKey& key, std::string_view message,

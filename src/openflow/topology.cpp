@@ -1,8 +1,30 @@
 #include "openflow/topology.hpp"
 
+#include <atomic>
 #include <deque>
 
+#include "sim/worker_pool.hpp"
+
 namespace identxx::openflow {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_topology_id{1};
+
+/// One worker thread's private path memo for one topology instance.
+/// Keyed by the topology's process-unique id (never a raw pointer — ids
+/// are not reused); stale topologies' entries die with the worker thread,
+/// whose pool is owned by the topology's simulator.
+struct WorkerPathCache {
+  std::uint64_t epoch = 0;
+  std::unordered_map<std::uint64_t, std::optional<std::vector<Hop>>> paths;
+};
+thread_local std::unordered_map<std::uint64_t, WorkerPathCache> t_worker_paths;
+
+}  // namespace
+
+Topology::Topology()
+    : topology_id_(g_next_topology_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 sim::NodeId Topology::add_switch(std::unique_ptr<Switch> sw) {
   Switch* raw = sw.get();
@@ -57,6 +79,7 @@ std::optional<Hop> Topology::attachment(sim::NodeId host) const {
 }
 
 void Topology::invalidate_paths() noexcept {
+  ++path_epoch_;  // per-worker caches check the epoch on their next query
   if (path_cache_.empty()) return;
   path_cache_.clear();
   ++path_cache_stats_.invalidations;
@@ -72,6 +95,11 @@ std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
   if (!path_cache_enabled_) return compute_path(src_host, dst_host);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(src_host) << 32) | dst_host;
+  if (sim::WorkerPool::current_worker_slot() != 0) {
+    // Simulator worker thread (parallel shard lane): private cache, no
+    // locks and no contention on the shared memo or its stats.
+    return path_via_worker_cache(key, src_host, dst_host);
+  }
   if (const auto it = path_cache_.find(key); it != path_cache_.end()) {
     ++path_cache_stats_.hits;
     return it->second;
@@ -79,6 +107,21 @@ std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
   auto result = compute_path(src_host, dst_host);
   ++path_cache_stats_.misses;
   path_cache_.emplace(key, result);
+  return result;
+}
+
+std::optional<std::vector<Hop>> Topology::path_via_worker_cache(
+    std::uint64_t key, sim::NodeId src_host, sim::NodeId dst_host) const {
+  WorkerPathCache& cache = t_worker_paths[topology_id_];
+  if (cache.epoch != path_epoch_) {
+    cache.paths.clear();
+    cache.epoch = path_epoch_;
+  }
+  if (const auto it = cache.paths.find(key); it != cache.paths.end()) {
+    return it->second;
+  }
+  auto result = compute_path(src_host, dst_host);
+  cache.paths.emplace(key, result);
   return result;
 }
 

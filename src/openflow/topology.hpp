@@ -36,7 +36,7 @@ struct PathCacheStats {
 
 class Topology {
  public:
-  Topology() = default;
+  Topology();
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
@@ -73,6 +73,12 @@ class Topology {
   /// per switch, ending with the hop whose out_port faces `dst_host`.
   /// nullopt when no path exists.  Results are memoized per (src,dst)
   /// pair; `link()` (the only topology mutation) flushes the memo.
+  ///
+  /// The memo is per-worker: the simulation main thread uses the shared
+  /// cache below (and the stats), while simulator worker threads (parallel
+  /// shard lanes) each keep a private thread-local cache keyed by this
+  /// topology's id and invalidated by the same epoch bump — no locks on
+  /// any path query.
   [[nodiscard]] std::optional<std::vector<Hop>> path(sim::NodeId src_host,
                                                      sim::NodeId dst_host) const;
 
@@ -95,7 +101,16 @@ class Topology {
  private:
   [[nodiscard]] std::optional<std::vector<Hop>> compute_path(
       sim::NodeId src_host, sim::NodeId dst_host) const;
+  [[nodiscard]] std::optional<std::vector<Hop>> path_via_worker_cache(
+      std::uint64_t key, sim::NodeId src_host, sim::NodeId dst_host) const;
   void invalidate_paths() noexcept;
+
+  /// Process-unique instance id + invalidation epoch for the per-worker
+  /// thread-local caches.  Only mutated while the simulation is quiescent
+  /// (topology wiring happens before/between runs), so workers never
+  /// observe a concurrent write.
+  const std::uint64_t topology_id_;
+  std::uint64_t path_epoch_ = 0;
 
   sim::Simulator sim_;
   std::unordered_map<sim::NodeId, Switch*> switches_;

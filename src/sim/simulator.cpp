@@ -2,15 +2,66 @@
 
 #include <utility>
 
+#include "sim/worker_pool.hpp"
 #include "util/logging.hpp"
 
 namespace identxx::sim {
+
+namespace {
+
+/// Which simulator/lane the current thread is executing an event for, and
+/// (during the parallel shard phase) where its newly scheduled events go.
+/// Thread-local so shard-lane handlers on pool threads stage instead of
+/// touching the shared queues.
+struct ExecContext {
+  Simulator* sim = nullptr;
+  LaneId lane = kGlobalLane;
+  std::vector<Simulator::StagedEvent>* staging = nullptr;
+};
+thread_local ExecContext t_exec;
+
+class ExecScope {
+ public:
+  ExecScope(Simulator* sim, LaneId lane,
+            std::vector<Simulator::StagedEvent>* staging) noexcept
+      : saved_(t_exec) {
+    t_exec = ExecContext{sim, lane, staging};
+  }
+  ~ExecScope() noexcept { t_exec = saved_; }
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+ private:
+  ExecContext saved_;
+};
+
+}  // namespace
+
+Simulator::Simulator() : lanes_(1) {}
+Simulator::~Simulator() = default;
 
 NodeId Simulator::add_node(std::unique_ptr<Node> node) {
   const auto id = static_cast<NodeId>(nodes_.size());
   node->attach(this, id);
   nodes_.push_back(std::move(node));
   return id;
+}
+
+void Simulator::configure_shard_lanes(std::uint32_t shard_lanes) {
+  while (lanes_.size() < static_cast<std::size_t>(shard_lanes) + 1) {
+    lanes_.emplace_back();
+  }
+}
+
+void Simulator::set_workers(std::uint32_t workers) {
+  if (workers > workers_) {
+    workers_ = workers;
+    pool_.reset();  // rebuilt at the right size on the next parallel wave
+  }
+}
+
+void Simulator::ensure_pool() {
+  if (!pool_) pool_ = std::make_unique<WorkerPool>(workers_);
 }
 
 void Simulator::connect(NodeId a, PortId a_port, NodeId b, PortId b_port,
@@ -61,42 +112,181 @@ void Simulator::send(NodeId from, PortId port, net::Packet packet) {
   });
 }
 
-void Simulator::schedule_at(SimTime when, std::function<void()> callback) {
+void Simulator::push_event(LaneId lane, SimTime when,
+                           std::function<void()> action) {
+  lanes_[lane].queue.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void Simulator::schedule_on(LaneId lane, SimTime when,
+                            std::function<void()> callback) {
+  if (lane >= lanes_.size()) {
+    throw SimError("schedule_on: unknown lane");
+  }
   if (when < now_) {
     throw SimError("schedule_at: time in the past");
   }
-  queue_.push(Event{when, next_sequence_++, std::move(callback)});
+  if (t_exec.sim == this && t_exec.staging != nullptr) {
+    // Parallel shard phase: stage; the epoch barrier merges in lane order.
+    t_exec.staging->push_back(StagedEvent{lane, when, std::move(callback)});
+    return;
+  }
+  push_event(lane, when, std::move(callback));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> callback) {
+  const LaneId lane = t_exec.sim == this ? t_exec.lane : kGlobalLane;
+  schedule_on(lane, when, std::move(callback));
 }
 
 void Simulator::schedule_after(SimTime delay, std::function<void()> callback) {
   schedule_at(now_ + delay, std::move(callback));
 }
 
+bool Simulator::idle() const noexcept {
+  for (const Lane& lane : lanes_) {
+    if (!lane.queue.empty()) return false;
+  }
+  return true;
+}
+
+SimTime Simulator::next_event_time() const noexcept {
+  SimTime t = -1;
+  for (const Lane& lane : lanes_) {
+    if (lane.queue.empty()) continue;
+    if (t < 0 || lane.queue.top().when < t) t = lane.queue.top().when;
+  }
+  return t;
+}
+
+std::uint64_t Simulator::run_wave(SimTime t) {
+  // Pop the wave: every event at exactly `t`, per lane in FIFO seq order.
+  std::vector<std::vector<Event>> batches(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    auto& queue = lanes_[i].queue;
+    while (!queue.empty() && queue.top().when == t) {
+      batches[i].push_back(std::move(const_cast<Event&>(queue.top())));
+      queue.pop();
+    }
+  }
+
+  std::uint64_t executed = 0;
+
+  // Global-lane phase: serial; schedules go straight into the queues,
+  // which reproduces the historical single-queue order exactly.
+  {
+    ExecScope scope(this, kGlobalLane, nullptr);
+    for (Event& event : batches[kGlobalLane]) {
+      event.action();
+      ++executed;
+    }
+  }
+
+  // Shard-lane phase: lanes touch disjoint shard-local state, so they may
+  // run in parallel.  New events are staged per lane and merged at the
+  // barrier in lane order — the same order a serial pass produces — so the
+  // result is independent of the worker count.
+  std::vector<LaneId> active;
+  for (LaneId lane = 1; lane < batches.size(); ++lane) {
+    if (!batches[lane].empty()) active.push_back(lane);
+  }
+  if (!active.empty()) {
+    if (workers_ <= 1 || active.size() == 1) {
+      for (const LaneId lane : active) {
+        ExecScope scope(this, lane, nullptr);
+        for (Event& event : batches[lane]) {
+          event.action();
+          ++executed;
+        }
+      }
+    } else {
+      std::vector<std::vector<StagedEvent>> staged(active.size());
+      std::vector<std::exception_ptr> errors(active.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(active.size());
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        tasks.push_back([this, &batches, &staged, &errors, k,
+                         lane = active[k]]() noexcept {
+          ExecScope scope(this, lane, &staged[k]);
+          try {
+            for (Event& event : batches[lane]) event.action();
+          } catch (...) {
+            errors[k] = std::current_exception();
+          }
+        });
+      }
+      ensure_pool();
+      pool_->run(tasks);
+      for (const LaneId lane : active) executed += batches[lane].size();
+      for (auto& lane_staged : staged) {
+        for (StagedEvent& event : lane_staged) {
+          push_event(event.lane, event.when, std::move(event.action));
+        }
+      }
+      for (const auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+      }
+    }
+  }
+
+  stats_.events_executed += executed;
+  return executed;
+}
+
 std::uint64_t Simulator::run(SimTime deadline) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    if (deadline >= 0 && queue_.top().when > deadline) break;
-    // Copy out before pop; priority_queue::top is const.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  // Single-lane fast path (every unsharded run): the historical
+  // pop-execute loop, no per-wave batch allocation.  Semantically
+  // identical to the wave loop restricted to one lane.  The lane count is
+  // re-checked each iteration (an event may configure shard lanes, which
+  // can also reallocate lanes_); any remainder falls through to the wave
+  // loop below.
+  while (lanes_.size() == 1 && !lanes_[kGlobalLane].queue.empty()) {
+    auto& queue = lanes_[kGlobalLane].queue;
+    if (deadline >= 0 && queue.top().when > deadline) break;
+    Event event = std::move(const_cast<Event&>(queue.top()));
+    queue.pop();
     now_ = event.when;
-    event.action();
+    {
+      ExecScope scope(this, kGlobalLane, nullptr);
+      event.action();
+    }
     ++executed;
     ++stats_.events_executed;
   }
-  if (deadline >= 0 && now_ < deadline && queue_.empty()) {
+  for (;;) {
+    const SimTime t = next_event_time();
+    if (t < 0) break;
+    if (deadline >= 0 && t > deadline) break;
+    now_ = t;
+    executed += run_wave(t);
+  }
+  if (deadline >= 0 && now_ < deadline && idle()) {
     now_ = deadline;
   }
   return executed;
 }
 
 std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  // Bounded single-step execution (tests/debugging): events run one at a
+  // time in the canonical (when, sequence) order across all lanes.
   std::uint64_t executed = 0;
-  while (!queue_.empty() && executed < max_events) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (executed < max_events) {
+    std::size_t best = lanes_.size();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].queue.empty()) continue;
+      if (best == lanes_.size() ||
+          EventLater{}(lanes_[best].queue.top(), lanes_[i].queue.top())) {
+        best = i;
+      }
+    }
+    if (best == lanes_.size()) break;
+    Event event = std::move(const_cast<Event&>(lanes_[best].queue.top()));
+    lanes_[best].queue.pop();
     now_ = event.when;
-    event.action();
+    {
+      ExecScope scope(this, static_cast<LaneId>(best), nullptr);
+      event.action();
+    }
     ++executed;
     ++stats_.events_executed;
   }

@@ -13,6 +13,19 @@
 // Determinism contract: given the same initial configuration and inputs,
 // a run produces the identical event order.  Ties in time are broken by
 // insertion sequence number.
+//
+// Multi-queue core (sharded admission domains, DESIGN.md §10): the event
+// queue is split into lanes — lane 0 (kGlobalLane) carries every node /
+// packet / control-channel event, and one extra lane per admission domain
+// carries that shard's decision work.  Execution proceeds in virtual-clock
+// epochs ("waves"): all events at the earliest pending timestamp run
+// together — the global lane first, serially, then the shard lanes, which
+// touch only shard-local state and may therefore run in parallel on a
+// WorkerPool.  Events scheduled during the parallel phase are staged per
+// lane and merged at the epoch barrier in lane order, so the resulting
+// event sequence is bit-identical whatever the worker count (and, for
+// single-lane configurations, identical to the historical single-queue
+// order).
 
 #include <cstdint>
 #include <functional>
@@ -27,6 +40,8 @@
 
 namespace identxx::sim {
 
+class WorkerPool;
+
 /// Simulated time in nanoseconds since simulation start.
 using SimTime = std::int64_t;
 
@@ -36,6 +51,11 @@ constexpr SimTime kSecond = 1'000'000'000;
 
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Event lane.  Lane 0 is the global lane (all node/packet events); lanes
+/// 1..N are shard lanes created by configure_shard_lanes().
+using LaneId = std::uint32_t;
+constexpr LaneId kGlobalLane = 0;
 
 /// Port number on a node.  Port numbering is per-node, starting at 1 to
 /// match OpenFlow conventions (0 is reserved).
@@ -89,7 +109,8 @@ struct SimStats {
 /// The simulator owns all nodes and the event queue.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -108,10 +129,33 @@ class Simulator {
   void send(NodeId from, PortId port, net::Packet packet);
 
   /// Schedule an arbitrary callback at absolute time `when` (>= now).
+  /// The event lands on the lane of the currently-executing event (the
+  /// global lane outside event execution), so follow-up work stays in its
+  /// shard by default.
   void schedule_at(SimTime when, std::function<void()> callback);
 
-  /// Schedule a callback `delay` after now.
+  /// Schedule a callback `delay` after now (same lane inheritance).
   void schedule_after(SimTime delay, std::function<void()> callback);
+
+  /// Schedule onto an explicit lane — the cross-lane message primitive:
+  /// shard work dispatches with schedule_on(shard_lane, ...) and commits
+  /// its shared-state effects back with schedule_on(kGlobalLane, ...).
+  void schedule_on(LaneId lane, SimTime when, std::function<void()> callback);
+
+  // ---- sharded execution ----------------------------------------------------
+
+  /// Create `shard_lanes` additional lanes (ids 1..shard_lanes).  The
+  /// lane count only grows; existing events keep their lanes.  Safe to
+  /// call between runs.
+  void configure_shard_lanes(std::uint32_t shard_lanes);
+  [[nodiscard]] std::uint32_t lane_count() const noexcept {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+  /// Real parallelism for the shard-lane phase of each wave (1 = serial).
+  /// Determinism does not depend on this value.  Only grows.
+  void set_workers(std::uint32_t workers);
+  [[nodiscard]] std::uint32_t workers() const noexcept { return workers_; }
 
   /// Run until the event queue drains or `deadline` is reached.
   /// Returns the number of events executed.
@@ -121,7 +165,7 @@ class Simulator {
   std::uint64_t run_events(std::uint64_t max_events);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool idle() const noexcept;
   [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
 
   [[nodiscard]] Node& node(NodeId id);
@@ -140,6 +184,14 @@ class Simulator {
     tracer_ = std::move(tracer);
   }
 
+  /// An event scheduled from inside the parallel shard phase, buffered
+  /// until the epoch barrier merges it deterministically.
+  struct StagedEvent {
+    LaneId lane;
+    SimTime when;
+    std::function<void()> action;
+  };
+
  private:
   struct Event {
     SimTime when;
@@ -152,12 +204,24 @@ class Simulator {
       return a.sequence > b.sequence;
     }
   };
+  struct Lane {
+    std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  };
+
+  /// Earliest pending timestamp across lanes, or -1 when idle.
+  [[nodiscard]] SimTime next_event_time() const noexcept;
+  /// Execute every event at exactly `t` (one virtual-clock epoch).
+  std::uint64_t run_wave(SimTime t);
+  void push_event(LaneId lane, SimTime when, std::function<void()> action);
+  void ensure_pool();
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, LinkEnd> links_;  // key: node<<16 | port
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Lane> lanes_;
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 0;
+  std::uint32_t workers_ = 1;
+  std::unique_ptr<WorkerPool> pool_;
   SimStats stats_;
   DeliveryTracer tracer_;
 

@@ -1,0 +1,91 @@
+#include "sim/worker_pool.hpp"
+
+#include <atomic>
+
+namespace identxx::sim {
+
+namespace {
+
+/// Worker-slot numbering is process-wide so a slot identifies a thread
+/// even when several simulators (and pools) coexist in one test binary.
+std::atomic<unsigned> g_next_worker_slot{1};
+thread_local unsigned t_worker_slot = 0;
+
+}  // namespace
+
+unsigned WorkerPool::current_worker_slot() noexcept { return t_worker_slot; }
+
+unsigned WorkerPool::hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+WorkerPool::WorkerPool(unsigned workers) {
+  const unsigned spawn = workers > 1 ? workers - 1 : 0;
+  threads_.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::drain_tasks() {
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (tasks_ == nullptr || next_task_ >= tasks_->size()) return;
+      task = &(*tasks_)[next_task_++];
+    }
+    (*task)();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_main() {
+  t_worker_slot = g_next_worker_slot.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (tasks_ != nullptr && generation_ != seen_generation &&
+                         next_task_ < tasks_->size());
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_tasks();
+  }
+}
+
+void WorkerPool::run(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  {
+    const std::scoped_lock lock(mutex_);
+    tasks_ = &tasks;
+    next_task_ = 0;
+    unfinished_ = tasks.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_tasks();  // the calling thread pulls tasks too
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    tasks_ = nullptr;
+  }
+}
+
+}  // namespace identxx::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+// WorkerPool: the fixed thread pool behind the simulator's parallel shard
+// lanes (simulator.hpp).  One wave of shard-lane event batches is handed
+// over as a task list; run() distributes the tasks across the pool (the
+// calling thread participates) and blocks until every task finished — the
+// barrier that keeps the virtual-clock epochs synchronized.
+//
+// Tasks must not throw (the simulator's wave wrappers capture exceptions
+// themselves) and must not call run() reentrantly.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace identxx::sim {
+
+class WorkerPool {
+ public:
+  /// `workers` is the total parallelism; the pool spawns `workers - 1`
+  /// threads and the caller of run() contributes the last lane.
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Execute every task (distributed by index across the pool plus the
+  /// calling thread) and return once all of them completed.
+  void run(std::vector<std::function<void()>>& tasks);
+
+  /// Total parallelism (pool threads + the calling thread).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// 0 on threads outside any pool (the simulation main thread), a stable
+  /// value >= 1 on pool threads.  Per-worker caches (Topology's path memo)
+  /// branch on this to pick their private slot.
+  [[nodiscard]] static unsigned current_worker_slot() noexcept;
+
+  /// max(1, hardware_concurrency) — the "use every core" worker count.
+  [[nodiscard]] static unsigned hardware_workers() noexcept;
+
+ private:
+  void worker_main();
+  /// Pop-and-run tasks of the current generation until none remain.
+  void drain_tasks();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::size_t next_task_ = 0;
+  std::size_t unfinished_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace identxx::sim

@@ -410,6 +410,40 @@ TEST(RevocationCacheInteraction, PolicyReloadClearsCache) {
   EXPECT_GE(controller.stats().flows_blocked, 1u);
 }
 
+TEST(RevocationCacheInteraction, DeferredDecisionReDecidesAfterControlChange) {
+  // A controller on a shard decision lane (DESIGN.md §10) evaluates on
+  // that lane and commits on the global lane at the same virtual instant.
+  // A revoke_all between dispatch and commit bumps the control epoch, so
+  // the commit discards the in-flight verdict and re-decides — behaviour
+  // must match the inline (classic) decision path exactly.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  net.simulator().configure_shard_lanes(1);
+  ctrl::ControllerConfig config;
+  config.decision_lane = 1;
+  config.cookie_namespace = 1;
+  config.decision_cache_ttl = 60 * sim::kSecond;
+  auto& controller = net.install_controller("pass all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+  EXPECT_GE(controller.stats().flows_allowed, 1u);
+
+  // And across a policy swap, the cached decision cannot re-admit.
+  controller.set_policy(pf::parse("block all\n", "revised"));
+  controller.revoke_all();
+  client.send_flow_packet(h.flow, "after swap", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_GE(controller.stats().flows_blocked, 1u);
+}
+
 // ---------------------------------------------------------------- regression
 
 // Baselines on the shared pipeline must keep the seed behaviour bit-for-
@@ -707,6 +741,99 @@ TEST(Aggregation, PortRangeCoverAdmitsWholeRangeWithoutController) {
   EXPECT_TRUE(net.flow_delivered(first));
   EXPECT_TRUE(net.flow_delivered(second));
   EXPECT_EQ(installed_entries(net, s1), 1u);     // one masked allow block
+  EXPECT_EQ(controller.stats().flows_seen, 1u);  // second flow died in-switch
+}
+
+TEST(Aggregation, MultiCidrListCoversAsPrefixSet) {
+  // A brace-list host covers with one prefix entry per member CIDR — the
+  // IP analogue of the port-range block decomposition.
+  ctrl::PolicyDecisionEngine engine(pf::parse(
+      "block all\n"
+      "pass from { 10.0.0.0/24 10.1.0.0/24 } to any port 80\n",
+      "test"));
+  const auto& covers = engine.rule_cover(1);
+  ASSERT_EQ(covers.size(), 2u);
+  EXPECT_EQ(covers[0].src_ip_prefix, 24);
+  EXPECT_EQ(covers[1].src_ip_prefix, 24);
+  EXPECT_NE(covers[0].src_ip, covers[1].src_ip);
+  EXPECT_EQ(covers[0].dst_port, 80);
+
+  // Both sides listed: the cover is the cross product.
+  ctrl::PolicyDecisionEngine both(pf::parse(
+      "block all\n"
+      "pass from { 10.0.0.0/24 10.1.0.0/24 } to "
+      "{ 192.168.0.0/24 192.168.1.0/24 } port 80\n",
+      "test"));
+  EXPECT_EQ(both.rule_cover(1).size(), 4u);
+}
+
+TEST(Aggregation, TableHostCoversAsPrefixSet) {
+  // Table-backed endpoints resolve through the ruleset's tables — a
+  // ROADMAP known gap: these used to fall back to per-flow installs.
+  ctrl::PolicyDecisionEngine engine(pf::parse(
+      "table <lan> { 10.0.0.0/24 10.1.0.0/24 }\n"
+      "block all\n"
+      "pass from <lan> to any port 80\n",
+      "test"));
+  // Table declarations are not rules: the pass rule is index 1.
+  EXPECT_EQ(engine.rule_cover(1).size(), 2u);
+}
+
+TEST(Aggregation, RedundantAndWideCidrListsNormalize) {
+  // Contained members collapse into the wider prefix...
+  ctrl::PolicyDecisionEngine nested(pf::parse(
+      "block all\n"
+      "pass from { 10.0.0.0/24 10.0.0.0/25 10.0.0.128/25 } to any port 80\n",
+      "test"));
+  EXPECT_EQ(nested.rule_cover(1).size(), 1u);
+  // ...a /0 member makes the side unconstrained...
+  ctrl::PolicyDecisionEngine wide(pf::parse(
+      "block all\n"
+      "pass from { 0.0.0.0/0 10.0.0.0/24 } to any port 80\n",
+      "test"));
+  ASSERT_EQ(wide.rule_cover(1).size(), 1u);
+  EXPECT_NE(wide.rule_cover(1)[0].wildcards & openflow::Wildcard::kSrcIp,
+            openflow::Wildcard::kNone);
+  // ...and a cross product beyond kMaxCoverEntries stays per-flow
+  // (5 CIDRs x 2 port blocks = 10 > 8).
+  ctrl::PolicyDecisionEngine wide_product(pf::parse(
+      "block all\n"
+      "pass from { 10.0.0.0/24 10.1.0.0/24 10.2.0.0/24 10.3.0.0/24 "
+      "10.4.0.0/24 } to any port 8000:8005\n",
+      "test"));
+  EXPECT_TRUE(wide_product.rule_cover(1).empty());
+}
+
+TEST(Aggregation, MultiCidrCoverAdmitsBothPrefixesWithoutController) {
+  // One decision against a multi-CIDR rule installs the whole prefix set;
+  // a later flow from the *other* CIDR rides it without a controller
+  // round trip (previously: per-flow fallback, one round trip each).
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& a = net.add_host("a", "10.0.0.1");
+  auto& b = net.add_host("b", "10.1.0.1");
+  auto& server = net.add_host("server", "192.168.0.9");
+  net.link(a, s1);
+  net.link(b, s1);
+  net.link(server, s1);
+  ctrl::ControllerConfig config;
+  config.aggregate_installs = true;
+  auto& controller = net.install_controller(
+      "block all\npass from { 10.0.0.0/24 10.1.0.0/24 } to any port 80\n",
+      config);
+
+  a.add_user("u", "users");
+  const int pa = a.launch("u", "/bin/x");
+  const auto first = net.start_flow(a, pa, "192.168.0.9", 80);
+  net.run();
+  b.add_user("v", "users");
+  const int pb = b.launch("v", "/bin/x");
+  const auto second = net.start_flow(b, pb, "192.168.0.9", 80);
+  net.run();
+
+  EXPECT_TRUE(net.flow_delivered(first));
+  EXPECT_TRUE(net.flow_delivered(second));
+  EXPECT_EQ(installed_entries(net, s1), 2u);     // one entry per member CIDR
   EXPECT_EQ(controller.stats().flows_seen, 1u);  // second flow died in-switch
 }
 

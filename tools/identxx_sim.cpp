@@ -1,35 +1,91 @@
 // identxx_sim — run an ident++ deployment scenario from a description file.
 //
-//   $ identxx_sim scenarios/skype.scn
+//   $ identxx_sim [--shards N] [--workers N] [--seed S] scenarios/skype.scn
 //
 // Builds the topology, installs the controller with the inline policy,
 // launches the declared processes, drives every declared flow through the
 // full Figure-1 sequence, and reports per-flow verdicts plus the
 // controller's audit log.  Exit status 0 when all `expect` lines hold.
+//
+// --shards N   partition admission across N parallel domains (DESIGN.md
+//              §10); per-domain stats are reported after the run.
+// --workers N  real threads driving the shard lanes (results are identical
+//              at any worker count; use 0 for all hardware threads).
+// --seed S     deterministic RNG seed (overrides the file's `seed` line).
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/scenario.hpp"
+#include "sim/worker_pool.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: identxx_sim [--shards N] [--workers N] [--seed S] "
+               "<scenario-file>\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: identxx_sim <scenario-file>\n");
+  identxx::core::ScenarioOptions options;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--shards")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.shards = static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--workers")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.workers = *n == 0
+                            ? identxx::sim::WorkerPool::hardware_workers()
+                            : static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--seed")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.seed = *n;
+    } else if (argv[i][0] == '-') {
+      usage();
+      return 1;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    usage();
     return 1;
   }
   try {
-    std::ifstream in(argv[1], std::ios::binary);
-    if (!in) throw identxx::Error(std::string("cannot open '") + argv[1] + "'");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw identxx::Error(std::string("cannot open '") + path + "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
 
     const auto scenario = identxx::core::Scenario::parse(buffer.str());
-    std::printf("scenario: %zu switch(es), %zu host(s), %zu flow(s)\n\n",
+    std::printf("scenario: %zu switch(es), %zu host(s), %zu flow(s)",
                 scenario.switch_count(), scenario.host_count(),
                 scenario.flow_count());
-    const auto result = scenario.run();
+    if (options.shards > 0) {
+      std::printf(", %u shard(s), %u worker(s)", options.shards,
+                  options.workers);
+    }
+    std::printf("\n\n");
+    const auto result = scenario.run(options);
 
     std::printf("%-12s %-46s %-10s %s\n", "flow", "5-tuple", "verdict",
                 "expectation");
@@ -63,6 +119,19 @@ int main(int argc, char** argv) {
                     result.controller_stats.flows_blocked),
                 static_cast<unsigned long long>(
                     result.controller_stats.query_timeouts));
+    if (options.shards > 0) {
+      std::printf("\n%-8s %10s %10s %10s %10s %10s\n", "domain", "flows",
+                  "allowed", "blocked", "cache-hits", "installs");
+      for (std::size_t i = 0; i < result.domain_stats.size(); ++i) {
+        const auto& s = result.domain_stats[i];
+        std::printf("d%-7zu %10llu %10llu %10llu %10llu %10llu\n", i,
+                    static_cast<unsigned long long>(s.flows_seen),
+                    static_cast<unsigned long long>(s.flows_allowed),
+                    static_cast<unsigned long long>(s.flows_blocked),
+                    static_cast<unsigned long long>(s.decision_cache_hits),
+                    static_cast<unsigned long long>(s.entries_installed));
+      }
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "\nidentxx_sim: expectation mismatches\n");
       return 2;
