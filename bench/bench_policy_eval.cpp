@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+
+#include "crypto/schnorr.hpp"
+#include "identxx/daemon_config.hpp"
 #include "pf/eval.hpp"
 #include "pf/parser.hpp"
 
@@ -118,6 +122,108 @@ void BM_TableMembership(benchmark::State& state) {
   state.counters["table_entries"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_TableMembership)->Arg(16)->Arg(256)->Arg(4096);
+
+// ------------------------------------------------------------- batched eval
+//
+// The decide_many hot path (DESIGN.md §11): a deadline batch of flows
+// through one evaluate_batch call versus the serial per-flow loop.  The
+// policy carries rule-spread (prefilter target) plus a signature-guarded
+// rule (hoisting target).  `shared` = every flow carries one attestation
+// (a flash crowd from one application — verify runs once per batch);
+// distinct = per-flow signatures (worst case for hoisting).
+
+struct BatchBenchFixture {
+  pf::PolicyEngine engine;
+  std::vector<pf::FlowContext> batch;
+
+  static std::string policy(const std::string& pubkey_hex) {
+    std::string out =
+        "table <lan> { 10.0.0.0/8 }\n"
+        "dict <pubkeys> { vendor : " + pubkey_hex + " }\n"
+        "block all\n";
+    // Rule spread over ports the benchmark flows never hit: serial
+    // evaluation visits all of them per flow, the prefilter skips them.
+    for (int i = 0; i < 24; ++i) {
+      out += "pass from 172.16." + std::to_string(i) + ".0/24 to any port " +
+             std::to_string(2000 + i) + "\n";
+    }
+    out +=
+        "pass from <lan> to any port 80 "
+        "with verify(@src[sig], @pubkeys[vendor], @src[name], @src[version]) "
+        "with gte(@src[version], 100)\n";
+    return out;
+  }
+
+  static proto::Response attestation(const crypto::PrivateKey& key, int i) {
+    const std::string name = "app-" + std::to_string(i);
+    const std::string version = "210";
+    proto::Response r;
+    proto::Section s;
+    s.add("name", name);
+    s.add("version", version);
+    s.add("sig", key.sign(proto::signed_message({name, version})).to_hex());
+    r.append_section(s);
+    return r;
+  }
+
+  BatchBenchFixture(std::int64_t batch_size, bool shared,
+                    const crypto::PrivateKey& key)
+      : engine(pf::parse(policy(key.public_key().to_hex()), "bench")) {
+    const proto::Response shared_response = attestation(key, 0);
+    batch.reserve(static_cast<std::size_t>(batch_size));
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      pf::FlowContext ctx;
+      ctx.flow.src_ip = *net::Ipv4Address::parse("10.0.0.10");
+      ctx.flow.dst_ip = *net::Ipv4Address::parse("10.0.2.1");
+      ctx.flow.proto = net::IpProto::kTcp;
+      ctx.flow.src_port = static_cast<std::uint16_t>(30000 + i);
+      ctx.flow.dst_port = 80;
+      ctx.src = proto::ResponseDict(
+          shared ? shared_response : attestation(key, static_cast<int>(i)));
+      batch.push_back(std::move(ctx));
+    }
+  }
+};
+
+void BM_PolicyEvalBatch(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  BatchBenchFixture fx(state.range(0), state.range(1) != 0, key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.engine.evaluate_batch(std::span<const pf::FlowContext>(fx.batch)));
+  }
+  state.counters["batch_size"] = static_cast<double>(state.range(0));
+  state.counters["shared_attestation"] = static_cast<double>(state.range(1));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PolicyEvalBatch)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({8, 0})
+    ->Args({64, 0});
+
+/// The serial oracle on identical inputs — the baseline the ≥2×-per-flow
+/// acceptance bar for batch size 64 with shared attestations is measured
+/// against.
+void BM_PolicyEvalLooped(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  BatchBenchFixture fx(state.range(0), state.range(1) != 0, key);
+  for (auto _ : state) {
+    for (const pf::FlowContext& ctx : fx.batch) {
+      benchmark::DoNotOptimize(fx.engine.evaluate(ctx));
+    }
+  }
+  state.counters["batch_size"] = static_cast<double>(state.range(0));
+  state.counters["shared_attestation"] = static_cast<double>(state.range(1));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PolicyEvalLooped)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({8, 0})
+    ->Args({64, 0});
 
 void BM_DelegatedAllowed(benchmark::State& state) {
   // The allowed() path re-parses and evaluates delegated rules per call —

@@ -1,6 +1,7 @@
 #include "controller/admission.hpp"
 
 #include <algorithm>
+#include <span>
 #include <tuple>
 
 #include "crypto/verifier.hpp"
@@ -529,7 +530,8 @@ crypto::SchnorrVerifier* PolicyDecisionEngine::verifier() const noexcept {
   return engine_->registry().verifier().get();
 }
 
-AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
+pf::FlowContext PolicyDecisionEngine::make_flow_context(
+    const AdmissionContext& ctx) const {
   pf::FlowContext flow_ctx;
   flow_ctx.flow = ctx.flow;
   if (ctx.src_response) flow_ctx.src = proto::ResponseDict(*ctx.src_response);
@@ -538,20 +540,11 @@ AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
     flow_ctx.openflow =
         ctx.buffered.front().packet.ten_tuple(ctx.buffered.front().in_port);
   }
+  return flow_ctx;
+}
 
-  pf::Verdict verdict;
-  try {
-    verdict = engine_->evaluate(flow_ctx);
-  } catch (const PolicyError& e) {
-    // Administrator configuration error: fail closed.
-    IDXX_LOG(kError, "controller")
-        << "policy error, blocking flow: " << e.what();
-    verdict.action = pf::RuleAction::kBlock;
-    verdict.rule = nullptr;
-    verdict.keep_state = false;
-    verdict.log = false;
-  }
-
+AdmissionDecision PolicyDecisionEngine::to_decision(
+    const pf::Verdict& verdict) const {
   AdmissionDecision decision;
   decision.allowed = verdict.allowed();
   decision.keep_state = honor_keep_state_ && verdict.keep_state;
@@ -568,21 +561,78 @@ AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
   return decision;
 }
 
+AdmissionDecision PolicyDecisionEngine::decide(const AdmissionContext& ctx) {
+  pf::Verdict verdict;
+  try {
+    verdict = engine_->evaluate(make_flow_context(ctx));
+  } catch (const PolicyError& e) {
+    // Administrator configuration error: fail closed.
+    IDXX_LOG(kError, "controller")
+        << "policy error, blocking flow: " << e.what();
+    verdict.action = pf::RuleAction::kBlock;
+    verdict.rule = nullptr;
+    verdict.keep_state = false;
+    verdict.log = false;
+  }
+  return to_decision(verdict);
+}
+
 std::vector<AdmissionDecision> PolicyDecisionEngine::decide_many(
     const std::vector<const AdmissionContext*>& batch) {
   // Repeat packet-ins for the same undecided flow land in one batch when a
   // shared deadline fires; evaluate each distinct 5-tuple once.
   std::unordered_map<net::FiveTuple, std::size_t> memo;
-  std::vector<AdmissionDecision> out;
-  out.reserve(batch.size());
+  std::vector<const AdmissionContext*> unique;
+  std::vector<std::size_t> slot_of;  // batch position -> unique index
+  unique.reserve(batch.size());
+  slot_of.reserve(batch.size());
   for (const AdmissionContext* ctx : batch) {
-    const auto [it, inserted] = memo.try_emplace(ctx->flow, out.size());
-    if (inserted) {
-      out.push_back(decide(*ctx));
-    } else {
-      out.push_back(out[it->second]);
+    const auto [it, inserted] = memo.try_emplace(ctx->flow, unique.size());
+    if (inserted) unique.push_back(ctx);
+    slot_of.push_back(it->second);
+  }
+
+  std::vector<AdmissionDecision> decisions;
+  decisions.reserve(unique.size());
+  bool batched = false;
+  if (batch_eval_) {
+    // One evaluate_batch over the distinct flows: static prefilters probed
+    // per 5-tuple, flow-invariant `with` predicates hoisted across the
+    // batch (DESIGN.md §11).  Verdicts are bit-identical to the serial
+    // loop below.
+    std::vector<pf::FlowContext> flow_ctxs;
+    flow_ctxs.reserve(unique.size());
+    for (const AdmissionContext* ctx : unique) {
+      flow_ctxs.push_back(make_flow_context(*ctx));
+    }
+    try {
+      const std::vector<pf::Verdict> verdicts = engine_->evaluate_batch(
+          std::span<const pf::FlowContext>(flow_ctxs));
+      for (const pf::Verdict& verdict : verdicts) {
+        decisions.push_back(to_decision(verdict));
+      }
+      batched = true;
+    } catch (const PolicyError& e) {
+      // Administrator configuration error somewhere in the batch.  Fall
+      // back to the per-flow path so each flow fails closed on its own
+      // merits instead of one bad rule blocking the whole batch.  (The
+      // engine's EngineStats keep the aborted batch's partial work plus
+      // the fallback's — they are work counters, see eval.hpp.)
+      IDXX_LOG(kError, "controller")
+          << "policy error in batched evaluation, re-deciding per flow: "
+          << e.what();
+      decisions.clear();
     }
   }
+  if (!batched) {
+    for (const AdmissionContext* ctx : unique) {
+      decisions.push_back(decide(*ctx));
+    }
+  }
+
+  std::vector<AdmissionDecision> out;
+  out.reserve(batch.size());
+  for (const std::size_t slot : slot_of) out.push_back(decisions[slot]);
   return out;
 }
 
@@ -621,7 +671,10 @@ std::optional<AdmissionDecision> TtlDecisionCache::lookup(
     ++stats_.misses;
     return std::nullopt;
   }
-  if (now >= it->second.expires) {
+  // expires == 0 marks a never-expiring entry (ttl = 0): the old
+  // `now + 0` stamp expired everything instantly, turning the cache into
+  // a silent bypass that still counted insertions.
+  if (it->second.expires > 0 && now >= it->second.expires) {
     entries_.erase(it);
     ++stats_.expirations;
     ++stats_.misses;
@@ -634,7 +687,7 @@ std::optional<AdmissionDecision> TtlDecisionCache::lookup(
 void TtlDecisionCache::store(const net::FiveTuple& flow,
                              const AdmissionDecision& decision,
                              sim::SimTime now) {
-  entries_[flow] = Entry{decision, now + ttl_};
+  entries_[flow] = Entry{decision, ttl_ > 0 ? now + ttl_ : 0};
   ++stats_.insertions;
 }
 

@@ -75,8 +75,14 @@ struct ControllerConfig {
   /// packet-ins for an already-decided flow (e.g. from later switches when
   /// install_full_path is off, or after an idle-timeout race) are answered
   /// without re-querying the daemons.  Caching is enabled when this or
-  /// decision_cache_capacity is nonzero; ttl=0 with a capacity means
-  /// entries never age out (pure LRU bound).
+  /// decision_cache_capacity is nonzero.  ttl = 0 uniformly means entries
+  /// NEVER age out (both cache flavours): with a capacity that is a pure
+  /// LRU bound, without one (TtlDecisionCache constructed directly) the
+  /// cache only shrinks through invalidation.  It never means "bypass" —
+  /// a cache that expires everything instantly would count insertions and
+  /// misses while silently disabling the §6 ablation it exists for.
+  /// Revocation, policy swaps and the shard control epoch invalidate
+  /// cached verdicts regardless of remaining TTL.
   sim::SimTime decision_cache_ttl = 0;
   /// Bound on cached decisions (0 = unbounded).  With a bound the cache
   /// evicts least-recently-used entries (LruDecisionCache).
@@ -108,6 +114,13 @@ struct ControllerConfig {
   /// uses i + 1, so domains sharing switch tables revoke only their own
   /// entries.
   std::uint16_t cookie_namespace = 0;
+  /// Route decide_many() batches through the PF engine's batched entry
+  /// point (pf::PolicyEngine::evaluate_batch, DESIGN.md §11): static
+  /// prefilters probed per distinct 5-tuple plus cross-flow hoisting of
+  /// flow-invariant `with` predicates.  Verdicts are bit-identical either
+  /// way; the flag exists as the §6-style ablation and differential
+  /// oracle.  Only PolicyDecisionEngine consults it.
+  bool batch_policy_eval = true;
 };
 
 /// One line of the audit log ("log and audit the delegates' actions", §1).
@@ -371,9 +384,18 @@ class PolicyDecisionEngine : public DecisionEngine {
                        bool honor_keep_state = true);
 
   AdmissionDecision decide(const AdmissionContext& ctx) override;
-  /// Memoizes by 5-tuple within the batch.
+  /// Memoizes by 5-tuple within the batch, then decides the distinct flows
+  /// through one pf::PolicyEngine::evaluate_batch call (prefilter probing
+  /// + hoisted predicates, DESIGN.md §11) when batch evaluation is on;
+  /// otherwise loops decide().  On PolicyError the whole batch falls back
+  /// to the per-flow path so each flow fails closed independently.
   std::vector<AdmissionDecision> decide_many(
       const std::vector<const AdmissionContext*>& batch) override;
+
+  /// Toggle the batched PF path (ControllerConfig::batch_policy_eval is
+  /// applied here by AdmissionController).  Default on.
+  void set_batch_eval(bool enabled) noexcept { batch_eval_ = enabled; }
+  [[nodiscard]] bool batch_eval() const noexcept { return batch_eval_; }
 
   [[nodiscard]] const pf::PolicyEngine& policy_engine() const noexcept {
     return *engine_;
@@ -393,8 +415,13 @@ class PolicyDecisionEngine : public DecisionEngine {
   [[nodiscard]] crypto::SchnorrVerifier* verifier() const noexcept;
 
  private:
+  [[nodiscard]] pf::FlowContext make_flow_context(
+      const AdmissionContext& ctx) const;
+  [[nodiscard]] AdmissionDecision to_decision(const pf::Verdict& verdict) const;
+
   std::unique_ptr<pf::PolicyEngine> engine_;
   bool honor_keep_state_ = true;
+  bool batch_eval_ = true;
   /// Per-rule aggregation covers, computed once from the ruleset.
   std::vector<std::vector<openflow::FlowMatch>> covers_;
 };
@@ -478,6 +505,9 @@ class DecisionCache {
 };
 
 /// Unbounded TTL cache: every entry expires `ttl` after insertion.
+/// ttl = 0 means entries never expire (matching LruDecisionCache's
+/// convention; see ControllerConfig::decision_cache_ttl) — the cache then
+/// only shrinks through invalidate_if/clear.
 class TtlDecisionCache : public DecisionCache {
  public:
   explicit TtlDecisionCache(sim::SimTime ttl) : ttl_(ttl) {}

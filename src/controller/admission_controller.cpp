@@ -29,6 +29,7 @@ AdmissionController::AdmissionController(openflow::Topology* topology,
   if (!pipeline_.engine) {
     throw Error("AdmissionController: pipeline needs a DecisionEngine");
   }
+  apply_engine_config();
   auto stats = std::make_unique<StatsObserver>();
   stats_observer_ = stats.get();
   observers_.push_back(std::move(stats));
@@ -79,10 +80,19 @@ void AdmissionController::add_observer(
   observers_.push_back(std::move(observer));
 }
 
+void AdmissionController::apply_engine_config() {
+  // Engine-level knobs that live in the controller's config: currently
+  // only the batched-PF-evaluation ablation toggle.
+  if (auto* policy = dynamic_cast<PolicyDecisionEngine*>(pipeline_.engine.get())) {
+    policy->set_batch_eval(config_.batch_policy_eval);
+  }
+}
+
 void AdmissionController::replace_engine(
     std::unique_ptr<DecisionEngine> engine) {
   if (!engine) throw Error("replace_engine: null DecisionEngine");
   pipeline_.engine = std::move(engine);
+  apply_engine_config();
   // Decisions in flight on a shard lane were computed by the replaced
   // engine; the epoch bump makes their commit re-decide.
   ++control_epoch_;

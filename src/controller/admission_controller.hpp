@@ -210,6 +210,9 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   /// engine — never a stale cover or cache entry.
   void commit_decision(AdmissionContext& ctx, AdmissionDecision decision,
                        std::uint64_t dispatch_epoch);
+  /// Push engine-level config knobs (batch_policy_eval) into the current
+  /// DecisionEngine; called at construction and after replace_engine.
+  void apply_engine_config();
   /// Does any domain switch still hold an entry with this cookie?
   [[nodiscard]] bool cookie_live(std::uint64_t cookie) const;
   /// Drop cookie-map entries whose last flow-table entry is gone.

@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -50,6 +52,19 @@ struct EngineStats {
   std::uint64_t rules_scanned = 0;
   std::uint64_t functions_called = 0;
   std::uint64_t delegated_rule_evals = 0;  ///< rules run inside allowed()
+  // Batched evaluation (DESIGN.md §11).  Two invariants tie the modes
+  // together, per identical input set:
+  //   serial.rules_scanned    == batch.rules_scanned + batch.prefilter_skips
+  //   serial.functions_called == batch.functions_called + batch.hoist_memo_hits
+  // These are *work* counters, so they hold for runs that complete: an
+  // evaluation aborted by PolicyError keeps the work it did before the
+  // throw (in either mode), and a caller that then falls back — e.g.
+  // PolicyDecisionEngine::decide_many re-deciding per flow — counts the
+  // fallback's work on top.
+  std::uint64_t batches = 0;           ///< evaluate_batch() calls
+  std::uint64_t batch_flows = 0;       ///< contexts decided through batches
+  std::uint64_t prefilter_skips = 0;   ///< rule visits elided by static prefilters
+  std::uint64_t hoist_memo_hits = 0;   ///< with-calls answered from the batch memo
 };
 
 class PolicyEngine {
@@ -59,10 +74,35 @@ class PolicyEngine {
   explicit PolicyEngine(Ruleset ruleset);
   PolicyEngine(Ruleset ruleset, FunctionRegistry registry);
 
+  // The compiled ruleset (and every Verdict::rule) points into ruleset_;
+  // copying would alias the copy onto the original's rules.  Moves are
+  // fine: vector/map storage survives a move.
+  PolicyEngine(const PolicyEngine&) = delete;
+  PolicyEngine& operator=(const PolicyEngine&) = delete;
+  PolicyEngine(PolicyEngine&&) = default;
+  PolicyEngine& operator=(PolicyEngine&&) = default;
+
   /// Decide `ctx`.  Throws PolicyError for unknown functions/tables (admin
   /// configuration errors); never throws for malformed *delegated* content,
   /// which simply fails to match.
   [[nodiscard]] Verdict evaluate(const FlowContext& ctx) const;
+
+  /// Decide a whole batch of flows through the compiled ruleset
+  /// (DESIGN.md §11).  Verdicts — actions, modifiers and matched-rule
+  /// pointers — are bit-identical to calling evaluate() on each context in
+  /// order; only the work is shared:
+  ///   * per-rule static prefilters (proto / CIDR / resolved-table /
+  ///     port-range checks), probed once per distinct 5-tuple in the batch
+  ///     instead of once per flow per rule;
+  ///   * `with` predicates whose verdict is determined by their argument
+  ///     values (every builtin except `allowed`) run once per batch per
+  ///     (call site, resolved arguments) and are memoized after that, so a
+  ///     shared attestation verifies once however many flows carry it.
+  /// Throws PolicyError exactly where serial evaluation would (unknown
+  /// function/table/dict reached by a flow); callers needing per-flow
+  /// fail-closed semantics fall back to evaluate() per context.
+  [[nodiscard]] std::vector<Verdict> evaluate_batch(
+      std::span<const FlowContext> batch) const;
 
   [[nodiscard]] const Ruleset& ruleset() const noexcept { return ruleset_; }
   [[nodiscard]] const FunctionRegistry& registry() const noexcept {
@@ -71,8 +111,49 @@ class PolicyEngine {
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
  private:
+  /// One compiled endpoint: host spec resolved to a flat CIDR list so the
+  /// batch path never walks tables.  `dynamic` marks specs that cannot be
+  /// resolved statically (a table missing from the ruleset); those fall
+  /// back to the interpreted matcher, preserving PolicyError parity.
+  struct CompiledEndpoint {
+    bool any = true;        ///< no host constraint (before negation)
+    bool negated = false;
+    bool dynamic = false;
+    std::vector<net::Cidr> cidrs;
+    bool has_port = false;
+    std::uint16_t port_lo = 0;
+    std::uint16_t port_hi = 65535;
+  };
+  /// One compiled `with` call.  `fn` is resolved at compile time but may
+  /// be null — serial evaluation only throws for an unknown function when
+  /// a flow actually reaches the call, and the batch path must match that.
+  struct CompiledCall {
+    const FuncCall* call = nullptr;
+    const PolicyFunction* fn = nullptr;
+    std::uint32_t site = 0;      ///< global call-site id (memo key prefix)
+    bool hoistable = false;      ///< fn is flow-invariant given its args
+    bool static_args = false;    ///< args are literal/list/user-dict only
+  };
+  struct CompiledRule {
+    const Rule* rule = nullptr;
+    std::optional<net::IpProto> proto;
+    CompiledEndpoint from, to;
+    std::vector<CompiledCall> withs;
+  };
+
+  void compile();
+  [[nodiscard]] std::vector<std::uint32_t> static_candidates(
+      const net::FiveTuple& flow) const;
+  /// Static counterpart of EvalContext::endpoint_matches for compiled
+  /// endpoints (never throws; only valid when !dynamic).
+  [[nodiscard]] static bool static_endpoint_matches(
+      const CompiledEndpoint& endpoint, net::Ipv4Address addr,
+      std::uint16_t port) noexcept;
+
   Ruleset ruleset_;
   FunctionRegistry registry_;
+  std::vector<CompiledRule> compiled_;
+  std::uint32_t call_sites_ = 0;
   mutable EngineStats stats_;
 };
 
@@ -109,10 +190,14 @@ class EvalContext {
   /// Does `rule` match the flow (endpoints + all with-predicates)?
   [[nodiscard]] bool rule_matches(const Rule& rule) const;
 
- private:
+  /// Interpreted endpoint match (host spec + negation + port).  Public so
+  /// the batch evaluator can fall back to it for endpoints it could not
+  /// compile (unknown tables throw PolicyError exactly as serial does).
   [[nodiscard]] bool endpoint_matches(const Endpoint& endpoint,
                                       net::Ipv4Address addr,
                                       std::uint16_t port) const;
+
+ private:
   [[nodiscard]] bool host_matches(const HostSpec& host,
                                   net::Ipv4Address addr) const;
   [[nodiscard]] Value lookup_dict(const DictIndexExpr& index) const;
@@ -123,5 +208,12 @@ class EvalContext {
   EngineStats& stats_;
   int depth_;
 };
+
+/// Is `key` a valid `@flow[...]` key?  Covers the 5-tuple keys (always
+/// available) and the OpenFlow-only keys (Undefined when the evaluation
+/// context carries no TenTuple).  The parser rejects anything else at
+/// policy-load time — a typo like `@flow[srcport]` used to silently never
+/// match.
+[[nodiscard]] bool is_flow_key(std::string_view key) noexcept;
 
 }  // namespace identxx::pf

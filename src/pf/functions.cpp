@@ -14,8 +14,12 @@ namespace identxx::pf {
 
 namespace {
 
-/// Compare two values: numerically when both parse as integers, otherwise
-/// lexicographically.  Returns nullopt when either is Undefined.
+/// Compare two values: numerically when both parse as integers,
+/// lexicographically when neither does.  Mixed operands — one integer, one
+/// not (e.g. "10" vs "9 ") — have no coherent order: a lexicographic
+/// fallback would flip gt/lt verdicts depending on digit count, so they
+/// yield nullopt and the predicate fails instead.  Also nullopt when
+/// either is Undefined.
 [[nodiscard]] std::optional<int> compare(const Value& a, const Value& b) {
   const auto sa = value_to_string(a);
   const auto sb = value_to_string(b);
@@ -27,6 +31,7 @@ namespace {
     if (*na > *nb) return 1;
     return 0;
   }
+  if (na || nb) return std::nullopt;  // mixed types: no verdict
   return sa->compare(*sb);
 }
 
@@ -216,14 +221,19 @@ std::optional<std::vector<std::string>> value_to_list(const Value& v) {
 }
 
 FunctionRegistry FunctionRegistry::with_builtins() {
+  // Every builtin's verdict is determined by its argument values alone —
+  // except `allowed`, which evaluates delegated rules against the current
+  // flow and so must run per flow.  (`member` reads the ruleset's named
+  // lists and `verify` the shared verification memo; both are fixed for an
+  // engine's lifetime, so the flow-invariant contract holds.)
   FunctionRegistry registry;
-  registry.register_function("eq", fn_eq);
-  registry.register_function("gt", fn_gt);
-  registry.register_function("lt", fn_lt);
-  registry.register_function("gte", fn_gte);
-  registry.register_function("lte", fn_lte);
-  registry.register_function("member", fn_member);
-  registry.register_function("includes", fn_includes);
+  registry.register_function("eq", fn_eq, /*flow_invariant=*/true);
+  registry.register_function("gt", fn_gt, /*flow_invariant=*/true);
+  registry.register_function("lt", fn_lt, /*flow_invariant=*/true);
+  registry.register_function("gte", fn_gte, /*flow_invariant=*/true);
+  registry.register_function("lte", fn_lte, /*flow_invariant=*/true);
+  registry.register_function("member", fn_member, /*flow_invariant=*/true);
+  registry.register_function("includes", fn_includes, /*flow_invariant=*/true);
   registry.register_function("allowed", fn_allowed);
   // The verifier is shared by every copy of this registry (delegated-rule
   // evaluation reuses the registry), so one memo serves the whole engine.
@@ -233,23 +243,30 @@ FunctionRegistry FunctionRegistry::with_builtins() {
       [verifier = registry.verifier_](const EvalContext&, const FuncCall& call,
                                       const std::vector<Value>& args) {
         return fn_verify(verifier.get(), call, args);
-      });
+      },
+      /*flow_invariant=*/true);
   return registry;
 }
 
-void FunctionRegistry::register_function(std::string name, PolicyFunction fn) {
-  functions_[std::move(name)] = std::move(fn);
+void FunctionRegistry::register_function(std::string name, PolicyFunction fn,
+                                         bool flow_invariant) {
+  functions_[std::move(name)] = Entry{std::move(fn), flow_invariant};
 }
 
 const PolicyFunction* FunctionRegistry::find(std::string_view name) const {
   const auto it = functions_.find(name);
-  return it == functions_.end() ? nullptr : &it->second;
+  return it == functions_.end() ? nullptr : &it->second.fn;
+}
+
+bool FunctionRegistry::flow_invariant(std::string_view name) const {
+  const auto it = functions_.find(name);
+  return it != functions_.end() && it->second.flow_invariant;
 }
 
 std::vector<std::string> FunctionRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(functions_.size());
-  for (const auto& [name, fn] : functions_) out.push_back(name);
+  for (const auto& [name, entry] : functions_) out.push_back(name);
   return out;
 }
 

@@ -60,10 +60,21 @@ class FunctionRegistry {
   /// Registry pre-loaded with the paper's predefined functions.
   [[nodiscard]] static FunctionRegistry with_builtins();
 
-  /// Register or replace a function.
-  void register_function(std::string name, PolicyFunction fn);
+  /// Register or replace a function.  `flow_invariant` declares that the
+  /// function's verdict is fully determined by its argument values (it
+  /// does not read the flow, the responses, or mutable state through the
+  /// EvalContext) — the batch evaluator may then memoize calls per
+  /// (call site, resolved arguments) across the flows of one batch
+  /// (DESIGN.md §11).  Every builtin except `allowed` qualifies; the flag
+  /// defaults to false, so user-registered functions are never hoisted
+  /// unless they opt in.
+  void register_function(std::string name, PolicyFunction fn,
+                         bool flow_invariant = false);
 
   [[nodiscard]] const PolicyFunction* find(std::string_view name) const;
+
+  /// Was `name` registered flow-invariant?  False for unknown names.
+  [[nodiscard]] bool flow_invariant(std::string_view name) const;
 
   [[nodiscard]] std::vector<std::string> names() const;
 
@@ -79,7 +90,11 @@ class FunctionRegistry {
   }
 
  private:
-  std::map<std::string, PolicyFunction, std::less<>> functions_;
+  struct Entry {
+    PolicyFunction fn;
+    bool flow_invariant = false;
+  };
+  std::map<std::string, Entry, std::less<>> functions_;
   std::shared_ptr<crypto::SchnorrVerifier> verifier_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pf/eval.hpp"  // is_flow_key
 #include "pf/lexer.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -367,6 +368,17 @@ class Parser {
     expand_macros_here();
     if (check(TokenKind::kDictIndex)) {
       const Token token = advance();
+      // @flow has a closed key set (the 5-tuple plus the OpenFlow fields);
+      // a typo like @flow[srcport] used to evaluate to Undefined and make
+      // the rule silently unmatchable.  @src/@dst/user dicts stay open —
+      // their keys come from responses and dict definitions.
+      if (token.text == "flow" && !is_flow_key(token.key)) {
+        throw ParseError(
+            "unknown @flow key '" + token.key +
+                "' (valid: src_ip dst_ip proto src_port dst_port in_port "
+                "src_mac dst_mac vlan ether_type)",
+            token.line);
+      }
       return DictIndexExpr{token.text, token.key, token.star};
     }
     if (check(TokenKind::kString)) {

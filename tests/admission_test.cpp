@@ -162,6 +162,38 @@ TEST(TtlDecisionCacheTest, ExpiryAndHitAccounting) {
   EXPECT_EQ(cache.stats().expirations, 1u);
 }
 
+TEST(TtlDecisionCacheTest, ZeroTtlMeansNeverExpire) {
+  // ttl = 0 used to stamp entries with expires == now, so every lookup
+  // expired them instantly — a silent bypass that still counted
+  // insertions.  The contract (matching LruDecisionCache) is: 0 = entries
+  // never age out; only invalidation removes them.
+  ctrl::TtlDecisionCache cache(0);
+  const net::FiveTuple flow = make_flow(1, 2, 80);
+  ctrl::AdmissionDecision decision;
+  decision.allowed = true;
+
+  cache.store(flow, decision, 10);
+  EXPECT_TRUE(cache.lookup(flow, 10).has_value());
+  EXPECT_TRUE(
+      cache.lookup(flow, 10 + 3600 * sim::kSecond).has_value());  // an hour on
+  EXPECT_EQ(cache.stats().expirations, 0u);
+
+  // Control-plane invalidation still works — the only way such entries die.
+  EXPECT_EQ(cache.invalidate_if([](const net::FiveTuple&) { return true; }), 1u);
+  EXPECT_FALSE(cache.lookup(flow, 20).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruDecisionCacheTest, ZeroTtlNeverExpiresOnlyEvicts) {
+  // The companion config: capacity with ttl = 0 is a pure LRU bound.
+  ctrl::LruDecisionCache cache(2, 0);
+  ctrl::AdmissionDecision decision;
+  const net::FiveTuple a = make_flow(1, 9, 80);
+  cache.store(a, decision, 0);
+  EXPECT_TRUE(cache.lookup(a, 1000 * sim::kSecond).has_value());
+  EXPECT_EQ(cache.stats().expirations, 0u);
+}
+
 TEST(LruDecisionCacheTest, EvictsLeastRecentlyUsed) {
   ctrl::LruDecisionCache cache(2, 0);  // capacity 2, no TTL
   ctrl::AdmissionDecision decision;
@@ -441,6 +473,49 @@ TEST(RevocationCacheInteraction, DeferredDecisionReDecidesAfterControlChange) {
   client.send_flow_packet(h.flow, "after swap", net::TcpFlags::kPsh);
   net.run();
   EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_GE(controller.stats().flows_blocked, 1u);
+}
+
+TEST(RevocationCacheInteraction, TtlExpiryOnShardLaneReDecidesUnderCurrentEpoch) {
+  // Cache expiry × shard control epoch: a TTL-expired verdict must force a
+  // full re-decide through the shard-lane dispatch path, and a policy swap
+  // after that must never resurrect the expired entry.
+  Network net;
+  const auto s1 = net.add_switch("s1");
+  auto& client = net.add_host("client", "10.0.0.1");
+  auto& server = net.add_host("server", "10.0.0.2");
+  net.link(client, s1);
+  net.link(server, s1);
+  net.simulator().configure_shard_lanes(1);
+  ctrl::ControllerConfig config;
+  config.decision_lane = 1;
+  config.cookie_namespace = 1;
+  config.decision_cache_ttl = 1 * sim::kMicrosecond;  // expires before reuse
+  auto& controller = net.install_controller("pass all\n", config);
+  client.add_user("u", "users");
+  const int pid = client.launch("u", "/bin/x");
+  const FlowHandle h = net.start_flow(client, pid, "10.0.0.2", 80);
+  net.run();
+  ASSERT_TRUE(net.flow_delivered(h));
+  const auto queries_after_first = controller.stats().queries_sent;
+
+  // Flush installed entries so the next packet is a packet-in again.  The
+  // cached verdict has outlived its TTL by now (round trips take ms), so
+  // the controller re-queries and re-decides on the shard lane.
+  controller.topology().switch_at(s1).table().remove_if(
+      [](const openflow::FlowEntry& e) { return e.cookie != 0; });
+  client.send_flow_packet(h.flow, "after ttl", net::TcpFlags::kPsh);
+  net.run();
+  EXPECT_EQ(controller.stats().decision_cache_hits, 0u);
+  EXPECT_GT(controller.stats().queries_sent, queries_after_first);
+  ASSERT_NE(controller.decision_cache(), nullptr);
+  EXPECT_GE(controller.decision_cache()->stats().expirations, 1u);
+
+  // Epoch bump via policy swap: the re-decide lands under the new policy.
+  controller.set_policy(pf::parse("block all\n", "revised"));
+  controller.revoke_all();
+  client.send_flow_packet(h.flow, "after swap", net::TcpFlags::kPsh);
+  net.run();
   EXPECT_GE(controller.stats().flows_blocked, 1u);
 }
 

@@ -395,6 +395,47 @@ TEST(Eval, FlowDictExtension) {
           .allowed());
 }
 
+TEST(Eval, UnknownFlowKeyRejectedAtParseTime) {
+  // @flow has a closed key set; a typo used to return Undefined and make
+  // the rule silently unmatchable.  Now it is a load-time error carrying
+  // the offending line.
+  try {
+    (void)parse("block all\npass all with eq(@flow[srcport], 1)\n", "test");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("srcport"), std::string::npos);
+  }
+}
+
+TEST(Eval, OpenFlowOnlyFlowKeysUndefinedWithoutTenTuple) {
+  // Valid OpenFlow-only keys still parse, and evaluate to Undefined (rule
+  // does not match) when the decision context carries no TenTuple.
+  FlowContext ctx;
+  ctx.flow = flow("1.1.1.1", "2.2.2.2");
+  EXPECT_FALSE(
+      run_policy("block all\npass all with eq(@flow[in_port], 3)\n", ctx)
+          .allowed());
+  EXPECT_FALSE(
+      run_policy("block all\npass all with eq(@flow[vlan], 0)\n", ctx)
+          .allowed());
+}
+
+TEST(Eval, DelegatedRulesWithBadFlowKeyFailClosed) {
+  // Delegated rules are untrusted input: a bad @flow key inside an
+  // allowed() payload must make the predicate false, not throw.
+  proto::Response r;
+  proto::Section s;
+  s.add("requirements", "pass all with eq(@flow[srcport], 1)");
+  r.append_section(s);
+  FlowContext ctx;
+  ctx.flow = flow("1.1.1.1", "2.2.2.2");
+  ctx.src = proto::ResponseDict(r);
+  EXPECT_FALSE(
+      run_policy("block all\npass all with allowed(@src[requirements])\n", ctx)
+          .allowed());
+}
+
 // ---------------------------------------------------------------- functions
 
 struct ComparisonCase {
@@ -435,7 +476,21 @@ INSTANTIATE_TEST_SUITE_P(
         ComparisonCase{"lte", "201", "200", false},
         // String ordering when not numeric.
         ComparisonCase{"lt", "alpha", "beta", true},
-        ComparisonCase{"gt", "beta", "alpha", true}));
+        ComparisonCase{"gt", "beta", "alpha", true},
+        // Mixed numeric/non-numeric operands have no coherent order: the
+        // old lexicographic fallback made gt("10", "9 ") false but
+        // lt("10", "9 ") true (both order-dependent and wrong).  Mixed
+        // comparisons now fail the predicate in every direction.
+        ComparisonCase{"gt", "10", "\"9 \"", false},
+        ComparisonCase{"lt", "10", "\"9 \"", false},
+        ComparisonCase{"gte", "10", "\"9 \"", false},
+        ComparisonCase{"lte", "10", "\"9 \"", false},
+        ComparisonCase{"eq", "10", "\"9 \"", false},
+        ComparisonCase{"gt", "9 ", "10", false},
+        ComparisonCase{"lt", "9 ", "10", false},
+        ComparisonCase{"gt", "alpha", "1", false},
+        ComparisonCase{"lt", "alpha", "1", false},
+        ComparisonCase{"eq", "alpha", "1", false}));
 
 TEST(Functions, MemberWithBraceList) {
   FlowContext ctx;
