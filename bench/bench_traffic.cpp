@@ -1,0 +1,162 @@
+// Congestion/traffic benchmarks (DESIGN.md §12): incast fan-in at several
+// scales and an elephant/mice mix spread over ECMP paths.  Each iteration
+// is a complete scenario run — admission for every flow, then the traffic
+// generators pushing data through bounded switch queues — so the numbers
+// track the whole data-plane path, not just the generators.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace identxx;
+
+/// `clients` senders fan in to one server across a 10 Mbps bottleneck
+/// (host attachments keep the 10G default, so only s1—s2 congests).
+std::string incast_scenario(int clients) {
+  std::string text =
+      "seed 42\n"
+      "switch s1\n"
+      "switch s2\n"
+      "link s1 s2 10 10\n"
+      "host server 10.0.1.1 s2\n"
+      "user server www daemons\n"
+      "launch srv server www /usr/sbin/httpd\n"
+      "listen srv 80\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    text += "host c" + n + " 10.0." + std::to_string(2 + i / 200) + "." +
+            std::to_string(10 + i % 200) + " s1\n";
+    text += "user c" + n + " u" + n + " staff\n";
+    text += "launch l" + n + " c" + n + " u" + n + " /usr/bin/load\n";
+  }
+  text += "policy begin\npass all\npolicy end\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    text += "flow f" + n + " l" + n + " 10.0.1.1 80\n";
+  }
+  return text;
+}
+
+/// Diamond fabric (two equal-cost routes) with `mice` short flows around
+/// one heavy-tailed elephant, all ECMP-spread with k_paths = 2.
+std::string elephant_mice_scenario(int mice) {
+  std::string text =
+      "seed 7\n"
+      "switch s1\n"
+      "switch s2\n"
+      "switch s3\n"
+      "switch s4\n"
+      "link s1 s2 10 50\n"
+      "link s1 s3 10 50\n"
+      "link s2 s4 10 50\n"
+      "link s3 s4 10 50\n"
+      "host b 10.0.1.1 s4\n"
+      "user b www daemons\n"
+      "launch srv b www /usr/sbin/httpd\n"
+      "listen srv 80\n"
+      "host big 10.0.0.2 s1\n"
+      "user big eu staff\n"
+      "launch le big eu /usr/bin/elephant\n";
+  for (int i = 0; i < mice; ++i) {
+    const std::string n = std::to_string(i);
+    text += "host m" + n + " 10.0.0." + std::to_string(10 + i) + " s1\n";
+    text += "user m" + n + " u" + n + " staff\n";
+    text += "launch lm" + n + " m" + n + " u" + n + " /usr/bin/mouse\n";
+  }
+  text += "policy begin\npass all\npolicy end\n";
+  text += "flow fe le 10.0.1.1 80\n";
+  text += "traffic fe pareto mean=96 shape=1.2 rate=50000 payload=512 "
+          "start_us=5000\n";
+  for (int i = 0; i < mice; ++i) {
+    const std::string n = std::to_string(i);
+    text += "flow fm" + n + " lm" + n + " 10.0.1.1 80\n";
+    text += "traffic fm" + n +
+            " pareto mean=8 shape=2.5 rate=50000 payload=512 start_us=5000\n";
+  }
+  return text;
+}
+
+void report_run(benchmark::State& state, std::uint64_t drops,
+                std::uint64_t sent, std::uint64_t delivered) {
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["tail_drops"] = static_cast<double>(drops) / iters;
+  state.counters["delivered_pct"] =
+      sent ? 100.0 * static_cast<double>(delivered) / static_cast<double>(sent)
+           : 0;
+}
+
+// ------------------------------------------------------------------ incast
+
+void BM_IncastFanIn(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const auto scenario = core::Scenario::parse(incast_scenario(clients));
+  core::ScenarioOptions options;
+  options.queue_depth = 8;
+  options.traffic = "cbr,packets=32,rate=4000,payload=512,start_us=5000";
+  std::uint64_t drops = 0, sent = 0, delivered = 0;
+  for (auto _ : state) {
+    const auto result = scenario.run(options);
+    drops += result.queue_tail_drops;
+    for (const auto& flow : result.flows) {
+      sent += flow.packets_sent;
+      delivered += flow.packets_delivered;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+  report_run(state, drops, sent, delivered);
+}
+BENCHMARK(BM_IncastFanIn)->Arg(8)->Arg(32)->Arg(128);
+
+/// Same fan-in, closed loop: the AIMD senders see their own drops and back
+/// off, so tail_drops here vs BM_IncastFanIn is the congestion-control
+/// payoff at equal offered load.
+void BM_IncastAimd(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const auto scenario = core::Scenario::parse(incast_scenario(clients));
+  core::ScenarioOptions options;
+  options.queue_depth = 8;
+  options.traffic =
+      "aimd,packets=32,payload=512,start_us=5000,rtt_us=4000,window=2";
+  std::uint64_t drops = 0, sent = 0, delivered = 0;
+  for (auto _ : state) {
+    const auto result = scenario.run(options);
+    drops += result.queue_tail_drops;
+    for (const auto& flow : result.flows) {
+      sent += flow.packets_sent;
+      delivered += flow.packets_delivered;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+  report_run(state, drops, sent, delivered);
+}
+BENCHMARK(BM_IncastAimd)->Arg(8)->Arg(32);
+
+// ------------------------------------------------------------ elephant/mice
+
+void BM_ElephantMice(benchmark::State& state) {
+  const int mice = static_cast<int>(state.range(0));
+  const auto scenario = core::Scenario::parse(elephant_mice_scenario(mice));
+  core::ScenarioOptions options;
+  options.k_paths = 2;
+  options.queue_depth = 8;
+  std::uint64_t drops = 0, sent = 0, delivered = 0;
+  for (auto _ : state) {
+    const auto result = scenario.run(options);
+    drops += result.queue_tail_drops;
+    for (const auto& flow : result.flows) {
+      sent += flow.packets_sent;
+      delivered += flow.packets_delivered;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (mice + 1));
+  report_run(state, drops, sent, delivered);
+}
+BENCHMARK(BM_ElephantMice)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

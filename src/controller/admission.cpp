@@ -777,7 +777,14 @@ std::size_t PathInstallStrategy::install_along_path(
   const HostInfo* src = env.find_host(ctx.flow.src_ip);
   const HostInfo* dst = env.find_host(ctx.flow.dst_ip);
   if (src == nullptr || dst == nullptr) return 0;
-  const auto hops = env.topology().path(src->node, dst->node);
+  // Seeded ECMP (DESIGN.md §12): the flow's deterministic pick from the
+  // equal-cost path set.  Entries — including aggregate covers — are
+  // installed along this one path end to end, so any flow they capture is
+  // delivered over it even if its own hash would have chosen a sibling
+  // path (covered flows are pinned to the cover's install path; verdict
+  // soundness is untouched because path choice never affects the policy).
+  const auto hops =
+      env.topology().path_for_flow(src->node, dst->node, ctx.flow);
   if (!hops) return 0;
 
   const ControllerConfig& config = env.config();

@@ -625,6 +625,14 @@ class PathInstallStrategy : public InstallStrategy {
 /// (/32) because the output port is destination-determined; drop entries
 /// cache the rule's full scope at the ingress switch.  Decisions without
 /// covers fall back to the exact per-flow placement.
+///
+/// Multipath (DESIGN.md §12): a cover is installed along the triggering
+/// flow's ECMP-selected path, end to end, so every later flow the cover
+/// captures rides that path's entries to the destination — covered flows
+/// are pinned to the cover's install path rather than their own hash
+/// pick.  Delivery stays sound (the install path reaches the /32
+/// destination from every one of its switches) and verdicts are
+/// unaffected (path choice is invisible to the policy).
 class AggregatingInstallStrategy : public PathInstallStrategy {
  public:
   std::size_t install_allow(AdmissionEnv& env, const AdmissionContext& ctx,

@@ -445,7 +445,9 @@ void AdmissionController::release_buffered(AdmissionContext& ctx,
   const HostInfo* dst = find_host(ctx.flow.dst_ip);
   std::optional<std::vector<openflow::Hop>> hops;
   if (src != nullptr && dst != nullptr) {
-    hops = topology_->path(src->node, dst->node);
+    // Must match install_along_path's ECMP selection: released packets
+    // are packet-out onto the path that just received the flow's entries.
+    hops = topology_->path_for_flow(src->node, dst->node, ctx.flow);
   }
   std::size_t released = 0;
   for (const openflow::PacketIn& msg : ctx.buffered) {

@@ -36,12 +36,20 @@ host::Host& Network::add_host(const std::string& name, const std::string& ip) {
   return ref;
 }
 
-void Network::link(sim::NodeId a, sim::NodeId b, sim::SimTime latency) {
-  topology_.link(a, b, latency);
+void Network::link(sim::NodeId a, sim::NodeId b, sim::SimTime latency,
+                   std::uint64_t bandwidth_bps) {
+  topology_.link(a, b, latency, bandwidth_bps);
 }
 
-void Network::link(host::Host& a, sim::NodeId b, sim::SimTime latency) {
-  topology_.link(a.id(), b, latency);
+void Network::link(host::Host& a, sim::NodeId b, sim::SimTime latency,
+                   std::uint64_t bandwidth_bps) {
+  topology_.link(a.id(), b, latency, bandwidth_bps);
+}
+
+void Network::set_queue_depth(std::uint32_t packets) {
+  for (const sim::NodeId id : topology_.switch_ids()) {
+    topology_.switch_at(id).set_queue_depth(packets);
+  }
 }
 
 std::vector<sim::NodeId> Network::unadopted_switches() const {

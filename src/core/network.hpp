@@ -54,11 +54,18 @@ class Network {
   /// Add an end-host with a deterministic MAC derived from its node id.
   host::Host& add_host(const std::string& name, const std::string& ip);
 
-  /// Wire two nodes (host or switch) together.
+  /// Wire two nodes (host or switch) together.  `bandwidth_bps` feeds the
+  /// serialization-delay model and the switch queue model (DESIGN.md §12).
   void link(sim::NodeId a, sim::NodeId b,
-            sim::SimTime latency = 10 * sim::kMicrosecond);
+            sim::SimTime latency = 10 * sim::kMicrosecond,
+            std::uint64_t bandwidth_bps = sim::kDefaultBandwidthBps);
   void link(host::Host& a, sim::NodeId b,
-            sim::SimTime latency = 10 * sim::kMicrosecond);
+            sim::SimTime latency = 10 * sim::kMicrosecond,
+            std::uint64_t bandwidth_bps = sim::kDefaultBandwidthBps);
+
+  /// Bound every switch's output queues to `packets` (0 restores the
+  /// idealized unbounded behaviour).  Applies to all current switches.
+  void set_queue_depth(std::uint32_t packets);
 
   // ---- controllers -----------------------------------------------------------
 

@@ -4,6 +4,7 @@
 
 #include "crypto/schnorr.hpp"
 #include "identxx/keys.hpp"
+#include "net/traffic/traffic.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -97,12 +98,18 @@ Scenario Scenario::parse(std::string_view text) {
       require_fields(fields, 2, "switch <name>", lineno);
       scenario.switches_.push_back({fields[1]});
     } else if (directive == "link") {
-      require_fields(fields, 3, "link <a> <b> [latency_us]", lineno);
-      LinkDecl link{fields[1], fields[2], 10 * sim::kMicrosecond};
+      require_fields(fields, 3, "link <a> <b> [latency_us] [bw_mbps]", lineno);
+      LinkDecl link{fields[1], fields[2], 10 * sim::kMicrosecond,
+                    sim::kDefaultBandwidthBps};
       if (fields.size() > 3) {
         const auto us = util::parse_u64(fields[3]);
         if (!us) throw ParseError("invalid latency", lineno);
         link.latency = static_cast<sim::SimTime>(*us) * sim::kMicrosecond;
+      }
+      if (fields.size() > 4) {
+        const auto mbps = util::parse_u64(fields[4]);
+        if (!mbps) throw ParseError("invalid bandwidth", lineno);
+        link.bandwidth_bps = *mbps * 1'000'000ULL;
       }
       scenario.links_.push_back(std::move(link));
     } else if (directive == "host") {
@@ -152,6 +159,30 @@ Scenario Scenario::parse(std::string_view text) {
       scenario.flows_.push_back({fields[1], fields[2], fields[3],
                                  parse_port_field(fields[4], lineno),
                                  parse_proto_field(fields, 5, lineno)});
+    } else if (directive == "traffic") {
+      require_fields(fields, 3, "traffic <flow-id> <model> [key=value...]",
+                     lineno);
+      std::string spec = fields[2];
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        spec += ',' + fields[i];
+      }
+      try {
+        (void)net::traffic::TrafficSpec::parse(spec);  // validate eagerly
+      } catch (const Error& e) {
+        throw ParseError(e.what(), lineno);
+      }
+      bool found = false;
+      for (auto& flow : scenario.flows_) {
+        if (flow.id == fields[1]) {
+          flow.traffic = spec;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw ParseError("traffic references unknown flow '" + fields[1] + "'",
+                         lineno);
+      }
     } else if (directive == "expect") {
       require_fields(fields, 3, "expect <flow-id> delivered|blocked", lineno);
       if (fields[2] == "delivered") {
@@ -178,6 +209,7 @@ ScenarioResult Scenario::run(ctrl::ControllerConfig config) const {
 
 ScenarioResult Scenario::run(const ScenarioOptions& options) const {
   Network net;
+  const std::uint64_t seed = options.seed != 0 ? options.seed : seed_;
   std::unordered_map<std::string, sim::NodeId> switches;
   for (const auto& decl : switches_) {
     if (switches.contains(decl.name)) {
@@ -185,6 +217,13 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     }
     switches[decl.name] = net.add_switch(decl.name);
   }
+  // Congestion knobs (DESIGN.md §12): an options-level bandwidth override
+  // applies to every link, host attachments included; otherwise each link
+  // keeps its declared (or default) capacity.
+  const auto link_bandwidth = [&options](std::uint64_t declared) {
+    return options.link_bandwidth_bps != 0 ? options.link_bandwidth_bps
+                                           : declared;
+  };
   std::unordered_map<std::string, host::Host*> hosts;
   for (const auto& decl : hosts_) {
     auto& h = net.add_host(decl.name, decl.ip);
@@ -194,7 +233,8 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
       throw Error("host '" + decl.name + "' attaches to unknown switch '" +
                   decl.attach + "'");
     }
-    net.link(h, sw->second);
+    net.link(h, sw->second, 10 * sim::kMicrosecond,
+             link_bandwidth(sim::kDefaultBandwidthBps));
   }
   for (const auto& decl : links_) {
     const auto a = switches.find(decl.a);
@@ -202,8 +242,11 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     if (a == switches.end() || b == switches.end()) {
       throw Error("link references unknown switch");
     }
-    net.link(a->second, b->second, decl.latency);
+    net.link(a->second, b->second, decl.latency,
+             link_bandwidth(decl.bandwidth_bps));
   }
+  net.topology().set_multipath(options.k_paths, seed);
+  if (options.queue_depth > 0) net.set_queue_depth(options.queue_depth);
   // Expand $pubkey(<seed>) references in the policy so <pubkeys> dicts can
   // name signing keys symbolically.
   std::string policy = policy_;
@@ -213,9 +256,9 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     if (close == std::string::npos) {
       throw Error("unterminated $pubkey( in policy");
     }
-    const std::string seed = policy.substr(pos + 8, close - pos - 8);
+    const std::string key_seed = policy.substr(pos + 8, close - pos - 8);
     const std::string hex =
-        crypto::PrivateKey::from_seed(seed).public_key().to_hex();
+        crypto::PrivateKey::from_seed(key_seed).public_key().to_hex();
     policy.replace(pos, close - pos + 1, hex);
     pos += hex.size();
   }
@@ -225,7 +268,6 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
   // so no draw order ever crosses a shard boundary.
   ctrl::IdentxxController* classic = nullptr;
   ctrl::ShardedAdmissionController* sharded = nullptr;
-  const std::uint64_t seed = options.seed != 0 ? options.seed : seed_;
   if (options.shards == 0) {
     classic = &net.install_controller(policy, options.config);
     if (seed != 0) {
@@ -299,12 +341,34 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
 
   ScenarioResult result;
   std::vector<std::pair<std::string, FlowHandle>> handles;
+  // Traffic generators (src/net/traffic): per-flow seeds come from one
+  // SplitMix64 stream over the scenario seed in flow file order, so a given
+  // scenario+seed drives identical traffic at any shard/worker count.
+  std::vector<std::unique_ptr<net::traffic::FlowDriver>> drivers;
+  std::unordered_map<std::string, const net::traffic::FlowDriver*> by_flow_id;
+  util::SplitMix64 traffic_seeds(seed ^ 0xc2b2ae3d27d4eb4fULL);
   for (const auto& decl : flows_) {
     const LaunchInfo& info = launch_of(decl.launch_id);
     handles.emplace_back(
         decl.id,
         net.start_flow(*info.host, info.pid, decl.dst_ip, decl.port, decl.proto));
+    const std::uint64_t flow_seed = traffic_seeds.next();
+    const std::string& spec_text =
+        !options.traffic.empty() ? options.traffic : decl.traffic;
+    if (spec_text.empty()) continue;
+    const auto spec = net::traffic::TrafficSpec::parse(spec_text);
+    if (spec.model == net::traffic::Model::kSingle) continue;
+    const FlowHandle& handle = handles.back().second;
+    if (handle.dst_node == sim::kInvalidNode) {
+      throw Error("traffic for flow '" + decl.id +
+                  "': destination host not in scenario");
+    }
+    drivers.push_back(std::make_unique<net::traffic::FlowDriver>(
+        net.simulator(), *info.host, net.host(handle.dst_node), handle.flow,
+        spec, flow_seed));
+    by_flow_id[decl.id] = drivers.back().get();
   }
+  for (const auto& driver : drivers) driver->start();
   net.run();
 
   for (const auto& [id, handle] : handles) {
@@ -312,12 +376,25 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     flow_result.id = id;
     flow_result.flow = handle.flow;
     flow_result.delivered = net.flow_delivered(handle);
+    if (const auto it = by_flow_id.find(id); it != by_flow_id.end()) {
+      flow_result.packets_sent = it->second->stats().packets_sent;
+    }
+    if (handle.dst_node != sim::kInvalidNode) {
+      flow_result.packets_delivered =
+          net.host(handle.dst_node).delivered_count(handle.flow);
+    }
     if (const auto it = expectations_.find(id); it != expectations_.end()) {
       flow_result.expectation_known = true;
       flow_result.expected_delivered = it->second;
     }
     result.flows.push_back(std::move(flow_result));
   }
+  for (const sim::NodeId id : net.switch_ids()) {
+    const std::uint64_t drops = net.switch_at(id).stats().queue_tail_drops;
+    result.switch_queue_drops.push_back(drops);
+    result.queue_tail_drops += drops;
+  }
+  result.path_cache_stats = net.topology().path_cache_stats();
   if (sharded != nullptr) {
     result.controller_stats = sharded->aggregated_stats();
     for (std::uint32_t i = 0; i < sharded->shard_count(); ++i) {

@@ -9,7 +9,7 @@
 //     seed 42                            # RNG seed for deterministic replay
 //     switch s1
 //     switch s2
-//     link s1 s2 [latency_us]
+//     link s1 s2 [latency_us] [bw_mbps]  # 0 mbps = serialization-free
 //     host client 192.168.0.10 s1        # name ip attachment-switch
 //     user client alice staff            # host user group
 //     launch curl1 client alice /usr/bin/curl     # id host user exe
@@ -21,7 +21,12 @@
 //       pass from any to any port 80 with eq(@src[userID], alice)
 //     policy end
 //     flow f1 curl1 192.168.1.1 80 [udp]
+//     traffic f1 cbr packets=64 rate=20000   # traffic model (DESIGN.md §12)
 //     expect f1 delivered                # or blocked
+//
+// Traffic models (src/net/traffic): single (default), cbr, onoff,
+// pareto, aimd — `traffic <flow-id> <model> [key=value ...]` attaches a
+// generator to the flow; see traffic.hpp for the keys.
 //
 // Authenticated delegation (Figs 4-7) is first-class:
 //
@@ -51,6 +56,13 @@ struct ScenarioFlowResult {
   std::string id;
   net::FiveTuple flow;
   bool delivered = false;
+  /// Traffic accounting: packets the flow's generator emitted (1 for the
+  /// default single-SYN flows) and payload packets the destination
+  /// application received.  Compared by equivalent_to, so per-flow
+  /// delivery under congestion must be bit-identical across shard and
+  /// worker counts.
+  std::uint64_t packets_sent = 1;
+  std::uint64_t packets_delivered = 0;
   bool expectation_known = false;
   bool expected_delivered = false;
 
@@ -71,6 +83,17 @@ struct ScenarioResult {
   /// Canonically ordered (audit_record_before) so the log is comparable
   /// across shard counts.
   std::vector<ctrl::DecisionRecord> audit_log;
+  /// Congestion observability (DESIGN.md §12): bounded-queue tail drops,
+  /// total and per switch in creation order.  Zero everywhere when the
+  /// queue model is off (queue_depth 0).
+  std::uint64_t queue_tail_drops = 0;
+  std::vector<std::uint64_t> switch_queue_drops;
+  /// Path-set cache counters and the ECMP selection histogram, surfaced
+  /// by identxx_sim.  NOT part of equivalent_to: worker threads use
+  /// private path memos, so hit/miss counts legitimately vary with the
+  /// worker count even though the selected paths (and therefore
+  /// everything above) do not.
+  openflow::PathCacheStats path_cache_stats;
 
   /// All expectations met?
   [[nodiscard]] bool ok() const noexcept {
@@ -86,7 +109,9 @@ struct ScenarioResult {
   /// per-domain breakdown is intentionally not compared.
   [[nodiscard]] bool equivalent_to(const ScenarioResult& other) const {
     return flows == other.flows && controller_stats == other.controller_stats &&
-           audit_log == other.audit_log;
+           audit_log == other.audit_log &&
+           queue_tail_drops == other.queue_tail_drops &&
+           switch_queue_drops == other.switch_queue_drops;
   }
 };
 
@@ -100,6 +125,17 @@ struct ScenarioOptions {
   /// Seed for the deterministic per-domain RNG streams (query ephemeral
   /// ports).  0 falls back to the scenario file's `seed` directive (or 0).
   std::uint64_t seed = 0;
+  /// Congestion knobs (DESIGN.md §12).  The defaults reproduce the
+  /// idealized pre-multipath behaviour exactly: one BFS path per pair,
+  /// per-link declared bandwidth, unbounded queues, one SYN per flow.
+  std::uint32_t k_paths = 1;  ///< equal-cost paths per (src,dst) pair
+  /// Override every link's bandwidth (host attachments included);
+  /// 0 = keep per-link declarations / defaults.
+  std::uint64_t link_bandwidth_bps = 0;
+  std::uint32_t queue_depth = 0;  ///< bounded switch output queues; 0 = off
+  /// Override every flow's traffic model with this spec
+  /// ("cbr,packets=64,..."); empty = per-flow `traffic` directives.
+  std::string traffic;
 };
 
 /// A parsed scenario, ready to run.  Parsing and execution are split so
@@ -133,6 +169,8 @@ class Scenario {
   struct LinkDecl {
     std::string a, b;
     sim::SimTime latency = 10 * sim::kMicrosecond;
+    /// Declared capacity; an explicit 0 mbps disables serialization delay.
+    std::uint64_t bandwidth_bps = sim::kDefaultBandwidthBps;
   };
   struct HostDecl {
     std::string name, ip, attach;
@@ -162,6 +200,7 @@ class Scenario {
     std::string id, launch_id, dst_ip;
     std::uint16_t port = 0;
     net::IpProto proto = net::IpProto::kTcp;
+    std::string traffic;  ///< TrafficSpec text; empty = single SYN
   };
 
   std::vector<SwitchDecl> switches_;

@@ -142,6 +142,7 @@ void Host::on_packet(const net::Packet& packet, sim::PortId in_port) {
   ++stats_.flow_payloads_received;
   last_delivery_time_ = simulator()->now();
   delivered_.push_back(packet);
+  ++delivered_counts_[packet.five_tuple()];
 
   // TCP accept emulation: answer a SYN to a listening socket with SYN-ACK
   // and record the connected socket (so the daemon resolves the flow on

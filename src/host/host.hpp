@@ -166,8 +166,19 @@ class Host : public sim::Node, public proto::FlowResolver {
     return last_delivery_time_;
   }
 
+  /// Payload packets of `flow` delivered so far — O(1), maintained
+  /// alongside delivered().  The closed-loop traffic senders
+  /// (net::traffic::FlowDriver) read this as their ACK signal.
+  [[nodiscard]] std::uint64_t delivered_count(const net::FiveTuple& flow) const {
+    const auto it = delivered_counts_.find(flow);
+    return it == delivered_counts_.end() ? 0 : it->second;
+  }
+
   /// Drop the delivered-packet log (long benchmark runs).
-  void clear_delivered() noexcept { delivered_.clear(); }
+  void clear_delivered() noexcept {
+    delivered_.clear();
+    delivered_counts_.clear();
+  }
 
   [[nodiscard]] const HostStats& stats() const noexcept { return stats_; }
 
@@ -194,6 +205,7 @@ class Host : public sim::Node, public proto::FlowResolver {
   int next_pid_ = 100;
   std::uint16_t next_ephemeral_port_ = 40000;
   std::vector<net::Packet> delivered_;
+  std::unordered_map<net::FiveTuple, std::uint64_t> delivered_counts_;
   sim::SimTime last_delivery_time_ = -1;
   HostStats stats_;
 };

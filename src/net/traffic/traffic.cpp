@@ -1,0 +1,219 @@
+#include "net/traffic/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace identxx::net::traffic {
+
+namespace {
+
+Model parse_model(std::string_view name) {
+  if (util::iequals(name, "single")) return Model::kSingle;
+  if (util::iequals(name, "cbr")) return Model::kCbr;
+  if (util::iequals(name, "onoff") || util::iequals(name, "on-off")) {
+    return Model::kOnOff;
+  }
+  if (util::iequals(name, "pareto")) return Model::kPareto;
+  if (util::iequals(name, "aimd")) return Model::kAimd;
+  throw Error("unknown traffic model '" + std::string(name) + "'");
+}
+
+std::uint64_t parse_count(std::string_view key, std::string_view value) {
+  const auto n = util::parse_u64(value);
+  if (!n) {
+    throw Error("traffic " + std::string(key) + ": invalid value '" +
+                std::string(value) + "'");
+  }
+  return *n;
+}
+
+double parse_real(std::string_view key, std::string_view value) {
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(std::string(value), &used);
+    if (used != value.size() || !(d > 0.0)) throw std::invalid_argument("");
+    return d;
+  } catch (const std::exception&) {
+    throw Error("traffic " + std::string(key) + ": invalid value '" +
+                std::string(value) + "'");
+  }
+}
+
+}  // namespace
+
+std::string to_string(Model model) {
+  switch (model) {
+    case Model::kSingle: return "single";
+    case Model::kCbr: return "cbr";
+    case Model::kOnOff: return "onoff";
+    case Model::kPareto: return "pareto";
+    case Model::kAimd: return "aimd";
+  }
+  return "?";
+}
+
+TrafficSpec TrafficSpec::parse(std::string_view text) {
+  TrafficSpec spec;
+  bool first = true;
+  for (const auto token : util::split(text, ',')) {
+    const auto field = util::trim(token);
+    if (field.empty()) continue;
+    if (first) {
+      spec.model = parse_model(field);
+      first = false;
+      continue;
+    }
+    const auto [key, value] = util::split_once(field, '=');
+    if (!value) {
+      throw Error("traffic: expected key=value, got '" + std::string(field) +
+                  "'");
+    }
+    if (key == "packets") {
+      spec.packets = std::max<std::uint64_t>(1, parse_count(key, *value));
+    } else if (key == "rate") {
+      spec.rate_pps = parse_count(key, *value);
+      if (spec.rate_pps == 0) throw Error("traffic rate: must be nonzero");
+    } else if (key == "payload") {
+      spec.payload_bytes =
+          static_cast<std::uint32_t>(parse_count(key, *value));
+    } else if (key == "start_us") {
+      spec.start_delay = static_cast<sim::SimTime>(parse_count(key, *value)) *
+                         sim::kMicrosecond;
+    } else if (key == "on_us") {
+      spec.on_time = static_cast<sim::SimTime>(parse_count(key, *value)) *
+                     sim::kMicrosecond;
+    } else if (key == "off_us") {
+      spec.off_time = static_cast<sim::SimTime>(parse_count(key, *value)) *
+                      sim::kMicrosecond;
+    } else if (key == "shape") {
+      spec.pareto_shape = parse_real(key, *value);
+    } else if (key == "mean") {
+      spec.pareto_mean = parse_real(key, *value);
+    } else if (key == "window") {
+      spec.aimd_window = parse_real(key, *value);
+    } else if (key == "rtt_us") {
+      spec.aimd_rtt = static_cast<sim::SimTime>(parse_count(key, *value)) *
+                      sim::kMicrosecond;
+      if (spec.aimd_rtt <= 0) throw Error("traffic rtt_us: must be nonzero");
+    } else {
+      throw Error("traffic: unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (first) throw Error("traffic: empty spec");
+  return spec;
+}
+
+FlowDriver::FlowDriver(sim::Simulator& sim, host::Host& src,
+                       const host::Host& dst, net::FiveTuple flow,
+                       TrafficSpec spec, std::uint64_t seed)
+    : sim_(sim),
+      src_(src),
+      dst_(dst),
+      flow_(flow),
+      spec_(spec),
+      rng_(seed),
+      payload_(spec.payload_bytes, 'x'),
+      cwnd_(std::max(1.0, spec.aimd_window)) {
+  switch (spec_.model) {
+    case Model::kSingle:
+      total_ = 1;
+      break;
+    case Model::kPareto: {
+      // Bounded Pareto flow size: mean `pareto_mean`, tail index
+      // `pareto_shape` — most flows are mice, a few are elephants.
+      const double shape = std::max(1.01, spec_.pareto_shape);
+      const double xm = spec_.pareto_mean * (shape - 1.0) / shape;
+      const double u = std::max(rng_.next_double(), 1e-12);
+      const double size = xm / std::pow(u, 1.0 / shape);
+      total_ = std::clamp<std::uint64_t>(
+          static_cast<std::uint64_t>(std::llround(size)), 1, 1'000'000);
+      break;
+    }
+    default:
+      total_ = spec_.packets;
+      break;
+  }
+}
+
+void FlowDriver::start() {
+  stats_.packets_sent = 1;  // the connect-time SYN from start_flow
+  planned_ = 1;
+  if (total_ <= 1) {
+    stats_.final_window = cwnd_;
+    return;
+  }
+  start_time_ = sim_.now() + spec_.start_delay;
+  if (spec_.model == Model::kAimd) {
+    sim_.schedule_at(start_time_, [this]() { run_aimd_epoch(); });
+    return;
+  }
+  next_offset_ = 0;
+  schedule_paced();
+}
+
+void FlowDriver::emit_one() {
+  ++stats_.packets_sent;
+  src_.send_flow_packet(flow_, payload_, net::TcpFlags::kAck);
+}
+
+void FlowDriver::schedule_paced() {
+  if (planned_ >= total_) return;
+  ++planned_;
+  const sim::SimTime interval = std::max<sim::SimTime>(
+      1, sim::kSecond / static_cast<sim::SimTime>(spec_.rate_pps));
+  sim::SimTime offset = next_offset_;
+  if (spec_.model == Model::kOnOff && spec_.off_time > 0) {
+    // Emissions only land inside the on-phase of each duty cycle.
+    const sim::SimTime cycle = spec_.on_time + spec_.off_time;
+    const sim::SimTime pos = offset % cycle;
+    if (pos >= spec_.on_time) offset += cycle - pos;
+  }
+  next_offset_ = offset + interval;
+  sim_.schedule_at(start_time_ + offset, [this]() {
+    emit_one();
+    schedule_paced();
+  });
+}
+
+void FlowDriver::run_aimd_epoch() {
+  // ACK accounting, two epochs in arrears: everything planned before the
+  // epoch-before-last has had two full control intervals to drain the
+  // queues, so a shortfall there is loss, not delay.  `lost_seen_` makes
+  // the signal edge-triggered — only *new* losses halve the window.
+  const std::uint64_t delivered = dst_.delivered_count(flow_);
+  stats_.packets_acked = delivered;
+  const std::uint64_t lost =
+      expected_lag2_ > delivered ? expected_lag2_ - delivered : 0;
+  if (lost > lost_seen_) {
+    cwnd_ = std::max(1.0, cwnd_ / 2.0);
+    ++stats_.loss_events;
+    lost_seen_ = lost;
+  } else if (epoch_ > 0) {
+    cwnd_ += 1.0;
+  }
+  expected_lag2_ = expected_lag1_;
+  expected_lag1_ = planned_;
+  ++epoch_;
+  if (planned_ >= total_) {
+    stats_.final_window = cwnd_;
+    return;
+  }
+  const auto window = static_cast<std::uint64_t>(std::llround(cwnd_));
+  const std::uint64_t burst =
+      std::min(total_ - planned_, std::max<std::uint64_t>(1, window));
+  planned_ += burst;
+  // Pace the window evenly across the epoch rather than bursting at the
+  // boundary; the +1 keeps the last packet clear of the next epoch.
+  const sim::SimTime gap =
+      spec_.aimd_rtt / static_cast<sim::SimTime>(burst + 1);
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    sim_.schedule_after(static_cast<sim::SimTime>(i) * gap,
+                        [this]() { emit_one(); });
+  }
+  sim_.schedule_after(spec_.aimd_rtt, [this]() { run_aimd_epoch(); });
+}
+
+}  // namespace identxx::net::traffic

@@ -84,14 +84,14 @@ void Switch::apply_action(const Action& action, const net::Packet& packet,
     void operator()(const OutputAction& a) {
       for (const auto port : a.ports) {
         ++self.stats_.packets_forwarded;
-        self.simulator()->send(self.id(), port, packet);
+        self.transmit(port, packet);
       }
     }
     void operator()(const FloodAction&) {
       ++self.stats_.packets_flooded;
       for (const auto port : self.ports_) {
         if (port == in_port) continue;
-        self.simulator()->send(self.id(), port, packet);
+        self.transmit(port, packet);
       }
     }
     void operator()(const DropAction&) { ++self.stats_.packets_dropped; }
@@ -100,6 +100,49 @@ void Switch::apply_action(const Action& action, const net::Packet& packet,
     }
   };
   std::visit(Visitor{*this, packet, in_port}, action);
+}
+
+void Switch::transmit(sim::PortId port, const net::Packet& packet) {
+  if (queue_depth_ == 0) {
+    simulator()->send(id(), port, packet);
+    return;
+  }
+  const sim::LinkEnd* link = simulator()->link_at(id(), port);
+  if (link == nullptr || link->bandwidth_bps == 0) {
+    // Unwired (send() counts the drop) or serialization-free: no queue.
+    simulator()->send(id(), port, packet);
+    return;
+  }
+  PortQueue& q = queues_[port];
+  const sim::SimTime now = simulator()->now();
+  if (q.next_free <= now) {
+    // Wire idle: start immediately, never occupies a queue slot.
+    q.next_free = now + sim::serialization_delay(packet, link->bandwidth_bps);
+    simulator()->send(id(), port, packet);
+    return;
+  }
+  if (q.stats.occupancy >= queue_depth_) {
+    ++q.stats.tail_drops;
+    ++stats_.queue_tail_drops;
+    return;
+  }
+  // A slot is held from now until the packet's serialization starts; the
+  // deferred send() then pays serialization + latency itself, so delivery
+  // lands at start + serialization + latency with no double counting.
+  const sim::SimTime start = q.next_free;
+  q.next_free = start + sim::serialization_delay(packet, link->bandwidth_bps);
+  ++q.stats.occupancy;
+  ++q.stats.enqueued;
+  q.stats.peak_occupancy = std::max(q.stats.peak_occupancy, q.stats.occupancy);
+  simulator()->schedule_at(start, [this, port, packet]() {
+    --queues_[port].stats.occupancy;
+    simulator()->send(id(), port, packet);
+  });
+}
+
+const PortQueueStats* Switch::port_queue(sim::PortId port) const {
+  const auto it = queues_.find(port);
+  return it == queues_.end() ? nullptr : &it->second.stats;
 }
 
 void Switch::punt_to_controller(const net::Packet& packet, sim::PortId in_port) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "openflow/flow_table.hpp"
@@ -40,10 +41,21 @@ class ControlPlane {
 
 struct SwitchStats {
   std::uint64_t packets_received = 0;
-  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_forwarded = 0;  ///< output actions applied (pre-queue)
   std::uint64_t packets_flooded = 0;
-  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_dropped = 0;  ///< policy drops (DropAction, miss-drop)
   std::uint64_t packets_to_controller = 0;
+  std::uint64_t queue_tail_drops = 0;  ///< bounded output queue overflows
+};
+
+/// Occupancy accounting for one bounded output port queue (DESIGN.md §12).
+/// A packet occupies a slot from enqueue until its serialization starts;
+/// the packet currently on the wire is not counted.
+struct PortQueueStats {
+  std::uint32_t occupancy = 0;  ///< packets waiting right now
+  std::uint32_t peak_occupancy = 0;
+  std::uint64_t enqueued = 0;   ///< packets that waited at least one slot
+  std::uint64_t tail_drops = 0;
 };
 
 /// What to do with a packet that misses the flow table.
@@ -90,6 +102,21 @@ class Switch : public sim::Node {
   void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
   [[nodiscard]] bool compromised() const noexcept { return compromised_; }
 
+  // -- bounded output queues (DESIGN.md §12) --------------------------------
+
+  /// Bound every output port's queue to `packets` waiting packets; a
+  /// packet arriving at a busy port with a full queue is tail-dropped.
+  /// 0 (the default) disables the queue model entirely: transmission is
+  /// immediate and unbounded, the historical idealized behaviour.
+  void set_queue_depth(std::uint32_t packets) noexcept {
+    queue_depth_ = packets;
+  }
+  [[nodiscard]] std::uint32_t queue_depth() const noexcept {
+    return queue_depth_;
+  }
+  /// Per-port queue counters; nullptr when the port never queued.
+  [[nodiscard]] const PortQueueStats* port_queue(sim::PortId port) const;
+
   [[nodiscard]] FlowTable& table() noexcept { return table_; }
   [[nodiscard]] const FlowTable& table() const noexcept { return table_; }
   [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
@@ -98,8 +125,20 @@ class Switch : public sim::Node {
   }
 
  private:
+  /// One output port's transmission state.  All mutation happens on the
+  /// simulator's global lane (packet events are never sharded), so the
+  /// bounded-queue model is deterministic at any worker count for free.
+  struct PortQueue {
+    sim::SimTime next_free = 0;  ///< when the wire finishes its last packet
+    PortQueueStats stats;
+  };
+
   void apply_action(const Action& action, const net::Packet& packet,
                     sim::PortId in_port);
+  /// Egress path for every forwarded/flooded packet: immediate send when
+  /// the queue model is off, otherwise FIFO tail-drop through the port's
+  /// bounded output queue.
+  void transmit(sim::PortId port, const net::Packet& packet);
   void punt_to_controller(const net::Packet& packet, sim::PortId in_port);
 
   std::string name_;
@@ -109,6 +148,8 @@ class Switch : public sim::Node {
   sim::SimTime control_latency_ = 100 * sim::kMicrosecond;
   MissBehaviour miss_behaviour_ = MissBehaviour::kToController;
   bool compromised_ = false;
+  std::uint32_t queue_depth_ = 0;
+  std::unordered_map<sim::PortId, PortQueue> queues_;
   SwitchStats stats_;
 };
 

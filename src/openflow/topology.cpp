@@ -1,9 +1,11 @@
 #include "openflow/topology.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 
 #include "sim/worker_pool.hpp"
+#include "util/rng.hpp"
 
 namespace identxx::openflow {
 
@@ -17,7 +19,7 @@ std::atomic<std::uint64_t> g_next_topology_id{1};
 /// whose pool is owned by the topology's simulator.
 struct WorkerPathCache {
   std::uint64_t epoch = 0;
-  std::unordered_map<std::uint64_t, std::optional<std::vector<Hop>>> paths;
+  std::unordered_map<std::uint64_t, PathSet> paths;
 };
 thread_local std::unordered_map<std::uint64_t, WorkerPathCache> t_worker_paths;
 
@@ -42,11 +44,12 @@ sim::NodeId Topology::add_host(std::unique_ptr<sim::Node> host) {
 }
 
 std::pair<sim::PortId, sim::PortId> Topology::link(sim::NodeId a, sim::NodeId b,
-                                                   sim::SimTime latency) {
+                                                   sim::SimTime latency,
+                                                   std::uint64_t bandwidth_bps) {
   invalidate_paths();  // adjacency changes below
   const sim::PortId port_a = next_port_.at(a)++;
   const sim::PortId port_b = next_port_.at(b)++;
-  sim_.connect(a, port_a, b, port_b, latency);
+  sim_.connect(a, port_a, b, port_b, latency, bandwidth_bps);
   adjacency_[a].emplace_back(port_a, b);
   adjacency_[b].emplace_back(port_b, a);
   if (const auto it = switches_.find(a); it != switches_.end()) {
@@ -78,6 +81,12 @@ std::optional<Hop> Topology::attachment(sim::NodeId host) const {
   return std::nullopt;
 }
 
+void Topology::set_multipath(std::uint32_t k_paths, std::uint64_t seed) {
+  k_paths_ = k_paths == 0 ? 1 : k_paths;
+  ecmp_seed_ = seed;
+  invalidate_paths();
+}
+
 void Topology::invalidate_paths() noexcept {
   ++path_epoch_;  // per-worker caches check the epoch on their next query
   if (path_cache_.empty()) return;
@@ -90,27 +99,29 @@ void Topology::set_path_cache_enabled(bool enabled) noexcept {
   if (!enabled) path_cache_.clear();
 }
 
-std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
-                                               sim::NodeId dst_host) const {
-  if (!path_cache_enabled_) return compute_path(src_host, dst_host);
+const PathSet& Topology::cached_path_set(sim::NodeId src_host,
+                                         sim::NodeId dst_host) const {
+  if (!path_cache_enabled_) {
+    scratch_set_ = compute_path_set(src_host, dst_host);
+    return scratch_set_;
+  }
   const std::uint64_t key =
       (static_cast<std::uint64_t>(src_host) << 32) | dst_host;
   if (sim::WorkerPool::current_worker_slot() != 0) {
     // Simulator worker thread (parallel shard lane): private cache, no
     // locks and no contention on the shared memo or its stats.
-    return path_via_worker_cache(key, src_host, dst_host);
+    return path_set_via_worker_cache(key, src_host, dst_host);
   }
   if (const auto it = path_cache_.find(key); it != path_cache_.end()) {
     ++path_cache_stats_.hits;
     return it->second;
   }
-  auto result = compute_path(src_host, dst_host);
   ++path_cache_stats_.misses;
-  path_cache_.emplace(key, result);
-  return result;
+  return path_cache_.emplace(key, compute_path_set(src_host, dst_host))
+      .first->second;
 }
 
-std::optional<std::vector<Hop>> Topology::path_via_worker_cache(
+const PathSet& Topology::path_set_via_worker_cache(
     std::uint64_t key, sim::NodeId src_host, sim::NodeId dst_host) const {
   WorkerPathCache& cache = t_worker_paths[topology_id_];
   if (cache.epoch != path_epoch_) {
@@ -120,9 +131,132 @@ std::optional<std::vector<Hop>> Topology::path_via_worker_cache(
   if (const auto it = cache.paths.find(key); it != cache.paths.end()) {
     return it->second;
   }
-  auto result = compute_path(src_host, dst_host);
-  cache.paths.emplace(key, result);
-  return result;
+  return cache.paths.emplace(key, compute_path_set(src_host, dst_host))
+      .first->second;
+}
+
+std::optional<std::vector<Hop>> Topology::path(sim::NodeId src_host,
+                                               sim::NodeId dst_host) const {
+  const PathSet& set = cached_path_set(src_host, dst_host);
+  if (set.empty()) return std::nullopt;
+  return set.paths.front();
+}
+
+PathSet Topology::path_set(sim::NodeId src_host, sim::NodeId dst_host) const {
+  return cached_path_set(src_host, dst_host);
+}
+
+std::size_t Topology::select_path_index(const net::FiveTuple& flow,
+                                        std::size_t set_size) const {
+  if (set_size <= 1) return 0;
+  // Fold the 5-tuple into the seed through two SplitMix64 rounds; every
+  // field participates so reversed/sibling flows hash independently.
+  util::SplitMix64 mix(ecmp_seed_ ^
+                       ((static_cast<std::uint64_t>(flow.src_ip.value()) << 32) |
+                        flow.dst_ip.value()));
+  const std::uint64_t salt =
+      mix.next() ^ ((static_cast<std::uint64_t>(flow.src_port) << 32) |
+                    (static_cast<std::uint64_t>(flow.dst_port) << 8) |
+                    static_cast<std::uint64_t>(flow.proto));
+  return static_cast<std::size_t>(
+      util::SplitMix64(salt).next_below(set_size));
+}
+
+std::optional<std::vector<Hop>> Topology::path_for_flow(
+    sim::NodeId src_host, sim::NodeId dst_host,
+    const net::FiveTuple& flow) const {
+  const PathSet& set = cached_path_set(src_host, dst_host);
+  if (set.empty()) return std::nullopt;
+  const std::size_t index = select_path_index(flow, set.size());
+  if (sim::WorkerPool::current_worker_slot() == 0) {
+    auto& histogram = path_cache_stats_.ecmp_selections;
+    if (histogram.size() <= index) histogram.resize(index + 1, 0);
+    ++histogram[index];
+  }
+  return set.paths[index];
+}
+
+PathSet Topology::compute_path_set(sim::NodeId src_host,
+                                   sim::NodeId dst_host) const {
+  PathSet set;
+  if (k_paths_ <= 1) {
+    // Single-path mode: delegate to the historical BFS so hop lists (and
+    // therefore installed entries, event timings, everything downstream)
+    // are bit-identical to the pre-multipath implementation.
+    if (auto single = compute_path(src_host, dst_host)) {
+      set.paths.push_back(std::move(*single));
+    }
+    return set;
+  }
+  if (src_host == dst_host) {
+    set.paths.emplace_back();
+    return set;
+  }
+  // Pass 1: BFS distances over the forwarding graph.  Hosts other than
+  // the source are reachable but do not forward — same rule as
+  // compute_path.
+  std::unordered_map<sim::NodeId, std::uint32_t> dist;
+  std::deque<sim::NodeId> frontier{src_host};
+  dist[src_host] = 0;
+  while (!frontier.empty()) {
+    const sim::NodeId current = frontier.front();
+    frontier.pop_front();
+    if (current != src_host && !is_switch(current)) continue;
+    const auto it = adjacency_.find(current);
+    if (it == adjacency_.end()) continue;
+    for (const auto& [port, peer] : it->second) {
+      if (dist.contains(peer)) continue;
+      dist[peer] = dist[current] + 1;
+      frontier.push_back(peer);
+    }
+  }
+  const auto dst_it = dist.find(dst_host);
+  if (dst_it == dist.end()) return set;
+  // Pass 2: enumerate up to k_paths_ shortest paths by DFS over the
+  // equal-cost DAG (edges u->v with dist[v] == dist[u]+1), expanding
+  // neighbours in adjacency insertion order — a deterministic function of
+  // link() call order, identical on every worker and every run.
+  std::vector<sim::NodeId> node_path{src_host};
+  const auto emit = [&]() {
+    std::vector<Hop> hops;
+    for (std::size_t i = 1; i + 1 < node_path.size(); ++i) {
+      const sim::NodeId sw = node_path[i];
+      if (!is_switch(sw)) continue;
+      Hop hop{sw, port_toward(sw, node_path[i + 1]),
+              port_toward(sw, node_path[i - 1])};
+      hops.push_back(hop);
+    }
+    set.paths.push_back(std::move(hops));
+  };
+  const std::function<void(sim::NodeId)> dfs = [&](sim::NodeId current) {
+    if (set.paths.size() >= k_paths_) return;
+    if (current == dst_host) {
+      emit();
+      return;
+    }
+    if (current != src_host && !is_switch(current)) return;
+    const auto it = adjacency_.find(current);
+    if (it == adjacency_.end()) return;
+    for (const auto& [port, peer] : it->second) {
+      const auto d = dist.find(peer);
+      if (d == dist.end() || d->second != dist.at(current) + 1) continue;
+      node_path.push_back(peer);
+      dfs(peer);
+      node_path.pop_back();
+      if (set.paths.size() >= k_paths_) return;
+    }
+  };
+  dfs(src_host);
+  return set;
+}
+
+sim::PortId Topology::port_toward(sim::NodeId from, sim::NodeId to) const {
+  const auto it = adjacency_.find(from);
+  if (it == adjacency_.end()) return 0;
+  for (const auto& [port, peer] : it->second) {
+    if (peer == to) return port;
+  }
+  return 0;
 }
 
 std::optional<std::vector<Hop>> Topology::compute_path(

@@ -84,6 +84,16 @@ void Simulator::connect(NodeId a, PortId a_port, NodeId b, PortId b_port,
   links_[key_b] = LinkEnd{a, a_port, latency, bandwidth_bps};
 }
 
+SimTime serialization_delay(const net::Packet& packet,
+                            std::uint64_t bandwidth_bps) noexcept {
+  if (bandwidth_bps == 0) return 0;
+  const std::uint64_t wire_bits =
+      (net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+       packet.payload.size() + 20 /* transport approx */) * 8;
+  return static_cast<SimTime>(wire_bits * static_cast<std::uint64_t>(kSecond) /
+                              bandwidth_bps);
+}
+
 void Simulator::send(NodeId from, PortId port, net::Packet packet) {
   const auto it = links_.find(port_key(from, port));
   if (it == links_.end()) {
@@ -93,15 +103,8 @@ void Simulator::send(NodeId from, PortId port, net::Packet packet) {
     return;
   }
   const LinkEnd link = it->second;
-  // Serialization delay: wire size / bandwidth.
-  SimTime delay = link.latency;
-  if (link.bandwidth_bps > 0) {
-    const std::uint64_t wire_bits =
-        (net::EthernetHeader::kSize + net::Ipv4Header::kSize +
-         packet.payload.size() + 20 /* transport approx */) * 8;
-    delay += static_cast<SimTime>(wire_bits * static_cast<std::uint64_t>(kSecond) /
-                                  link.bandwidth_bps);
-  }
+  const SimTime delay =
+      link.latency + serialization_delay(packet, link.bandwidth_bps);
   schedule_after(delay, [this, from, port, link,
                          packet = std::move(packet)]() mutable {
     ++stats_.packets_delivered;

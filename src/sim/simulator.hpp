@@ -89,6 +89,10 @@ class Node {
   NodeId id_ = kInvalidNode;
 };
 
+/// Default link capacity: 10 Gbit/s, fast enough that serialization delay
+/// is negligible for the paper's control-plane experiments.
+constexpr std::uint64_t kDefaultBandwidthBps = 10'000'000'000ULL;
+
 /// One direction of a link: sending out of (node, port) reaches `peer` on
 /// `peer_port` after `latency` plus serialization delay.
 struct LinkEnd {
@@ -96,8 +100,16 @@ struct LinkEnd {
   PortId peer_port = 0;
   SimTime latency = 10 * kMicrosecond;
   /// Bits per simulated second; 0 disables serialization delay.
-  std::uint64_t bandwidth_bps = 10'000'000'000ULL;
+  std::uint64_t bandwidth_bps = kDefaultBandwidthBps;
 };
+
+/// Serialization time of `packet` on a `bandwidth_bps` link (0 = free):
+/// modelled wire size (Ethernet + IPv4 headers, payload, transport
+/// approximation) over capacity.  The switch queue model and the
+/// simulator's own delivery path share this so occupancy and delivery
+/// times stay consistent.
+[[nodiscard]] SimTime serialization_delay(const net::Packet& packet,
+                                          std::uint64_t bandwidth_bps) noexcept;
 
 /// Counters the trace/benchmark layer reads after a run.
 struct SimStats {
@@ -121,7 +133,7 @@ class Simulator {
   /// Throws SimError if either port is already wired.
   void connect(NodeId a, PortId a_port, NodeId b, PortId b_port,
                SimTime latency = 10 * kMicrosecond,
-               std::uint64_t bandwidth_bps = 10'000'000'000ULL);
+               std::uint64_t bandwidth_bps = kDefaultBandwidthBps);
 
   /// Send `packet` out of (from, port).  Delivery is scheduled after the
   /// link latency + serialization delay; silently counted as dropped when

@@ -1,12 +1,19 @@
 // Unit tests for src/openflow: match semantics, flow table (priority,
-// timeouts, eviction, stats), switch datapath, topology paths.
+// timeouts, eviction, stats), switch datapath, topology paths, ECMP path
+// sets and the bounded output-queue model.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
 
 #include "openflow/flow_table.hpp"
 #include "openflow/match.hpp"
 #include "openflow/switch.hpp"
 #include "openflow/topology.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace identxx::openflow {
 namespace {
@@ -732,6 +739,244 @@ TEST(TopologyTest, SwitchAtRejectsHosts) {
   Topology topo;
   const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
   EXPECT_THROW((void)topo.switch_at(h1), SimError);
+}
+
+// ------------------------------------------------------------ multipath
+
+// Diamond fabric with two equal-cost routes h1 -> h2:
+//     h1 - s1 - s2 - s4 - h2
+//              \ s3 /
+struct DiamondFixture : ::testing::Test {
+  DiamondFixture() {
+    s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+    s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+    s3 = topo.add_switch(std::make_unique<Switch>("s3"));
+    s4 = topo.add_switch(std::make_unique<Switch>("s4"));
+    h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+    h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+    topo.link(h1, s1);
+    topo.link(s1, s2);
+    topo.link(s1, s3);
+    topo.link(s2, s4);
+    topo.link(s3, s4);
+    topo.link(h2, s4);
+  }
+
+  static net::FiveTuple flow_with_port(std::uint16_t src_port) {
+    net::FiveTuple f;
+    f.src_ip = *net::Ipv4Address::parse("10.0.0.1");
+    f.dst_ip = *net::Ipv4Address::parse("10.0.0.2");
+    f.proto = net::IpProto::kTcp;
+    f.src_port = src_port;
+    f.dst_port = 80;
+    return f;
+  }
+
+  Topology topo;
+  sim::NodeId s1{}, s2{}, s3{}, s4{}, h1{}, h2{};
+};
+
+TEST_F(DiamondFixture, PathSetEnumeratesEqualCostPaths) {
+  const auto single = topo.path(h1, h2);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->size(), 3u);
+
+  topo.set_multipath(2, 42);
+  const PathSet set = topo.path_set(h1, h2);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.paths[0].size(), 3u);
+  EXPECT_EQ(set.paths[1].size(), 3u);
+  // The two routes diverge in the middle hop only.
+  EXPECT_EQ(set.paths[0].front().switch_id, s1);
+  EXPECT_EQ(set.paths[1].front().switch_id, s1);
+  EXPECT_EQ(set.paths[0].back().switch_id, s4);
+  EXPECT_EQ(set.paths[1].back().switch_id, s4);
+  EXPECT_NE(set.paths[0][1].switch_id, set.paths[1][1].switch_id);
+  // path() under multipath = the set's first path, and the set is capped
+  // at k even when more equal-cost routes exist.
+  EXPECT_EQ(topo.path(h1, h2), set.paths[0]);
+}
+
+TEST_F(DiamondFixture, SingleKPathReproducesLegacyBfs) {
+  const auto legacy = topo.path(h1, h2);
+  topo.set_multipath(1, 777);  // nonzero seed must not perturb k == 1
+  EXPECT_EQ(topo.path(h1, h2), legacy);
+  const net::FiveTuple f = flow_with_port(1234);
+  EXPECT_EQ(topo.path_for_flow(h1, h2, f), legacy);
+}
+
+TEST_F(DiamondFixture, EcmpSelectionIsDeterministicAndCounted) {
+  topo.set_multipath(2, 42);
+  const PathSet set = topo.path_set(h1, h2);
+  ASSERT_EQ(set.size(), 2u);
+
+  // Same flow, same path — every time.
+  const net::FiveTuple f = flow_with_port(5555);
+  const auto chosen = topo.path_for_flow(h1, h2, f);
+  ASSERT_TRUE(chosen.has_value());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(topo.path_for_flow(h1, h2, f), chosen);
+  }
+
+  // Across many flows both routes get used, and the histogram accounts
+  // for every main-thread selection.
+  std::uint64_t queries = 8;  // the loop above
+  for (std::uint16_t port = 1000; port < 1064; ++port) {
+    ASSERT_TRUE(topo.path_for_flow(h1, h2, flow_with_port(port)).has_value());
+    ++queries;
+  }
+  const auto& hist = topo.path_cache_stats().ecmp_selections;
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_GT(hist[0], 0u);
+  EXPECT_GT(hist[1], 0u);
+  EXPECT_EQ(hist[0] + hist[1], queries + 1);  // +1: `chosen` itself
+}
+
+TEST_F(DiamondFixture, EcmpSeedChangesSelectionPattern) {
+  topo.set_multipath(2, 1);
+  std::vector<std::size_t> first;
+  for (std::uint16_t port = 1000; port < 1032; ++port) {
+    const auto p = topo.path_for_flow(h1, h2, flow_with_port(port));
+    ASSERT_TRUE(p.has_value());
+    first.push_back((*p)[1].switch_id == s2 ? 0 : 1);
+  }
+  topo.set_multipath(2, 2);
+  std::vector<std::size_t> second;
+  for (std::uint16_t port = 1000; port < 1032; ++port) {
+    const auto p = topo.path_for_flow(h1, h2, flow_with_port(port));
+    ASSERT_TRUE(p.has_value());
+    second.push_back((*p)[1].switch_id == s2 ? 0 : 1);
+  }
+  EXPECT_NE(first, second);  // 2^-32 chance of colliding per seed pair
+}
+
+// Satellite regression: a worker thread's thread-local path memo must not
+// serve stale hops after the main thread rewired the topology (the memos
+// are invalidated by an epoch bump in link()).
+TEST(TopologyTest, WorkerPathMemoInvalidatedOnLink) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto s2 = topo.add_switch(std::make_unique<Switch>("s2"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  topo.link(s1, s2);
+  topo.link(h2, s2);
+
+  sim::WorkerPool pool(2);
+  // Run one path query on a pool thread (worker slot != 0, so it goes
+  // through the thread-local memo).  Task distribution races between the
+  // caller and the pool thread, so both tasks share one body: the pool
+  // thread queries, the caller just waits for it.
+  const auto query_on_worker = [&]() -> std::optional<std::size_t> {
+    std::atomic<bool> done{false};
+    std::atomic<bool> ran_on_worker{false};
+    std::atomic<std::size_t> hops{0};
+    const std::function<void()> body = [&]() {
+      if (sim::WorkerPool::current_worker_slot() != 0) {
+        const auto path = topo.path(h1, h2);
+        hops.store(path.has_value() ? path->size() : 0);
+        ran_on_worker.store(true);
+        done.store(true);
+        return;
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    };
+    std::vector<std::function<void()>> tasks{body, body};
+    pool.run(tasks);
+    if (!ran_on_worker.load()) return std::nullopt;  // caller drained both
+    return hops.load();
+  };
+
+  std::optional<std::size_t> before;
+  for (int attempt = 0; attempt < 100 && !before; ++attempt) {
+    before = query_on_worker();
+  }
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(*before, 2u);  // h1 - s1 - s2 - h2
+
+  // Main thread rewires: direct s1—h2 shortcut.  The worker's memo was
+  // populated before this; serving it again would hand out stale hops.
+  topo.link(s1, h2);
+
+  std::optional<std::size_t> after;
+  for (int attempt = 0; attempt < 100 && !after; ++attempt) {
+    after = query_on_worker();
+  }
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, 1u);  // s1 straight to h2, not the stale 2-hop path
+}
+
+// ---------------------------------------------------------- output queues
+
+TEST(SwitchQueueTest, BoundedQueueTailDropsAndCounts) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);  // default 10G: ingress is effectively instant
+  // 1 Mbps egress: each small packet takes ~hundreds of µs on the wire.
+  const auto [egress, unused] =
+      topo.link(s1, h2, 10 * sim::kMicrosecond, 1'000'000);
+  (void)unused;
+  topo.switch_at(s1).set_queue_depth(2);
+
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = OutputAction{{egress}};
+  topo.switch_at(s1).install_flow(entry);
+
+  const auto packet = net::make_tcp_packet(
+      net::MacAddress::for_node(1), net::MacAddress::for_node(2),
+      *net::Ipv4Address::parse("10.0.0.1"), *net::Ipv4Address::parse("10.0.0.2"),
+      1000, 80, "x");
+  // Five packets arrive back-to-back: one goes straight on the wire, two
+  // queue, two overflow the depth-2 queue.
+  for (int i = 0; i < 5; ++i) topo.simulator().send(h1, 1, packet);
+  topo.simulator().run();
+
+  auto& dst = dynamic_cast<SwitchFixture::HostStub&>(topo.simulator().node(h2));
+  EXPECT_EQ(dst.received.size(), 3u);
+  const auto& stats = topo.switch_at(s1).stats();
+  EXPECT_EQ(stats.packets_forwarded, 5u);  // forwarding verdicts, pre-queue
+  EXPECT_EQ(stats.queue_tail_drops, 2u);
+  const PortQueueStats* q = topo.switch_at(s1).port_queue(egress);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->tail_drops, 2u);
+  EXPECT_EQ(q->enqueued, 2u);
+  EXPECT_EQ(q->peak_occupancy, 2u);
+  EXPECT_EQ(q->occupancy, 0u);  // drained by the end of the run
+}
+
+TEST(SwitchQueueTest, UnboundedByDefaultAndZeroRestores) {
+  Topology topo;
+  const auto s1 = topo.add_switch(std::make_unique<Switch>("s1"));
+  const auto h1 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h1"));
+  const auto h2 = topo.add_host(std::make_unique<SwitchFixture::HostStub>("h2"));
+  topo.link(h1, s1);
+  const auto [egress, unused] =
+      topo.link(s1, h2, 10 * sim::kMicrosecond, 1'000'000);
+  (void)unused;
+
+  FlowEntry entry;
+  entry.match = FlowMatch::any();
+  entry.action = OutputAction{{egress}};
+  topo.switch_at(s1).install_flow(entry);
+
+  const auto packet = net::make_tcp_packet(
+      net::MacAddress::for_node(1), net::MacAddress::for_node(2),
+      *net::Ipv4Address::parse("10.0.0.1"), *net::Ipv4Address::parse("10.0.0.2"),
+      1000, 80, "x");
+  for (int i = 0; i < 8; ++i) topo.simulator().send(h1, 1, packet);
+  topo.simulator().run();
+
+  auto& dst = dynamic_cast<SwitchFixture::HostStub&>(topo.simulator().node(h2));
+  EXPECT_EQ(dst.received.size(), 8u);  // queue model off: nothing dropped
+  EXPECT_EQ(topo.switch_at(s1).stats().queue_tail_drops, 0u);
 }
 
 }  // namespace

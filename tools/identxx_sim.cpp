@@ -12,6 +12,15 @@
 // --workers N  real threads driving the shard lanes (results are identical
 //              at any worker count; use 0 for all hardware threads).
 // --seed S     deterministic RNG seed (overrides the file's `seed` line).
+//
+// Congestion knobs (DESIGN.md §12) — the defaults reproduce the idealized
+// single-path/unbounded-queue behaviour exactly:
+//
+// --traffic M      override every flow's traffic model, e.g.
+//                  "cbr,packets=64,rate=20000" or "aimd,packets=64"
+// --k-paths K      equal-cost paths per (src,dst) pair (seeded ECMP)
+// --link-bw MBPS   override every link's bandwidth (0 = declarations)
+// --queue-depth P  bounded per-port switch output queues, in packets
 
 #include <cstdio>
 #include <cstring>
@@ -28,7 +37,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: identxx_sim [--shards N] [--workers N] [--seed S] "
-               "<scenario-file>\n");
+               "[--traffic MODEL] [--k-paths K] [--link-bw MBPS] "
+               "[--queue-depth PKTS] <scenario-file>\n");
 }
 
 }  // namespace
@@ -59,6 +69,20 @@ int main(int argc, char** argv) {
       const auto n = identxx::util::parse_u64(v);
       if (!n) { usage(); return 1; }
       options.seed = *n;
+    } else if (const char* v = flag_value("--traffic")) {
+      options.traffic = v;
+    } else if (const char* v = flag_value("--k-paths")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n || *n == 0) { usage(); return 1; }
+      options.k_paths = static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--link-bw")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.link_bandwidth_bps = *n * 1'000'000ULL;
+    } else if (const char* v = flag_value("--queue-depth")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.queue_depth = static_cast<std::uint32_t>(*n);
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
@@ -87,12 +111,14 @@ int main(int argc, char** argv) {
     std::printf("\n\n");
     const auto result = scenario.run(options);
 
-    std::printf("%-12s %-46s %-10s %s\n", "flow", "5-tuple", "verdict",
-                "expectation");
+    std::printf("%-12s %-46s %-10s %8s %8s %s\n", "flow", "5-tuple", "verdict",
+                "sent", "deliv", "expectation");
     for (const auto& flow : result.flows) {
-      std::printf("%-12s %-46s %-10s %s\n", flow.id.c_str(),
+      std::printf("%-12s %-46s %-10s %8llu %8llu %s\n", flow.id.c_str(),
                   flow.flow.to_string().c_str(),
                   flow.delivered ? "DELIVERED" : "BLOCKED",
+                  static_cast<unsigned long long>(flow.packets_sent),
+                  static_cast<unsigned long long>(flow.packets_delivered),
                   !flow.expectation_known    ? "-"
                   : flow.matches_expectation() ? "ok"
                                                : "MISMATCH");
@@ -119,6 +145,27 @@ int main(int argc, char** argv) {
                     result.controller_stats.flows_blocked),
                 static_cast<unsigned long long>(
                     result.controller_stats.query_timeouts));
+    const auto& pcs = result.path_cache_stats;
+    std::printf("path cache: %llu hits, %llu misses, %llu invalidations\n",
+                static_cast<unsigned long long>(pcs.hits),
+                static_cast<unsigned long long>(pcs.misses),
+                static_cast<unsigned long long>(pcs.invalidations));
+    if (!pcs.ecmp_selections.empty()) {
+      std::printf("ecmp selections:");
+      for (std::size_t i = 0; i < pcs.ecmp_selections.size(); ++i) {
+        std::printf(" path%zu=%llu", i,
+                    static_cast<unsigned long long>(pcs.ecmp_selections[i]));
+      }
+      std::printf("\n");
+    }
+    if (result.queue_tail_drops > 0) {
+      std::printf("queue tail drops: %llu total (per switch:",
+                  static_cast<unsigned long long>(result.queue_tail_drops));
+      for (const std::uint64_t drops : result.switch_queue_drops) {
+        std::printf(" %llu", static_cast<unsigned long long>(drops));
+      }
+      std::printf(")\n");
+    }
     if (options.shards > 0) {
       std::printf("\n%-8s %10s %10s %10s %10s %10s\n", "domain", "flows",
                   "allowed", "blocked", "cache-hits", "installs");
