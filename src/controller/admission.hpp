@@ -121,6 +121,12 @@ struct ControllerConfig {
   /// way; the flag exists as the §6-style ablation and differential
   /// oracle.  Only PolicyDecisionEngine consults it.
   bool batch_policy_eval = true;
+  /// Injected determinism mutation (model-checker self-test, DESIGN.md
+  /// §13): commit shard-lane verdicts without the control-epoch
+  /// re-decision, so a revoke/set_policy landing between dispatch and
+  /// commit leaves the stale verdict in force.  Never set in production
+  /// configurations.
+  bool fault_skip_epoch_redecide = false;
 };
 
 /// One line of the audit log ("log and audit the delegates' actions", §1).

@@ -4,6 +4,7 @@
 
 #include "controller/shard_map.hpp"
 #include "identxx/keys.hpp"
+#include "sim/schedule.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -15,6 +16,18 @@ namespace {
                                        const char* key) {
   const auto value = dict.latest(key);
   return value ? std::string(*value) : std::string();
+}
+
+/// Schedule-exploration footprints (DESIGN.md §13).  The domain id doubles
+/// as both the cookie-namespace and control-epoch resource key: each
+/// domain owns exactly one of each.
+void note_epoch_access(std::uint16_t domain, bool write) noexcept {
+  sim::note_access({sim::LaneAccess::Kind::kControlEpoch, domain, write});
+}
+
+void note_cookie_access(std::uint16_t domain) noexcept {
+  sim::note_access(
+      {sim::LaneAccess::Kind::kCookieNamespace, domain, /*write=*/true});
 }
 
 }  // namespace
@@ -62,6 +75,7 @@ const HostInfo* AdmissionController::find_host(net::Ipv4Address ip) const {
 }
 
 std::uint64_t AdmissionController::allocate_cookie(const net::FiveTuple& flow) {
+  note_cookie_access(config_.cookie_namespace);
   const std::uint64_t cookie =
       (static_cast<std::uint64_t>(config_.cookie_namespace)
        << ShardMap::kCookieShardShift) |
@@ -95,6 +109,7 @@ void AdmissionController::replace_engine(
   apply_engine_config();
   // Decisions in flight on a shard lane were computed by the replaced
   // engine; the epoch bump makes their commit re-decide.
+  note_epoch_access(config_.cookie_namespace, /*write=*/true);
   ++control_epoch_;
   // Stale verdicts must not outlive the policy that produced them.
   if (pipeline_.cache) pipeline_.cache->clear();
@@ -114,6 +129,7 @@ void AdmissionController::replace_engine(
 }
 
 std::size_t AdmissionController::revoke_all() {
+  note_epoch_access(config_.cookie_namespace, /*write=*/true);
   ++control_epoch_;
   std::size_t removed = 0;
   for (const sim::NodeId id : domain_) {
@@ -130,6 +146,7 @@ std::size_t AdmissionController::revoke_all() {
 
 std::size_t AdmissionController::revoke_if(
     const std::function<bool(const net::FiveTuple&)>& pred) {
+  note_epoch_access(config_.cookie_namespace, /*write=*/true);
   ++control_epoch_;
   std::size_t removed = 0;
   for (const sim::NodeId id : domain_) {
@@ -334,6 +351,9 @@ void AdmissionController::sweep_expired() {
   simulator().schedule_on(
       config_.decision_lane, simulator().now(),
       [this, expired = std::move(expired), epoch] {
+        // The batch verdicts are only valid for the dispatch-time epoch;
+        // the eval is a shard-lane read of it.
+        note_epoch_access(config_.cookie_namespace, /*write=*/false);
         std::vector<const AdmissionContext*> batch(expired.begin(),
                                                    expired.end());
         std::vector<AdmissionDecision> decisions =
@@ -374,6 +394,7 @@ void AdmissionController::decide_one(AdmissionContext& ctx, bool timed_out) {
   const std::uint64_t epoch = control_epoch_;
   simulator().schedule_on(
       config_.decision_lane, simulator().now(), [this, &ctx, epoch] {
+        note_epoch_access(config_.cookie_namespace, /*write=*/false);
         AdmissionDecision decision = pipeline_.engine->decide(ctx);
         simulator().schedule_on(
             sim::kGlobalLane, simulator().now(),
@@ -387,7 +408,8 @@ void AdmissionController::commit_decision(AdmissionContext& ctx,
                                           AdmissionDecision decision,
                                           std::uint64_t dispatch_epoch) {
   ctx.decision_in_flight = false;
-  if (dispatch_epoch != control_epoch_) {
+  note_epoch_access(config_.cookie_namespace, /*write=*/false);
+  if (dispatch_epoch != control_epoch_ && !config_.fault_skip_epoch_redecide) {
     // A revocation or policy swap landed between dispatch and commit; the
     // computed verdict may carry covers (or would cache a decision) from
     // the replaced control state.  Re-decide under the current engine —
@@ -461,6 +483,17 @@ void AdmissionController::release_buffered(AdmissionContext& ctx,
           sent = true;
           break;
         }
+      }
+      if (!sent && hops->empty() && src != nullptr && src == dst) {
+        // Self-flow (src ip == dst ip): the path has no switch hops and the
+        // destination sits on the packet's own ingress port.  Hairpin it
+        // back — flooding instead would circulate the packet forever in
+        // cyclic topologies (every downstream switch lacks an entry, so
+        // each copy re-enters as a fresh packet-in).
+        topology_->switch_at(msg.switch_id)
+            .packet_out(msg.packet, openflow::OutputAction{{msg.in_port}},
+                        msg.in_port);
+        sent = true;
       }
     }
     if (!sent) {

@@ -1,10 +1,13 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 
 #include "crypto/schnorr.hpp"
 #include "identxx/keys.hpp"
 #include "net/traffic/traffic.hpp"
+#include "pf/parser.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -61,6 +64,51 @@ void require_fields(const std::vector<std::string>& fields, std::size_t n,
     throw ParseError(std::string("usage: ") + usage, lineno);
   }
 }
+
+/// Expand $pubkey(<seed>) references so policy text (and control
+/// set_policy payloads) can name signing keys symbolically.
+std::string expand_pubkeys(std::string policy) {
+  for (std::size_t pos = policy.find("$pubkey("); pos != std::string::npos;
+       pos = policy.find("$pubkey(", pos)) {
+    const std::size_t close = policy.find(')', pos);
+    if (close == std::string::npos) {
+      throw Error("unterminated $pubkey( in policy");
+    }
+    const std::string key_seed = policy.substr(pos + 8, close - pos - 8);
+    const std::string hex =
+        crypto::PrivateKey::from_seed(key_seed).public_key().to_hex();
+    policy.replace(pos, close - pos + 1, hex);
+    pos += hex.size();
+  }
+  return policy;
+}
+
+/// `control ... raced ...` trigger: fire the op on the first daemon
+/// response at-or-after the arming time, two global-lane waves later —
+/// i.e. between a sharded decision's shard-lane dispatch (scheduled by
+/// the response event itself) and its global-lane commit, inside the
+/// control-epoch re-decision window.  The op is shared across domains so
+/// whichever response arrives first claims it.
+class RacedControlHook : public ctrl::AdmissionObserver {
+ public:
+  RacedControlHook(sim::Simulator& sim, sim::SimTime at,
+                   std::shared_ptr<std::function<void()>> op)
+      : sim_(&sim), at_(at), op_(std::move(op)) {}
+
+  void on_response_received(net::Ipv4Address /*responder*/) override {
+    if (!op_ || !*op_ || sim_->now() < at_) return;
+    std::function<void()> fn = std::move(*op_);
+    *op_ = nullptr;
+    sim_->schedule_at(sim_->now(), [sim = sim_, fn = std::move(fn)] {
+      sim->schedule_at(sim->now(), fn);
+    });
+  }
+
+ private:
+  sim::Simulator* sim_;
+  sim::SimTime at_;
+  std::shared_ptr<std::function<void()>> op_;
+};
 
 }  // namespace
 
@@ -158,7 +206,8 @@ Scenario Scenario::parse(std::string_view text) {
                      lineno);
       scenario.flows_.push_back({fields[1], fields[2], fields[3],
                                  parse_port_field(fields[4], lineno),
-                                 parse_proto_field(fields, 5, lineno)});
+                                 parse_proto_field(fields, 5, lineno),
+                                 /*traffic=*/{}});
     } else if (directive == "traffic") {
       require_fields(fields, 3, "traffic <flow-id> <model> [key=value...]",
                      lineno);
@@ -183,6 +232,57 @@ Scenario Scenario::parse(std::string_view text) {
         throw ParseError("traffic references unknown flow '" + fields[1] + "'",
                          lineno);
       }
+    } else if (directive == "pin") {
+      require_fields(fields, 3, "pin <host> <shard>", lineno);
+      const auto shard = util::parse_u64(fields[2]);
+      if (!shard) throw ParseError("invalid shard '" + fields[2] + "'", lineno);
+      scenario.pins_.push_back(
+          {fields[1], static_cast<std::uint32_t>(*shard)});
+    } else if (directive == "control") {
+      require_fields(fields, 3, "control <at_us> [raced] <op> [args...]",
+                     lineno);
+      ControlDecl decl;
+      const auto at = util::parse_u64(fields[1]);
+      if (!at) {
+        throw ParseError("invalid control time '" + fields[1] + "'", lineno);
+      }
+      decl.at = static_cast<sim::SimTime>(*at) * sim::kMicrosecond;
+      std::size_t i = 2;
+      if (fields[i] == "raced") {
+        decl.raced = true;
+        ++i;
+        require_fields(fields, i + 1, "control <at_us> raced <op> [args...]",
+                       lineno);
+      }
+      const std::string& op = fields[i];
+      if (op == "revoke_all") {
+        decl.op = ControlDecl::Op::kRevokeAll;
+      } else if (op == "revoke_port") {
+        require_fields(fields, i + 2, "control <at_us> revoke_port <port>",
+                       lineno);
+        decl.op = ControlDecl::Op::kRevokePort;
+        decl.port = parse_port_field(fields[i + 1], lineno);
+      } else if (op == "set_policy") {
+        require_fields(fields, i + 2,
+                       "control <at_us> set_policy \"<rules>\"", lineno);
+        decl.op = ControlDecl::Op::kSetPolicy;
+        decl.policy = fields[i + 1];
+      } else if (op == "set_multipath") {
+        require_fields(fields, i + 2,
+                       "control <at_us> set_multipath <k> [seed]", lineno);
+        decl.op = ControlDecl::Op::kSetMultipath;
+        const auto k = util::parse_u64(fields[i + 1]);
+        if (!k || *k == 0) throw ParseError("invalid k_paths", lineno);
+        decl.k_paths = static_cast<std::uint32_t>(*k);
+        if (fields.size() > i + 2) {
+          const auto ecmp = util::parse_u64(fields[i + 2]);
+          if (!ecmp) throw ParseError("invalid ecmp seed", lineno);
+          decl.ecmp_seed = *ecmp;
+        }
+      } else {
+        throw ParseError("unknown control op '" + op + "'", lineno);
+      }
+      scenario.controls_.push_back(std::move(decl));
     } else if (directive == "expect") {
       require_fields(fields, 3, "expect <flow-id> delivered|blocked", lineno);
       if (fields[2] == "delivered") {
@@ -249,19 +349,7 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
   if (options.queue_depth > 0) net.set_queue_depth(options.queue_depth);
   // Expand $pubkey(<seed>) references in the policy so <pubkeys> dicts can
   // name signing keys symbolically.
-  std::string policy = policy_;
-  for (std::size_t pos = policy.find("$pubkey(");
-       pos != std::string::npos; pos = policy.find("$pubkey(", pos)) {
-    const std::size_t close = policy.find(')', pos);
-    if (close == std::string::npos) {
-      throw Error("unterminated $pubkey( in policy");
-    }
-    const std::string key_seed = policy.substr(pos + 8, close - pos - 8);
-    const std::string hex =
-        crypto::PrivateKey::from_seed(key_seed).public_key().to_hex();
-    policy.replace(pos, close - pos + 1, hex);
-    pos += hex.size();
-  }
+  const std::string policy = expand_pubkeys(policy_);
   // Controller flavour: classic single controller, or sharded admission
   // domains (DESIGN.md §10).  Identical seeds replay identically at any
   // shard count: every domain draws from its own seed-derived RNG stream,
@@ -280,6 +368,88 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     sharded = &net.install_sharded_controller(policy, options.shards,
                                               options.workers, options.config);
     if (seed != 0) sharded->seed_query_ports(seed);
+  }
+
+  // Endpoint pins: shard placement for sharded runs (the shard-count
+  // invariant must hold under any placement, so MC scenarios pin hosts to
+  // make cross-shard races reproducible).  No-op for classic runs.
+  if (sharded != nullptr) {
+    for (const PinDecl& decl : pins_) {
+      bool found = false;
+      for (const auto& host : hosts_) {
+        if (host.name != decl.host) continue;
+        const auto ip = net::Ipv4Address::parse(host.ip);
+        if (!ip) throw Error("pin: bad ip for host '" + decl.host + "'");
+        sharded->shard_map().pin_endpoint(*ip, decl.shard);
+        found = true;
+        break;
+      }
+      if (!found) throw Error("pin references unknown host '" + decl.host + "'");
+    }
+  }
+
+  // Schedule exploration (DESIGN.md §13): dictated shard-lane order and
+  // the injected merge mutation, both off by default.
+  net.simulator().set_schedule_controller(options.schedule_controller);
+  net.simulator().set_fault_merge_arrival_order(
+      options.fault_merge_arrival_order);
+
+  // Control-plane churn directives: plain ops fire on the global lane at
+  // their virtual time; raced ops arm an observer that fires inside the
+  // dispatch-to-commit window of an in-flight admission.
+  for (const ControlDecl& decl : controls_) {
+    std::function<void()> apply;
+    switch (decl.op) {
+      case ControlDecl::Op::kRevokeAll:
+        apply = [classic, sharded] {
+          if (sharded != nullptr) {
+            (void)sharded->revoke_all();
+          } else {
+            (void)classic->revoke_all();
+          }
+        };
+        break;
+      case ControlDecl::Op::kRevokePort:
+        apply = [classic, sharded, port = decl.port] {
+          const auto pred = [port](const net::FiveTuple& flow) {
+            return flow.dst_port == port;
+          };
+          if (sharded != nullptr) {
+            (void)sharded->revoke_if(pred);
+          } else {
+            (void)classic->revoke_if(pred);
+          }
+        };
+        break;
+      case ControlDecl::Op::kSetPolicy:
+        apply = [classic, sharded, rules = expand_pubkeys(decl.policy)] {
+          pf::Ruleset ruleset = pf::parse(rules, "control");
+          if (sharded != nullptr) {
+            sharded->set_policy(std::move(ruleset));
+          } else {
+            classic->set_policy(std::move(ruleset));
+          }
+        };
+        break;
+      case ControlDecl::Op::kSetMultipath:
+        apply = [topology = &net.topology(), k = decl.k_paths,
+                 ecmp = decl.ecmp_seed] { topology->set_multipath(k, ecmp); };
+        break;
+    }
+    if (!decl.raced) {
+      net.simulator().schedule_at(decl.at, std::move(apply));
+    } else {
+      auto shared = std::make_shared<std::function<void()>>(std::move(apply));
+      if (sharded != nullptr) {
+        for (std::uint32_t i = 0; i < sharded->shard_count(); ++i) {
+          sharded->domain(i).add_observer(std::make_unique<RacedControlHook>(
+              net.simulator(), decl.at, shared));
+        }
+      } else {
+        classic->add_observer(std::make_unique<RacedControlHook>(
+            net.simulator(), decl.at, shared));
+      }
+    }
   }
 
   const auto host_of = [&hosts](const std::string& name) -> host::Host& {

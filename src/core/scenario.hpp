@@ -22,7 +22,22 @@
 //     policy end
 //     flow f1 curl1 192.168.1.1 80 [udp]
 //     traffic f1 cbr packets=64 rate=20000   # traffic model (DESIGN.md §12)
+//     control 500 revoke_all             # control-plane op at t=500us
+//     control 500 raced set_policy "block all"   # fired mid-admission
+//     pin client 1                       # pin a host's flows to shard 1
 //     expect f1 delivered                # or blocked
+//
+// Control-plane churn (DESIGN.md §13): `control <at_us> [raced] <op>` runs
+// a cross-shard control operation mid-run.  Ops: `revoke_all`,
+// `revoke_port <port>`, `set_policy "<rules>"` ($pubkey expansion
+// applies), `set_multipath <k> [seed]`.  Plain ops fire on the global
+// lane at the given virtual time, before that instant's admission work —
+// classic and sharded runs stay comparable.  `raced` ops instead arm on
+// the first daemon response at-or-after the given time and fire two
+// global-lane waves later — between a sharded decision's shard-lane
+// dispatch and its global-lane commit, the control-epoch re-decision
+// window (raced scenarios are for exercising sharded commit ordering;
+// classic runs decide inline, so the op lands after the decision).
 //
 // Traffic models (src/net/traffic): single (default), cbr, onoff,
 // pareto, aimd — `traffic <flow-id> <model> [key=value ...]` attaches a
@@ -136,6 +151,13 @@ struct ScenarioOptions {
   /// Override every flow's traffic model with this spec
   /// ("cbr,packets=64,..."); empty = per-flow `traffic` directives.
   std::string traffic;
+  /// Schedule exploration (DESIGN.md §13): dictate the per-wave shard-lane
+  /// execution order.  Not owned; nullptr = canonical order.
+  sim::ScheduleController* schedule_controller = nullptr;
+  /// Injected determinism mutation: merge staged cross-lane events in
+  /// modeled arrival order instead of canonical lane order (checker
+  /// self-test; see Simulator::set_fault_merge_arrival_order).
+  bool fault_merge_arrival_order = false;
 };
 
 /// A parsed scenario, ready to run.  Parsing and execution are split so
@@ -202,6 +224,20 @@ class Scenario {
     net::IpProto proto = net::IpProto::kTcp;
     std::string traffic;  ///< TrafficSpec text; empty = single SYN
   };
+  struct PinDecl {
+    std::string host;
+    std::uint32_t shard = 0;
+  };
+  struct ControlDecl {
+    enum class Op { kRevokeAll, kRevokePort, kSetPolicy, kSetMultipath };
+    sim::SimTime at = 0;
+    bool raced = false;
+    Op op = Op::kRevokeAll;
+    std::uint16_t port = 0;      ///< kRevokePort
+    std::string policy;          ///< kSetPolicy
+    std::uint32_t k_paths = 1;   ///< kSetMultipath
+    std::uint64_t ecmp_seed = 0; ///< kSetMultipath
+  };
 
   std::vector<SwitchDecl> switches_;
   std::vector<LinkDecl> links_;
@@ -213,6 +249,8 @@ class Scenario {
   std::vector<HostFactDecl> host_facts_;
   std::vector<ListenDecl> listens_;
   std::vector<FlowDecl> flows_;
+  std::vector<PinDecl> pins_;
+  std::vector<ControlDecl> controls_;
   std::unordered_map<std::string, bool> expectations_;  // flow id -> delivered
   std::string policy_;
   std::uint64_t seed_ = 0;  ///< `seed <n>` directive; 0 when absent

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "sim/schedule.hpp"
 #include "util/logging.hpp"
 
 namespace identxx::openflow {
+
+namespace {
+
+/// Schedule-exploration footprint (DESIGN.md §13): state of one switch.
+void note_switch_access(sim::NodeId switch_id, bool write) noexcept {
+  sim::note_access({sim::LaneAccess::Kind::kSwitch, switch_id, write});
+}
+
+}  // namespace
 
 Switch::Switch(std::string name, std::size_t table_capacity)
     : name_(std::move(name)), table_(table_capacity) {
@@ -33,20 +43,24 @@ void Switch::register_port(sim::PortId port) {
 }
 
 void Switch::install_flow(FlowEntry entry) {
+  note_switch_access(id(), /*write=*/true);
   table_.insert(std::move(entry), simulator() ? simulator()->now() : 0);
 }
 
 std::size_t Switch::remove_flows_by_cookie(std::uint64_t cookie) {
+  note_switch_access(id(), /*write=*/true);
   return table_.remove_if(
       [cookie](const FlowEntry& e) { return e.cookie == cookie; });
 }
 
 void Switch::packet_out(const net::Packet& packet, const Action& action,
                         sim::PortId in_port) {
+  note_switch_access(id(), /*write=*/true);
   apply_action(action, packet, in_port);
 }
 
 void Switch::on_packet(const net::Packet& packet, sim::PortId in_port) {
+  note_switch_access(id(), /*write=*/true);
   ++stats_.packets_received;
   if (compromised_) {
     // §5.2: a compromised switch passes all traffic without regulation.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 
+#include "sim/schedule.hpp"
 #include "sim/worker_pool.hpp"
 #include "util/rng.hpp"
 
@@ -88,6 +89,8 @@ void Topology::set_multipath(std::uint32_t k_paths, std::uint64_t seed) {
 }
 
 void Topology::invalidate_paths() noexcept {
+  sim::note_access(
+      {sim::LaneAccess::Kind::kPathEpoch, topology_id_, /*write=*/true});
   ++path_epoch_;  // per-worker caches check the epoch on their next query
   if (path_cache_.empty()) return;
   path_cache_.clear();
@@ -101,6 +104,8 @@ void Topology::set_path_cache_enabled(bool enabled) noexcept {
 
 const PathSet& Topology::cached_path_set(sim::NodeId src_host,
                                          sim::NodeId dst_host) const {
+  sim::note_access(
+      {sim::LaneAccess::Kind::kPathEpoch, topology_id_, /*write=*/false});
   if (!path_cache_enabled_) {
     scratch_set_ = compute_path_set(src_host, dst_host);
     return scratch_set_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/worker_pool.hpp"
@@ -12,20 +13,26 @@ namespace {
 /// Which simulator/lane the current thread is executing an event for, and
 /// (during the parallel shard phase) where its newly scheduled events go.
 /// Thread-local so shard-lane handlers on pool threads stage instead of
-/// touching the shared queues.
+/// touching the shared queues.  `origin` is the shard lane the current
+/// event is attributed to for schedule-exploration footprints: the
+/// executing lane for shard work, or — for global-lane events such as
+/// staged decision commits — the shard lane whose execution scheduled
+/// them, propagated transitively through schedule_on.
 struct ExecContext {
   Simulator* sim = nullptr;
   LaneId lane = kGlobalLane;
   std::vector<Simulator::StagedEvent>* staging = nullptr;
+  LaneId origin = kGlobalLane;
 };
 thread_local ExecContext t_exec;
 
 class ExecScope {
  public:
   ExecScope(Simulator* sim, LaneId lane,
-            std::vector<Simulator::StagedEvent>* staging) noexcept
+            std::vector<Simulator::StagedEvent>* staging,
+            LaneId origin) noexcept
       : saved_(t_exec) {
-    t_exec = ExecContext{sim, lane, staging};
+    t_exec = ExecContext{sim, lane, staging, origin};
   }
   ~ExecScope() noexcept { t_exec = saved_; }
   ExecScope(const ExecScope&) = delete;
@@ -36,6 +43,13 @@ class ExecScope {
 };
 
 }  // namespace
+
+void note_access(const LaneAccess& access) noexcept {
+  if (t_exec.sim == nullptr) return;
+  ScheduleController* controller = t_exec.sim->schedule_controller();
+  if (controller == nullptr) return;
+  controller->on_access(t_exec.origin, access);
+}
 
 Simulator::Simulator() : lanes_(1) {}
 Simulator::~Simulator() = default;
@@ -115,9 +129,10 @@ void Simulator::send(NodeId from, PortId port, net::Packet packet) {
   });
 }
 
-void Simulator::push_event(LaneId lane, SimTime when,
+void Simulator::push_event(LaneId lane, SimTime when, LaneId origin,
                            std::function<void()> action) {
-  lanes_[lane].queue.push(Event{when, next_sequence_++, std::move(action)});
+  lanes_[lane].queue.push(
+      Event{when, next_sequence_++, origin, std::move(action)});
 }
 
 void Simulator::schedule_on(LaneId lane, SimTime when,
@@ -128,12 +143,18 @@ void Simulator::schedule_on(LaneId lane, SimTime when,
   if (when < now_) {
     throw SimError("schedule_at: time in the past");
   }
+  // Shard attribution: work scheduled from an event with shard ancestry
+  // keeps that ancestry (so a staged commit's effects count against its
+  // origin lane); fresh work is attributed to its target lane.
+  LaneId origin = t_exec.sim == this ? t_exec.origin : kGlobalLane;
+  if (origin == kGlobalLane) origin = lane;
   if (t_exec.sim == this && t_exec.staging != nullptr) {
     // Parallel shard phase: stage; the epoch barrier merges in lane order.
-    t_exec.staging->push_back(StagedEvent{lane, when, std::move(callback)});
+    t_exec.staging->push_back(
+        StagedEvent{lane, when, origin, std::move(callback)});
     return;
   }
-  push_event(lane, when, std::move(callback));
+  push_event(lane, when, origin, std::move(callback));
 }
 
 void Simulator::schedule_at(SimTime when, std::function<void()> callback) {
@@ -175,9 +196,17 @@ std::uint64_t Simulator::run_wave(SimTime t) {
   std::uint64_t executed = 0;
 
   // Global-lane phase: serial; schedules go straight into the queues,
-  // which reproduces the historical single-queue order exactly.
-  {
-    ExecScope scope(this, kGlobalLane, nullptr);
+  // which reproduces the historical single-queue order exactly.  Under a
+  // schedule controller each event runs with its own shard attribution so
+  // staged commits report accesses against their origin lane.
+  if (schedule_controller_ != nullptr) {
+    for (Event& event : batches[kGlobalLane]) {
+      ExecScope scope(this, kGlobalLane, nullptr, event.origin);
+      event.action();
+      ++executed;
+    }
+  } else {
+    ExecScope scope(this, kGlobalLane, nullptr, kGlobalLane);
     for (Event& event : batches[kGlobalLane]) {
       event.action();
       ++executed;
@@ -193,9 +222,47 @@ std::uint64_t Simulator::run_wave(SimTime t) {
     if (!batches[lane].empty()) active.push_back(lane);
   }
   if (!active.empty()) {
-    if (workers_ <= 1 || active.size() == 1) {
+    if (schedule_controller_ != nullptr) {
+      // Schedule-exploration path (DESIGN.md §13): run the shard batches
+      // serially in the order the controller dictates — the modeled
+      // arrival order — while keeping the cross-lane merge canonical
+      // (ascending lane order), exactly as the parallel barrier would.
+      // With an identity controller this is bit-identical to both serial
+      // and parallel canonical execution.
+      std::vector<LaneId> order = active;
+      schedule_controller_->plan_wave(t, order);
+      std::vector<std::vector<StagedEvent>> staged(order.size());
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        const LaneId lane = order[k];
+        ExecScope scope(this, lane, &staged[k], lane);
+        for (Event& event : batches[lane]) {
+          event.action();
+          ++executed;
+        }
+      }
+      if (fault_merge_arrival_order_) {
+        // Injected mutation: commit staged events in modeled arrival
+        // order.  Divergences under permuted schedules are the checker's
+        // self-test signal.
+        for (auto& lane_staged : staged) {
+          for (StagedEvent& event : lane_staged) {
+            push_event(event.lane, event.when, event.origin,
+                       std::move(event.action));
+          }
+        }
+      } else {
+        for (const LaneId lane : active) {
+          const std::size_t k = static_cast<std::size_t>(
+              std::find(order.begin(), order.end(), lane) - order.begin());
+          for (StagedEvent& event : staged[k]) {
+            push_event(event.lane, event.when, event.origin,
+                       std::move(event.action));
+          }
+        }
+      }
+    } else if (workers_ <= 1 || active.size() == 1) {
       for (const LaneId lane : active) {
-        ExecScope scope(this, lane, nullptr);
+        ExecScope scope(this, lane, nullptr, lane);
         for (Event& event : batches[lane]) {
           event.action();
           ++executed;
@@ -209,7 +276,7 @@ std::uint64_t Simulator::run_wave(SimTime t) {
       for (std::size_t k = 0; k < active.size(); ++k) {
         tasks.push_back([this, &batches, &staged, &errors, k,
                          lane = active[k]]() noexcept {
-          ExecScope scope(this, lane, &staged[k]);
+          ExecScope scope(this, lane, &staged[k], lane);
           try {
             for (Event& event : batches[lane]) event.action();
           } catch (...) {
@@ -222,7 +289,8 @@ std::uint64_t Simulator::run_wave(SimTime t) {
       for (const LaneId lane : active) executed += batches[lane].size();
       for (auto& lane_staged : staged) {
         for (StagedEvent& event : lane_staged) {
-          push_event(event.lane, event.when, std::move(event.action));
+          push_event(event.lane, event.when, event.origin,
+                     std::move(event.action));
         }
       }
       for (const auto& error : errors) {
@@ -250,7 +318,7 @@ std::uint64_t Simulator::run(SimTime deadline) {
     queue.pop();
     now_ = event.when;
     {
-      ExecScope scope(this, kGlobalLane, nullptr);
+      ExecScope scope(this, kGlobalLane, nullptr, event.origin);
       event.action();
     }
     ++executed;
@@ -287,7 +355,7 @@ std::uint64_t Simulator::run_events(std::uint64_t max_events) {
     lanes_[best].queue.pop();
     now_ = event.when;
     {
-      ExecScope scope(this, static_cast<LaneId>(best), nullptr);
+      ExecScope scope(this, static_cast<LaneId>(best), nullptr, event.origin);
       event.action();
     }
     ++executed;

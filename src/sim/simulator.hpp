@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/schedule.hpp"
 #include "util/error.hpp"
 
 namespace identxx::sim {
@@ -169,6 +170,28 @@ class Simulator {
   void set_workers(std::uint32_t workers);
   [[nodiscard]] std::uint32_t workers() const noexcept { return workers_; }
 
+  // ---- schedule exploration (DESIGN.md §13) ---------------------------------
+
+  /// Attach a ScheduleController: every shard-lane phase then runs
+  /// serially in the per-wave order the controller dictates, with newly
+  /// scheduled events staged and merged canonically (ascending lane
+  /// order) at the wave barrier.  An identity controller reproduces the
+  /// canonical run bit-for-bit.  Pass nullptr to detach.  Not owned.
+  void set_schedule_controller(ScheduleController* controller) noexcept {
+    schedule_controller_ = controller;
+  }
+  [[nodiscard]] ScheduleController* schedule_controller() const noexcept {
+    return schedule_controller_;
+  }
+
+  /// Injected determinism mutation (checker self-test, DESIGN.md §13):
+  /// merge staged cross-lane events in modeled *arrival* (execution)
+  /// order instead of canonical ascending lane order.  Only observable
+  /// under a ScheduleController that permutes lane order.
+  void set_fault_merge_arrival_order(bool on) noexcept {
+    fault_merge_arrival_order_ = on;
+  }
+
   /// Run until the event queue drains or `deadline` is reached.
   /// Returns the number of events executed.
   std::uint64_t run(SimTime deadline = -1);
@@ -197,10 +220,13 @@ class Simulator {
   }
 
   /// An event scheduled from inside the parallel shard phase, buffered
-  /// until the epoch barrier merges it deterministically.
+  /// until the epoch barrier merges it deterministically.  `origin` is
+  /// the shard lane the event is attributed to for schedule-exploration
+  /// footprints (kGlobalLane for work with no shard ancestry).
   struct StagedEvent {
     LaneId lane;
     SimTime when;
+    LaneId origin;
     std::function<void()> action;
   };
 
@@ -208,6 +234,7 @@ class Simulator {
   struct Event {
     SimTime when;
     std::uint64_t sequence;  // FIFO tiebreaker
+    LaneId origin;           // shard attribution for schedule exploration
     std::function<void()> action;
   };
   struct EventLater {
@@ -224,7 +251,8 @@ class Simulator {
   [[nodiscard]] SimTime next_event_time() const noexcept;
   /// Execute every event at exactly `t` (one virtual-clock epoch).
   std::uint64_t run_wave(SimTime t);
-  void push_event(LaneId lane, SimTime when, std::function<void()> action);
+  void push_event(LaneId lane, SimTime when, LaneId origin,
+                  std::function<void()> action);
   void ensure_pool();
 
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -234,6 +262,8 @@ class Simulator {
   std::uint64_t next_sequence_ = 0;
   std::uint32_t workers_ = 1;
   std::unique_ptr<WorkerPool> pool_;
+  ScheduleController* schedule_controller_ = nullptr;
+  bool fault_merge_arrival_order_ = false;
   SimStats stats_;
   DeliveryTracer tracer_;
 

@@ -29,15 +29,6 @@ net::FiveTuple flow(const char* src, const char* dst, std::uint16_t dport = 80,
                         *net::Ipv4Address::parse(dst), proto, sport, dport};
 }
 
-proto::ResponseDict dict_of(
-    std::initializer_list<std::pair<const char*, const char*>> pairs) {
-  proto::Response r;
-  proto::Section s;
-  for (const auto& [k, v] : pairs) s.add(k, v);
-  r.append_section(s);
-  return proto::ResponseDict(r);
-}
-
 struct StatsDelta {
   std::uint64_t evaluations = 0;
   std::uint64_t rules_scanned = 0;

@@ -16,6 +16,8 @@
 // Congestion knobs (DESIGN.md §12) — the defaults reproduce the idealized
 // single-path/unbounded-queue behaviour exactly:
 //
+// --src-only       query only the source daemon (the §6 src-only ablation;
+//                  config.query_both_ends = false)
 // --traffic M      override every flow's traffic model, e.g.
 //                  "cbr,packets=64,rate=20000" or "aimd,packets=64"
 // --k-paths K      equal-cost paths per (src,dst) pair (seeded ECMP)
@@ -37,7 +39,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: identxx_sim [--shards N] [--workers N] [--seed S] "
-               "[--traffic MODEL] [--k-paths K] [--link-bw MBPS] "
+               "[--src-only] [--traffic MODEL] [--k-paths K] [--link-bw MBPS] "
                "[--queue-depth PKTS] <scenario-file>\n");
 }
 
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
       const auto n = identxx::util::parse_u64(v);
       if (!n) { usage(); return 1; }
       options.seed = *n;
+    } else if (std::strcmp(argv[i], "--src-only") == 0) {
+      options.config.query_both_ends = false;
     } else if (const char* v = flag_value("--traffic")) {
       options.traffic = v;
     } else if (const char* v = flag_value("--k-paths")) {
