@@ -1,0 +1,96 @@
+// Control-plane fault benchmarks (DESIGN.md §14): admission latency and
+// delivery goodput as the control channel degrades.  Each iteration is a
+// complete scenario run — a client fan-in admits under seeded loss on
+// every switch's channel with the retry/backoff ladder armed — so the
+// numbers track the end-to-end cost of a faulty control plane: retries
+// stretch setup latency, degraded covers show up as lost goodput, and the
+// Arg(0) run is the fault-free baseline the other points are read against.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace identxx;
+
+/// `clients` senders fan in to one HTTP server; every flow needs one
+/// src-side and one dst-side identity query, so each admission crosses the
+/// faulted control channel several times.
+std::string fanin_scenario(int clients) {
+  std::string text =
+      "seed 42\n"
+      "switch s1\n"
+      "switch s2\n"
+      "link s1 s2 10\n"
+      "host server 10.0.1.1 s2\n"
+      "user server www daemons\n"
+      "launch srv server www /usr/sbin/httpd\n"
+      "listen srv 80\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    text += "host c" + n + " 10.0.2." + std::to_string(10 + i) + " s1\n";
+    text += "user c" + n + " u" + n + " staff\n";
+    text += "launch l" + n + " c" + n + " u" + n + " /usr/bin/load\n";
+  }
+  text += "policy begin\nblock all\n"
+          "pass from any to any port 80 with eq(@dst[userID], www)\n"
+          "policy end\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    text += "flow f" + n + " l" + n + " 10.0.1.1 80\n";
+    text += "traffic f" + n + " cbr packets=24 rate=2000 payload=256\n";
+  }
+  return text;
+}
+
+/// One run per loss point.  state.range(0) is the per-message loss (and
+/// duplication) percentage on every control channel; the retry ladder and
+/// degraded covers are armed so admission stays live at every point.
+void BM_AdmissionUnderLoss(benchmark::State& state) {
+  constexpr int kClients = 16;
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  const auto scenario = core::Scenario::parse(fanin_scenario(kClients));
+  core::ScenarioOptions options;
+  options.chan_loss = loss;
+  options.chan_dup = loss / 2.0;
+  options.config.max_query_retries = 2;
+  options.config.degraded_cover_ttl = 20 * sim::kMillisecond;
+  options.config.readmission_probe_delay = 50 * sim::kMillisecond;
+  std::uint64_t sent = 0, delivered = 0, retries = 0, degraded = 0;
+  std::uint64_t admissions = 0;
+  sim::SimTime setup_total = 0;
+  for (auto _ : state) {
+    const auto result = scenario.run(options);
+    for (const auto& flow : result.flows) {
+      sent += flow.packets_sent;
+      delivered += flow.packets_delivered;
+    }
+    retries += result.controller_stats.query_retries;
+    degraded += result.controller_stats.degraded_verdicts;
+    for (const auto& record : result.audit_log) {
+      if (!record.allowed) continue;
+      setup_total += record.setup_latency;
+      ++admissions;
+    }
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * kClients);
+  state.counters["goodput_pct"] =
+      sent ? 100.0 * static_cast<double>(delivered) / static_cast<double>(sent)
+           : 0;
+  state.counters["setup_us_mean"] =
+      admissions ? static_cast<double>(setup_total) /
+                       static_cast<double>(admissions) / 1e3
+                 : 0;
+  state.counters["retries"] = static_cast<double>(retries) / iters;
+  state.counters["degraded"] = static_cast<double>(degraded) / iters;
+}
+BENCHMARK(BM_AdmissionUnderLoss)->Arg(0)->Arg(1)->Arg(5)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

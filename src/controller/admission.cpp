@@ -46,19 +46,30 @@ AdmissionContext* ResponseCollector::find(const net::FiveTuple& flow) {
 
 AdmissionContext* ResponseCollector::accept_response(
     net::Ipv4Address responder, net::Ipv4Address peer,
-    const proto::Response& response) {
+    const proto::Response& response, bool* duplicate) {
+  if (duplicate != nullptr) *duplicate = false;
   // Responder was the flow source?
   const net::FiveTuple as_src{responder, peer, response.proto,
                               response.src_port, response.dst_port};
   if (const auto it = pending_.find(as_src); it != pending_.end()) {
-    it->second.src_response = response;
+    if (it->second.src_response) {
+      // First answer wins: a duplicated delivery (or a retry's answer
+      // crossing the original) must not rewrite identity mid-decision.
+      if (duplicate != nullptr) *duplicate = true;
+    } else {
+      it->second.src_response = response;
+    }
     return &it->second;
   }
   // Responder was the flow destination?
   const net::FiveTuple as_dst{peer, responder, response.proto,
                               response.src_port, response.dst_port};
   if (const auto it = pending_.find(as_dst); it != pending_.end()) {
-    it->second.dst_response = response;
+    if (it->second.dst_response) {
+      if (duplicate != nullptr) *duplicate = true;
+    } else {
+      it->second.dst_response = response;
+    }
     return &it->second;
   }
   return nullptr;
@@ -105,7 +116,18 @@ void ResponseCollector::arm_deadline(AdmissionContext& ctx,
                                      sim::SimTime deadline) {
   ctx.deadline = deadline;
   ctx.generation = ++generation_counter_;
-  deadlines_.push_back(Deadline{deadline, ctx.generation, ctx.flow});
+  Deadline entry{deadline, ctx.generation, ctx.flow};
+  if (deadlines_.empty() || deadlines_.back().at <= deadline) {
+    // First-round deadlines (constant timeout) always land here: O(1).
+    deadlines_.push_back(std::move(entry));
+    return;
+  }
+  // A retry's backed-off deadline can undercut pending first-round ones;
+  // keep the queue sorted so expired() stays a front-pop.
+  const auto pos = std::upper_bound(
+      deadlines_.begin(), deadlines_.end(), deadline,
+      [](sim::SimTime at, const Deadline& d) { return at < d.at; });
+  deadlines_.insert(pos, std::move(entry));
 }
 
 std::vector<AdmissionContext*> ResponseCollector::expired(sim::SimTime now) {
@@ -464,6 +486,9 @@ void ControllerStats::accumulate(const ControllerStats& other) noexcept {
   flows_expired += other.flows_expired;
   flows_logged += other.flows_logged;
   decision_cache_hits += other.decision_cache_hits;
+  query_retries += other.query_retries;
+  duplicate_responses += other.duplicate_responses;
+  degraded_verdicts += other.degraded_verdicts;
 }
 
 bool audit_record_before(const DecisionRecord& a,
@@ -849,7 +874,8 @@ std::size_t PathInstallStrategy::install_allow(AdmissionEnv& env,
 
 std::size_t PathInstallStrategy::install_drop_at_ingress(
     AdmissionEnv& env, const AdmissionContext& ctx,
-    const openflow::FlowMatch& match, bool dedupe) {
+    const AdmissionDecision& decision, const openflow::FlowMatch& match,
+    bool dedupe) {
   if (!env.config().install_drop_entries) return 0;
   if (ctx.buffered.empty()) return 0;
   const openflow::PacketIn& msg = ctx.buffered.front();
@@ -863,8 +889,16 @@ std::size_t PathInstallStrategy::install_drop_at_ingress(
   entry.match = match;
   entry.priority = env.config().flow_priority;
   entry.action = openflow::DropAction{};
-  entry.idle_timeout = env.config().flow_idle_timeout;
-  entry.hard_timeout = env.config().flow_hard_timeout;
+  if (decision.degraded) {
+    // Fail-closed degraded cover (DESIGN.md §14): short hard TTL, no idle
+    // refresh, so the flow re-enters admission soon after the cover ages
+    // out even if the re-admission probe budget is spent.
+    entry.idle_timeout = 0;
+    entry.hard_timeout = env.config().degraded_cover_ttl;
+  } else {
+    entry.idle_timeout = env.config().flow_idle_timeout;
+    entry.hard_timeout = env.config().flow_hard_timeout;
+  }
   entry.cookie = env.allocate_cookie(ctx.flow);
   sw.install_flow(std::move(entry));
   return 1;
@@ -872,11 +906,12 @@ std::size_t PathInstallStrategy::install_drop_at_ingress(
 
 std::size_t PathInstallStrategy::install_drop(AdmissionEnv& env,
                                               const AdmissionContext& ctx,
-                                              const AdmissionDecision&) {
+                                              const AdmissionDecision& decision) {
   if (ctx.buffered.empty()) return 0;
   const openflow::PacketIn& msg = ctx.buffered.front();
   return install_drop_at_ingress(
-      env, ctx, openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port)),
+      env, ctx, decision,
+      openflow::FlowMatch::exact(msg.packet.ten_tuple(msg.in_port)),
       /*dedupe=*/false);
 }
 
@@ -910,7 +945,8 @@ std::size_t AggregatingInstallStrategy::install_drop(
   // Drops have no output port, so the rule's full scope caches as-is.
   std::size_t installed = 0;
   for (const openflow::FlowMatch& cover : decision.covers) {
-    installed += install_drop_at_ingress(env, ctx, cover, /*dedupe=*/true);
+    installed +=
+        install_drop_at_ingress(env, ctx, decision, cover, /*dedupe=*/true);
   }
   return installed;
 }

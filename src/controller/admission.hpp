@@ -61,6 +61,25 @@ struct ControllerConfig {
   /// How long to wait for daemon responses before deciding with whatever
   /// information arrived.
   sim::SimTime query_timeout = 50 * sim::kMillisecond;
+  /// Robustness knobs (DESIGN.md §14).  Retries beyond the initial query
+  /// round: on a deadline with a side still unanswered, re-issue that
+  /// side's query up to this many times with exponential backoff
+  /// (query_timeout << attempt) before deciding.  0 = legacy single-shot.
+  std::uint32_t max_query_retries = 0;
+  /// Upper bound on the seeded jitter added to each retry deadline.  The
+  /// jitter is a pure hash of (flow, attempt, retry_jitter_seed), so it is
+  /// identical at any shard/worker count.  0 = no jitter.
+  sim::SimTime retry_jitter = 0;
+  std::uint64_t retry_jitter_seed = 0;
+  /// Graceful degradation: when > 0 and retries exhaust with a queried
+  /// side still silent, install a fail-closed drop cover with THIS hard
+  /// timeout (tagged degraded, never cached) instead of the legacy
+  /// partial-information full-TTL verdict, and schedule a re-admission
+  /// probe so the flow is re-decided with full information once the
+  /// daemon recovers.  0 = legacy behaviour.
+  sim::SimTime degraded_cover_ttl = 0;
+  sim::SimTime readmission_probe_delay = 100 * sim::kMillisecond;
+  std::uint32_t max_readmission_probes = 3;
   /// Timeouts stamped on installed flow entries (0 = none).
   sim::SimTime flow_idle_timeout = 60 * sim::kSecond;
   sim::SimTime flow_hard_timeout = 0;
@@ -135,6 +154,7 @@ struct DecisionRecord {
   net::FiveTuple flow;
   bool allowed = false;
   bool timed_out = false;        ///< decided without both responses
+  bool degraded = false;         ///< fail-closed cover, retries exhausted
   bool logged = false;           ///< matched rule carried PF's `log` modifier
   std::string rule;              ///< to_string of the matched rule, or "default"
   std::string src_user;          ///< @src[userID] if provided
@@ -167,6 +187,9 @@ struct ControllerStats {
   std::uint64_t flows_expired = 0;
   std::uint64_t flows_logged = 0;      ///< decisions from `log` rules
   std::uint64_t decision_cache_hits = 0;
+  std::uint64_t query_retries = 0;       ///< re-issued queries (§14)
+  std::uint64_t duplicate_responses = 0; ///< deduped daemon responses
+  std::uint64_t degraded_verdicts = 0;   ///< fail-closed degraded covers
 
   [[nodiscard]] bool operator==(const ControllerStats&) const = default;
 
@@ -197,6 +220,20 @@ class AdmissionEnv {
   virtual std::uint64_t allocate_cookie(const net::FiveTuple& flow) = 0;
 };
 
+/// One daemon to ask about a flow.  `spoof_src` is stamped as the query
+/// packet's source address — §3.2: the flow's other endpoint, so the
+/// daemon resolves the right socket.  (Defined before AdmissionContext so
+/// pending flows can remember their plan for retries, DESIGN.md §14.)
+struct QueryTarget {
+  net::Ipv4Address target;
+  net::Ipv4Address spoof_src;
+  bool is_source_side = false;  ///< answer fills @src (else @dst)
+};
+
+struct QueryPlan {
+  std::vector<QueryTarget> targets;  ///< empty = decide immediately
+};
+
 /// Everything collected about one flow between its first packet-in and the
 /// decision (replaces the old controller-private PendingFlow).
 struct AdmissionContext {
@@ -204,6 +241,10 @@ struct AdmissionContext {
   std::vector<openflow::PacketIn> buffered;
   std::optional<proto::Response> src_response;
   std::optional<proto::Response> dst_response;
+  /// The query plan that opened this context, kept so deadline retries can
+  /// re-issue exactly the unanswered sides (DESIGN.md §14).
+  std::vector<QueryTarget> targets;
+  std::uint32_t retries_used = 0;
   sim::SimTime first_seen = 0;
   sim::SimTime deadline = 0;       ///< 0 = no deadline armed
   std::uint64_t generation = 0;    ///< set by arm_deadline; guards sweeps
@@ -225,6 +266,10 @@ struct AdmissionDecision {
   bool allowed = false;
   bool keep_state = false;  ///< also admit the reverse direction
   bool logged = false;      ///< matched rule carried the `log` modifier
+  /// Fail-closed degraded verdict (DESIGN.md §14): retries exhausted with a
+  /// queried side silent.  Installed as a short-TTL drop cover, never
+  /// cached, and followed by a re-admission probe.
+  bool degraded = false;
   std::string rule = "default";  ///< matched rule rendering, for the audit log
   /// Rule-level cover: non-empty when the matched rule's scope is
   /// expressible as a small set of wildcard/prefix FlowMatches AND no
@@ -242,18 +287,8 @@ struct AdmissionDecision {
 // Stage 1: QueryPlanner
 // ---------------------------------------------------------------------------
 
-/// One daemon to ask about a flow.  `spoof_src` is stamped as the query
-/// packet's source address — §3.2: the flow's other endpoint, so the
-/// daemon resolves the right socket.
-struct QueryTarget {
-  net::Ipv4Address target;
-  net::Ipv4Address spoof_src;
-  bool is_source_side = false;  ///< answer fills @src (else @dst)
-};
-
-struct QueryPlan {
-  std::vector<QueryTarget> targets;  ///< empty = decide immediately
-};
+// QueryTarget/QueryPlan are declared above AdmissionContext (pending flows
+// keep their plan for deadline retries).
 
 class QueryPlanner {
  public:
@@ -300,10 +335,14 @@ class ResponseCollector {
   /// Match an on-the-wire response to a pending flow: the responder may be
   /// the flow's source or its destination.  Fills the matching slot and
   /// returns the context, or nullptr when no pending flow matches (a
-  /// response transiting this domain).
+  /// response transiting this domain).  A response for a slot that is
+  /// already filled (a duplicated channel delivery, or a retry's answer
+  /// crossing the original) is NOT applied — first answer wins — and is
+  /// flagged through `duplicate` when the caller asks (DESIGN.md §14).
   virtual AdmissionContext* accept_response(net::Ipv4Address responder,
                                             net::Ipv4Address peer,
-                                            const proto::Response& response);
+                                            const proto::Response& response,
+                                            bool* duplicate = nullptr);
 
   /// Both sides answered (or were never asked)?
   [[nodiscard]] static bool ready(const AdmissionContext& ctx) noexcept {
@@ -328,9 +367,10 @@ class ResponseCollector {
 
   // -- deadlines ------------------------------------------------------------
 
-  /// Record `ctx`'s decision deadline.  Deadlines are armed in arrival
-  /// order with a constant timeout, so the internal queue stays sorted and
-  /// expiry pops are O(expired), not O(pending).
+  /// Record `ctx`'s decision deadline.  First-round deadlines arrive in
+  /// order (constant timeout), so insertion is an O(1) append; a retry's
+  /// backed-off deadline may land out of order and is placed by a sorted
+  /// insert, keeping expiry pops O(expired), not O(pending).
   void arm_deadline(AdmissionContext& ctx, sim::SimTime deadline);
 
   /// Pending contexts whose deadline has passed, oldest first.  Consumes
@@ -613,9 +653,12 @@ class PathInstallStrategy : public InstallStrategy {
 
   /// Shared drop placement: one entry with `match` at the flow's ingress
   /// switch, honouring config.install_drop_entries.  With `dedupe`, an
-  /// identical live entry suppresses the install.
+  /// identical live entry suppresses the install.  Degraded verdicts get
+  /// the short config.degraded_cover_ttl hard timeout instead of the
+  /// full-TTL stamps (DESIGN.md §14).
   static std::size_t install_drop_at_ingress(AdmissionEnv& env,
                                              const AdmissionContext& ctx,
+                                             const AdmissionDecision& decision,
                                              const openflow::FlowMatch& match,
                                              bool dedupe);
 };
@@ -669,6 +712,8 @@ class AdmissionObserver {
   virtual void on_query_sent(const net::FiveTuple&, net::Ipv4Address) {}
   virtual void on_response_received(net::Ipv4Address /*responder*/) {}
   virtual void on_query_timeout(const net::FiveTuple&) {}
+  virtual void on_query_retry(const net::FiveTuple&, net::Ipv4Address) {}
+  virtual void on_duplicate_response(net::Ipv4Address /*responder*/) {}
   virtual void on_query_proxied(const net::FiveTuple&) {}
   virtual void on_cache_hit(const net::FiveTuple&, const AdmissionDecision&) {}
   virtual void on_decision(const DecisionRecord&, const AdmissionDecision&) {}
@@ -695,6 +740,12 @@ class StatsObserver : public AdmissionObserver {
   void on_query_timeout(const net::FiveTuple&) override {
     ++stats_.query_timeouts;
   }
+  void on_query_retry(const net::FiveTuple&, net::Ipv4Address) override {
+    ++stats_.query_retries;
+  }
+  void on_duplicate_response(net::Ipv4Address) override {
+    ++stats_.duplicate_responses;
+  }
   void on_query_proxied(const net::FiveTuple&) override {
     ++stats_.queries_proxied;
   }
@@ -709,6 +760,7 @@ class StatsObserver : public AdmissionObserver {
       ++stats_.flows_blocked;
     }
     if (record.logged) ++stats_.flows_logged;
+    if (record.degraded) ++stats_.degraded_verdicts;
   }
   void on_entries_installed(std::size_t count) override {
     stats_.entries_installed += count;

@@ -5,6 +5,7 @@
 #include "controller/shard_map.hpp"
 #include "identxx/keys.hpp"
 #include "sim/schedule.hpp"
+#include "util/rng.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -281,8 +282,10 @@ void AdmissionController::handle_new_flow(const openflow::PacketIn& msg,
   }
   notify([&](AdmissionObserver& o) { o.on_flow_seen(flow); });
 
-  // Stage 1: which daemons to ask (Figure 1 step 3).
+  // Stage 1: which daemons to ask (Figure 1 step 3).  The plan is kept on
+  // the context so deadline retries can re-issue the unanswered sides.
   const QueryPlan plan = pipeline_.planner->plan(flow, *this);
+  ctx->targets = plan.targets;
   for (const QueryTarget& target : plan.targets) {
     if (!send_query(flow, target)) continue;
     (target.is_source_side ? ctx->awaiting_src : ctx->awaiting_dst) = true;
@@ -321,6 +324,15 @@ void AdmissionController::sweep_expired() {
   });
   if (expired.empty()) return;  // everything already decided
 
+  // Retry pass (DESIGN.md §14): before falling back to a partial-
+  // information decision, re-issue the unanswered queries with backoff.
+  // Retried contexts re-arm their deadline and leave this sweep.
+  if (config_.max_query_retries > 0) {
+    std::erase_if(expired,
+                  [this](AdmissionContext* ctx) { return retry_queries(*ctx); });
+    if (expired.empty()) return;
+  }
+
   for (AdmissionContext* ctx : expired) {
     notify([&](AdmissionObserver& o) { o.on_query_timeout(ctx->flow); });
     const std::size_t proxied =
@@ -329,6 +341,30 @@ void AdmissionController::sweep_expired() {
       notify([&](AdmissionObserver& o) { o.on_query_proxied(ctx->flow); });
     }
     ctx->timed_out = true;
+  }
+
+  // Graceful degradation (DESIGN.md §14): a flow whose retry budget is
+  // spent with a queried side still silent gets a fail-closed degraded
+  // verdict — a short-TTL drop cover plus a re-admission probe — instead
+  // of feeding partial information to the engine.  Degraded verdicts
+  // bypass the shard-lane dispatch entirely (no engine state is read), so
+  // they finalize here, before the engine batch, in both classic and
+  // sharded modes.
+  if (config_.degraded_cover_ttl > 0) {
+    std::vector<AdmissionContext*> degraded;
+    std::erase_if(expired, [&degraded](AdmissionContext* ctx) {
+      if (ResponseCollector::ready(*ctx)) return false;
+      degraded.push_back(ctx);
+      return true;
+    });
+    for (AdmissionContext* ctx : degraded) {
+      AdmissionDecision decision;
+      decision.allowed = false;
+      decision.degraded = true;
+      decision.rule = "degraded (endpoint unresponsive)";
+      finalize(*ctx, decision);
+    }
+    if (expired.empty()) return;
   }
 
   // Stage 3, batched: one decide_many over every flow that hit this
@@ -367,6 +403,103 @@ void AdmissionController::sweep_expired() {
               }
             });
       });
+}
+
+bool AdmissionController::retry_queries(AdmissionContext& ctx) {
+  if (ctx.retries_used >= config_.max_query_retries) return false;
+  bool resent = false;
+  for (const QueryTarget& target : ctx.targets) {
+    // Only sides that were queried and never answered are re-asked; an
+    // answered side's identity must not be re-resolved mid-decision.
+    const bool unanswered = target.is_source_side
+                                ? (ctx.awaiting_src && !ctx.src_response)
+                                : (ctx.awaiting_dst && !ctx.dst_response);
+    if (!unanswered) continue;
+    if (!send_query(ctx.flow, target)) continue;
+    notify([&](AdmissionObserver& o) {
+      o.on_query_retry(ctx.flow, target.target);
+    });
+    resent = true;
+  }
+  if (!resent) return false;
+  ++ctx.retries_used;
+  // Exponential backoff (query_timeout << attempt, shift capped) plus the
+  // order-independent jitter; absolute arithmetic only, so the deadline is
+  // identical at any shard/worker count.
+  const std::uint32_t shift = std::min<std::uint32_t>(ctx.retries_used, 10);
+  const sim::SimTime deadline = simulator().now() +
+                                (config_.query_timeout << shift) +
+                                retry_jitter_for(ctx);
+  pipeline_.collector->arm_deadline(ctx, deadline);
+  if (deadline != last_scheduled_sweep_) {
+    last_scheduled_sweep_ = deadline;
+    simulator().schedule_at(deadline, [this]() { sweep_expired(); });
+  }
+  return true;
+}
+
+sim::SimTime AdmissionController::retry_jitter_for(
+    const AdmissionContext& ctx) const {
+  if (config_.retry_jitter <= 0) return 0;
+  // A pure hash of (flow, attempt, seed) run through the SplitMix64
+  // finalizer — no shared stream, so concurrent retries cannot observe
+  // each other's draw order and sharded runs stay bit-identical.
+  std::uint64_t h = std::hash<net::FiveTuple>{}(ctx.flow);
+  h ^= config_.retry_jitter_seed +
+       0x9e3779b97f4a7c15ULL * (ctx.retries_used + 1);
+  util::SplitMix64 mix(h);
+  return static_cast<sim::SimTime>(
+      mix.next_below(static_cast<std::uint64_t>(config_.retry_jitter) + 1));
+}
+
+void AdmissionController::schedule_readmission_probe(AdmissionContext& ctx) {
+  if (ctx.buffered.empty()) return;  // nothing to replay later
+  const auto [it, inserted] = degraded_.try_emplace(ctx.flow);
+  if (inserted) it->second.first_msg = ctx.buffered.front();
+  if (it->second.probes_scheduled >= config_.max_readmission_probes) return;
+  ++it->second.probes_scheduled;
+  const net::FiveTuple flow = ctx.flow;
+  simulator().schedule_after(config_.readmission_probe_delay,
+                             [this, flow]() { probe_readmission(flow); });
+}
+
+void AdmissionController::probe_readmission(const net::FiveTuple& flow) {
+  const auto it = degraded_.find(flow);
+  if (it == degraded_.end()) return;  // fully re-decided in the meantime
+  if (pipeline_.collector->find(flow) != nullptr) {
+    return;  // a fresh admission for this flow is already in flight
+  }
+  // Lift the degraded cover first so the fresh verdict's entries never
+  // fight an equal-priority drop.  This is a targeted removal of the
+  // flow's own entries — no control-epoch bump, which would needlessly
+  // re-decide unrelated in-flight verdicts.
+  remove_flow_entries(flow);
+  // Copy before re-entering admission: a synchronous re-degrade mutates
+  // degraded_ and may invalidate `it`.
+  const openflow::PacketIn msg = it->second.first_msg;
+  // The replayed packet-in takes the normal admission path end to end —
+  // fresh queries, shard-lane dispatch, control-epoch commit — so a
+  // revocation racing the probe is handled exactly like any other flow.
+  handle_new_flow(msg, flow);
+}
+
+std::size_t AdmissionController::remove_flow_entries(
+    const net::FiveTuple& flow) {
+  std::size_t removed = 0;
+  for (const sim::NodeId id : domain_) {
+    removed += topology_->switch_at(id).table().remove_if(
+        [this, &flow](const openflow::FlowEntry& entry) {
+          if (entry.priority != config_.flow_priority ||
+              !owns_cookie(entry.cookie)) {
+            return false;
+          }
+          const auto installed = installed_flows_.find(entry.cookie);
+          return installed != installed_flows_.end() &&
+                 installed->second == flow;
+        });
+  }
+  prune_installed_flows();
+  return removed;
 }
 
 void AdmissionController::maybe_decide(AdmissionContext& ctx) {
@@ -427,6 +560,7 @@ void AdmissionController::finalize(AdmissionContext& ctx,
   record.flow = ctx.flow;
   record.allowed = decision.allowed;
   record.timed_out = ctx.timed_out;
+  record.degraded = decision.degraded;
   record.logged = decision.logged;
   record.rule = decision.rule;
   if (ctx.src_response) {
@@ -446,8 +580,18 @@ void AdmissionController::finalize(AdmissionContext& ctx,
   }
   notify([&](AdmissionObserver& o) { o.on_decision(record, decision); });
 
-  if (pipeline_.cache) {
+  // A degraded verdict is a placeholder, not knowledge: caching it would
+  // keep blocking the flow long after the daemon recovered.
+  if (pipeline_.cache && !decision.degraded) {
     pipeline_.cache->store(ctx.flow, decision, simulator().now());
+  }
+
+  if (decision.degraded) {
+    // Before apply_decision clears the buffer: remember the first
+    // packet-in so the probe can replay it.
+    schedule_readmission_probe(ctx);
+  } else {
+    degraded_.erase(ctx.flow);
   }
 
   // Stage 4: turn the verdict into flow-table state.

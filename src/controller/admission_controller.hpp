@@ -221,6 +221,28 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
                      const AdmissionDecision& cached);
   /// Batch-decide every pending flow whose deadline has passed.
   void sweep_expired();
+  // -- robustness (DESIGN.md §14) -------------------------------------------
+  /// Re-issue `ctx`'s unanswered queries with exponential backoff + seeded
+  /// jitter.  Returns true when a retry went out (the context keeps
+  /// waiting); false when the retry budget is spent or nothing re-sendable
+  /// remains (the caller proceeds to the timeout decision).
+  bool retry_queries(AdmissionContext& ctx);
+  /// Order-independent jitter for `ctx`'s current retry: a pure hash of
+  /// (flow, attempt, config.retry_jitter_seed), so sharding and worker
+  /// count never change the draw.
+  [[nodiscard]] sim::SimTime retry_jitter_for(
+      const AdmissionContext& ctx) const;
+  /// Remember `ctx`'s first packet-in and schedule a re-admission probe
+  /// (bounded by config.max_readmission_probes).
+  void schedule_readmission_probe(AdmissionContext& ctx);
+  /// Re-enter admission for a degraded flow: lift its fail-closed cover
+  /// and replay the remembered packet-in through handle_new_flow, so the
+  /// re-decision flows through the normal dispatch/commit/control-epoch
+  /// machinery.
+  void probe_readmission(const net::FiveTuple& flow);
+  /// Remove this controller's installed entries for exactly `flow`
+  /// (targeted, no control-epoch bump).
+  std::size_t remove_flow_entries(const net::FiveTuple& flow);
   void finalize(AdmissionContext& ctx, const AdmissionDecision& decision);
   /// Turn a verdict into flow-table state and release/drop the buffered
   /// packets — shared by fresh decisions (finalize) and cache replays.
@@ -233,6 +255,16 @@ class AdmissionController : public openflow::ControlPlane, public AdmissionEnv {
   std::unordered_set<sim::NodeId> domain_;
   std::unordered_map<net::Ipv4Address, HostInfo> hosts_;
   std::unordered_map<std::uint64_t, net::FiveTuple> installed_flows_;
+  /// Degraded flows awaiting re-admission (DESIGN.md §14): the first
+  /// buffered packet-in is kept so a probe can re-enter admission once the
+  /// daemon may have recovered.  Entries die on a full-information
+  /// decision; a flow whose probe budget is spent keeps its entry so later
+  /// degraded verdicts do not restart the probe train.
+  struct DegradedFlow {
+    openflow::PacketIn first_msg;
+    std::uint32_t probes_scheduled = 0;
+  };
+  std::unordered_map<net::FiveTuple, DegradedFlow> degraded_;
   std::vector<std::unique_ptr<AdmissionObserver>> observers_;
   StatsObserver* stats_observer_ = nullptr;   // owned via observers_
   AuditLogObserver* audit_observer_ = nullptr;  // owned via observers_

@@ -182,8 +182,46 @@ bool IdentxxController::try_consume_response(const openflow::PacketIn& msg,
                                              const proto::Response& response) {
   const net::Ipv4Address responder = msg.packet.ip.src;
   const net::Ipv4Address peer = msg.packet.ip.dst;
-  AdmissionContext* ctx = collector().accept_response(responder, peer, response);
-  if (ctx == nullptr) return false;
+  bool duplicate = false;
+  AdmissionContext* ctx =
+      collector().accept_response(responder, peer, response, &duplicate);
+  // The memo key covers the response body AND the carrying packet's ports:
+  // a channel-duplicated punt is byte-identical (same controller query
+  // port), while a fresh response about the same flow — e.g. an end host
+  // querying its peer directly (§4) — arrives on a different ephemeral
+  // port and must still transit.
+  const net::FiveTuple as_src{responder, peer, response.proto,
+                              response.src_port, response.dst_port};
+  const net::FiveTuple pkt = msg.packet.five_tuple();
+  const std::string key = as_src.to_string() + "|" +
+                          std::to_string(pkt.src_port) + ":" +
+                          std::to_string(pkt.dst_port);
+  const sim::SimTime now = simulator().now();
+  if (ctx == nullptr) {
+    // No pending flow — but if this exact packet was consumed moments
+    // ago, it is a duplicated delivery, not a transiting response:
+    // swallow it so it never forwards on toward a host that did not ask
+    // (DESIGN.md §14).  The window mirrors augmented_'s reasoning on
+    // 5-tuple reuse.
+    const auto it = recent_responses_.find(key);
+    if (it != recent_responses_.end() && now - it->second < kAugmentWindow) {
+      notify([&](AdmissionObserver& o) { o.on_duplicate_response(responder); });
+      return true;
+    }
+    return false;
+  }
+  if (duplicate) {
+    // The matching slot is already filled: first answer won, count and
+    // drop this copy.
+    notify([&](AdmissionObserver& o) { o.on_duplicate_response(responder); });
+    return true;
+  }
+  recent_responses_[key] = now;
+  if (recent_responses_.size() > 8192) {
+    std::erase_if(recent_responses_, [now](const auto& entry) {
+      return now - entry.second >= kAugmentWindow;
+    });
+  }
   notify([&](AdmissionObserver& o) { o.on_response_received(responder); });
   maybe_decide(*ctx);
   return true;

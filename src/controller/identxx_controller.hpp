@@ -149,6 +149,14 @@ class IdentxxController : public AdmissionController {
   /// reuse on long-running networks) augment correctly again.
   static constexpr sim::SimTime kAugmentWindow = 1 * sim::kSecond;
   std::unordered_map<std::string, sim::SimTime> augmented_;
+  /// Responses recently consumed into a pending flow, keyed by the
+  /// flow-oriented tuple plus the carrying packet's ports: an identical
+  /// copy arriving with no pending context within kAugmentWindow is a
+  /// channel duplicate and is deduped, not transit-forwarded
+  /// (DESIGN.md §14).  Responses about the same flow on a different
+  /// ephemeral port (a host querying its peer directly, §4) still
+  /// transit.
+  std::unordered_map<std::string, sim::SimTime> recent_responses_;
   ResponseAugmenter augmenter_;
   QueryInterceptor query_interceptor_;
   std::uint16_t next_query_port_ = 20000;

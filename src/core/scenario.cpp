@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 
@@ -63,6 +64,30 @@ void require_fields(const std::vector<std::string>& fields, std::size_t n,
   if (fields.size() < n) {
     throw ParseError(std::string("usage: ") + usage, lineno);
   }
+}
+
+/// Parse a probability in [0, 1] (fault loss/dup rates).
+double parse_prob_field(const std::string& field, const char* what,
+                        std::size_t lineno) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == nullptr || end == field.c_str() || *end != '\0' || value < 0.0 ||
+      value > 1.0) {
+    throw ParseError(std::string("invalid ") + what + " '" + field +
+                         "' (want 0..1)",
+                     lineno);
+  }
+  return value;
+}
+
+std::uint64_t parse_u64_field(const std::string& field, const char* what,
+                              std::size_t lineno) {
+  const auto value = util::parse_u64(field);
+  if (!value) {
+    throw ParseError(std::string("invalid ") + what + " '" + field + "'",
+                     lineno);
+  }
+  return *value;
 }
 
 /// Expand $pubkey(<seed>) references so policy text (and control
@@ -283,6 +308,111 @@ Scenario Scenario::parse(std::string_view text) {
         throw ParseError("unknown control op '" + op + "'", lineno);
       }
       scenario.controls_.push_back(std::move(decl));
+    } else if (directive == "fault") {
+      // Seeded control-plane fault model (DESIGN.md §14).
+      require_fields(fields, 2, "fault chan|host|retry ...", lineno);
+      const std::string& kind = fields[1];
+      if (kind == "chan") {
+        require_fields(fields, 3,
+                       "fault chan <switch|all> [loss=<p>] [dup=<p>] "
+                       "[delay_us=<n>]",
+                       lineno);
+        ChannelFaultDecl decl;
+        decl.sw = fields[2];
+        for (std::size_t i = 3; i < fields.size(); ++i) {
+          const auto [key, value] = util::split_once(fields[i], '=');
+          if (!value) {
+            throw ParseError("expected key=value, got '" + fields[i] + "'",
+                             lineno);
+          }
+          const std::string val(*value);
+          if (key == "loss") {
+            decl.spec.loss = parse_prob_field(val, "loss", lineno);
+          } else if (key == "dup") {
+            decl.spec.dup = parse_prob_field(val, "dup", lineno);
+          } else if (key == "delay_us") {
+            decl.spec.delay =
+                static_cast<sim::SimTime>(
+                    parse_u64_field(val, "delay_us", lineno)) *
+                sim::kMicrosecond;
+          } else {
+            throw ParseError("unknown fault chan key '" + std::string(key) +
+                                 "'",
+                             lineno);
+          }
+        }
+        scenario.chan_faults_.push_back(std::move(decl));
+      } else if (kind == "host") {
+        require_fields(fields, 4, "fault host <name> down_at=<us> [up_at=<us>]",
+                       lineno);
+        HostFaultDecl decl;
+        decl.host = fields[2];
+        bool have_down = false;
+        for (std::size_t i = 3; i < fields.size(); ++i) {
+          const auto [key, value] = util::split_once(fields[i], '=');
+          if (!value) {
+            throw ParseError("expected key=value, got '" + fields[i] + "'",
+                             lineno);
+          }
+          const std::string val(*value);
+          if (key == "down_at") {
+            decl.down_at = static_cast<sim::SimTime>(
+                               parse_u64_field(val, "down_at", lineno)) *
+                           sim::kMicrosecond;
+            have_down = true;
+          } else if (key == "up_at") {
+            decl.up_at = static_cast<sim::SimTime>(
+                             parse_u64_field(val, "up_at", lineno)) *
+                         sim::kMicrosecond;
+          } else {
+            throw ParseError("unknown fault host key '" + std::string(key) +
+                                 "'",
+                             lineno);
+          }
+        }
+        if (!have_down) {
+          throw ParseError("fault host requires down_at=<us>", lineno);
+        }
+        scenario.host_faults_.push_back(std::move(decl));
+      } else if (kind == "retry") {
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+          const auto [key, value] = util::split_once(fields[i], '=');
+          if (!value) {
+            throw ParseError("expected key=value, got '" + fields[i] + "'",
+                             lineno);
+          }
+          const std::string val(*value);
+          if (key == "max") {
+            scenario.retry_.max_retries = static_cast<std::uint32_t>(
+                parse_u64_field(val, "max", lineno));
+          } else if (key == "jitter_us") {
+            scenario.retry_.jitter = static_cast<sim::SimTime>(
+                                         parse_u64_field(val, "jitter_us",
+                                                         lineno)) *
+                                     sim::kMicrosecond;
+          } else if (key == "degraded_ttl_us") {
+            scenario.retry_.degraded_ttl =
+                static_cast<sim::SimTime>(
+                    parse_u64_field(val, "degraded_ttl_us", lineno)) *
+                sim::kMicrosecond;
+          } else if (key == "probe_delay_us") {
+            scenario.retry_.probe_delay =
+                static_cast<sim::SimTime>(
+                    parse_u64_field(val, "probe_delay_us", lineno)) *
+                sim::kMicrosecond;
+          } else if (key == "max_probes") {
+            scenario.retry_.max_probes = static_cast<std::uint32_t>(
+                parse_u64_field(val, "max_probes", lineno));
+          } else {
+            throw ParseError("unknown fault retry key '" + std::string(key) +
+                                 "'",
+                             lineno);
+          }
+        }
+        scenario.retry_.set = true;
+      } else {
+        throw ParseError("unknown fault kind '" + kind + "'", lineno);
+      }
     } else if (directive == "expect") {
       require_fields(fields, 3, "expect <flow-id> delivered|blocked", lineno);
       if (fields[2] == "delivered") {
@@ -345,6 +475,39 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     net.link(a->second, b->second, decl.latency,
              link_bandwidth(decl.bandwidth_bps));
   }
+  // Control-channel faults (DESIGN.md §14): an options-level override
+  // applies one spec to every switch, replacing `fault chan` directives;
+  // otherwise each declaration applies to its named switch (or "all").
+  // Either way a switch draws from its own (seed, name)-derived stream,
+  // so injection is bit-identical at any shard/worker count.
+  const bool chan_override =
+      options.chan_loss > 0.0 || options.chan_dup > 0.0 ||
+      options.chan_delay > 0;
+  if (chan_override) {
+    const sim::ChannelFaultSpec spec{options.chan_loss, options.chan_dup,
+                                     options.chan_delay};
+    for (const auto& decl : switches_) {
+      net.switch_at(switches[decl.name])
+          .set_control_fault(spec, sim::fault_stream_seed(seed, decl.name));
+    }
+  } else {
+    for (const ChannelFaultDecl& decl : chan_faults_) {
+      if (decl.sw == "all") {
+        for (const auto& sw_decl : switches_) {
+          net.switch_at(switches[sw_decl.name])
+              .set_control_fault(decl.spec,
+                                 sim::fault_stream_seed(seed, sw_decl.name));
+        }
+        continue;
+      }
+      const auto it = switches.find(decl.sw);
+      if (it == switches.end()) {
+        throw Error("fault chan references unknown switch '" + decl.sw + "'");
+      }
+      net.switch_at(it->second)
+          .set_control_fault(decl.spec, sim::fault_stream_seed(seed, decl.sw));
+    }
+  }
   net.topology().set_multipath(options.k_paths, seed);
   if (options.queue_depth > 0) net.set_queue_depth(options.queue_depth);
   // Expand $pubkey(<seed>) references in the policy so <pubkeys> dicts can
@@ -354,10 +517,40 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
   // domains (DESIGN.md §10).  Identical seeds replay identically at any
   // shard count: every domain draws from its own seed-derived RNG stream,
   // so no draw order ever crosses a shard boundary.
+  // Robustness policy (DESIGN.md §14): `fault retry` directives fill in
+  // controller knobs the caller left at their defaults, so CLI/test
+  // overrides always win.  The jitter stream seed defaults off the
+  // scenario seed so every run configuration draws identically.
+  ctrl::ControllerConfig config = options.config;
+  if (retry_.set) {
+    const ctrl::ControllerConfig defaults;
+    if (retry_.max_retries &&
+        config.max_query_retries == defaults.max_query_retries) {
+      config.max_query_retries = *retry_.max_retries;
+    }
+    if (retry_.jitter && config.retry_jitter == defaults.retry_jitter) {
+      config.retry_jitter = *retry_.jitter;
+    }
+    if (retry_.degraded_ttl &&
+        config.degraded_cover_ttl == defaults.degraded_cover_ttl) {
+      config.degraded_cover_ttl = *retry_.degraded_ttl;
+    }
+    if (retry_.probe_delay &&
+        config.readmission_probe_delay == defaults.readmission_probe_delay) {
+      config.readmission_probe_delay = *retry_.probe_delay;
+    }
+    if (retry_.max_probes &&
+        config.max_readmission_probes == defaults.max_readmission_probes) {
+      config.max_readmission_probes = *retry_.max_probes;
+    }
+  }
+  if (config.retry_jitter_seed == 0) {
+    config.retry_jitter_seed = seed ^ 0x2545f4914f6cdd1dULL;
+  }
   ctrl::IdentxxController* classic = nullptr;
   ctrl::ShardedAdmissionController* sharded = nullptr;
   if (options.shards == 0) {
-    classic = &net.install_controller(policy, options.config);
+    classic = &net.install_controller(policy, config);
     if (seed != 0) {
       // Same derivation as sharded domain 0, so classic and 1-shard runs
       // draw identical streams.
@@ -366,7 +559,7 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     }
   } else {
     sharded = &net.install_sharded_controller(policy, options.shards,
-                                              options.workers, options.config);
+                                              options.workers, config);
     if (seed != 0) sharded->seed_query_ports(seed);
   }
 
@@ -457,6 +650,18 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     if (it == hosts.end()) throw Error("unknown host '" + name + "'");
     return *it->second;
   };
+  // Daemon unresponsiveness (DESIGN.md §14): the host stays reachable, but
+  // its ident++ daemon ignores queries between down_at and up_at — the
+  // controller sees silence, not a reset.
+  for (const HostFaultDecl& decl : host_faults_) {
+    host::Host& down_host = host_of(decl.host);
+    net.simulator().schedule_at(
+        decl.down_at, [&down_host] { down_host.set_daemon_enabled(false); });
+    if (decl.up_at >= 0) {
+      net.simulator().schedule_at(
+          decl.up_at, [&down_host] { down_host.set_daemon_enabled(true); });
+    }
+  }
   for (const auto& decl : users_) {
     host_of(decl.host).add_user(decl.user, decl.group);
   }
@@ -563,6 +768,14 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     const std::uint64_t drops = net.switch_at(id).stats().queue_tail_drops;
     result.switch_queue_drops.push_back(drops);
     result.queue_tail_drops += drops;
+    const sim::ChannelFaultStats fstats = net.switch_at(id).control_fault_stats();
+    result.fault_stats.chan_dropped += fstats.dropped;
+    result.fault_stats.chan_duplicated += fstats.duplicated;
+    result.fault_stats.chan_delayed += fstats.delayed;
+  }
+  for (const auto& decl : hosts_) {
+    result.fault_stats.daemon_queries_ignored +=
+        hosts.at(decl.name)->stats().ident_queries_ignored;
   }
   result.path_cache_stats = net.topology().path_cache_stats();
   if (sharded != nullptr) {

@@ -24,6 +24,11 @@
 //     traffic f1 cbr packets=64 rate=20000   # traffic model (DESIGN.md §12)
 //     control 500 revoke_all             # control-plane op at t=500us
 //     control 500 raced set_policy "block all"   # fired mid-admission
+//     fault chan s1 loss=0.05 delay_us=200 dup=0.01   # control-channel fault
+//     fault chan all loss=0.01           # every switch's channel
+//     fault host server down_at=0 up_at=40000         # daemon crash/restart
+//     fault retry max=2 jitter_us=500 degraded_ttl_us=20000
+//     fault retry probe_delay_us=100000 max_probes=3  # admission robustness
 //     pin client 1                       # pin a host's flows to shard 1
 //     expect f1 delivered                # or blocked
 //
@@ -57,12 +62,14 @@
 // Flows start in file order; expectations are checked after the run.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/network.hpp"
+#include "sim/fault.hpp"
 
 namespace identxx::core {
 
@@ -88,6 +95,19 @@ struct ScenarioFlowResult {
   [[nodiscard]] bool operator==(const ScenarioFlowResult&) const = default;
 };
 
+/// What the seeded fault model actually did during a run (DESIGN.md §14).
+/// Part of equivalent_to: fault injection draws on the global lane, so a
+/// faulted run's injections must be bit-identical at any shard/worker
+/// count.
+struct ScenarioFaultStats {
+  std::uint64_t chan_dropped = 0;
+  std::uint64_t chan_duplicated = 0;
+  std::uint64_t chan_delayed = 0;
+  std::uint64_t daemon_queries_ignored = 0;  ///< queries hitting a down daemon
+
+  [[nodiscard]] bool operator==(const ScenarioFaultStats&) const = default;
+};
+
 struct ScenarioResult {
   std::vector<ScenarioFlowResult> flows;
   /// Aggregate over all admission domains (a single controller's stats
@@ -109,6 +129,9 @@ struct ScenarioResult {
   /// worker count even though the selected paths (and therefore
   /// everything above) do not.
   openflow::PathCacheStats path_cache_stats;
+  /// Injected control-plane faults (DESIGN.md §14); all-zero in unfaulted
+  /// runs.
+  ScenarioFaultStats fault_stats;
 
   /// All expectations met?
   [[nodiscard]] bool ok() const noexcept {
@@ -126,7 +149,8 @@ struct ScenarioResult {
     return flows == other.flows && controller_stats == other.controller_stats &&
            audit_log == other.audit_log &&
            queue_tail_drops == other.queue_tail_drops &&
-           switch_queue_drops == other.switch_queue_drops;
+           switch_queue_drops == other.switch_queue_drops &&
+           fault_stats == other.fault_stats;
   }
 };
 
@@ -158,6 +182,13 @@ struct ScenarioOptions {
   /// modeled arrival order instead of canonical lane order (checker
   /// self-test; see Simulator::set_fault_merge_arrival_order).
   bool fault_merge_arrival_order = false;
+  /// Control-channel fault overrides (DESIGN.md §14): when any is nonzero,
+  /// a ChannelFaultSpec{chan_loss, chan_dup, chan_delay} is applied to
+  /// EVERY switch, replacing the scenario's `fault chan` directives.  Each
+  /// switch still draws from its own name-derived stream.
+  double chan_loss = 0.0;
+  double chan_dup = 0.0;
+  sim::SimTime chan_delay = 0;
 };
 
 /// A parsed scenario, ready to run.  Parsing and execution are split so
@@ -228,6 +259,26 @@ class Scenario {
     std::string host;
     std::uint32_t shard = 0;
   };
+  struct ChannelFaultDecl {
+    std::string sw;  ///< switch name, or "all"
+    sim::ChannelFaultSpec spec;
+  };
+  struct HostFaultDecl {
+    std::string host;
+    sim::SimTime down_at = 0;
+    sim::SimTime up_at = -1;  ///< -1 = never restarts
+  };
+  /// Scenario-level admission robustness policy (`fault retry ...`).
+  /// Applied to the controller config only where the caller left the
+  /// corresponding knob at its default, so CLI/test overrides win.
+  struct RetryDecl {
+    bool set = false;
+    std::optional<std::uint32_t> max_retries;
+    std::optional<sim::SimTime> jitter;
+    std::optional<sim::SimTime> degraded_ttl;
+    std::optional<sim::SimTime> probe_delay;
+    std::optional<std::uint32_t> max_probes;
+  };
   struct ControlDecl {
     enum class Op { kRevokeAll, kRevokePort, kSetPolicy, kSetMultipath };
     sim::SimTime at = 0;
@@ -251,6 +302,9 @@ class Scenario {
   std::vector<FlowDecl> flows_;
   std::vector<PinDecl> pins_;
   std::vector<ControlDecl> controls_;
+  std::vector<ChannelFaultDecl> chan_faults_;
+  std::vector<HostFaultDecl> host_faults_;
+  RetryDecl retry_;
   std::unordered_map<std::string, bool> expectations_;  // flow id -> delivered
   std::string policy_;
   std::uint64_t seed_ = 0;  ///< `seed <n>` directive; 0 when absent

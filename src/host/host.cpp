@@ -166,6 +166,7 @@ void Host::handle_ident_query(const net::Packet& packet) {
   ++stats_.ident_queries_received;
   if (!daemon_enabled_) {
     // No daemon: the query goes unanswered (the controller times out).
+    ++stats_.ident_queries_ignored;
     return;
   }
   // RFC-1413 compatibility: classic "port , port" queries get classic

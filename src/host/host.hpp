@@ -59,6 +59,7 @@ struct HostStats {
   std::uint64_t packets_dropped_wrong_ip = 0;
   std::uint64_t flow_payloads_received = 0;
   std::uint64_t ident_queries_received = 0;
+  std::uint64_t ident_queries_ignored = 0;  ///< daemon down (DESIGN.md §14)
   std::uint64_t packets_filtered_ingress = 0;
 };
 

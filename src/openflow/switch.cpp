@@ -21,11 +21,9 @@ Switch::Switch(std::string name, std::size_t table_capacity)
   table_.set_removal_listener(
       [this](const FlowEntry& entry, RemovalReason reason) {
         if (controller_ == nullptr || simulator() == nullptr) return;
-        // Notify asynchronously over the control channel.
+        // Notify asynchronously over the (possibly faulted) control channel.
         FlowRemovedMsg msg{id(), entry, reason};
-        simulator()->schedule_after(control_latency_, [this, msg]() {
-          controller_->on_flow_removed(msg);
-        });
+        deliver_control([this, msg]() { controller_->on_flow_removed(msg); });
       });
 }
 
@@ -167,9 +165,29 @@ void Switch::punt_to_controller(const net::Packet& packet, sim::PortId in_port) 
   }
   ++stats_.packets_to_controller;
   PacketIn msg{id(), packet, in_port};
-  simulator()->schedule_after(control_latency_, [this, msg]() {
-    controller_->on_packet_in(msg);
-  });
+  deliver_control([this, msg]() { controller_->on_packet_in(msg); });
+}
+
+void Switch::deliver_control(std::function<void()> deliver) {
+  sim::SimTime latency = control_latency_;
+  if (fault_.has_value()) {
+    // Both Bernoullis are always drawn so the stream position depends only
+    // on the message count, keeping faulted runs shard/worker invariant.
+    const sim::FaultChannel::Draw draw = fault_->draw();
+    if (draw.dropped) {
+      ++fault_->stats().dropped;
+      return;
+    }
+    if (draw.delay > 0) {
+      latency += draw.delay;
+      ++fault_->stats().delayed;
+    }
+    if (draw.duplicated) {
+      ++fault_->stats().duplicated;
+      simulator()->schedule_after(latency, deliver);
+    }
+  }
+  simulator()->schedule_after(latency, std::move(deliver));
 }
 
 }  // namespace identxx::openflow

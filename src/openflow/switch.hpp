@@ -5,11 +5,14 @@
 // out-of-band control channel with configurable RPC latency.
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "openflow/flow_table.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace identxx::openflow {
@@ -76,6 +79,18 @@ class Switch : public sim::Node {
     miss_behaviour_ = behaviour;
   }
 
+  /// Inject seeded faults on this switch's switch→controller channel
+  /// (DESIGN.md §14): packet-in punts and flow-removed notifications may be
+  /// dropped, duplicated, or delayed on top of `control_latency`.
+  void set_control_fault(const sim::ChannelFaultSpec& spec,
+                         std::uint64_t stream_seed) {
+    fault_.emplace(spec, stream_seed);
+  }
+  /// Fault counters for this channel (zeros when no fault was configured).
+  [[nodiscard]] sim::ChannelFaultStats control_fault_stats() const noexcept {
+    return fault_ ? fault_->stats() : sim::ChannelFaultStats{};
+  }
+
   /// Declare that `port` exists (wired in the topology).  Needed for flood.
   void register_port(sim::PortId port);
 
@@ -140,6 +155,10 @@ class Switch : public sim::Node {
   /// bounded output queue.
   void transmit(sim::PortId port, const net::Packet& packet);
   void punt_to_controller(const net::Packet& packet, sim::PortId in_port);
+  /// Common switch→controller delivery path: applies the configured channel
+  /// fault (if any) on top of `control_latency_` and schedules `deliver`
+  /// zero, one, or two times accordingly.
+  void deliver_control(std::function<void()> deliver);
 
   std::string name_;
   FlowTable table_;
@@ -150,6 +169,7 @@ class Switch : public sim::Node {
   bool compromised_ = false;
   std::uint32_t queue_depth_ = 0;
   std::unordered_map<sim::PortId, PortQueue> queues_;
+  std::optional<sim::FaultChannel> fault_;
   SwitchStats stats_;
 };
 

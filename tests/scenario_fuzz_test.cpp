@@ -153,6 +153,121 @@ class ScenarioGenerator {
     return out;
   }
 
+  /// A revocation storm (DESIGN.md §14): long-lived CBR flows while a
+  /// burst of revoke_all / revoke_port ops rips entries out every few
+  /// milliseconds, on a lossy/duplicating control plane with the full
+  /// retry + degraded-cover ladder armed.
+  [[nodiscard]] std::string generate_revocation_storm() {
+    std::string out;
+    const std::uint32_t switches = 2 + pick(2);  // 2..3
+    for (std::uint32_t s = 0; s < switches; ++s) {
+      out += "switch s" + std::to_string(s) + "\n";
+    }
+    for (std::uint32_t s = 0; s + 1 < switches; ++s) {
+      out += "link s" + std::to_string(s) + " s" + std::to_string(s + 1) +
+             " " + std::to_string(10 + pick(15)) + "\n";
+    }
+    static constexpr const char* kUsers[] = {"alice", "bobby", "carol",
+                                             "david"};
+    const std::uint32_t hosts = 3 + pick(2);  // 3..4
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      const std::string name = "h" + std::to_string(h);
+      out += "host " + name + " 10.0.0." + std::to_string(1 + h) + " s" +
+             std::to_string(pick(switches)) + "\n";
+      out += "user " + name + " " + kUsers[h % 4] + " staff\n";
+      out += "launch c" + std::to_string(h) + " " + name + " " +
+             kUsers[h % 4] + " /usr/bin/curl\n";
+    }
+    out += "launch d0 h0 " + std::string(kUsers[0]) + " /usr/sbin/httpd\n";
+    out += "listen d0 80\nlisten d0 443\n";
+    out += "policy begin\nblock all\npass from any to any port 80\n"
+           "pass from any to any port 443 with eq(@src[userID], " +
+           std::string(kUsers[pick(4)]) + ")\npolicy end\n";
+
+    static constexpr const char* kLoss[] = {"0.02", "0.05", "0.1"};
+    out += "fault chan all loss=" + std::string(kLoss[pick(3)]) +
+           " dup=" + std::string(kLoss[pick(3)]) + " delay_us=" +
+           std::to_string(100 + pick(400)) + "\n";
+    out += "fault retry max=" + std::to_string(1 + pick(3)) +
+           " degraded_ttl_us=" + std::to_string(10000 + pick(20000)) + "\n";
+
+    const std::uint32_t flows = 3 + pick(3);  // 3..5
+    for (std::uint32_t f = 0; f < flows; ++f) {
+      out += "flow f" + std::to_string(f) + " c" +
+             std::to_string(pick(hosts)) + " 10.0.0.1 " +
+             (chance(3) ? "443" : "80") + "\n";
+      out += "traffic f" + std::to_string(f) + " cbr packets=" +
+             std::to_string(16 + pick(32)) + " rate=" +
+             std::to_string(1000 + pick(3000)) + "\n";
+    }
+    const std::uint32_t storm = 4 + pick(5);  // 4..8 revocations
+    for (std::uint32_t c = 0; c < storm; ++c) {
+      const std::string at = std::to_string(2000 + c * 3000 + pick(2000));
+      switch (pick(3)) {
+        case 0:
+          out += "control " + at + " revoke_all\n";
+          break;
+        case 1:
+          out += "control " + at + " revoke_port 80\n";
+          break;
+        default:
+          out += "control " + at + " revoke_port 443\n";
+          break;
+      }
+    }
+    out += "seed " + std::to_string(1 + pick(1000)) + "\n";
+    return out;
+  }
+
+  /// A key-rotation storm (DESIGN.md §14): a verify()-gated policy whose
+  /// trusted group key rotates mid-run between the key the apps are signed
+  /// with and one they are not, each rotation paired with a revoke_all so
+  /// every flow re-decides under the new key.
+  [[nodiscard]] std::string generate_key_rotation_storm() {
+    const auto verify_policy = [](const std::string& key) {
+      return "dict <pubkeys> { grp : $pubkey(" + key +
+             ") } block all "
+             "pass from any to any with allowed(@dst[requirements]) "
+             "with verify(@dst[req-sig], @pubkeys[grp], @dst[exe-hash], "
+             "@dst[app-name], @dst[requirements])";
+    };
+    std::string out;
+    out += "switch s0\n";
+    const bool two_switches = chance(2);
+    if (two_switches) {
+      out += "switch s1\nlink s0 s1 " + std::to_string(10 + pick(15)) + "\n";
+    }
+    out += "host a 10.1.0.1 s0\n";
+    out += std::string("host b 10.1.0.2 ") + (two_switches ? "s1" : "s0") +
+           "\n";
+    out += "user a alice research\nuser b bob research\n";
+    out += "launch app1 a alice /usr/bin/app\n";
+    out += "launch app2 b bob /usr/bin/app\n";
+    out += "signedapp a /usr/bin/app app key-v1 \"block all pass all with "
+           "eq(@src[name], app)\"\n";
+    out += "signedapp b /usr/bin/app app key-v1 \"block all pass all with "
+           "eq(@src[name], app)\"\n";
+    out += "listen app2 9000\n";
+    out += "policy begin\n" + verify_policy("key-v1") + "\npolicy end\n";
+    if (chance(2)) {
+      out += "fault chan all loss=0.02 dup=0.02\n";
+      out += "fault retry max=2 degraded_ttl_us=20000 probe_delay_us=" +
+             std::to_string(30000 + pick(40000)) + "\n";
+    }
+    out += "flow f1 app1 10.1.0.2 9000\n";
+    out += "traffic f1 cbr packets=" + std::to_string(32 + pick(48)) +
+           " rate=" + std::to_string(800 + pick(1200)) + "\n";
+    const std::uint32_t rotations = 2 + pick(3);  // 2..4
+    for (std::uint32_t r = 0; r < rotations; ++r) {
+      const std::string at = std::to_string(6000 + r * 9000 + pick(3000));
+      const std::string key = (r % 2 == 0) ? "key-v2" : "key-v1";
+      out += "control " + at + " set_policy \"" + verify_policy(key) + "\"\n";
+      out += "control " + at + " revoke_all\n";
+    }
+    out += "seed " + std::to_string(1 + pick(1000)) + "\n";
+    return out;
+  }
+
   [[nodiscard]] ScenarioOptions options() {
     ScenarioOptions opts;
     if (chance(3)) opts.k_paths = 2;
@@ -207,6 +322,72 @@ TEST(ScenarioFuzz, ClassicAndShardedRunsAreEquivalent) {
           << " <file>\non this scenario:\n"
           << text;
     }
+  }
+}
+
+/// Shared classic-vs-sharded sweep for the storm generators below.  Any
+/// divergence prints the generated program so it can be replayed directly.
+void expect_shard_invariant(const std::string& text, const ScenarioOptions& base,
+                            std::uint64_t seed, const char* storm) {
+  const Scenario scenario = Scenario::parse(text);
+  ScenarioOptions classic = base;
+  classic.shards = 0;
+  const ScenarioResult reference = scenario.run(classic);
+  for (const std::uint32_t shards : {1u, 2u, 3u}) {
+    ScenarioOptions sharded = base;
+    sharded.shards = shards;
+    const ScenarioResult result = scenario.run(sharded);
+    ASSERT_TRUE(result.equivalent_to(reference))
+        << storm << " seed " << seed << ": classic vs " << shards
+        << "-shard results diverge; replay with\n"
+        << "  identxx_sim --shards " << shards
+        << (base.k_paths > 1 ? " --k-paths 2" : "")
+        << (base.queue_depth > 0
+                ? " --queue-depth " + std::to_string(base.queue_depth)
+                : "")
+        << " <file>\non this scenario:\n"
+        << text;
+  }
+}
+
+/// Number of storm seeds to sweep; SCENARIO_FUZZ_SEEDS trims this too
+/// (capped at 40 so the storm sweeps stay a fraction of the main fuzzer).
+[[nodiscard]] std::uint64_t storm_seed_count() {
+  std::uint64_t seeds = 40;
+  if (const char* env = std::getenv("SCENARIO_FUZZ_SEEDS")) {
+    const std::uint64_t trimmed = std::strtoull(env, nullptr, 10);
+    if (trimmed < seeds) seeds = trimmed;
+  }
+  return seeds;
+}
+
+TEST(ScenarioFuzz, RevocationStormRunsAreShardInvariant) {
+  const std::uint64_t seeds = storm_seed_count();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("revocation storm seed " + std::to_string(seed));
+    ScenarioGenerator gen(seed);
+    const std::string text = gen.generate_revocation_storm();
+    if (std::getenv("SCENARIO_FUZZ_PRINT") != nullptr) {
+      std::fprintf(stderr, "=== revocation storm seed %llu ===\n%s",
+                   static_cast<unsigned long long>(seed), text.c_str());
+    }
+    expect_shard_invariant(text, gen.options(), seed, "revocation storm");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ScenarioFuzz, KeyRotationStormRunsAreShardInvariant) {
+  const std::uint64_t seeds = storm_seed_count();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("key-rotation storm seed " + std::to_string(seed));
+    ScenarioGenerator gen(seed);
+    const std::string text = gen.generate_key_rotation_storm();
+    if (std::getenv("SCENARIO_FUZZ_PRINT") != nullptr) {
+      std::fprintf(stderr, "=== key-rotation storm seed %llu ===\n%s",
+                   static_cast<unsigned long long>(seed), text.c_str());
+    }
+    expect_shard_invariant(text, gen.options(), seed, "key-rotation storm");
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

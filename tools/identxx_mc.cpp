@@ -28,9 +28,13 @@
 //                  bottleneck links in congestion scenarios
 //
 // Congestion knobs mirror identxx_sim: --k-paths, --link-bw, --queue-depth,
-// --traffic.
+// --traffic.  Fault/robustness knobs (DESIGN.md §14) mirror identxx_sim
+// too: --chan-loss, --chan-dup, --chan-delay-us, --max-retries,
+// --retry-jitter-us, --degraded-ttl-us, --probe-delay-us — fault injection
+// draws on the global lane, so faulted runs must stay schedule-invariant.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -49,7 +53,9 @@ void usage() {
                "[--depth D] [--schedules B] [--random N] [--seed S] "
                "[--fault skip_redecide|merge_arrival|none] [--src-only] "
                "[--traffic MODEL] [--k-paths K] [--link-bw MBPS] "
-               "[--queue-depth PKTS] <scenario-file>\n");
+               "[--queue-depth PKTS] [--chan-loss P] [--chan-dup P] "
+               "[--chan-delay-us N] [--max-retries N] [--retry-jitter-us N] "
+               "[--degraded-ttl-us N] [--probe-delay-us N] <scenario-file>\n");
 }
 
 }  // namespace
@@ -124,6 +130,41 @@ int main(int argc, char** argv) {
       const auto n = identxx::util::parse_u64(v);
       if (!n) { usage(); return 1; }
       options.scenario.queue_depth = static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--chan-loss")) {
+      char* end = nullptr;
+      options.scenario.chan_loss = std::strtod(v, &end);
+      if (end == v || *end != '\0' || options.scenario.chan_loss < 0.0 ||
+          options.scenario.chan_loss > 1.0) { usage(); return 1; }
+    } else if (const char* v = flag_value("--chan-dup")) {
+      char* end = nullptr;
+      options.scenario.chan_dup = std::strtod(v, &end);
+      if (end == v || *end != '\0' || options.scenario.chan_dup < 0.0 ||
+          options.scenario.chan_dup > 1.0) { usage(); return 1; }
+    } else if (const char* v = flag_value("--chan-delay-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.scenario.chan_delay =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--max-retries")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.scenario.config.max_query_retries =
+          static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--retry-jitter-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.scenario.config.retry_jitter =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--degraded-ttl-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.scenario.config.degraded_cover_ttl =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--probe-delay-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.scenario.config.readmission_probe_delay =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
     } else if (argv[i][0] == '-') {
       usage();
       return 1;

@@ -23,8 +23,20 @@
 // --k-paths K      equal-cost paths per (src,dst) pair (seeded ECMP)
 // --link-bw MBPS   override every link's bandwidth (0 = declarations)
 // --queue-depth P  bounded per-port switch output queues, in packets
+//
+// Fault / robustness knobs (DESIGN.md §14) — channel overrides replace the
+// scenario's `fault chan` directives; retry knobs override `fault retry`:
+//
+// --chan-loss P        control-channel loss probability on every switch
+// --chan-dup P         control-channel duplication probability
+// --chan-delay-us N    max per-message control-channel delay (drawn 0..N)
+// --max-retries N      re-query budget before the timeout decision
+// --retry-jitter-us N  seeded jitter bound on retry deadlines
+// --degraded-ttl-us N  fail-closed degraded-cover TTL (0 = no degradation)
+// --probe-delay-us N   delay before a degraded flow's re-admission probe
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,7 +52,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: identxx_sim [--shards N] [--workers N] [--seed S] "
                "[--src-only] [--traffic MODEL] [--k-paths K] [--link-bw MBPS] "
-               "[--queue-depth PKTS] <scenario-file>\n");
+               "[--queue-depth PKTS] [--chan-loss P] [--chan-dup P] "
+               "[--chan-delay-us N] [--max-retries N] [--retry-jitter-us N] "
+               "[--degraded-ttl-us N] [--probe-delay-us N] <scenario-file>\n");
 }
 
 }  // namespace
@@ -87,6 +101,40 @@ int main(int argc, char** argv) {
       const auto n = identxx::util::parse_u64(v);
       if (!n) { usage(); return 1; }
       options.queue_depth = static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--chan-loss")) {
+      char* end = nullptr;
+      options.chan_loss = std::strtod(v, &end);
+      if (end == v || *end != '\0' || options.chan_loss < 0.0 ||
+          options.chan_loss > 1.0) { usage(); return 1; }
+    } else if (const char* v = flag_value("--chan-dup")) {
+      char* end = nullptr;
+      options.chan_dup = std::strtod(v, &end);
+      if (end == v || *end != '\0' || options.chan_dup < 0.0 ||
+          options.chan_dup > 1.0) { usage(); return 1; }
+    } else if (const char* v = flag_value("--chan-delay-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.chan_delay =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--max-retries")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.config.max_query_retries = static_cast<std::uint32_t>(*n);
+    } else if (const char* v = flag_value("--retry-jitter-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.config.retry_jitter =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--degraded-ttl-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.config.degraded_cover_ttl =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
+    } else if (const char* v = flag_value("--probe-delay-us")) {
+      const auto n = identxx::util::parse_u64(v);
+      if (!n) { usage(); return 1; }
+      options.config.readmission_probe_delay =
+          static_cast<identxx::sim::SimTime>(*n) * identxx::sim::kMicrosecond;
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
@@ -149,6 +197,23 @@ int main(int argc, char** argv) {
                     result.controller_stats.flows_blocked),
                 static_cast<unsigned long long>(
                     result.controller_stats.query_timeouts));
+    std::printf("robustness: %llu retries, %llu duplicate responses, "
+                "%llu degraded verdicts\n",
+                static_cast<unsigned long long>(
+                    result.controller_stats.query_retries),
+                static_cast<unsigned long long>(
+                    result.controller_stats.duplicate_responses),
+                static_cast<unsigned long long>(
+                    result.controller_stats.degraded_verdicts));
+    const auto& fs = result.fault_stats;
+    if (fs != identxx::core::ScenarioFaultStats{}) {
+      std::printf("faults injected: %llu dropped, %llu duplicated, "
+                  "%llu delayed, %llu queries ignored by down daemons\n",
+                  static_cast<unsigned long long>(fs.chan_dropped),
+                  static_cast<unsigned long long>(fs.chan_duplicated),
+                  static_cast<unsigned long long>(fs.chan_delayed),
+                  static_cast<unsigned long long>(fs.daemon_queries_ignored));
+    }
     const auto& pcs = result.path_cache_stats;
     std::printf("path cache: %llu hits, %llu misses, %llu invalidations\n",
                 static_cast<unsigned long long>(pcs.hits),
