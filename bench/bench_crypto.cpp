@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "crypto/key_tier.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/verifier.hpp"
@@ -98,6 +99,131 @@ void BM_SchnorrVerifyColdKeys(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrVerifyColdKeys);
+
+/// The GLV cold-key floor in isolation: verify_tiered with no tables at
+/// all runs a*G + b*P through the endomorphism split — four half-length
+/// scalar streams on one ~130-double chain (DESIGN.md §15).
+void BM_SchnorrVerifyColdKeyGLV(benchmark::State& state) {
+  struct Case {
+    crypto::PublicKey key;
+    crypto::Signature sig;
+  };
+  std::vector<Case> cases;
+  const std::string message(256, 'm');
+  const auto bytes = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size());
+  for (int i = 0; i < 256; ++i) {
+    const crypto::PrivateKey key =
+        crypto::PrivateKey::from_seed("glv-cold-" + std::to_string(i));
+    cases.push_back(Case{key.public_key(), key.sign(message)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Case& c = cases[i++ % cases.size()];
+    benchmark::DoNotOptimize(crypto::verify_tiered(c.key, /*hot=*/nullptr,
+                                                   /*warm=*/nullptr, bytes,
+                                                   c.sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerifyColdKeyGLV);
+
+/// Batch verification of N distinct attestations from a small principal
+/// pool (a decide_many burst: a handful of daemons attest many flows).
+/// One random-linear-combination MSM settles the whole batch; compare
+/// time/N against BM_SchnorrVerifyPrecomputed for the per-item speedup.
+/// The pool keys register eager-hot (default tier budget) — a decide_many
+/// burst comes from registered daemons, so their key terms ride the
+/// chain-free comb walk and only the 64-bit R-term streams set the shared
+/// doubling-chain length.  A memo of capacity 1 keeps every iteration's
+/// lookups missing.
+void BM_SchnorrBatchVerify(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPrincipals = 4;
+  constexpr std::size_t kBatchPool = 8;
+
+  std::vector<crypto::PrivateKey> keys;
+  for (std::size_t i = 0; i < kPrincipals; ++i) {
+    keys.push_back(crypto::PrivateKey::from_seed("batch-" + std::to_string(i)));
+  }
+  std::vector<std::string> messages;
+  std::vector<std::vector<crypto::SchnorrVerifier::BatchItem>> batches(
+      kBatchPool);
+  messages.reserve(kBatchPool * n);
+  for (std::size_t b = 0; b < kBatchPool; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const crypto::PrivateKey& key = keys[i % keys.size()];
+      messages.push_back("attestation-" + std::to_string(b) + "-" +
+                         std::to_string(i));
+      batches[b].push_back(crypto::SchnorrVerifier::BatchItem{
+          key.public_key(), messages.back(), key.sign(messages.back())});
+    }
+  }
+
+  crypto::SchnorrVerifier verifier(/*memo_capacity=*/1);
+  for (const auto& key : keys) verifier.register_key(key.public_key());
+
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify_batch(batches[b++ % kBatchPool]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchnorrBatchVerify)->Arg(2)->Arg(8)->Arg(64);
+
+/// The key-tier budget sweep: 256 registered principals verified
+/// round-robin under a budget that holds (0) no tables — per-call GLV,
+/// (1) a warm GLV table per key, (2) a hot comb table per key.  The memo
+/// is capacity 1 so every verification runs the group arithmetic.
+void BM_SchnorrVerifyTierSweep(benchmark::State& state) {
+  constexpr std::size_t kKeys = 256;
+  struct Case {
+    crypto::PublicKey key;
+    crypto::Signature sig;
+  };
+  crypto::KeyTierConfig tier_config;
+  switch (state.range(0)) {
+    case 0:
+      tier_config.table_budget_bytes = 0;
+      state.SetLabel("cold");
+      break;
+    case 1:
+      tier_config.table_budget_bytes =
+          kKeys * crypto::KeyTierStore::warm_table_bytes();
+      tier_config.warm_after = 1;
+      tier_config.hot_after = ~0ULL;  // never hot: isolate the warm tier
+      state.SetLabel("warm");
+      break;
+    default:
+      tier_config.table_budget_bytes =
+          kKeys * crypto::KeyTierStore::hot_table_bytes();
+      tier_config.warm_after = 1;
+      tier_config.hot_after = 1;
+      state.SetLabel("hot");
+      break;
+  }
+  crypto::SchnorrVerifier verifier(/*memo_capacity=*/1, tier_config);
+  std::vector<Case> cases;
+  const std::string message(256, 'm');
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const crypto::PrivateKey key =
+        crypto::PrivateKey::from_seed("tier-" + std::to_string(i));
+    verifier.register_key(key.public_key());
+    cases.push_back(Case{key.public_key(), key.sign(message)});
+  }
+  // Pre-warm: every key crosses its promotion threshold before timing.
+  for (const Case& c : cases) {
+    benchmark::DoNotOptimize(verifier.verify(c.key, message, c.sig));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Case& c = cases[i++ % cases.size()];
+    benchmark::DoNotOptimize(verifier.verify(c.key, message, c.sig));
+  }
+  state.counters["table_mb"] =
+      static_cast<double>(verifier.tiers().table_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_SchnorrVerifyTierSweep)->Arg(0)->Arg(1)->Arg(2);
 
 /// The controller-layer verification memo: byte-identical attestations
 /// (retransmissions, one app's flows in a batch) cost a hash + LRU probe.

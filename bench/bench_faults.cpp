@@ -91,6 +91,84 @@ void BM_AdmissionUnderLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_AdmissionUnderLoss)->Arg(0)->Arg(1)->Arg(5)->Arg(20);
 
+/// `clients` senders each drive `flows_per_client` concurrent flows to one
+/// server, and a mid-run `revoke_all` flushes every installed entry while
+/// the whole population is still sending — so the entire flow set storms
+/// back through admission at once.
+std::string storm_scenario(int clients, int flows_per_client) {
+  std::string text =
+      "seed 42\n"
+      "switch s1\n"
+      "switch s2\n"
+      "link s1 s2 10\n"
+      "host server 10.0.1.1 s2\n"
+      "user server www daemons\n"
+      "launch srv server www /usr/sbin/httpd\n"
+      "listen srv 80\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    text += "host c" + n + " 10.0." + std::to_string(2 + i / 200) + "." +
+            std::to_string(10 + i % 200) + " s1\n";
+    text += "user c" + n + " u" + n + " staff\n";
+    text += "launch l" + n + " c" + n + " u" + n + " /usr/bin/load\n";
+  }
+  text += "policy begin\nblock all\n"
+          "pass from any to any port 80 with eq(@dst[userID], www)\n"
+          "policy end\n";
+  for (int i = 0; i < clients; ++i) {
+    const std::string n = std::to_string(i);
+    for (int j = 0; j < flows_per_client; ++j) {
+      const std::string id = "f" + n + "x" + std::to_string(j);
+      text += "flow " + id + " l" + n + " 10.0.1.1 80\n";
+      text += "traffic " + id + " cbr packets=8 rate=2000 payload=128\n";
+    }
+  }
+  // The storm: every flow entry revoked while all flows are mid-stream.
+  text += "control 2000 revoke_all\n";
+  return text;
+}
+
+/// Revocation storm at state.range(0) concurrent flows (up to 10^3): the
+/// whole population re-admits simultaneously.  Tracks how many admissions
+/// the controller absorbed, the mean setup latency across both waves, and
+/// whether goodput survived the flush.
+void BM_RevocationStorm(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int clients = flows / 20;
+  const auto scenario = core::Scenario::parse(storm_scenario(clients, 20));
+  const core::ScenarioOptions options;
+  std::uint64_t sent = 0, delivered = 0, installs = 0, admissions = 0;
+  sim::SimTime setup_total = 0;
+  for (auto _ : state) {
+    const auto result = scenario.run(options);
+    for (const auto& flow : result.flows) {
+      sent += flow.packets_sent;
+      delivered += flow.packets_delivered;
+    }
+    installs += result.controller_stats.entries_installed;
+    for (const auto& record : result.audit_log) {
+      if (!record.allowed) continue;
+      setup_total += record.setup_latency;
+      ++admissions;
+    }
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * flows);
+  state.counters["goodput_pct"] =
+      sent ? 100.0 * static_cast<double>(delivered) / static_cast<double>(sent)
+           : 0;
+  state.counters["admissions"] = static_cast<double>(admissions) / iters;
+  state.counters["installs"] = static_cast<double>(installs) / iters;
+  state.counters["setup_us_mean"] =
+      admissions ? static_cast<double>(setup_total) /
+                       static_cast<double>(admissions) / 1e3
+                 : 0;
+}
+BENCHMARK(BM_RevocationStorm)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

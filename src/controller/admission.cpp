@@ -555,6 +555,14 @@ crypto::SchnorrVerifier* PolicyDecisionEngine::verifier() const noexcept {
   return engine_->registry().verifier().get();
 }
 
+void PolicyDecisionEngine::set_key_table_budget(std::size_t bytes) {
+  if (auto* v = verifier()) {
+    crypto::KeyTierConfig config;
+    config.table_budget_bytes = bytes;
+    v->set_tier_config(config);
+  }
+}
+
 pf::FlowContext PolicyDecisionEngine::make_flow_context(
     const AdmissionContext& ctx) const {
   pf::FlowContext flow_ctx;

@@ -140,6 +140,14 @@ struct ControllerConfig {
   /// way; the flag exists as the §6-style ablation and differential
   /// oracle.  Only PolicyDecisionEngine consults it.
   bool batch_policy_eval = true;
+  /// Byte budget for the PF verifier's per-key acceleration tables
+  /// (crypto::KeyTierConfig::table_budget_bytes): hot keys carry a ~69 KB
+  /// comb table, warm keys a ~1.3 KB GLV table, cold keys verify through
+  /// the table-free GLV path, with promotion by verify frequency
+  /// (DESIGN.md §15).  A fleet-scale shard tracking 10^6 principals caps
+  /// its table memory here while still registering every key.  0 = the
+  /// verifier's default budget.
+  std::size_t key_table_budget_bytes = 0;
   /// Injected determinism mutation (model-checker self-test, DESIGN.md
   /// §13): commit shard-lane verdicts without the control-epoch
   /// re-decision, so a revoke/set_policy landing between dispatch and
@@ -442,6 +450,12 @@ class PolicyDecisionEngine : public DecisionEngine {
   /// applied here by AdmissionController).  Default on.
   void set_batch_eval(bool enabled) noexcept { batch_eval_ = enabled; }
   [[nodiscard]] bool batch_eval() const noexcept { return batch_eval_; }
+
+  /// Cap the verifier's per-key acceleration-table memory
+  /// (ControllerConfig::key_table_budget_bytes is applied here by
+  /// AdmissionController).  Re-seeds already-registered dict keys into the
+  /// new budget; no-op for engines without a verifier.
+  void set_key_table_budget(std::size_t bytes);
 
   [[nodiscard]] const pf::PolicyEngine& policy_engine() const noexcept {
     return *engine_;

@@ -757,6 +757,8 @@ ScenarioResult Scenario::run(const ScenarioOptions& options) const {
     if (handle.dst_node != sim::kInvalidNode) {
       flow_result.packets_delivered =
           net.host(handle.dst_node).delivered_count(handle.flow);
+      flow_result.packets_reordered =
+          net.host(handle.dst_node).reordered_count(handle.flow);
     }
     if (const auto it = expectations_.find(id); it != expectations_.end()) {
       flow_result.expectation_known = true;

@@ -85,6 +85,12 @@ struct ScenarioFlowResult {
   /// worker counts.
   std::uint64_t packets_sent = 1;
   std::uint64_t packets_delivered = 0;
+  /// Deliveries that arrived behind a later-sent packet of this flow
+  /// (sender-stamped sequence below the receiver's high-water mark) — the
+  /// per-flow cost of mid-run path changes, e.g. a `control set_multipath`
+  /// re-pin moving the flow across equal-cost paths of different latency.
+  /// Compared by equivalent_to like the other traffic counters.
+  std::uint64_t packets_reordered = 0;
   bool expectation_known = false;
   bool expected_delivered = false;
 

@@ -1,5 +1,9 @@
 #include "crypto/ec.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <queue>
 #include <vector>
 
 namespace identxx::crypto {
@@ -25,64 +29,111 @@ const U256 kGy{0x9c47d08ffb10d4b8ULL, 0xfd17b448a6855419ULL,
 constexpr std::array<std::uint64_t, 3> kNC{0x402da1732fc9bebfULL,
                                            0x4551231950b75fc4ULL, 1ULL};
 
-/// Multiply a 256-bit value by the 33-bit constant kC and add `addend`;
-/// the result has at most 290 significant bits, returned as 5 limbs.
-void mul_c_add(const U256& a, const U256& addend,
-               std::array<std::uint64_t, 5>& out) noexcept {
-  u128 carry = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 cur = static_cast<u128>(a.w[i]) * kC + addend.w[i] + carry;
-    out[i] = static_cast<std::uint64_t>(cur);
-    carry = cur >> 64;
+// The field layer below is fully unrolled: operand-scanning 4x4 products,
+// two kC folds and one conditional subtraction, with no loops, arrays
+// indexed by variables, or U512 round-trips.  The loop-and-carry generic
+// path (U256::mul_wide + mod) survives in u256.cpp as the differential
+// oracle; the tests sweep these against it.  The unroll roughly halves
+// fp_mul latency, which multiplies through every point operation on the
+// verification hot path.
+
+/// Fold an 8-limb product into [0, p): lo + hi*kC, fold the spill limb,
+/// and subtract p at most once.
+U256 fp_from_wide(const std::uint64_t r0, const std::uint64_t r1,
+                  const std::uint64_t r2, const std::uint64_t r3,
+                  const std::uint64_t r4, const std::uint64_t r5,
+                  const std::uint64_t r6, const std::uint64_t r7) noexcept {
+  // Pass 1: t = L + H*kC (< 2^256 + 2^97, five limbs).
+  std::uint64_t t0;
+  std::uint64_t t1;
+  std::uint64_t t2;
+  std::uint64_t t3;
+  std::uint64_t t4;
+  {
+    u128 c = static_cast<u128>(r4) * kC + r0;
+    t0 = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<u128>(r5) * kC + r1;
+    t1 = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<u128>(r6) * kC + r2;
+    t2 = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<u128>(r7) * kC + r3;
+    t3 = static_cast<std::uint64_t>(c);
+    t4 = static_cast<std::uint64_t>(c >> 64);
   }
-  out[4] = static_cast<std::uint64_t>(carry);
+  // Pass 2: fold the spill limb (t4 <= kC): t4*kC is 66 bits.
+  U256 out;
+  u128 c = static_cast<u128>(t4) * kC + t0;
+  out.w[0] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += t1;
+  out.w[1] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += t2;
+  out.w[2] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += t3;
+  out.w[3] = static_cast<std::uint64_t>(c);
+  if (static_cast<std::uint64_t>(c >> 64) != 0) {
+    // Wrapped past 2^256 (possible only for t within 2^66 of it): the
+    // wrapped value is tiny, so adding kC once finishes the reduction.
+    u128 c2 = static_cast<u128>(out.w[0]) + kC;
+    out.w[0] = static_cast<std::uint64_t>(c2);
+    c2 >>= 64;
+    c2 += out.w[1];
+    out.w[1] = static_cast<std::uint64_t>(c2);
+    c2 >>= 64;
+    c2 += out.w[2];
+    out.w[2] = static_cast<std::uint64_t>(c2);
+    c2 >>= 64;
+    out.w[3] = static_cast<std::uint64_t>(c2 + out.w[3]);
+    return out;
+  }
+  bool ge;
+  if (out.w[3] != kP.w[3]) {
+    ge = out.w[3] > kP.w[3];
+  } else if (out.w[2] != kP.w[2]) {
+    ge = out.w[2] > kP.w[2];
+  } else if (out.w[1] != kP.w[1]) {
+    ge = out.w[1] > kP.w[1];
+  } else {
+    ge = out.w[0] >= kP.w[0];
+  }
+  if (ge) {
+    u128 br = static_cast<u128>(out.w[0]) - kP.w[0];
+    out.w[0] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    br = static_cast<u128>(out.w[1]) - kP.w[1] - static_cast<std::uint64_t>(br);
+    out.w[1] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    br = static_cast<u128>(out.w[2]) - kP.w[2] - static_cast<std::uint64_t>(br);
+    out.w[2] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    out.w[3] = static_cast<std::uint64_t>(
+        static_cast<u128>(out.w[3]) - kP.w[3] - static_cast<std::uint64_t>(br));
+  }
+  return out;
 }
 
-/// Reduce a 512-bit product modulo p.
-U256 fp_reduce(const U512& x) noexcept {
-  // Pass 1: x = H*2^256 + L  ==>  H*kC + L  (< 2^290).
-  std::array<std::uint64_t, 5> t{};
-  mul_c_add(x.high(), x.low(), t);
-
-  // Pass 2: fold the 34 overflow bits: t = t4*2^256 + t_lo ==> t4*kC + t_lo.
-  U256 lo{t[0], t[1], t[2], t[3]};
-  u128 carry = static_cast<u128>(t[4]) * kC;
-  U256 folded;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 cur = static_cast<u128>(lo.w[i]) + static_cast<std::uint64_t>(carry);
-    folded.w[i] = static_cast<std::uint64_t>(cur);
-    carry = (carry >> 64) + (cur >> 64);
-  }
-  // carry here is 0 or 1 (value < 2^256 + 2^98).
-  if (carry != 0) {
-    // Add kC once more for the wrapped 2^256.
-    u128 c2 = kC;
-    for (std::size_t i = 0; i < 4 && c2 != 0; ++i) {
-      const u128 cur = static_cast<u128>(folded.w[i]) + static_cast<std::uint64_t>(c2);
-      folded.w[i] = static_cast<std::uint64_t>(cur);
-      c2 = cur >> 64;
-    }
-  }
-  // Final conditional subtraction.
-  while (U256::cmp(folded, kP) >= 0) {
-    folded = U256::sub(folded, kP).first;
-  }
-  return folded;
-}
-
-/// Width-5 wNAF digit string, least-significant first: digits are zero or
-/// odd in [-15, 15], and any two nonzero digits are at least 5 apart.
-/// `k` must be < n (so the in-place adjustments cannot overflow 256 bits).
-/// Returns the digit count (<= 257).
-unsigned wnaf5(U256 k, std::array<std::int8_t, 257>& digits) noexcept {
+/// Width-w wNAF digit string, least-significant first: digits are zero or
+/// odd in (-2^(w-1), 2^(w-1)), and any two nonzero digits are at least w
+/// apart.  `k` must be < n (so the in-place adjustments cannot overflow
+/// 256 bits).  Returns the digit count (<= 258).  Width 2 is plain NAF
+/// (digits +-1, no table beyond the point itself).
+unsigned wnaf(U256 k, unsigned width, std::array<std::int8_t, 258>& digits) noexcept {
+  const std::uint64_t mask = (1ULL << width) - 1;
+  const std::uint64_t half = 1ULL << (width - 1);
   unsigned len = 0;
   while (!k.is_zero()) {
     std::int8_t d = 0;
     if (k.bit(0)) {
-      const std::uint64_t low = k.w[0] & 31u;
-      if (low >= 16) {
-        d = static_cast<std::int8_t>(static_cast<int>(low) - 32);
-        k = U256::add(k, U256{32u - low}).first;
+      const std::uint64_t low = k.w[0] & mask;
+      if (low >= half) {
+        d = static_cast<std::int8_t>(static_cast<int>(low) -
+                                     static_cast<int>(mask + 1));
+        k = U256::add(k, U256{mask + 1 - low}).first;
       } else {
         d = static_cast<std::int8_t>(low);
         k = U256::sub(k, U256{low}).first;
@@ -92,6 +143,13 @@ unsigned wnaf5(U256 k, std::array<std::int8_t, 257>& digits) noexcept {
     k = k.shr1();
   }
   return len;
+}
+
+/// Flip the sign of every digit: turns the wNAF of |k| into that of -|k|.
+void negate_digits(std::array<std::int8_t, 258>& digits, unsigned len) noexcept {
+  for (unsigned i = 0; i < len; ++i) {
+    digits[i] = static_cast<std::int8_t>(-digits[i]);
+  }
 }
 
 /// Odd multiples {1P, 3P, ..., 15P} in Jacobian coordinates.
@@ -129,6 +187,70 @@ void batch_normalize(const JacobianPoint* points, AffinePoint* out,
   }
 }
 
+/// add-2007-bl, additionally reporting the Z-ratio: Z3 == Z1 * zr.  Used
+/// to build common-Z tables without inversions.  Preconditions: neither
+/// operand is the identity and p != +-q (guaranteed when chaining odd
+/// multiples of a point with prime order).
+JacobianPoint ec_add_zr(const JacobianPoint& p, const JacobianPoint& q,
+                        U256& zr) noexcept {
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 z2z2 = fp_sqr(q.z);
+  const U256 u1 = fp_mul(p.x, z2z2);
+  const U256 u2 = fp_mul(q.x, z1z1);
+  const U256 s1 = fp_mul(fp_mul(p.y, q.z), z2z2);
+  const U256 s2 = fp_mul(fp_mul(q.y, p.z), z1z1);
+  const U256 h = fp_sub(u2, u1);
+  U256 i = fp_add(h, h);
+  i = fp_sqr(i);
+  const U256 j = fp_mul(h, i);
+  U256 r = fp_sub(s2, s1);
+  r = fp_add(r, r);
+  const U256 v = fp_mul(u1, i);
+  const U256 x3 = fp_sub(fp_sub(fp_sqr(r), j), fp_add(v, v));
+  U256 s1j = fp_mul(s1, j);
+  s1j = fp_add(s1j, s1j);
+  const U256 y3 = fp_sub(fp_mul(r, fp_sub(v, x3)), s1j);
+  // Z3 = 2*Z1*Z2*H, so the ratio Z3/Z1 is 2*Z2*H.
+  zr = fp_mul(fp_add(q.z, q.z), h);
+  return JacobianPoint{x3, y3, fp_mul(p.z, zr)};
+}
+
+/// Odd multiples {1P, 3P, ..., 15P} expressed over ONE common denominator
+/// `z_common`, with no field inversion: entry i holds (X_i, Y_i) such that
+/// the true point is (X_i / z_common^2, Y_i / z_common^3).  The entries
+/// behave exactly like affine points under the a = 0 group law (the
+/// formulas never reference the curve constant b): the walk effectively
+/// runs on the isomorphic curve where z_common is 1, and the caller maps
+/// the result back by multiplying its Z by z_common.  This is what turns
+/// every variable-base addition in the GLV walk into a *mixed* addition.
+/// Precondition: p is on the curve and not the identity.
+std::array<AffinePoint, 8> odd_multiples_common_z(const AffinePoint& p,
+                                                  U256& z_common) noexcept {
+  std::array<JacobianPoint, 8> jac;
+  std::array<U256, 8> zr;  // jac[i].z == jac[i-1].z * zr[i]
+  jac[0] = JacobianPoint::from_affine(p);
+  const JacobianPoint p2 = ec_double(jac[0]);
+  for (std::size_t i = 1; i < jac.size(); ++i) {
+    jac[i] = ec_add_zr(jac[i - 1], p2, zr[i]);
+  }
+  z_common = jac[7].z;
+  std::array<AffinePoint, 8> out;
+  out[7] = AffinePoint{jac[7].x, jac[7].y, false};
+  U256 s{1};  // z_common / jac[i].z, accumulated walking backwards
+  for (int i = 6; i >= 0; --i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    s = fp_mul(s, zr[idx + 1]);
+    const U256 s2 = fp_sqr(s);
+    out[idx] = AffinePoint{fp_mul(jac[idx].x, s2),
+                           fp_mul(jac[idx].y, fp_mul(s2, s)), false};
+  }
+  return out;
+}
+
+/// psi applied entry-wise to a (common-Z) affine table: x -> beta*x.
+std::array<AffinePoint, 8> endo_table_affine(
+    const std::array<AffinePoint, 8>& tab) noexcept;
+
 /// Shared affine odd multiples {1G, 3G, ..., 15G} for the Shamir pass.
 const std::array<AffinePoint, 8>& generator_odd_multiples() {
   static const std::array<AffinePoint, 8> tab = [] {
@@ -140,6 +262,218 @@ const std::array<AffinePoint, 8>& generator_odd_multiples() {
   return tab;
 }
 
+// ---- GLV internals ----
+
+/// GLV constants: beta, lambda and the lattice basis (a1, b1), (a2, b2)
+/// with b2 == a1 and a2 == a1 - b1 are the published secp256k1 values; the
+/// rounding constants g1 = round(2^384*b2/n), g2 = round(2^384*(-b1)/n)
+/// are DERIVED here by exact division, so a transcription error in them is
+/// impossible (errors in the basis itself fail the differential sweeps).
+struct GlvConsts {
+  U256 lambda;    ///< cube root of 1 mod n
+  U256 beta;      ///< cube root of 1 mod p
+  U256 a1;        ///< == b2
+  U256 minus_b1;  ///< -b1 (b1 is negative in the reduced basis)
+  U256 a2;        ///< == a1 + (-b1)
+  U256 g1;
+  U256 g2;
+  U256 half_n;
+};
+
+const GlvConsts& glv_consts() {
+  static const GlvConsts consts = [] {
+    GlvConsts c;
+    c.lambda = U256{0xdf02967c1b23bd72ULL, 0x122e22ea20816678ULL,
+                    0xa5261c028812645aULL, 0x5363ad4cc05c30e0ULL};
+    c.beta = U256{0xc1396c28719501eeULL, 0x9cf0497512f58995ULL,
+                  0x6e64479eac3434e9ULL, 0x7ae96a2b657c0710ULL};
+    c.a1 = U256{0xe86c90e49284eb15ULL, 0x3086d221a7d46bcdULL, 0, 0};
+    c.minus_b1 = U256{0x6f547fa90abfe4c3ULL, 0xe4437ed6010e8828ULL, 0, 0};
+    c.a2 = U256::add(c.a1, c.minus_b1).first;
+    U512 num{};  // b2 << 384
+    num.w[6] = c.a1.w[0];
+    num.w[7] = c.a1.w[1];
+    c.g1 = div_round(num, kN);
+    num = U512{};  // (-b1) << 384
+    num.w[6] = c.minus_b1.w[0];
+    num.w[7] = c.minus_b1.w[1];
+    c.g2 = div_round(num, kN);
+    c.half_n = kN.shr1();
+    return c;
+  }();
+  return consts;
+}
+
+/// round(a * b / 2^384): the only multi-precision step of the split.
+U256 mul_shift_384(const U256& a, const U256& b) noexcept {
+  const U512 prod = U256::mul_wide(a, b);
+  U256 q{prod.w[6], prod.w[7], 0, 0};
+  if (prod.w[5] >> 63) q = U256::add(q, U256{1}).first;
+  return q;
+}
+
+/// psi applied entry-wise to a Jacobian table: (X, Y, Z) -> (beta*X, Y, Z),
+/// since x = X/Z^2 maps to beta*X/Z^2.
+std::array<JacobianPoint, 8> endo_table(
+    const std::array<JacobianPoint, 8>& tab) noexcept {
+  const U256& beta = glv_consts().beta;
+  std::array<JacobianPoint, 8> out;
+  for (std::size_t i = 0; i < tab.size(); ++i) {
+    out[i] = tab[i].is_identity()
+                 ? tab[i]
+                 : JacobianPoint{fp_mul(tab[i].x, beta), tab[i].y, tab[i].z};
+  }
+  return out;
+}
+
+std::array<AffinePoint, 8> endo_table_affine(
+    const std::array<AffinePoint, 8>& tab) noexcept {
+  const U256& beta = glv_consts().beta;
+  std::array<AffinePoint, 8> out;
+  for (std::size_t i = 0; i < tab.size(); ++i) {
+    out[i] = tab[i].infinity
+                 ? tab[i]
+                 : AffinePoint{fp_mul(tab[i].x, beta), tab[i].y, false};
+  }
+  return out;
+}
+
+/// Static width-8 tables {1, 3, ..., 127} * G and psi of each: the G-side
+/// streams of every GLV verification walk these (64 + 64 affine points,
+/// ~8 KB, built once per process).  Width 8 is the int8_t digit ceiling.
+constexpr unsigned kGlvGenWidth = 8;
+constexpr unsigned kGlvGenEntries = 1u << (kGlvGenWidth - 2);
+
+struct GlvGenTables {
+  std::array<AffinePoint, kGlvGenEntries> g;
+  std::array<AffinePoint, kGlvGenEntries> psi;
+};
+
+const GlvGenTables& glv_generator_tables() {
+  static const GlvGenTables tabs = [] {
+    std::vector<JacobianPoint> jac(kGlvGenEntries);
+    jac[0] = JacobianPoint::from_affine(AffinePoint::generator());
+    const JacobianPoint g2 = ec_double(jac[0]);
+    for (std::size_t i = 1; i < jac.size(); ++i) {
+      jac[i] = ec_add(jac[i - 1], g2);
+    }
+    GlvGenTables t;
+    batch_normalize(jac.data(), t.g.data(), jac.size());
+    for (std::size_t i = 0; i < t.g.size(); ++i) {
+      t.psi[i] = ec_endomorphism(t.g[i]);
+    }
+    return t;
+  }();
+  return tabs;
+}
+
+/// One signed-wNAF digit stream over a table of odd multiples (affine ->
+/// mixed additions, Jacobian -> full additions).
+struct DigitStreamA {
+  const AffinePoint* tab;
+  const std::array<std::int8_t, 258>* d;
+  unsigned len;
+  /// When set, entries are lifted onto the iso-curve of a common-Z table
+  /// sharing the walk: (x, y) -> (x * lift_z2, y * lift_z3) where the
+  /// lifts are z_common^2 and z_common^3.  Two extra multiplications per
+  /// addition — far cheaper than full Jacobian adds for the other streams.
+  const U256* lift_z2 = nullptr;
+  const U256* lift_z3 = nullptr;
+};
+struct DigitStreamJ {
+  const JacobianPoint* tab;
+  const std::array<std::int8_t, 258>* d;
+  unsigned len;
+};
+
+/// The shared Strauss walk: ONE doubling chain as long as the longest
+/// stream, every stream contributing its digit additions along the way.
+JacobianPoint wnaf_walk(const DigitStreamA* as, std::size_t na,
+                        const DigitStreamJ* js, std::size_t nj) noexcept {
+  unsigned len = 0;
+  for (std::size_t s = 0; s < na; ++s) len = std::max(len, as[s].len);
+  for (std::size_t s = 0; s < nj; ++s) len = std::max(len, js[s].len);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = static_cast<int>(len) - 1; i >= 0; --i) {
+    acc = ec_double(acc);
+    const std::size_t idx = static_cast<std::size_t>(i);
+    for (std::size_t s = 0; s < na; ++s) {
+      if (idx >= as[s].len) continue;
+      const int d = (*as[s].d)[idx];
+      if (d == 0) continue;
+      AffinePoint e = as[s].tab[static_cast<std::size_t>((std::abs(d) - 1) / 2)];
+      if (as[s].lift_z2 != nullptr) {
+        e = AffinePoint{fp_mul(e.x, *as[s].lift_z2),
+                        fp_mul(e.y, *as[s].lift_z3), false};
+      }
+      acc = ec_add_mixed(acc, d > 0 ? e : ec_negate(e));
+    }
+    for (std::size_t s = 0; s < nj; ++s) {
+      if (idx >= js[s].len) continue;
+      const int d = (*js[s].d)[idx];
+      if (d > 0) {
+        acc = ec_add(acc, js[s].tab[static_cast<std::size_t>((d - 1) / 2)]);
+      } else if (d < 0) {
+        acc = ec_add(acc,
+                     ec_negate(js[s].tab[static_cast<std::size_t>((-d - 1) / 2)]));
+      }
+    }
+  }
+  return acc;
+}
+
+/// Below this many short terms, independent NAF streams on the shared
+/// doubling chain are cheaper than Bos–Coster's full Jacobian additions
+/// (mixed adds win until the ~b/lg N step count pulls ahead).
+constexpr std::size_t kBosCosterMin = 16;
+
+/// Sum of k_i * P_i for nonzero 64-bit scalars by Bos–Coster reduction:
+/// pop the two largest terms (k1, P1) >= (k2, P2) and replace them with
+/// (k1 - k2, P1), (k2, P1 + P2) — one point addition per step, no
+/// doubling chain and no recoding.  Uniform 64-bit coefficients (the
+/// batch-verification z's) settle in ~b/lg N additions per term: ~12 at
+/// N = 64 against ~22 for independent width-2 NAF streams.  A ratio
+/// guard peels degenerate stragglers (k1 >= 32 k2) by double-and-add so
+/// a skewed scalar spread cannot blow up the step count.
+JacobianPoint bos_coster(
+    std::vector<std::pair<std::uint64_t, JacobianPoint>> terms) noexcept {
+  JacobianPoint acc = JacobianPoint::identity();
+  const auto peel = [&acc](std::uint64_t k, const JacobianPoint& p) {
+    JacobianPoint r = JacobianPoint::identity();
+    for (int b = 63 - std::countl_zero(k); b >= 0; --b) {
+      r = ec_double(r);
+      if ((k >> b) & 1) r = ec_add(r, p);
+    }
+    acc = ec_add(acc, r);
+  };
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  entries.reserve(terms.size());
+  for (std::uint32_t i = 0; i < terms.size(); ++i) {
+    entries.emplace_back(terms[i].first, i);
+  }
+  // Heapify in O(n) instead of n log-pushes.
+  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>> heap(
+      std::less<std::pair<std::uint64_t, std::uint32_t>>{}, std::move(entries));
+  while (!heap.empty()) {
+    const auto [k1, i1] = heap.top();
+    heap.pop();
+    if (heap.empty()) {
+      peel(k1, terms[i1].second);
+      break;
+    }
+    const auto [k2, i2] = heap.top();
+    if (k1 / k2 >= 32) {
+      peel(k1, terms[i1].second);
+      continue;
+    }
+    // (k2, i2) stays in the heap untouched — its key does not change, only
+    // the point behind i2, so a peek (no pop/re-push) suffices.
+    terms[i2].second = ec_add(terms[i2].second, terms[i1].second);
+    if (k1 - k2 != 0) heap.emplace(k1 - k2, i1);
+  }
+  return acc;
+}
+
 }  // namespace
 
 const U256& Secp256k1::p() noexcept { return kP; }
@@ -148,18 +482,190 @@ const U256& Secp256k1::gx() noexcept { return kGx; }
 const U256& Secp256k1::gy() noexcept { return kGy; }
 
 U256 fp_add(const U256& a, const U256& b) noexcept {
-  return add_mod(a, b, kP);
+  U256 out;
+  u128 c = static_cast<u128>(a.w[0]) + b.w[0];
+  out.w[0] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a.w[1]) + b.w[1];
+  out.w[1] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a.w[2]) + b.w[2];
+  out.w[2] = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a.w[3]) + b.w[3];
+  out.w[3] = static_cast<std::uint64_t>(c);
+  bool ge = static_cast<std::uint64_t>(c >> 64) != 0;
+  if (!ge) {
+    if (out.w[3] != kP.w[3]) {
+      ge = out.w[3] > kP.w[3];
+    } else if (out.w[2] != kP.w[2]) {
+      ge = out.w[2] > kP.w[2];
+    } else if (out.w[1] != kP.w[1]) {
+      ge = out.w[1] > kP.w[1];
+    } else {
+      ge = out.w[0] >= kP.w[0];
+    }
+  }
+  if (ge) {
+    u128 br = static_cast<u128>(out.w[0]) - kP.w[0];
+    out.w[0] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    br = static_cast<u128>(out.w[1]) - kP.w[1] - static_cast<std::uint64_t>(br);
+    out.w[1] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    br = static_cast<u128>(out.w[2]) - kP.w[2] - static_cast<std::uint64_t>(br);
+    out.w[2] = static_cast<std::uint64_t>(br);
+    br = (br >> 64) & 1;
+    out.w[3] = static_cast<std::uint64_t>(
+        static_cast<u128>(out.w[3]) - kP.w[3] - static_cast<std::uint64_t>(br));
+  }
+  return out;
 }
 
 U256 fp_sub(const U256& a, const U256& b) noexcept {
-  return sub_mod(a, b, kP);
+  U256 out;
+  u128 br = static_cast<u128>(a.w[0]) - b.w[0];
+  out.w[0] = static_cast<std::uint64_t>(br);
+  br = (br >> 64) & 1;
+  br = static_cast<u128>(a.w[1]) - b.w[1] - static_cast<std::uint64_t>(br);
+  out.w[1] = static_cast<std::uint64_t>(br);
+  br = (br >> 64) & 1;
+  br = static_cast<u128>(a.w[2]) - b.w[2] - static_cast<std::uint64_t>(br);
+  out.w[2] = static_cast<std::uint64_t>(br);
+  br = (br >> 64) & 1;
+  br = static_cast<u128>(a.w[3]) - b.w[3] - static_cast<std::uint64_t>(br);
+  out.w[3] = static_cast<std::uint64_t>(br);
+  if (((br >> 64) & 1) != 0) {
+    u128 c = static_cast<u128>(out.w[0]) + kP.w[0];
+    out.w[0] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<u128>(out.w[1]) + kP.w[1];
+    out.w[1] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    c += static_cast<u128>(out.w[2]) + kP.w[2];
+    out.w[2] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+    out.w[3] = static_cast<std::uint64_t>(c + out.w[3] + kP.w[3]);
+  }
+  return out;
 }
 
 U256 fp_mul(const U256& a, const U256& b) noexcept {
-  return fp_reduce(U256::mul_wide(a, b));
+  const std::uint64_t a0 = a.w[0], a1 = a.w[1], a2 = a.w[2], a3 = a.w[3];
+  const std::uint64_t b0 = b.w[0], b1 = b.w[1], b2 = b.w[2], b3 = b.w[3];
+  std::uint64_t r0, r1, r2, r3, r4, r5, r6, r7;
+  u128 c = static_cast<u128>(a0) * b0;
+  r0 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a0) * b1;
+  std::uint64_t t1 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a0) * b2;
+  std::uint64_t t2 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a0) * b3;
+  std::uint64_t t3 = static_cast<std::uint64_t>(c);
+  std::uint64_t t4 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(t1) + static_cast<u128>(a1) * b0;
+  r1 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t2) + static_cast<u128>(a1) * b1;
+  t2 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t3) + static_cast<u128>(a1) * b2;
+  t3 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t4) + static_cast<u128>(a1) * b3;
+  t4 = static_cast<std::uint64_t>(c);
+  std::uint64_t t5 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(t2) + static_cast<u128>(a2) * b0;
+  r2 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t3) + static_cast<u128>(a2) * b1;
+  t3 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t4) + static_cast<u128>(a2) * b2;
+  t4 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t5) + static_cast<u128>(a2) * b3;
+  t5 = static_cast<std::uint64_t>(c);
+  std::uint64_t t6 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(t3) + static_cast<u128>(a3) * b0;
+  r3 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t4) + static_cast<u128>(a3) * b1;
+  r4 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t5) + static_cast<u128>(a3) * b2;
+  r5 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(t6) + static_cast<u128>(a3) * b3;
+  r6 = static_cast<std::uint64_t>(c);
+  r7 = static_cast<std::uint64_t>(c >> 64);
+  return fp_from_wide(r0, r1, r2, r3, r4, r5, r6, r7);
 }
 
-U256 fp_sqr(const U256& a) noexcept { return fp_mul(a, a); }
+U256 fp_sqr(const U256& a) noexcept {
+  const std::uint64_t a0 = a.w[0], a1 = a.w[1], a2 = a.w[2], a3 = a.w[3];
+  // Off-diagonal columns (each product once): d1..d6 hold columns 1..6.
+  u128 c = static_cast<u128>(a0) * a1;
+  std::uint64_t d1 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a0) * a2;
+  std::uint64_t d2 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  // Column 3 has two products; accumulate them with separate carries so
+  // the u128 cannot overflow.
+  c += static_cast<u128>(a0) * a3;
+  std::uint64_t d3 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  u128 c2 = static_cast<u128>(d3) + static_cast<u128>(a1) * a2;
+  d3 = static_cast<std::uint64_t>(c2);
+  c += c2 >> 64;
+  c += static_cast<u128>(a1) * a3;
+  std::uint64_t d4 = static_cast<std::uint64_t>(c);
+  c >>= 64;
+  c += static_cast<u128>(a2) * a3;
+  std::uint64_t d5 = static_cast<std::uint64_t>(c);
+  std::uint64_t d6 = static_cast<std::uint64_t>(c >> 64);
+
+  // r = 2 * offdiag + diagonals.
+  std::uint64_t r0, r1, r2, r3, r4, r5, r6, r7;
+  const std::uint64_t e1 = d1 << 1;
+  const std::uint64_t e2 = (d2 << 1) | (d1 >> 63);
+  const std::uint64_t e3 = (d3 << 1) | (d2 >> 63);
+  const std::uint64_t e4 = (d4 << 1) | (d3 >> 63);
+  const std::uint64_t e5 = (d5 << 1) | (d4 >> 63);
+  const std::uint64_t e6 = (d6 << 1) | (d5 >> 63);
+  const std::uint64_t e7 = d6 >> 63;
+
+  u128 s = static_cast<u128>(a0) * a0;
+  r0 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += e1;
+  r1 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += static_cast<u128>(a1) * a1 + e2;
+  r2 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += e3;
+  r3 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += static_cast<u128>(a2) * a2 + e4;
+  r4 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += e5;
+  r5 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  s += static_cast<u128>(a3) * a3 + e6;
+  r6 = static_cast<std::uint64_t>(s);
+  s >>= 64;
+  r7 = static_cast<std::uint64_t>(s + e7);
+  return fp_from_wide(r0, r1, r2, r3, r4, r5, r6, r7);
+}
 
 U256 fp_inv(const U256& a) noexcept {
   // Fermat: a^(p-2).  Square-and-multiply with the fast field multiply.
@@ -182,6 +688,7 @@ U256 sn_reduce(const U512& x) noexcept {
     const std::array<std::uint64_t, 4> hi{t[4], t[5], t[6], t[7]};
     std::array<std::uint64_t, 8> acc{t[0], t[1], t[2], t[3], 0, 0, 0, 0};
     for (std::size_t i = 0; i < 4; ++i) {
+      if (hi[i] == 0) continue;  // 320-bit inputs skip 3 of 4 limb rows
       u128 carry = 0;
       for (std::size_t j = 0; j < 3; ++j) {
         const u128 cur =
@@ -216,6 +723,20 @@ U256 sn_sub(const U256& a, const U256& b) noexcept {
 }
 
 U256 sn_mul(const U256& a, const U256& b) noexcept {
+  if ((b.w[1] | b.w[2] | b.w[3]) == 0) {
+    // 256 x 64 (the batch RLC coefficients): four products instead of the
+    // full school-book multiply.
+    const std::uint64_t k = b.w[0];
+    U512 p{};
+    u128 c = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      c += static_cast<u128>(a.w[i]) * k;
+      p.w[i] = static_cast<std::uint64_t>(c);
+      c >>= 64;
+    }
+    p.w[4] = static_cast<std::uint64_t>(c);
+    return sn_reduce(p);
+  }
   return sn_reduce(U256::mul_wide(a, b));
 }
 
@@ -267,6 +788,11 @@ JacobianPoint ec_double(const JacobianPoint& p) noexcept {
 JacobianPoint ec_add(const JacobianPoint& p, const JacobianPoint& q) noexcept {
   if (p.is_identity()) return q;
   if (q.is_identity()) return p;
+  // An affine operand (Z == 1) takes the cheaper mixed formulas — common
+  // when freshly-lifted points feed a reduction (Bos–Coster sources).
+  const U256 one{1};
+  if (q.z == one) return ec_add_mixed(p, AffinePoint{q.x, q.y, false});
+  if (p.z == one) return ec_add_mixed(q, AffinePoint{p.x, p.y, false});
   // add-2007-bl formulas.
   const U256 z1z1 = fp_sqr(p.z);
   const U256 z2z2 = fp_sqr(q.z);
@@ -328,8 +854,8 @@ JacobianPoint ec_mul(const U256& k, const AffinePoint& p) noexcept {
   const U256 kr = sn_reduce(k);
   if (kr.is_zero()) return JacobianPoint::identity();
   const std::array<JacobianPoint, 8> tab = odd_multiples(p);
-  std::array<std::int8_t, 257> digits;
-  const unsigned len = wnaf5(kr, digits);
+  std::array<std::int8_t, 258> digits;
+  const unsigned len = wnaf(kr, 5, digits);
   JacobianPoint acc = JacobianPoint::identity();
   for (int i = static_cast<int>(len) - 1; i >= 0; --i) {
     acc = ec_double(acc);
@@ -406,10 +932,10 @@ JacobianPoint ec_mul_add(const U256& a, const U256& b,
 
   const std::array<AffinePoint, 8>& g_tab = generator_odd_multiples();
   const std::array<JacobianPoint, 8> p_tab = odd_multiples(p);
-  std::array<std::int8_t, 257> da;
-  std::array<std::int8_t, 257> db;
-  const unsigned la = wnaf5(ar, da);
-  const unsigned lb = wnaf5(br, db);
+  std::array<std::int8_t, 258> da;
+  std::array<std::int8_t, 258> db;
+  const unsigned la = wnaf(ar, 5, da);
+  const unsigned lb = wnaf(br, 5, db);
   const unsigned len = la > lb ? la : lb;
 
   JacobianPoint acc = JacobianPoint::identity();
@@ -467,6 +993,264 @@ AffinePoint ec_negate(const AffinePoint& p) noexcept {
 JacobianPoint ec_negate(const JacobianPoint& p) noexcept {
   if (p.is_identity()) return p;
   return JacobianPoint{p.x, fp_sub(U256{}, p.y), p.z};
+}
+
+bool ec_equals(const JacobianPoint& p, const JacobianPoint& q) noexcept {
+  if (p.is_identity() || q.is_identity()) {
+    return p.is_identity() == q.is_identity();
+  }
+  // X1/Z1^2 == X2/Z2^2 and Y1/Z1^3 == Y2/Z2^3, cross-multiplied.
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 z2z2 = fp_sqr(q.z);
+  if (fp_mul(p.x, z2z2) != fp_mul(q.x, z1z1)) return false;
+  return fp_mul(p.y, fp_mul(z2z2, q.z)) == fp_mul(q.y, fp_mul(z1z1, p.z));
+}
+
+// ---- GLV ----
+
+const U256& Glv::lambda() noexcept { return glv_consts().lambda; }
+const U256& Glv::beta() noexcept { return glv_consts().beta; }
+
+GlvSplit glv_split(const U256& k) noexcept {
+  const GlvConsts& c = glv_consts();
+  // Babai rounding: c1 ~ b2*k/n, c2 ~ -b1*k/n, then
+  //   k1 = k - c1*a1 - c2*a2,  k2 = -c1*b1 - c2*b2   (mod n),
+  // both guaranteed ~sqrt(n) by the basis reduction (+-2 rounding slack).
+  const U256 c1 = mul_shift_384(k, c.g1);
+  const U256 c2 = mul_shift_384(k, c.g2);
+  U256 k1 = sn_sub(k, sn_add(sn_mul(c1, c.a1), sn_mul(c2, c.a2)));
+  U256 k2 = sn_sub(sn_mul(c1, c.minus_b1), sn_mul(c2, c.a1));
+  GlvSplit out;
+  out.neg1 = U256::cmp(k1, c.half_n) > 0;
+  out.k1 = out.neg1 ? U256::sub(kN, k1).first : k1;
+  out.neg2 = U256::cmp(k2, c.half_n) > 0;
+  out.k2 = out.neg2 ? U256::sub(kN, k2).first : k2;
+  return out;
+}
+
+AffinePoint ec_endomorphism(const AffinePoint& p) noexcept {
+  if (p.infinity) return p;
+  return AffinePoint{fp_mul(p.x, glv_consts().beta), p.y, false};
+}
+
+JacobianPoint ec_mul_glv(const U256& k, const AffinePoint& p) noexcept {
+  if (p.infinity) return JacobianPoint::identity();
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero()) return JacobianPoint::identity();
+  const GlvSplit s = glv_split(kr);
+  U256 zc;
+  const std::array<AffinePoint, 8> ptab = odd_multiples_common_z(p, zc);
+  const std::array<AffinePoint, 8> psitab = endo_table_affine(ptab);
+  std::array<std::int8_t, 258> d1;
+  std::array<std::int8_t, 258> d2;
+  const unsigned l1 = wnaf(s.k1, 5, d1);
+  const unsigned l2 = wnaf(s.k2, 5, d2);
+  if (s.neg1) negate_digits(d1, l1);
+  if (s.neg2) negate_digits(d2, l2);
+  const DigitStreamA as[2] = {{ptab.data(), &d1, l1},
+                              {psitab.data(), &d2, l2}};
+  JacobianPoint acc = wnaf_walk(as, 2, nullptr, 0);
+  acc.z = fp_mul(acc.z, zc);  // leave the iso-curve (identity: z stays 0)
+  return acc;
+}
+
+JacobianPoint ec_mul_add_glv(const U256& a, const U256& b,
+                             const AffinePoint& p) noexcept {
+  if (p.infinity || sn_reduce(b).is_zero()) return ec_mul_base(a);
+  const U256 ar = sn_reduce(a);
+  const U256 br = sn_reduce(b);
+  if (ar.is_zero()) return ec_mul_glv(br, p);
+
+  const GlvGenTables& gt = glv_generator_tables();
+  const GlvSplit sa = glv_split(ar);
+  const GlvSplit sb = glv_split(br);
+  U256 zc;
+  const std::array<AffinePoint, 8> ptab = odd_multiples_common_z(p, zc);
+  const std::array<AffinePoint, 8> psitab = endo_table_affine(ptab);
+  const U256 zc2 = fp_sqr(zc);
+  const U256 zc3 = fp_mul(zc2, zc);
+  std::array<std::int8_t, 258> da1;
+  std::array<std::int8_t, 258> da2;
+  std::array<std::int8_t, 258> db1;
+  std::array<std::int8_t, 258> db2;
+  const unsigned la1 = wnaf(sa.k1, kGlvGenWidth, da1);
+  const unsigned la2 = wnaf(sa.k2, kGlvGenWidth, da2);
+  const unsigned lb1 = wnaf(sb.k1, 5, db1);
+  const unsigned lb2 = wnaf(sb.k2, 5, db2);
+  if (sa.neg1) negate_digits(da1, la1);
+  if (sa.neg2) negate_digits(da2, la2);
+  if (sb.neg1) negate_digits(db1, lb1);
+  if (sb.neg2) negate_digits(db2, lb2);
+  // The P table carries a common denominator; the static G tables are
+  // lifted onto the same iso-curve digit-by-digit (+2 muls per addition),
+  // so every addition on the chain is mixed.
+  const DigitStreamA as[4] = {{gt.g.data(), &da1, la1, &zc2, &zc3},
+                              {gt.psi.data(), &da2, la2, &zc2, &zc3},
+                              {ptab.data(), &db1, lb1},
+                              {psitab.data(), &db2, lb2}};
+  JacobianPoint acc = wnaf_walk(as, 4, nullptr, 0);
+  acc.z = fp_mul(acc.z, zc);  // leave the iso-curve (identity: z stays 0)
+  return acc;
+}
+
+GlvTable::GlvTable(const AffinePoint& base) : base_(base) {
+  const std::array<JacobianPoint, 8> jac = odd_multiples(base);
+  batch_normalize(jac.data(), tab_.data(), jac.size());
+  for (std::size_t i = 0; i < tab_.size(); ++i) {
+    psi_[i] = ec_endomorphism(tab_[i]);
+  }
+}
+
+JacobianPoint GlvTable::mul_add_base(const U256& a,
+                                     const U256& b) const noexcept {
+  if (base_.infinity || sn_reduce(b).is_zero()) return ec_mul_base(a);
+  const U256 ar = sn_reduce(a);
+  const U256 br = sn_reduce(b);
+  if (ar.is_zero()) return mul(br);
+
+  const GlvGenTables& gt = glv_generator_tables();
+  const GlvSplit sa = glv_split(ar);
+  const GlvSplit sb = glv_split(br);
+  std::array<std::int8_t, 258> da1;
+  std::array<std::int8_t, 258> da2;
+  std::array<std::int8_t, 258> db1;
+  std::array<std::int8_t, 258> db2;
+  const unsigned la1 = wnaf(sa.k1, kGlvGenWidth, da1);
+  const unsigned la2 = wnaf(sa.k2, kGlvGenWidth, da2);
+  const unsigned lb1 = wnaf(sb.k1, 5, db1);
+  const unsigned lb2 = wnaf(sb.k2, 5, db2);
+  if (sa.neg1) negate_digits(da1, la1);
+  if (sa.neg2) negate_digits(da2, la2);
+  if (sb.neg1) negate_digits(db1, lb1);
+  if (sb.neg2) negate_digits(db2, lb2);
+  const DigitStreamA as[4] = {{gt.g.data(), &da1, la1},
+                              {gt.psi.data(), &da2, la2},
+                              {tab_.data(), &db1, lb1},
+                              {psi_.data(), &db2, lb2}};
+  return wnaf_walk(as, 4, nullptr, 0);
+}
+
+JacobianPoint GlvTable::mul(const U256& k) const noexcept {
+  if (base_.infinity) return JacobianPoint::identity();
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero()) return JacobianPoint::identity();
+  const GlvSplit s = glv_split(kr);
+  std::array<std::int8_t, 258> d1;
+  std::array<std::int8_t, 258> d2;
+  const unsigned l1 = wnaf(s.k1, 5, d1);
+  const unsigned l2 = wnaf(s.k2, 5, d2);
+  if (s.neg1) negate_digits(d1, l1);
+  if (s.neg2) negate_digits(d2, l2);
+  const DigitStreamA as[2] = {{tab_.data(), &d1, l1}, {psi_.data(), &d2, l2}};
+  return wnaf_walk(as, 2, nullptr, 0);
+}
+
+// ---- EcMsm ----
+
+void EcMsm::push_stream(const AffinePoint* atab, const JacobianPoint* jtab,
+                        const U256& k, unsigned width, bool negate) {
+  Stream s;
+  s.atab = atab;
+  s.jtab = jtab;
+  s.len = wnaf(k, width, s.d);
+  if (negate) negate_digits(s.d, s.len);
+  if (s.len != 0) streams_.push_back(std::move(s));
+}
+
+void EcMsm::add_base(const U256& k) {
+  base_scalar_ = sn_add(base_scalar_, sn_reduce(k));
+}
+
+void EcMsm::add_comb(const FixedBaseTable& table, const U256& k) {
+  const U256 kr = sn_reduce(k);
+  if (!kr.is_zero()) combs_.emplace_back(&table, kr);
+}
+
+void EcMsm::add_glv(const GlvTable& table, const U256& k) {
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero() || table.base_.infinity) return;
+  const GlvSplit s = glv_split(kr);
+  push_stream(table.tab_.data(), nullptr, s.k1, 5, s.neg1);
+  push_stream(table.psi_.data(), nullptr, s.k2, 5, s.neg2);
+}
+
+void EcMsm::add_glv(const AffinePoint& p, const U256& k) {
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero() || p.infinity) return;
+  const GlvSplit s = glv_split(kr);
+  owned_jac_.push_back(odd_multiples(p));
+  const JacobianPoint* ptab = owned_jac_.back().data();
+  owned_jac_.push_back(endo_table(owned_jac_.back()));
+  const JacobianPoint* psitab = owned_jac_.back().data();
+  push_stream(nullptr, ptab, s.k1, 5, s.neg1);
+  push_stream(nullptr, psitab, s.k2, 5, s.neg2);
+}
+
+void EcMsm::add_naf(const AffinePoint& p, const U256& k) {
+  const U256 kr = sn_reduce(k);
+  if (kr.is_zero() || p.infinity) return;
+  if ((kr.w[1] | kr.w[2] | kr.w[3]) == 0) {
+    short_terms_.emplace_back(kr.w[0], p);
+    return;
+  }
+  owned_affine_.push_back(p);
+  push_stream(&owned_affine_.back(), nullptr, kr, 2, false);
+}
+
+JacobianPoint EcMsm::result() const {
+  // Short terms: enough of them amortize into a Bos–Coster reduction;
+  // a handful ride the shared chain as width-2 NAF streams instead.
+  JacobianPoint short_sum = JacobianPoint::identity();
+  std::vector<Stream> short_streams;
+  if (short_terms_.size() >= kBosCosterMin) {
+    std::vector<std::pair<std::uint64_t, JacobianPoint>> terms;
+    terms.reserve(short_terms_.size());
+    for (const auto& [k, p] : short_terms_) {
+      terms.emplace_back(k, JacobianPoint::from_affine(p));
+    }
+    short_sum = bos_coster(std::move(terms));
+  } else {
+    short_streams.reserve(short_terms_.size());
+    for (const auto& [k, p] : short_terms_) {
+      Stream s;
+      s.atab = &p;
+      s.len = wnaf(U256{k}, 2, s.d);
+      short_streams.push_back(std::move(s));
+    }
+  }
+
+  std::vector<DigitStreamA> as;
+  std::vector<DigitStreamJ> js;
+  as.reserve(streams_.size() + short_streams.size());
+  for (const Stream& s : streams_) {
+    if (s.atab != nullptr) {
+      as.push_back(DigitStreamA{s.atab, &s.d, s.len});
+    } else {
+      js.push_back(DigitStreamJ{s.jtab, &s.d, s.len});
+    }
+  }
+  for (const Stream& s : short_streams) {
+    as.push_back(DigitStreamA{s.atab, &s.d, s.len});
+  }
+  JacobianPoint acc = wnaf_walk(as.data(), as.size(), js.data(), js.size());
+  acc = ec_add(acc, short_sum);
+
+  // Comb-table terms contribute pure mixed additions — appended after the
+  // chain, where they cost nothing extra in doublings.
+  const auto comb_walk = [&acc](const FixedBaseTable& t, const U256& kr) {
+    for (unsigned i = 0; i < FixedBaseTable::kWindows; ++i) {
+      const unsigned window =
+          static_cast<unsigned>(kr.w[i / 16] >>
+                                ((i % 16) * FixedBaseTable::kWindowBits)) &
+          0xfu;
+      if (window != 0) acc = ec_add_mixed(acc, t.table_[i][window - 1]);
+    }
+  };
+  for (const auto& [table, scalar] : combs_) comb_walk(*table, scalar);
+  if (!base_scalar_.is_zero()) {
+    comb_walk(FixedBaseTable::generator(), base_scalar_);
+  }
+  return acc;
 }
 
 }  // namespace identxx::crypto

@@ -20,7 +20,10 @@
 // `ec_mul_naive`, the oracle the differential tests compare against.
 
 #include <array>
+#include <deque>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "crypto/u256.hpp"
 
@@ -141,6 +144,7 @@ class FixedBaseTable {
  private:
   friend JacobianPoint ec_mul_add(const U256& a, const U256& b,
                                   const FixedBaseTable& p_table) noexcept;
+  friend class EcMsm;
 
   AffinePoint base_;
   std::array<std::array<AffinePoint, kEntries>, kWindows> table_;
@@ -162,8 +166,125 @@ class FixedBaseTable {
 [[nodiscard]] bool ec_equals_affine(const JacobianPoint& p,
                                     const AffinePoint& q) noexcept;
 
+/// p == q with both sides projective (cross-multiplied, no inversion).
+[[nodiscard]] bool ec_equals(const JacobianPoint& p,
+                             const JacobianPoint& q) noexcept;
+
 /// Point negation (x, -y).
 [[nodiscard]] AffinePoint ec_negate(const AffinePoint& p) noexcept;
 [[nodiscard]] JacobianPoint ec_negate(const JacobianPoint& p) noexcept;
+
+// ---- GLV endomorphism (DESIGN.md §15) ----
+//
+// secp256k1 has j-invariant 0, so it carries the efficiently computable
+// endomorphism psi(x, y) = (beta*x, y) = lambda*(x, y), where beta and
+// lambda are cube roots of unity mod p and mod n.  Any scalar k splits as
+// k = k1 + k2*lambda (mod n) with |k1|, |k2| ~ sqrt(n): a 256-bit
+// multiplication becomes two ~129-bit streams over P and psi(P) sharing
+// one half-length doubling chain.  The decomposition constants g1, g2 are
+// derived from the published lattice basis at startup (div_round), not
+// transcribed, and the whole path is differentially tested against
+// ec_mul_naive.
+
+struct Glv {
+  static const U256& lambda() noexcept;  ///< cube root of 1 mod n
+  static const U256& beta() noexcept;    ///< cube root of 1 mod p
+};
+
+/// Signed decomposition k == (neg1 ? -k1 : k1) + (neg2 ? -k2 : k2)*lambda
+/// (mod n), with k1, k2 < ~2^130.  Requires k < n.
+struct GlvSplit {
+  U256 k1;
+  U256 k2;
+  bool neg1 = false;
+  bool neg2 = false;
+};
+[[nodiscard]] GlvSplit glv_split(const U256& k) noexcept;
+
+/// psi(p) = (beta * x, y) == lambda * p.
+[[nodiscard]] AffinePoint ec_endomorphism(const AffinePoint& p) noexcept;
+
+/// k * P via the GLV split: two half-width wNAF streams over per-call
+/// Jacobian tables for P and psi(P), one ~130-double chain.
+[[nodiscard]] JacobianPoint ec_mul_glv(const U256& k,
+                                       const AffinePoint& p) noexcept;
+
+/// a*G + b*P with all four half-scalars on one ~130-double chain: the G
+/// and psi(G) halves walk static affine tables (width-8 wNAF), the P and
+/// psi(P) halves per-call common-Z tables (width-5, every addition mixed).
+/// This is the cold-key verification core — no precomputed state for P at
+/// all, and no field inversion anywhere on the path.
+[[nodiscard]] JacobianPoint ec_mul_add_glv(const U256& a, const U256& b,
+                                           const AffinePoint& p) noexcept;
+
+/// Warm-tier table: affine odd multiples {1,3,...,15} of P and psi(P),
+/// batch-normalized with ONE field inversion at build.  ~1/60th of a
+/// FixedBaseTable's memory; mul_add_base runs every addition mixed.
+class GlvTable {
+ public:
+  static constexpr unsigned kEntries = 8;
+
+  explicit GlvTable(const AffinePoint& base);
+
+  /// a*G + b*base on one half-length chain, all additions mixed.
+  [[nodiscard]] JacobianPoint mul_add_base(const U256& a,
+                                           const U256& b) const noexcept;
+
+  /// k * base (differential-test hook).
+  [[nodiscard]] JacobianPoint mul(const U256& k) const noexcept;
+
+  [[nodiscard]] const AffinePoint& base() const noexcept { return base_; }
+
+ private:
+  friend class EcMsm;
+
+  AffinePoint base_;
+  std::array<AffinePoint, kEntries> tab_;
+  std::array<AffinePoint, kEntries> psi_;
+};
+
+/// Multi-scalar multiplication accumulator for batch verification: stage
+/// terms, then result() computes the sum with ONE doubling chain shared by
+/// every wNAF stream (comb-table terms join chain-free at the end).
+///
+///   Sum = base*G + sum(comb terms) + sum(glv terms) + sum(naf terms)
+class EcMsm {
+ public:
+  /// += k * G (aggregated; one generator comb walk at result()).
+  void add_base(const U256& k);
+  /// += k * table.base() via its comb — chain-free (hot-tier keys).
+  void add_comb(const FixedBaseTable& table, const U256& k);
+  /// += k * table.base() via GLV over affine tables (warm-tier keys).
+  void add_glv(const GlvTable& table, const U256& k);
+  /// += k * p via GLV over per-call Jacobian tables (cold keys).
+  void add_glv(const AffinePoint& p, const U256& k);
+  /// += k * p directly — no table build; the right call for short
+  /// scalars (batch-verification R terms, |k| ~ 2^64).  Terms whose
+  /// reduced scalar fits in 64 bits are held back and, once enough of
+  /// them accumulate, summed by Bos–Coster reduction at result();
+  /// smaller counts (and wider scalars) walk plain NAF streams.
+  void add_naf(const AffinePoint& p, const U256& k);
+
+  [[nodiscard]] JacobianPoint result() const;
+
+ private:
+  struct Stream {
+    const AffinePoint* atab = nullptr;    ///< odd multiples (mixed adds)...
+    const JacobianPoint* jtab = nullptr;  ///< ...or Jacobian (full adds)
+    std::array<std::int8_t, 258> d{};
+    unsigned len = 0;
+  };
+
+  void push_stream(const AffinePoint* atab, const JacobianPoint* jtab,
+                   const U256& k, unsigned width, bool negate);
+
+  U256 base_scalar_{};
+  std::vector<Stream> streams_;
+  std::vector<std::pair<const FixedBaseTable*, U256>> combs_;
+  std::deque<AffinePoint> owned_affine_;                  ///< naf term points
+  std::deque<std::array<JacobianPoint, 8>> owned_jac_;    ///< cold glv tables
+  /// naf terms with scalars < 2^64 — Bos–Coster candidates.
+  std::vector<std::pair<std::uint64_t, AffinePoint>> short_terms_;
+};
 
 }  // namespace identxx::crypto

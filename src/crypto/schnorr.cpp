@@ -105,19 +105,26 @@ class KeyTableCache {
 /// The shared verification core: s*G == R + e*P rewritten as
 /// s*G + (n-e)*P == R, evaluated in one pass and compared projectively.
 /// Callers have already validated `pub` (on curve, not the identity).
-bool verify_core(const AffinePoint& pub, const FixedBaseTable* table,
-                 std::span<const std::uint8_t> message,
-                 const Signature& sig) noexcept {
-  if (sig.r.infinity || !sig.r.on_curve()) return false;
-  if (sig.s.is_zero() || U256::cmp(sig.s, Secp256k1::n()) >= 0) return false;
-
-  const U256 e = challenge(sig.r, pub, message);
+/// `hot` (comb) is preferred over `warm` (GLV odd-multiples); with neither,
+/// the per-call GLV path is the floor.
+bool verify_core_e(const AffinePoint& pub, const FixedBaseTable* hot,
+                   const GlvTable* warm, const U256& e,
+                   const Signature& sig) noexcept {
+  if (!signature_well_formed(sig)) return false;
   const U256 e_neg =
       e.is_zero() ? U256{} : U256::sub(Secp256k1::n(), e).first;
-  const JacobianPoint lhs = table != nullptr
-                                ? ec_mul_add(sig.s, e_neg, *table)
-                                : ec_mul_add(sig.s, e_neg, pub);
+  const JacobianPoint lhs =
+      hot != nullptr    ? ec_mul_add(sig.s, e_neg, *hot)
+      : warm != nullptr ? warm->mul_add_base(sig.s, e_neg)
+                        : ec_mul_add_glv(sig.s, e_neg, pub);
   return ec_equals_affine(lhs, sig.r);
+}
+
+bool verify_core(const AffinePoint& pub, const FixedBaseTable* hot,
+                 const GlvTable* warm, std::span<const std::uint8_t> message,
+                 const Signature& sig) noexcept {
+  if (!signature_well_formed(sig)) return false;
+  return verify_core_e(pub, hot, warm, challenge(sig.r, pub, message), sig);
 }
 
 }  // namespace
@@ -220,7 +227,7 @@ bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
   } catch (...) {
     table = nullptr;
   }
-  return verify_core(key.point, table.get(), message, sig);
+  return verify_core(key.point, table.get(), nullptr, message, sig);
 }
 
 bool verify(const PrecomputedPublicKey& key, std::string_view message,
@@ -233,7 +240,32 @@ bool verify(const PrecomputedPublicKey& key,
             const Signature& sig) noexcept {
   const AffinePoint& point = key.key().point;
   if (point.infinity || !point.on_curve()) return false;
-  return verify_core(point, &key.table(), message, sig);
+  return verify_core(point, &key.table(), nullptr, message, sig);
+}
+
+bool verify_tiered(const PublicKey& key, const FixedBaseTable* hot,
+                   const GlvTable* warm, std::span<const std::uint8_t> message,
+                   const Signature& sig) noexcept {
+  if (key.point.infinity || !key.point.on_curve()) return false;
+  return verify_core(key.point, hot, warm, message, sig);
+}
+
+bool verify_tiered(const PublicKey& key, const FixedBaseTable* hot,
+                   const GlvTable* warm, const U256& e,
+                   const Signature& sig) noexcept {
+  if (key.point.infinity || !key.point.on_curve()) return false;
+  return verify_core_e(key.point, hot, warm, e, sig);
+}
+
+U256 schnorr_challenge(const AffinePoint& r, const AffinePoint& p,
+                       std::span<const std::uint8_t> message) noexcept {
+  return challenge(r, p, message);
+}
+
+bool signature_well_formed(const Signature& sig) noexcept {
+  if (sig.r.infinity || !sig.r.on_curve()) return false;
+  if (sig.s.is_zero() || U256::cmp(sig.s, Secp256k1::n()) >= 0) return false;
+  return true;
 }
 
 U256 hash_to_scalar(std::span<const std::uint8_t> data) noexcept {

@@ -106,6 +106,36 @@ class PrivateKey {
                           std::span<const std::uint8_t> message,
                           const Signature& sig) noexcept;
 
+/// Tier-aware verify: same check as above, but the caller supplies whatever
+/// acceleration structure it holds for `key` (both may be null).  Preference
+/// order: hot comb table, warm GLV odd-multiples table, per-call GLV.
+/// Bypasses the process-wide table cache — used by SchnorrVerifier, whose
+/// KeyTierStore owns the tables.
+[[nodiscard]] bool verify_tiered(const PublicKey& key,
+                                 const FixedBaseTable* hot,
+                                 const GlvTable* warm,
+                                 std::span<const std::uint8_t> message,
+                                 const Signature& sig) noexcept;
+
+/// Same, with the challenge already computed: callers that need e anyway
+/// (the memo keys on it; batch verification folds z_i * e_i) pass it in so
+/// the message is hashed exactly once per verification.
+[[nodiscard]] bool verify_tiered(const PublicKey& key,
+                                 const FixedBaseTable* hot,
+                                 const GlvTable* warm, const U256& e,
+                                 const Signature& sig) noexcept;
+
+/// The Schnorr challenge e = H(Rx || Ry || Px || Py || m) mod n.  Exposed
+/// for batch verification, which folds z_i * e_i into one multi-scalar
+/// multiplication instead of calling verify() per signature.
+[[nodiscard]] U256 schnorr_challenge(const AffinePoint& r,
+                                     const AffinePoint& p,
+                                     std::span<const std::uint8_t> message) noexcept;
+
+/// Structural signature checks shared by single and batch verification:
+/// R on curve and not the identity, s in [1, n-1].
+[[nodiscard]] bool signature_well_formed(const Signature& sig) noexcept;
+
 /// Hash-to-scalar helper: SHA-256(data) reduced mod n.
 [[nodiscard]] U256 hash_to_scalar(std::span<const std::uint8_t> data) noexcept;
 

@@ -3,6 +3,10 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "util/hex.hpp"
 
 namespace identxx::crypto {
@@ -40,6 +44,87 @@ void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v);
 }
 
+#if defined(__x86_64__)
+
+/// One compression round trip through the SHA extension: two rounds per
+/// _mm_sha256rnds2_epu32, message schedule kept in four 128-bit lanes.
+/// Bit-identical to the portable loop — the differential KATs cover both.
+__attribute__((target("sha,sse4.1")))
+void process_block_shani(std::uint32_t* state, const std::uint8_t* block) noexcept {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  const auto* k = reinterpret_cast<const __m128i*>(kRoundConstants.data());
+
+  // Load state as the ABEF / CDGH lane pairs the instructions expect.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xb1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1b);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xf0);        // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  const auto* in = reinterpret_cast<const __m128i*>(block);
+
+  __m128i msg0 = _mm_shuffle_epi8(_mm_loadu_si128(in + 0), kShuffle);
+  __m128i msg1 = _mm_shuffle_epi8(_mm_loadu_si128(in + 1), kShuffle);
+  __m128i msg2 = _mm_shuffle_epi8(_mm_loadu_si128(in + 2), kShuffle);
+  __m128i msg3 = _mm_shuffle_epi8(_mm_loadu_si128(in + 3), kShuffle);
+
+  // Rounds 0-63, unrolled in groups of four: each group consumes the
+  // current message lane and (through group 11) replaces it with the
+  // schedule words sixteen rounds ahead:
+  //   lane' = msg2(msg1(lane, next) + alignr(prev, prev2, 4), prev).
+  __m128i msg;
+#define IDENTXX_SHA_ROUNDS(i, m0, m1, m2, m3)                            \
+  msg = _mm_add_epi32(m0, _mm_loadu_si128(k + (i)));                     \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);                   \
+  msg = _mm_shuffle_epi32(msg, 0x0e);                                    \
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);                   \
+  if ((i) < 12) {                                                        \
+    m0 = _mm_sha256msg1_epu32(m0, m1);                                   \
+    m0 = _mm_add_epi32(m0, _mm_alignr_epi8(m3, m2, 4));                  \
+    m0 = _mm_sha256msg2_epu32(m0, m3);                                   \
+  }
+  IDENTXX_SHA_ROUNDS(0, msg0, msg1, msg2, msg3)
+  IDENTXX_SHA_ROUNDS(1, msg1, msg2, msg3, msg0)
+  IDENTXX_SHA_ROUNDS(2, msg2, msg3, msg0, msg1)
+  IDENTXX_SHA_ROUNDS(3, msg3, msg0, msg1, msg2)
+  IDENTXX_SHA_ROUNDS(4, msg0, msg1, msg2, msg3)
+  IDENTXX_SHA_ROUNDS(5, msg1, msg2, msg3, msg0)
+  IDENTXX_SHA_ROUNDS(6, msg2, msg3, msg0, msg1)
+  IDENTXX_SHA_ROUNDS(7, msg3, msg0, msg1, msg2)
+  IDENTXX_SHA_ROUNDS(8, msg0, msg1, msg2, msg3)
+  IDENTXX_SHA_ROUNDS(9, msg1, msg2, msg3, msg0)
+  IDENTXX_SHA_ROUNDS(10, msg2, msg3, msg0, msg1)
+  IDENTXX_SHA_ROUNDS(11, msg3, msg0, msg1, msg2)
+  IDENTXX_SHA_ROUNDS(12, msg0, msg1, msg2, msg3)
+  IDENTXX_SHA_ROUNDS(13, msg1, msg2, msg3, msg0)
+  IDENTXX_SHA_ROUNDS(14, msg2, msg3, msg0, msg1)
+  IDENTXX_SHA_ROUNDS(15, msg3, msg0, msg1, msg2)
+#undef IDENTXX_SHA_ROUNDS
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // ABEF / CDGH back to linear ABCD / EFGH.
+  tmp = _mm_shuffle_epi32(state0, 0x1b);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xb1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xf0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+bool shani_available() noexcept {
+  static const bool available =
+      __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+  return available;
+}
+
+#endif  // __x86_64__
+
 }  // namespace
 
 Sha256::Sha256() noexcept : state_(kInitialState), buffer_{} {}
@@ -75,16 +160,15 @@ Sha256& Sha256::update(std::string_view data) noexcept {
 
 Digest Sha256::finish() noexcept {
   const std::uint64_t bit_length = total_bytes_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(std::span(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) update(std::span(&zero, 1));
-  std::array<std::uint8_t, 8> length_bytes{};
-  for (int i = 0; i < 8; ++i) {
-    length_bytes[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  // The whole padding in one update: 0x80, zeros to 56 mod 64, then the
+  // 8-byte big-endian bit length.
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  const std::size_t pad_len = (buffered_ < 56 ? 56 : 120) - buffered_;
+  for (std::size_t i = 0; i < 8; ++i) {
+    pad[pad_len + i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
   }
-  update(std::span(length_bytes.data(), length_bytes.size()));
+  update(std::span(pad.data(), pad_len + 8));
 
   Digest out{};
   for (std::size_t i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
@@ -104,6 +188,12 @@ Digest Sha256::hash(std::string_view data) noexcept {
 }
 
 void Sha256::process_block(const std::uint8_t* block) noexcept {
+#if defined(__x86_64__)
+  if (shani_available()) {
+    process_block_shani(state_.data(), block);
+    return;
+  }
+#endif
   std::array<std::uint32_t, 64> w;
   for (std::size_t i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (std::size_t i = 16; i < 64; ++i) {

@@ -113,6 +113,39 @@ U512 U256::mul_wide(const U256& a, const U256& b) noexcept {
   return out;
 }
 
+U512 U256::sqr_wide(const U256& a) noexcept {
+  // Off-diagonal partial products a[i]*a[j] (i < j), each computed once.
+  U512 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * a.w[j] + out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.w[i + 4] = carry;
+  }
+  // Double them (the off-diagonal sum is < 2^511, so the shift cannot
+  // overflow), then add the diagonal squares.
+  std::uint64_t shift_carry = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t next = out.w[i] >> 63;
+    out.w[i] = (out.w[i] << 1) | shift_carry;
+    shift_carry = next;
+  }
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sq = static_cast<u128>(a.w[i]) * a.w[i];
+    u128 cur = static_cast<u128>(out.w[2 * i]) + static_cast<std::uint64_t>(sq) + carry;
+    out.w[2 * i] = static_cast<std::uint64_t>(cur);
+    cur = static_cast<u128>(out.w[2 * i + 1]) +
+          static_cast<std::uint64_t>(sq >> 64) + static_cast<std::uint64_t>(cur >> 64);
+    out.w[2 * i + 1] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  return out;
+}
+
 std::pair<U256, bool> U256::shl1() const noexcept {
   U256 out;
   bool carry = false;
@@ -156,6 +189,28 @@ U256 mod(const U512& x, const U256& m) noexcept {
     }
   }
   return rem;
+}
+
+U256 div_round(const U512& x, const U256& m) noexcept {
+  // Same bit-serial division as mod(), additionally collecting quotient
+  // bits (those above bit 255 are dropped by construction).
+  U256 quot;
+  U256 rem;
+  for (int i = 511; i >= 0; --i) {
+    const auto [shifted, overflow] = rem.shl1();
+    rem = shifted;
+    if (x.bit(static_cast<unsigned>(i))) rem.w[0] |= 1;
+    if (overflow || U256::cmp(rem, m) >= 0) {
+      rem = U256::sub(rem, m).first;
+      if (i < 256) quot.w[static_cast<std::size_t>(i) / 64] |= 1ULL << (i % 64);
+    }
+  }
+  // Round to nearest: bump when 2*rem >= m.
+  const auto [twice, carry] = rem.shl1();
+  if (carry || U256::cmp(twice, m) >= 0) {
+    quot = U256::add(quot, U256{1}).first;
+  }
+  return quot;
 }
 
 U256 add_mod(const U256& a, const U256& b, const U256& m) noexcept {

@@ -64,6 +64,12 @@ struct U256 {
   /// Full 256x256 -> 512 bit product.
   [[nodiscard]] static U512 mul_wide(const U256& a, const U256& b) noexcept;
 
+  /// a * a: the symmetric schoolbook computes each off-diagonal partial
+  /// product once and doubles, ~40% fewer word multiplies than mul_wide.
+  /// Point doubling is squaring-heavy, so this shows up directly in
+  /// verification latency.
+  [[nodiscard]] static U512 sqr_wide(const U256& a) noexcept;
+
   /// Left shift by one bit; the shifted-out top bit is returned.
   [[nodiscard]] std::pair<U256, bool> shl1() const noexcept;
 
@@ -87,6 +93,12 @@ struct U512 {
 /// scalar (mod n) operations per signature; field operations use the
 /// specialized secp256k1 reduction in ec.cpp instead.
 [[nodiscard]] U256 mod(const U512& x, const U256& m) noexcept;
+
+/// round(x / m) to nearest (ties round up).  The quotient must fit in 256
+/// bits; bits above that are discarded.  Slow (bit-serial) — used once at
+/// startup to derive the GLV decomposition constants rather than trusting
+/// two more transcribed magic numbers.
+[[nodiscard]] U256 div_round(const U512& x, const U256& m) noexcept;
 
 /// (a + b) mod m, assuming a, b < m.
 [[nodiscard]] U256 add_mod(const U256& a, const U256& b, const U256& m) noexcept;

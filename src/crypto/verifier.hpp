@@ -1,26 +1,37 @@
 #pragma once
 
-// SchnorrVerifier: registered-key tables + memoized verification.
+// SchnorrVerifier: tiered registered-key tables + memoized verification +
+// batch verification.
 //
 // The flow-setup hot path verifies one signature per daemon attestation,
 // and the same attestation recurs constantly: retransmitted responses,
 // several flows from one application inside a decide_many batch, repeat
-// packet-ins for an undecided flow.  This wrapper adds two layers on top
-// of crypto::verify (DESIGN.md §9):
+// packet-ins for an undecided flow.  This wrapper adds three layers on top
+// of crypto::verify (DESIGN.md §9, §15):
 //
-//   * a key registry — register_key() builds the fixed-base comb table for
-//     a long-lived public key once, at registration, so every verification
-//     under it skips both the doubling chain and the shared table cache;
-//   * a bounded LRU memo of (key, message digest, signature) -> bool, so a
+//   * a tiered key registry — register_key() tracks a long-lived public key
+//     in a memory-budgeted KeyTierStore.  Hot keys hold a full comb table,
+//     warm keys a small GLV table, cold keys verify through the per-call
+//     GLV path; promotion follows verify frequency, so a shard can track
+//     10^6+ principals while spending table memory only on the keys that
+//     sign every flow;
+//   * a bounded LRU memo of (key, challenge, signature) -> bool, so a
 //     byte-identical attestation verifies exactly once per retention
-//     window.
+//     window;
+//   * verify_batch() — random-linear-combination batch verification: N
+//     distinct attestations are checked with one multi-scalar
+//     multiplication instead of N full verifies.  A rejected batch is
+//     bisected (with the same coefficients) down to ground-truth single
+//     verifies, so per-item verdicts are always exact and a forged
+//     signature can never hide behind the aggregate.
 //
 // Soundness of the memo: the key is part of the memo identity (the entry
 // binds the *value* of the key, not a name), so a daemon rotating its key
 // can never be served a verdict computed under the old key.  Re-registering
 // or invalidating a key additionally bumps its generation, which makes
 // every memo entry recorded under the old generation unreachable — they
-// age out of the LRU like any cold entry.
+// age out of the LRU like any cold entry.  Batch verification feeds the
+// same memo with the same identity format.
 
 #include <array>
 #include <cstdint>
@@ -28,8 +39,10 @@
 #include <span>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/key_id.hpp"
+#include "crypto/key_tier.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 
@@ -40,28 +53,57 @@ class SchnorrVerifier {
   static constexpr std::size_t kDefaultMemoCapacity = 4096;
 
   struct Stats {
-    std::uint64_t verifications = 0;  ///< verify() calls
+    std::uint64_t verifications = 0;  ///< verify() calls + batch items
     std::uint64_t memo_hits = 0;
     std::uint64_t memo_misses = 0;
     std::uint64_t memo_evictions = 0;
-    std::uint64_t table_verifications = 0;  ///< served via a registered table
+    std::uint64_t table_verifications = 0;  ///< served via a hot comb table
+    std::uint64_t warm_verifications = 0;   ///< served via a warm GLV table
+    std::uint64_t cold_verifications = 0;   ///< registered but tableless
+    std::uint64_t batch_calls = 0;          ///< verify_batch() invocations
+    std::uint64_t batch_items = 0;          ///< items settled by an RLC check
+    std::uint64_t batch_msms = 0;           ///< multi-scalar passes (incl. bisection)
+    std::uint64_t batch_rejects = 0;        ///< batches that fell back to bisection
   };
 
-  explicit SchnorrVerifier(std::size_t memo_capacity = kDefaultMemoCapacity)
-      : memo_capacity_(memo_capacity == 0 ? 1 : memo_capacity) {}
+  /// One attestation inside a verify_batch() call.  `message` must stay
+  /// alive for the duration of the call.
+  struct BatchItem {
+    PublicKey key;
+    std::string_view message;
+    Signature sig;
+  };
 
-  /// Build (once) the comb table for a long-lived key.  Idempotent.
+  explicit SchnorrVerifier(std::size_t memo_capacity = kDefaultMemoCapacity,
+                           const KeyTierConfig& tier_config = {})
+      : memo_capacity_(memo_capacity == 0 ? 1 : memo_capacity),
+        tiers_(tier_config) {}
+
+  /// Track a long-lived key in the tier store (eagerly hot when the table
+  /// budget has room).  Idempotent.
   void register_key(const PublicKey& key);
 
-  /// Drop `key`'s table and make its memoized verdicts unreachable (key
+  /// Drop `key`'s tables and make its memoized verdicts unreachable (key
   /// change / revocation).  A later register_key starts a new generation.
   void invalidate_key(const PublicKey& key);
+
+  /// Replace the tier budget/thresholds.  Existing registered keys are
+  /// re-seeded into a fresh store (tables rebuild on demand).
+  void set_tier_config(const KeyTierConfig& config);
 
   [[nodiscard]] bool verify(const PublicKey& key, std::string_view message,
                             const Signature& sig);
   [[nodiscard]] bool verify(const PublicKey& key,
                             std::span<const std::uint8_t> message,
                             const Signature& sig);
+
+  /// Verify every item, spending ~one multi-scalar multiplication for the
+  /// whole batch when all signatures are valid.  Returns one verdict per
+  /// item, in order; verdicts are exact (a rejected aggregate is bisected
+  /// to ground truth, so invalid items are false and valid ones true).
+  /// Memo hits are honored and all computed verdicts are memoized.
+  [[nodiscard]] std::vector<bool> verify_batch(
+      std::span<const BatchItem> items);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t registered_key_count() const noexcept {
@@ -71,40 +113,73 @@ class SchnorrVerifier {
   [[nodiscard]] std::size_t memo_capacity() const noexcept {
     return memo_capacity_;
   }
+  [[nodiscard]] const KeyTierStore& tiers() const noexcept { return tiers_; }
 
  private:
-  /// Memo keys are SHA-256 digests of (key, generation, sig, msg digest);
-  /// the digest is uniform, so its first bytes are hash enough.
-  struct DigestHash {
-    std::size_t operator()(const Digest& d) const noexcept {
-      std::size_t h = 0;
-      for (std::size_t i = 0; i < sizeof(h); ++i) {
-        h = (h << 8) | d[i];
-      }
-      return h;
+  /// Memo identity: the literal (key value, key generation, signature,
+  /// challenge) tuple.  The Schnorr challenge e = H(R || P || m) mod n
+  /// binds the message (and is needed by every verification anyway, so
+  /// the memo costs no extra hashing); the key value, generation and
+  /// signature are bound exactly, word for word.
+  struct MemoKey {
+    detail::PointId id{};  ///< key.x, key.y raw words
+    std::uint64_t generation = 0;
+    U256 rx, ry, s;
+    U256 e;  ///< schnorr_challenge(R, P, message)
+    bool operator==(const MemoKey&) const = default;
+  };
+
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const noexcept {
+      // e is a reduced SHA-256 output, already uniform; fold in signature
+      // and key words so same-message entries still spread.
+      std::uint64_t h = k.e.w[0];
+      h ^= k.s.w[0] * 0x9e3779b97f4a7c15ULL;
+      h ^= k.rx.w[0] + k.id[0] + k.generation;
+      return static_cast<std::size_t>(h);
     }
   };
 
-  struct RegisteredKey {
-    PrecomputedPublicKey key;
-    std::uint64_t generation = 0;
-  };
-
   struct MemoEntry {
-    Digest id{};
+    MemoKey id{};
     bool ok = false;
   };
   using Order = std::list<MemoEntry>;
 
+  /// A batch item that survived memo lookup and structural checks.
+  struct PendingItem;
+
+  [[nodiscard]] MemoKey memo_key_for(const detail::PointId& id,
+                                     const Signature& sig,
+                                     const U256& e) const;
+  void memo_store(const MemoKey& memo_key, bool ok);
+  /// Memoize `ok` for pending[a, b) in order.  Skips the prefix whose
+  /// entries this loop's own LRU evictions would erase before returning.
+  void memo_store_range(const std::vector<PendingItem>& pending,
+                        std::size_t a, std::size_t b, bool ok);
+  /// RLC check over pending[lo, hi): one MSM, true iff the aggregate holds.
+  [[nodiscard]] bool batch_check(
+      const std::vector<PendingItem>& pending, std::size_t lo, std::size_t hi,
+      const std::unordered_map<detail::PointId, KeyTierStore::Tables,
+                               detail::PointIdHash>& tables);
+  void batch_resolve(
+      std::vector<bool>& results, const std::vector<PendingItem>& pending,
+      std::size_t lo, std::size_t hi,
+      const std::unordered_map<detail::PointId, KeyTierStore::Tables,
+                               detail::PointIdHash>& tables);
+
   std::size_t memo_capacity_;
   Order order_;  ///< front = most recently used
-  std::unordered_map<Digest, Order::iterator, DigestHash> memo_;
-  std::unordered_map<detail::PointId, RegisteredKey, detail::PointIdHash>
+  std::unordered_map<MemoKey, Order::iterator, MemoKeyHash> memo_;
+  /// Registered keys -> the generation they were registered under.  Tables
+  /// live in the tier store.
+  std::unordered_map<detail::PointId, std::uint64_t, detail::PointIdHash>
       registered_;
   /// Per-key memo generation; bumped by invalidate_key/re-register so old
   /// entries can never match again.
   std::unordered_map<detail::PointId, std::uint64_t, detail::PointIdHash>
       generations_;
+  KeyTierStore tiers_;
   Stats stats_;
 };
 

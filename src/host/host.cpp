@@ -142,7 +142,23 @@ void Host::on_packet(const net::Packet& packet, sim::PortId in_port) {
   ++stats_.flow_payloads_received;
   last_delivery_time_ = simulator()->now();
   delivered_.push_back(packet);
-  ++delivered_counts_[packet.five_tuple()];
+  const net::FiveTuple delivered_flow = packet.five_tuple();
+  ++delivered_counts_[delivered_flow];
+
+  // Reorder detection: send_flow_packet stamps a per-flow 1-based sequence
+  // (TCP seq / IP identification); a stamped packet arriving below the
+  // flow's high-water mark was overtaken in the network.
+  const std::uint32_t seq =
+      packet.tcp ? packet.tcp->seq : packet.ip.identification;
+  if (seq != 0) {
+    std::uint32_t& high = max_seq_seen_[delivered_flow];
+    if (seq < high) {
+      ++reordered_counts_[delivered_flow];
+      ++stats_.packets_reordered;
+    } else {
+      high = seq;
+    }
+  }
 
   // TCP accept emulation: answer a SYN to a listening socket with SYN-ACK
   // and record the connected socket (so the daemon resolves the flow on
@@ -209,13 +225,19 @@ void Host::handle_ident_query(const net::Packet& packet) {
 void Host::send_flow_packet(const net::FiveTuple& flow, std::string_view payload,
                             std::uint8_t tcp_flags) {
   net::Packet packet;
+  // 1-based per-flow sequence stamp so the receiver can count out-of-order
+  // deliveries (TCP carries it in seq, UDP in the IP identification field
+  // — 16-bit there, which wraps long before any scenario does).
+  const std::uint32_t seq = ++send_seqs_[flow];
   if (flow.proto == net::IpProto::kUdp) {
     packet = net::make_udp_packet(mac_, kBroadcastMac, flow.src_ip, flow.dst_ip,
                                   flow.src_port, flow.dst_port, payload);
+    packet.ip.identification = static_cast<std::uint16_t>(seq);
   } else {
     packet = net::make_tcp_packet(mac_, kBroadcastMac, flow.src_ip, flow.dst_ip,
                                   flow.src_port, flow.dst_port, payload,
                                   tcp_flags);
+    packet.tcp->seq = seq;
   }
   ++stats_.packets_sent;
   simulator()->send(id(), kNic, std::move(packet));

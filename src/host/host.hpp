@@ -61,6 +61,9 @@ struct HostStats {
   std::uint64_t ident_queries_received = 0;
   std::uint64_t ident_queries_ignored = 0;  ///< daemon down (DESIGN.md §14)
   std::uint64_t packets_filtered_ingress = 0;
+  /// Stamped payload packets that arrived behind a later-sent packet of
+  /// their flow (multipath re-pinning, path changes mid-flow).
+  std::uint64_t packets_reordered = 0;
 };
 
 class Host : public sim::Node, public proto::FlowResolver {
@@ -175,10 +178,22 @@ class Host : public sim::Node, public proto::FlowResolver {
     return it == delivered_counts_.end() ? 0 : it->second;
   }
 
+  /// Out-of-order deliveries observed for `flow` — a delivered packet
+  /// whose sender-stamped sequence number is below one already seen (e.g.
+  /// an ECMP re-pin moved the flow onto a faster equal-cost path while
+  /// older packets were still in flight on the slower one).  Only packets
+  /// stamped by send_flow_packet count; control traffic is unstamped.
+  [[nodiscard]] std::uint64_t reordered_count(const net::FiveTuple& flow) const {
+    const auto it = reordered_counts_.find(flow);
+    return it == reordered_counts_.end() ? 0 : it->second;
+  }
+
   /// Drop the delivered-packet log (long benchmark runs).
   void clear_delivered() noexcept {
     delivered_.clear();
     delivered_counts_.clear();
+    reordered_counts_.clear();
+    max_seq_seen_.clear();
   }
 
   [[nodiscard]] const HostStats& stats() const noexcept { return stats_; }
@@ -207,6 +222,11 @@ class Host : public sim::Node, public proto::FlowResolver {
   std::uint16_t next_ephemeral_port_ = 40000;
   std::vector<net::Packet> delivered_;
   std::unordered_map<net::FiveTuple, std::uint64_t> delivered_counts_;
+  /// Sender-side per-flow sequence stamps (1-based; 0 = unstamped) and the
+  /// receiver-side high-water marks + out-of-order tallies they feed.
+  std::unordered_map<net::FiveTuple, std::uint32_t> send_seqs_;
+  std::unordered_map<net::FiveTuple, std::uint32_t> max_seq_seen_;
+  std::unordered_map<net::FiveTuple, std::uint64_t> reordered_counts_;
   sim::SimTime last_delivery_time_ = -1;
   HostStats stats_;
 };

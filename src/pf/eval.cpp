@@ -149,6 +149,8 @@ void PolicyEngine::compile() {
       // when a flow actually reaches the call, so the batch path defers
       // the error to the same point.
       cc.fn = registry_.find(call.name);
+      cc.preparer = registry_.batch_preparer(call.name);
+      if (cc.preparer != nullptr) has_preparers_ = true;
       cc.site = call_sites_++;
       cc.hoistable = registry_.flow_invariant(call.name);
       cc.static_args = true;
@@ -218,6 +220,48 @@ std::vector<Verdict> PolicyEngine::evaluate_batch(
   std::vector<std::vector<std::uint32_t>> candidate_sets;
   std::unordered_map<std::string, bool> memo;
   std::vector<std::optional<std::vector<Value>>> args_cache(call_sites_);
+
+  // Batch-preparer pre-pass (DESIGN.md §15): before any flow is evaluated,
+  // resolve the arguments of every candidate call to a function with a
+  // registered preparer and hand them over in one shot (the `verify`
+  // builtin batch-verifies all attestations with one multi-scalar
+  // multiplication, seeding its memo).  Purely a warm-up: argument
+  // resolution failures are skipped (the per-flow pass reaches the same
+  // PolicyError on its own, or never reaches the call), preparer failures
+  // are swallowed, and no eval-level counter moves — the stats invariants
+  // against serial evaluation are untouched.
+  if (has_preparers_) {
+    std::map<std::string_view, std::vector<std::vector<Value>>> gathered;
+    for (const FlowContext& ctx : batch) {
+      const auto [slot, inserted] = slots.try_emplace(
+          ctx.flow, static_cast<std::uint32_t>(candidate_sets.size()));
+      if (inserted) candidate_sets.push_back(static_candidates(ctx.flow));
+      const EvalContext eval(ctx, ruleset_, registry_, stats_);
+      for (const std::uint32_t index : candidate_sets[slot->second]) {
+        for (const CompiledCall& cc : compiled_[index].withs) {
+          if (cc.preparer == nullptr) continue;
+          try {
+            std::vector<Value> resolved;
+            resolved.reserve(cc.call->args.size());
+            for (const Expr& expr : cc.call->args) {
+              resolved.push_back(eval.eval_expr(expr));
+            }
+            gathered[cc.call->name].push_back(std::move(resolved));
+          } catch (const PolicyError&) {
+            // The call's arguments don't resolve for this flow; serial
+            // evaluation throws if and when it actually reaches the call.
+          }
+        }
+      }
+    }
+    for (const auto& [name, calls] : gathered) {
+      try {
+        (*registry_.batch_preparer(name))(calls);
+      } catch (...) {
+        // Advisory only: a failing preparer must not fail the batch.
+      }
+    }
+  }
 
   const std::size_t rule_count = ruleset_.rules.size();
   std::vector<Verdict> out;

@@ -130,6 +130,7 @@ class PolicyEngine {
   struct CompiledCall {
     const FuncCall* call = nullptr;
     const PolicyFunction* fn = nullptr;
+    const BatchPreparer* preparer = nullptr;  ///< batch warm-up hook, or null
     std::uint32_t site = 0;      ///< global call-site id (memo key prefix)
     bool hoistable = false;      ///< fn is flow-invariant given its args
     bool static_args = false;    ///< args are literal/list/user-dict only
@@ -154,6 +155,7 @@ class PolicyEngine {
   FunctionRegistry registry_;
   std::vector<CompiledRule> compiled_;
   std::uint32_t call_sites_ = 0;
+  bool has_preparers_ = false;  ///< any compiled call has a batch preparer
   mutable EngineStats stats_;
 };
 

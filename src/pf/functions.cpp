@@ -1,5 +1,8 @@
 #include "pf/functions.hpp"
 
+#include <deque>
+#include <unordered_set>
+
 #include "crypto/schnorr.hpp"
 #include "crypto/verifier.hpp"
 #include "identxx/daemon_config.hpp"
@@ -245,6 +248,49 @@ FunctionRegistry FunctionRegistry::with_builtins() {
         return fn_verify(verifier.get(), call, args);
       },
       /*flow_invariant=*/true);
+  // Batch warm-up: every reachable verify() call in a decide_many batch is
+  // checked in ONE multi-scalar multiplication (DESIGN.md §15).  The
+  // verdicts land in the verifier's memo, so the per-flow fn_verify calls
+  // above become memo hits.  Purely advisory — malformed arguments are
+  // skipped here and fail per flow, exactly as they would serially.
+  registry.register_batch_preparer(
+      "verify",
+      [verifier = registry.verifier_](
+          const std::vector<std::vector<Value>>& calls) {
+        std::deque<std::string> messages;  // stable storage for the views
+        std::vector<crypto::SchnorrVerifier::BatchItem> items;
+        std::unordered_set<std::string> seen;
+        for (const std::vector<Value>& args : calls) {
+          if (args.size() < 3) continue;
+          const auto sig_hex = value_to_string(args[0]);
+          const auto key_hex = value_to_string(args[1]);
+          if (!sig_hex || !key_hex) continue;
+          const auto sig = crypto::Signature::from_hex(*sig_hex);
+          const auto key = crypto::PublicKey::from_hex(*key_hex);
+          if (!sig || !key) continue;
+          std::vector<std::string> data;
+          data.reserve(args.size() - 2);
+          bool ok = true;
+          for (std::size_t i = 2; i < args.size(); ++i) {
+            const auto piece = value_to_string(args[i]);
+            if (!piece) {
+              ok = false;
+              break;
+            }
+            data.push_back(*piece);
+          }
+          if (!ok) continue;
+          std::string message = proto::signed_message(data);
+          if (!seen.insert(*sig_hex + *key_hex + message).second) continue;
+          messages.push_back(std::move(message));
+          items.push_back(crypto::SchnorrVerifier::BatchItem{
+              *key, messages.back(), *sig});
+        }
+        // A single fresh attestation gains nothing from aggregation; the
+        // per-flow path will verify it (and memo hits cost nothing here).
+        if (items.size() < 2) return;
+        (void)verifier->verify_batch(items);
+      });
   return registry;
 }
 
@@ -256,6 +302,17 @@ void FunctionRegistry::register_function(std::string name, PolicyFunction fn,
 const PolicyFunction* FunctionRegistry::find(std::string_view name) const {
   const auto it = functions_.find(name);
   return it == functions_.end() ? nullptr : &it->second.fn;
+}
+
+void FunctionRegistry::register_batch_preparer(std::string name,
+                                               BatchPreparer preparer) {
+  preparers_[std::move(name)] = std::move(preparer);
+}
+
+const BatchPreparer* FunctionRegistry::batch_preparer(
+    std::string_view name) const {
+  const auto it = preparers_.find(name);
+  return it == preparers_.end() ? nullptr : &it->second;
 }
 
 bool FunctionRegistry::flow_invariant(std::string_view name) const {

@@ -52,6 +52,16 @@ using Value = std::variant<Undefined, std::string, std::vector<std::string>>;
 using PolicyFunction = std::function<bool(
     const EvalContext&, const FuncCall&, const std::vector<Value>&)>;
 
+/// Advisory batch warm-up for a policy function: receives the resolved
+/// argument vectors of every reachable call to that function across one
+/// evaluate_batch(), before any flow is evaluated.  The preparer may prime
+/// backend caches (the `verify` builtin batch-verifies all attestations in
+/// one multi-scalar multiplication, seeding the verification memo) but must
+/// not produce verdicts — the per-flow evaluation still calls the function,
+/// which is what keeps batch evaluation observably identical to serial.
+using BatchPreparer = std::function<void(
+    const std::vector<std::vector<Value>>& calls)>;
+
 class FunctionRegistry {
  public:
   /// Empty registry (no functions).
@@ -72,6 +82,14 @@ class FunctionRegistry {
                          bool flow_invariant = false);
 
   [[nodiscard]] const PolicyFunction* find(std::string_view name) const;
+
+  /// Attach a batch preparer to an already-registered function.  The batch
+  /// evaluator invokes it once per batch with all reachable resolved calls.
+  void register_batch_preparer(std::string name, BatchPreparer preparer);
+
+  /// The preparer for `name`, or null (most functions have none).
+  [[nodiscard]] const BatchPreparer* batch_preparer(
+      std::string_view name) const;
 
   /// Was `name` registered flow-invariant?  False for unknown names.
   [[nodiscard]] bool flow_invariant(std::string_view name) const;
@@ -95,6 +113,7 @@ class FunctionRegistry {
     bool flow_invariant = false;
   };
   std::map<std::string, Entry, std::less<>> functions_;
+  std::map<std::string, BatchPreparer, std::less<>> preparers_;
   std::shared_ptr<crypto::SchnorrVerifier> verifier_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "crypto/ec.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/key_tier.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/u256.hpp"
@@ -662,6 +663,648 @@ TEST(SchnorrVerifier, KeyChangeInvalidatesMemoizedVerdicts) {
   const std::uint64_t misses_before = verifier.stats().memo_misses;
   EXPECT_TRUE(verifier.verify(old_key.public_key(), "claim", sig));
   EXPECT_EQ(verifier.stats().memo_misses, misses_before + 1);
+}
+
+// ------------------------------------------------- batch verification
+
+/// A small pool of signing principals (a decide_many burst is typically a
+/// handful of daemons attesting many flows).
+std::vector<PrivateKey> key_pool(std::size_t count, const std::string& tag) {
+  std::vector<PrivateKey> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(PrivateKey::from_seed(tag + std::to_string(i)));
+  }
+  return keys;
+}
+
+TEST(SchnorrVerifier, BatchAcceptsAllValidWithOneMsm) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64}}) {
+    SchnorrVerifier verifier;
+    const auto keys = key_pool(4, "batch-pool-");
+    for (const auto& k : keys) verifier.register_key(k.public_key());
+
+    std::vector<std::string> msgs;
+    std::vector<SchnorrVerifier::BatchItem> items;
+    msgs.reserve(n);
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PrivateKey& k = keys[i % keys.size()];
+      msgs.push_back("flow-attestation-" + std::to_string(i));
+      items.push_back({k.public_key(), msgs.back(), k.sign(msgs.back())});
+    }
+
+    const auto verdicts = verifier.verify_batch(items);
+    ASSERT_EQ(verdicts.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(verdicts[i]) << "n=" << n << " item " << i;
+    }
+    EXPECT_EQ(verifier.stats().batch_calls, 1u);
+    EXPECT_EQ(verifier.stats().batch_msms, 1u) << "n=" << n;
+    EXPECT_EQ(verifier.stats().batch_rejects, 0u);
+    EXPECT_EQ(verifier.stats().batch_items, n);
+    EXPECT_EQ(verifier.stats().memo_misses, n);
+    EXPECT_EQ(verifier.memo_size(), n);
+
+    // The whole batch was memoized: a second pass is pure memo hits and
+    // spends no additional group arithmetic.
+    const auto again = verifier.verify_batch(items);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(again[i]);
+    EXPECT_EQ(verifier.stats().memo_hits, n);
+    EXPECT_EQ(verifier.stats().batch_msms, 1u);
+  }
+}
+
+TEST(SchnorrVerifier, BatchRejectsForgeriesAtRandomPositions) {
+  // A batch containing >= 1 forged signature must never be accepted, and
+  // bisection must converge on exactly the forged indices.
+  util::SplitMix64 rng(173);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64}}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      SchnorrVerifier verifier;
+      const auto keys = key_pool(4, "batch-forge-");
+      for (const auto& k : keys) verifier.register_key(k.public_key());
+
+      std::vector<std::string> msgs;
+      std::vector<SchnorrVerifier::BatchItem> items;
+      msgs.reserve(n);
+      items.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const PrivateKey& k = keys[i % keys.size()];
+        msgs.push_back("storm-" + std::to_string(trial) + "-" +
+                       std::to_string(i));
+        items.push_back({k.public_key(), msgs.back(), k.sign(msgs.back())});
+      }
+      std::vector<bool> forged(n, false);
+      forged[rng.next() % n] = true;  // always at least one culprit
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!forged[i] && rng.next() % 4 == 0) forged[i] = true;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (forged[i]) {
+          items[i].sig.s =
+              add_mod(items[i].sig.s, U256{1}, Secp256k1::n());
+        }
+      }
+
+      const auto verdicts = verifier.verify_batch(items);
+      ASSERT_EQ(verdicts.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(verdicts[i], !forged[i])
+            << "n=" << n << " trial=" << trial << " item " << i;
+      }
+      EXPECT_EQ(verifier.stats().batch_rejects, 1u);
+      EXPECT_GT(verifier.stats().batch_msms, 1u);  // bisection ran
+    }
+  }
+}
+
+TEST(SchnorrVerifier, BatchEdgeCasesEmptySingleDuplicate) {
+  SchnorrVerifier verifier;
+  const PrivateKey key = PrivateKey::from_seed("batch-edge");
+  verifier.register_key(key.public_key());
+
+  // Empty batch: empty verdicts, no MSM, not even a batch call recorded
+  // beyond the invocation counter.
+  EXPECT_TRUE(verifier.verify_batch({}).empty());
+  EXPECT_EQ(verifier.stats().batch_msms, 0u);
+
+  // Single item: no aggregation to be had — the plain tiered path runs.
+  const std::string msg = "solo-attestation";
+  const SchnorrVerifier::BatchItem solo{key.public_key(), msg, key.sign(msg)};
+  const auto one = verifier.verify_batch({&solo, 1});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0]);
+  EXPECT_EQ(verifier.stats().batch_msms, 0u);
+  EXPECT_EQ(verifier.stats().table_verifications, 1u);
+
+  // Duplicate items inside one batch settle to one memo entry, both true.
+  const std::string dup_msg = "duplicated-attestation";
+  const SchnorrVerifier::BatchItem dup{key.public_key(), dup_msg,
+                                       key.sign(dup_msg)};
+  const std::vector<SchnorrVerifier::BatchItem> dups{dup, dup};
+  const std::size_t memo_before = verifier.memo_size();
+  const auto two = verifier.verify_batch(dups);
+  EXPECT_TRUE(two[0]);
+  EXPECT_TRUE(two[1]);
+  EXPECT_EQ(verifier.memo_size(), memo_before + 1);
+
+  // Structurally broken signatures fail closed without reaching the MSM.
+  SchnorrVerifier fresh;
+  fresh.register_key(key.public_key());
+  Signature broken = key.sign(msg);
+  broken.s = Secp256k1::n();  // out of range
+  const std::vector<SchnorrVerifier::BatchItem> mixed{
+      {key.public_key(), msg, key.sign(msg)},
+      {key.public_key(), msg, broken},
+  };
+  const auto verdicts = fresh.verify_batch(mixed);
+  EXPECT_TRUE(verdicts[0]);
+  EXPECT_FALSE(verdicts[1]);
+}
+
+TEST(SchnorrVerifier, BatchHandlesUnregisteredKeys) {
+  // Unregistered principals ride the same RLC check through the tableless
+  // GLV term; forgeries among them are still pinned exactly.
+  SchnorrVerifier verifier;
+  const PrivateKey registered = PrivateKey::from_seed("batch-reg");
+  const PrivateKey drifter = PrivateKey::from_seed("batch-unreg");
+  verifier.register_key(registered.public_key());
+
+  std::vector<std::string> msgs;
+  std::vector<SchnorrVerifier::BatchItem> items;
+  msgs.reserve(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const PrivateKey& k = (i % 2 == 0) ? registered : drifter;
+    msgs.push_back("mixed-origin-" + std::to_string(i));
+    items.push_back({k.public_key(), msgs.back(), k.sign(msgs.back())});
+  }
+  items[3].sig.s = add_mod(items[3].sig.s, U256{1}, Secp256k1::n());
+
+  const auto verdicts = verifier.verify_batch(items);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 3) << "item " << i;
+  }
+}
+
+TEST(SchnorrVerifier, BatchHonorsGenerationAfterRotation) {
+  // Key rotation makes every verdict memoized under the old generation
+  // unreachable for batches exactly as for single verifies.
+  SchnorrVerifier verifier;
+  const PrivateKey key = PrivateKey::from_seed("batch-rotate");
+  verifier.register_key(key.public_key());
+
+  std::vector<std::string> msgs;
+  std::vector<SchnorrVerifier::BatchItem> items;
+  msgs.reserve(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    msgs.push_back("rotate-claim-" + std::to_string(i));
+    items.push_back({key.public_key(), msgs.back(), key.sign(msgs.back())});
+  }
+  const auto first = verifier.verify_batch(items);
+  for (const bool v : first) EXPECT_TRUE(v);
+  EXPECT_EQ(verifier.stats().memo_misses, 4u);
+
+  verifier.invalidate_key(key.public_key());
+  verifier.register_key(key.public_key());
+
+  // Same items, new generation: all recomputed (no stale hits), still true.
+  const auto second = verifier.verify_batch(items);
+  for (const bool v : second) EXPECT_TRUE(v);
+  EXPECT_EQ(verifier.stats().memo_hits, 0u);
+  EXPECT_EQ(verifier.stats().memo_misses, 8u);
+  EXPECT_EQ(verifier.stats().batch_msms, 2u);
+}
+
+// ------------------------------------------------- key tier store
+
+TEST(KeyTierStore, EagerHotOnlyWithinFreeBudget) {
+  util::SplitMix64 rng(179);
+  KeyTierConfig config;
+  config.table_budget_bytes = 2 * KeyTierStore::hot_table_bytes();
+  KeyTierStore store(config);
+  const AffinePoint a = random_point(rng);
+  const AffinePoint b = random_point(rng);
+  const AffinePoint c = random_point(rng);
+  store.add(a);
+  store.add(b);
+  store.add(c);  // no free budget left: starts cold, nothing is evicted
+  EXPECT_EQ(store.key_count(), 3u);
+  EXPECT_EQ(store.hot_count(), 2u);
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kHot);
+  EXPECT_EQ(store.peek(b).tier, KeyTier::kHot);
+  EXPECT_EQ(store.peek(c).tier, KeyTier::kCold);
+  EXPECT_LE(store.table_bytes(), config.table_budget_bytes);
+  EXPECT_EQ(store.stats().demotions, 0u);
+  // add() is idempotent; remove() frees the table and forgets the key.
+  store.add(a);
+  EXPECT_EQ(store.key_count(), 3u);
+  store.remove(a);
+  EXPECT_EQ(store.key_count(), 2u);
+  EXPECT_EQ(store.hot_count(), 1u);
+  EXPECT_EQ(store.table_bytes(), KeyTierStore::hot_table_bytes());
+  EXPECT_FALSE(store.contains(a));
+}
+
+TEST(KeyTierStore, UseDrivenPromotionEvictsLeastRecentlyUsed) {
+  util::SplitMix64 rng(181);
+  KeyTierConfig config;
+  config.table_budget_bytes = KeyTierStore::hot_table_bytes();  // one hot slot
+  config.warm_after = 2;
+  config.hot_after = 4;
+  KeyTierStore store(config);
+  const AffinePoint a = random_point(rng);
+  const AffinePoint b = random_point(rng);
+  store.add(a);  // eager hot fills the budget
+  store.add(b);  // cold
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kHot);
+  EXPECT_EQ(store.peek(b).tier, KeyTier::kCold);
+
+  // First use leaves b cold (below warm_after); crossing the threshold
+  // builds a warm table by evicting a's LRU hot table.
+  EXPECT_EQ(store.use(b).tier, KeyTier::kCold);
+  EXPECT_EQ(store.use(b).tier, KeyTier::kWarm);
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kCold);
+  EXPECT_EQ(store.stats().demotions, 1u);
+  EXPECT_LE(store.table_bytes(), config.table_budget_bytes);
+
+  // Crossing hot_after upgrades in place (warm table freed for the delta).
+  EXPECT_EQ(store.use(b).tier, KeyTier::kWarm);
+  const KeyTierStore::Tables hot_b = store.use(b);
+  EXPECT_EQ(hot_b.tier, KeyTier::kHot);
+  EXPECT_NE(hot_b.hot, nullptr);
+  EXPECT_EQ(store.warm_count(), 0u);
+  EXPECT_EQ(store.table_bytes(), KeyTierStore::hot_table_bytes());
+
+  // The demoted key restarts cold and must re-earn its table; when it
+  // does, it evicts b in turn.  A use() snapshot taken before the eviction
+  // keeps the evicted table alive (batch verification relies on this).
+  store.use(a, config.hot_after);
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kHot);
+  EXPECT_EQ(store.peek(b).tier, KeyTier::kCold);
+  EXPECT_EQ(store.stats().demotions, 2u);
+  EXPECT_NE(hot_b.hot, nullptr);  // snapshot still owns the dropped table
+  EXPECT_LE(store.table_bytes(), config.table_budget_bytes);
+
+  // Unknown points are cold and never tracked.
+  EXPECT_EQ(store.use(random_point(rng)).tier, KeyTier::kCold);
+  EXPECT_EQ(store.key_count(), 2u);
+}
+
+TEST(KeyTierStore, DeniedBuildsWhenBudgetBelowAnyTable) {
+  util::SplitMix64 rng(191);
+  KeyTierConfig config;
+  config.table_budget_bytes = 16;  // smaller than even a warm table
+  KeyTierStore store(config);
+  const AffinePoint a = random_point(rng);
+  store.add(a);
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kCold);
+  store.use(a, 100);
+  EXPECT_EQ(store.peek(a).tier, KeyTier::kCold);
+  EXPECT_GE(store.stats().denied_builds, 1u);
+  EXPECT_EQ(store.table_bytes(), 0u);
+}
+
+TEST(KeyTierStore, MillionKeysStayWithinByteBudget) {
+  // Fleet scale: 10^6 tracked principals under a two-hot-table budget.
+  // Registration is metadata-only past the budget, so the byte accounting
+  // must hold exactly while the key set grows unbounded.
+  KeyTierConfig config;
+  config.table_budget_bytes = 2 * KeyTierStore::hot_table_bytes();
+  KeyTierStore store(config);
+  constexpr std::size_t kKeys = 1'000'000;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    // Synthetic coordinates: the store never does curve arithmetic for
+    // cold keys, so tracking needs no valid points.
+    store.add(AffinePoint{U256{i + 1}, U256{1}, false});
+  }
+  EXPECT_EQ(store.key_count(), kKeys);
+  EXPECT_EQ(store.hot_count(), 2u);
+  EXPECT_LE(store.table_bytes(), config.table_budget_bytes);
+
+  // A late key that starts signing every flow earns its table by evicting
+  // an idle one — the budget never grows with the key count.
+  const AffinePoint busy{U256{kKeys}, U256{1}, false};
+  store.use(busy, config.hot_after);
+  EXPECT_EQ(store.peek(busy).tier, KeyTier::kHot);
+  EXPECT_EQ(store.hot_count(), 2u);
+  EXPECT_GE(store.stats().demotions, 1u);
+  EXPECT_LE(store.table_bytes(), config.table_budget_bytes);
+}
+
+TEST(SchnorrVerifier, ColdAndWarmTiersVerifyCorrectly) {
+  // Zero table budget: every registered key stays cold and verifies
+  // through the per-call GLV path, bit-identical to crypto::verify.
+  KeyTierConfig cold_config;
+  cold_config.table_budget_bytes = 0;
+  SchnorrVerifier cold(SchnorrVerifier::kDefaultMemoCapacity, cold_config);
+  const PrivateKey key = PrivateKey::from_seed("tier-cold");
+  cold.register_key(key.public_key());
+  const Signature sig = key.sign("cold-claim");
+  EXPECT_TRUE(cold.verify(key.public_key(), "cold-claim", sig));
+  EXPECT_FALSE(cold.verify(key.public_key(), "cold-claim!", sig));
+  EXPECT_EQ(cold.stats().cold_verifications, 2u);
+  EXPECT_EQ(cold.stats().table_verifications, 0u);
+  EXPECT_EQ(cold.tiers().table_bytes(), 0u);
+
+  // Warm-only budget: the key earns a GLV table and verifies through it.
+  KeyTierConfig warm_config;
+  warm_config.table_budget_bytes = KeyTierStore::warm_table_bytes();
+  warm_config.warm_after = 1;
+  SchnorrVerifier warm(SchnorrVerifier::kDefaultMemoCapacity, warm_config);
+  warm.register_key(key.public_key());
+  EXPECT_TRUE(warm.verify(key.public_key(), "warm-claim", key.sign("warm-claim")));
+  EXPECT_FALSE(warm.verify(key.public_key(), "warm-claim", sig));
+  EXPECT_EQ(warm.stats().warm_verifications, 2u);
+  EXPECT_EQ(warm.stats().table_verifications, 0u);
+}
+
+TEST(SchnorrVerifier, SetTierConfigKeepsKeysAndMemo) {
+  // Applying a new budget rebuilds the tier store but preserves key
+  // registration and memo generations: memoized verdicts stay reachable.
+  SchnorrVerifier verifier;
+  const PrivateKey key = PrivateKey::from_seed("tier-reconfig");
+  verifier.register_key(key.public_key());
+  const Signature sig = key.sign("claim");
+  EXPECT_TRUE(verifier.verify(key.public_key(), "claim", sig));
+  EXPECT_EQ(verifier.stats().table_verifications, 1u);  // default eager hot
+
+  KeyTierConfig config;
+  config.table_budget_bytes = 0;
+  verifier.set_tier_config(config);
+  EXPECT_EQ(verifier.registered_key_count(), 1u);
+  EXPECT_EQ(verifier.tiers().table_bytes(), 0u);
+
+  EXPECT_TRUE(verifier.verify(key.public_key(), "claim", sig));
+  EXPECT_EQ(verifier.stats().memo_hits, 1u);  // survived the reconfigure
+  EXPECT_TRUE(verifier.verify(key.public_key(), "claim2", key.sign("claim2")));
+  EXPECT_EQ(verifier.stats().cold_verifications, 1u);
+}
+
+TEST(SchnorrVerifier, MemoAndGenerationsSurviveTierChurn) {
+  // Satellite regression: promotion/demotion churn in the tier store must
+  // never disturb memo identity, and rotation must invalidate across it.
+  KeyTierConfig config;
+  config.table_budget_bytes = KeyTierStore::hot_table_bytes();
+  config.warm_after = 2;
+  config.hot_after = 4;
+  SchnorrVerifier verifier(128, config);
+  const PrivateKey a = PrivateKey::from_seed("churn-a");
+  const PrivateKey b = PrivateKey::from_seed("churn-b");
+  verifier.register_key(a.public_key());  // eager hot
+  verifier.register_key(b.public_key());  // cold
+
+  const Signature sig_a = a.sign("alpha");
+  EXPECT_TRUE(verifier.verify(a.public_key(), "alpha", sig_a));
+  EXPECT_EQ(verifier.stats().table_verifications, 1u);
+
+  // b climbs cold -> warm -> hot, evicting a's table along the way.
+  for (int i = 0; i < 6; ++i) {
+    const std::string msg = "beta-" + std::to_string(i);
+    EXPECT_TRUE(verifier.verify(b.public_key(), msg, b.sign(msg)));
+  }
+  EXPECT_EQ(verifier.tiers().peek(b.public_key().point).tier, KeyTier::kHot);
+  EXPECT_EQ(verifier.tiers().peek(a.public_key().point).tier, KeyTier::kCold);
+  EXPECT_GE(verifier.tiers().stats().demotions, 1u);
+  EXPECT_GE(verifier.stats().warm_verifications, 1u);
+  EXPECT_GE(verifier.stats().cold_verifications, 1u);
+
+  // a's demotion did not touch its memo entry...
+  EXPECT_TRUE(verifier.verify(a.public_key(), "alpha", sig_a));
+  EXPECT_EQ(verifier.stats().memo_hits, 1u);
+  // ...and a fresh claim verifies correctly through the cold path.
+  EXPECT_TRUE(verifier.verify(a.public_key(), "alpha-2", a.sign("alpha-2")));
+
+  // Rotating b makes every verdict memoized under the old generation
+  // unreachable, across the promotion churn above.
+  verifier.invalidate_key(b.public_key());
+  verifier.register_key(b.public_key());
+  const std::uint64_t misses_before = verifier.stats().memo_misses;
+  EXPECT_TRUE(verifier.verify(b.public_key(), "beta-0", b.sign("beta-0")));
+  EXPECT_EQ(verifier.stats().memo_misses, misses_before + 1);
+}
+
+// ------------------------------------------------- GLV endomorphism
+
+TEST(Glv, ConstantsAreNontrivialCubeRootsOfUnity) {
+  EXPECT_EQ(pow_mod(Glv::beta(), U256{3}, Secp256k1::p()), U256{1});
+  EXPECT_NE(Glv::beta(), U256{1});
+  EXPECT_EQ(pow_mod(Glv::lambda(), U256{3}, Secp256k1::n()), U256{1});
+  EXPECT_NE(Glv::lambda(), U256{1});
+}
+
+TEST(Glv, EndomorphismEqualsLambdaMultiplication) {
+  util::SplitMix64 rng(131);
+  EXPECT_EQ(ec_endomorphism(AffinePoint::generator()),
+            ec_mul_naive(Glv::lambda(), AffinePoint::generator()).to_affine());
+  for (int i = 0; i < 25; ++i) {
+    const AffinePoint p = random_point(rng);
+    EXPECT_EQ(ec_endomorphism(p), ec_mul_naive(Glv::lambda(), p).to_affine());
+  }
+}
+
+TEST(Glv, SplitRecombinesWithShortHalves) {
+  // k == (+-k1) + (+-k2)*lambda (mod n), both halves ~sqrt(n)-sized.
+  util::SplitMix64 rng(137);
+  const U256& n = Secp256k1::n();
+  std::vector<U256> scalars = {U256{}, U256{1}, Glv::lambda(),
+                               U256::sub(n, U256{1}).first};
+  for (int i = 0; i < 1000; ++i) {
+    scalars.push_back(
+        sn_reduce(U256{rng.next(), rng.next(), rng.next(), rng.next()}));
+  }
+  for (const U256& k : scalars) {
+    const GlvSplit split = glv_split(k);
+    const U256 t1 = split.neg1 ? sub_mod(U256{}, split.k1, n) : split.k1;
+    const U256 t2 = split.neg2 ? sub_mod(U256{}, split.k2, n) : split.k2;
+    EXPECT_EQ(sn_add(t1, sn_mul(t2, Glv::lambda())), k) << "k=" << k.to_hex();
+    EXPECT_LE(split.k1.bit_length(), 130u);
+    EXPECT_LE(split.k2.bit_length(), 130u);
+  }
+}
+
+TEST(EcDifferential, GlvMulMatchesNaive) {
+  // The GLV split path agrees with the double-and-add oracle on >= 1000
+  // random scalars plus edges (out-of-range scalars reduce internally).
+  util::SplitMix64 rng(139);
+  const AffinePoint p = random_point(rng);
+  std::vector<U256> scalars = {
+      U256{},
+      U256{1},
+      U256{2},
+      Glv::lambda(),
+      U256::sub(Secp256k1::n(), U256{1}).first,
+      Secp256k1::n(),
+      U256::add(Secp256k1::n(), U256{5}).first,
+      U256{~0ULL, ~0ULL, ~0ULL, ~0ULL},
+  };
+  for (int i = 0; i < 1000; ++i) {
+    scalars.push_back(U256{rng.next(), rng.next(), rng.next(), rng.next()});
+  }
+  for (const U256& k : scalars) {
+    EXPECT_EQ(ec_mul_glv(k, p).to_affine(), ec_mul_naive(k, p).to_affine())
+        << "k=" << k.to_hex();
+  }
+}
+
+TEST(EcDifferential, GlvMulAddMatchesNaiveComposition) {
+  // The cold-key verification core a*G + b*P against the naive sum.
+  util::SplitMix64 rng(141);
+  const AffinePoint p = random_point(rng);
+  for (int i = 0; i < 1000; ++i) {
+    const U256 a{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 b{rng.next(), rng.next(), rng.next(), rng.next()};
+    const AffinePoint expected =
+        ec_add(ec_mul_naive(a, AffinePoint::generator()), ec_mul_naive(b, p))
+            .to_affine();
+    EXPECT_EQ(ec_mul_add_glv(a, b, p).to_affine(), expected);
+  }
+  EXPECT_EQ(ec_mul_add_glv(U256{}, U256{7}, p).to_affine(),
+            ec_mul_naive(U256{7}, p).to_affine());
+  EXPECT_EQ(ec_mul_add_glv(U256{7}, U256{}, p).to_affine(),
+            ec_mul_naive(U256{7}, AffinePoint::generator()).to_affine());
+  EXPECT_TRUE(ec_mul_add_glv(U256{}, U256{}, p).is_identity());
+}
+
+TEST(EcDifferential, GlvTableMatchesNaive) {
+  util::SplitMix64 rng(143);
+  const AffinePoint p = random_point(rng);
+  const GlvTable table(p);
+  for (int i = 0; i < 300; ++i) {
+    const U256 k{rng.next(), rng.next(), rng.next(), rng.next()};
+    EXPECT_EQ(table.mul(k).to_affine(), ec_mul_naive(k, p).to_affine());
+    const U256 a{rng.next(), rng.next(), rng.next(), rng.next()};
+    EXPECT_EQ(
+        table.mul_add_base(a, k).to_affine(),
+        ec_add(ec_mul_naive(a, AffinePoint::generator()), ec_mul_naive(k, p))
+            .to_affine());
+  }
+  EXPECT_TRUE(table.mul(U256{}).is_identity());
+  EXPECT_TRUE(table.mul_add_base(U256{}, U256{}).is_identity());
+}
+
+TEST(EcDifferential, MsmMatchesNaiveSum) {
+  // Every EcMsm term flavour staged together against the naive point sum.
+  util::SplitMix64 rng(149);
+  for (int iter = 0; iter < 40; ++iter) {
+    const AffinePoint p1 = random_point(rng);
+    const AffinePoint p2 = random_point(rng);
+    const AffinePoint p3 = random_point(rng);
+    const AffinePoint p4 = random_point(rng);
+    const FixedBaseTable comb(p1);
+    const GlvTable glv(p2);
+    const U256 k0{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 k1{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 k2{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 k3{rng.next(), rng.next(), rng.next(), rng.next()};
+    const U256 k4{rng.next()};  // short scalar, the add_naf regime
+    EcMsm msm;
+    msm.add_base(k0);
+    msm.add_comb(comb, k1);
+    msm.add_glv(glv, k2);
+    msm.add_glv(p3, k3);
+    msm.add_naf(p4, k4);
+    JacobianPoint expected = ec_mul_naive(k0, AffinePoint::generator());
+    expected = ec_add(expected, ec_mul_naive(k1, p1));
+    expected = ec_add(expected, ec_mul_naive(k2, p2));
+    expected = ec_add(expected, ec_mul_naive(k3, p3));
+    expected = ec_add(expected, ec_mul_naive(k4, p4));
+    EXPECT_EQ(msm.result().to_affine(), expected.to_affine());
+  }
+  // The Bos-Coster regime: enough 64-bit naf terms to trigger the heap
+  // reduction (>= 16), including duplicate points, equal scalars, and a
+  // skewed spread that exercises the peel guard.
+  util::SplitMix64 rng_bc(153);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<AffinePoint> pts;
+    std::vector<U256> ks;
+    JacobianPoint expected = JacobianPoint::identity();
+    EcMsm msm;
+    for (int i = 0; i < 24; ++i) {
+      const AffinePoint pt = (i % 5 == 0 && i > 0) ? pts[0] : random_point(rng_bc);
+      U256 k{rng_bc.next()};
+      if (i == 7) k = ks[3];                  // equal scalars collide in the heap
+      if (i == 11) k = U256{3};               // skewed spread -> peel guard
+      if (i == 12) k = U256{rng_bc.next() | (1ULL << 63)};
+      pts.push_back(pt);
+      ks.push_back(k);
+      msm.add_naf(pt, k);
+      expected = ec_add(expected, ec_mul_naive(k, pt));
+    }
+    // A wide scalar rides the stream fallback alongside the short terms.
+    const AffinePoint wide_pt = random_point(rng_bc);
+    const U256 wide_k{rng_bc.next(), rng_bc.next(), rng_bc.next(),
+                      rng_bc.next() >> 1};
+    msm.add_naf(wide_pt, wide_k);
+    expected = ec_add(expected, ec_mul_naive(wide_k, wide_pt));
+    EXPECT_EQ(msm.result().to_affine(), expected.to_affine());
+  }
+  // Empty accumulator and exact cancellation both land on the identity --
+  // the condition batch verification tests for.
+  EXPECT_TRUE(EcMsm{}.result().is_identity());
+  util::SplitMix64 rng2(151);
+  const AffinePoint p = random_point(rng2);
+  const U256 k{rng2.next(), rng2.next(), rng2.next(), rng2.next() >> 1};
+  const FixedBaseTable gen_table(AffinePoint::generator());
+  EcMsm cancel;
+  cancel.add_naf(p, U256{5});
+  cancel.add_glv(p, U256::sub(Secp256k1::n(), U256{5}).first);
+  cancel.add_base(k);
+  cancel.add_comb(gen_table, U256::sub(Secp256k1::n(), sn_reduce(k)).first);
+  EXPECT_TRUE(cancel.result().is_identity());
+}
+
+// ------------------------------------------------- unrolled field layer
+
+TEST(FpDifferential, UnrolledOpsMatchGenericModOracles) {
+  // The fixed-prime field layer against the generic U256/U512 modular
+  // routines it replaced, on >= 1000 random residues plus boundary values.
+  util::SplitMix64 rng(157);
+  const U256& p = Secp256k1::p();
+  const auto residue = [&rng, &p]() {
+    U512 x{};
+    for (std::size_t i = 0; i < 4; ++i) x.w[i] = rng.next();
+    return mod(x, p);
+  };
+  std::vector<std::pair<U256, U256>> cases = {
+      {U256{}, U256{}},
+      {U256{}, U256{1}},
+      {U256::sub(p, U256{1}).first, U256::sub(p, U256{1}).first},
+      {U256::sub(p, U256{1}).first, U256{1}},
+      {U256::sub(p, U256{2}).first, U256{2}},
+  };
+  for (int i = 0; i < 1000; ++i) cases.emplace_back(residue(), residue());
+  for (const auto& [a, b] : cases) {
+    EXPECT_EQ(fp_add(a, b), add_mod(a, b, p));
+    EXPECT_EQ(fp_sub(a, b), sub_mod(a, b, p));
+    EXPECT_EQ(fp_mul(a, b), mul_mod(a, b, p));
+    EXPECT_EQ(fp_sqr(a), mul_mod(a, a, p));
+    if (!a.is_zero()) {
+      EXPECT_EQ(fp_inv(a), inv_mod(a, p));
+      EXPECT_EQ(fp_mul(a, fp_inv(a)), U256{1});
+    }
+  }
+}
+
+TEST(U256Arith, SqrWideMatchesMulWide) {
+  util::SplitMix64 rng(163);
+  const auto check = [](const U256& a) {
+    const U512 expected = U256::mul_wide(a, a);
+    const U512 got = U256::sqr_wide(a);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(got.w[i], expected.w[i]);
+    }
+  };
+  check(U256{});
+  check(U256{1});
+  check(U256{~0ULL, ~0ULL, ~0ULL, ~0ULL});
+  for (int i = 0; i < 1000; ++i) {
+    check(U256{rng.next(), rng.next(), rng.next(), rng.next()});
+  }
+}
+
+TEST(U256Arith, DivRoundRoundsToNearestMultiple) {
+  // div_round feeds the GLV decomposition constants: exact multiples must
+  // return the exact quotient, one below rounds up, one above rounds down.
+  util::SplitMix64 rng(167);
+  const U256& m = Secp256k1::n();
+  for (int i = 0; i < 200; ++i) {
+    const U256 q =
+        sn_reduce(U256{rng.next(), rng.next(), rng.next(), rng.next()});
+    if (q.is_zero()) continue;
+    const U512 exact = U256::mul_wide(q, m);
+    EXPECT_EQ(div_round(exact, m), q);
+    U512 above = exact;  // q*m + 1: remainder 1 < m/2, still q
+    for (auto& w : above.w) {
+      if (++w != 0) break;
+    }
+    EXPECT_EQ(div_round(above, m), q);
+    U512 below = exact;  // q*m - 1: remainder m-1 > m/2, rounds back up to q
+    for (auto& w : below.w) {
+      if (w-- != 0) break;
+    }
+    EXPECT_EQ(div_round(below, m), q);
+  }
 }
 
 // Property sweep: sign/verify holds across many seeds and messages.

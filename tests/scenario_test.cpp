@@ -170,6 +170,56 @@ expect f1 blocked
   EXPECT_TRUE(result.ok());
 }
 
+TEST(ScenarioRun, MultipathRepinReordersInFlightPackets) {
+  // Two equal-cost (by hops) paths with very different latencies; mid-run
+  // `control set_multipath` events re-pin the flow's ECMP choice.  A
+  // re-pin from the slow leg to the fast one lets late packets overtake
+  // the ones still in flight — the receiver's sequence stamps count them.
+  const ScenarioResult result = Scenario::parse(R"(
+switch s1
+switch s2
+switch s3
+switch s4
+link s1 s2 5
+link s2 s4 5
+link s1 s3 400
+link s3 s4 400
+host client 10.0.0.1 s1
+host server 10.0.0.2 s4
+user client alice staff
+user server www daemons
+launch c1 client alice /usr/bin/curl
+launch h1 server www /usr/sbin/httpd
+listen h1 80
+policy begin
+pass all
+policy end
+flow f1 c1 10.0.0.2 80
+traffic f1 cbr packets=64 rate=100000
+control 300 set_multipath 2 1
+control 500 set_multipath 2 2
+control 700 set_multipath 2 3
+expect f1 delivered
+)")
+                                      .run();
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.flows.size(), 1u);
+  const ScenarioFlowResult& flow = result.flows[0];
+  EXPECT_TRUE(flow.delivered);
+  EXPECT_EQ(flow.packets_sent, 64u);
+  EXPECT_EQ(flow.packets_delivered, 64u);
+  EXPECT_GT(flow.packets_reordered, 0u);
+  EXPECT_LT(flow.packets_reordered, flow.packets_delivered);
+}
+
+TEST(ScenarioRun, SinglePathFlowsNeverReorder) {
+  // The default single-path/unbounded-queue configuration is FIFO end to
+  // end: the reorder counter must stay zero.
+  const ScenarioResult result = Scenario::parse(kMinimal).run();
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_EQ(result.flows[0].packets_reordered, 0u);
+}
+
 TEST(ScenarioRun, UdpFlows) {
   const ScenarioResult result = Scenario::parse(R"(
 switch s1

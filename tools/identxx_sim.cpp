@@ -163,14 +163,15 @@ int main(int argc, char** argv) {
     std::printf("\n\n");
     const auto result = scenario.run(options);
 
-    std::printf("%-12s %-46s %-10s %8s %8s %s\n", "flow", "5-tuple", "verdict",
-                "sent", "deliv", "expectation");
+    std::printf("%-12s %-46s %-10s %8s %8s %8s %s\n", "flow", "5-tuple",
+                "verdict", "sent", "deliv", "reord", "expectation");
     for (const auto& flow : result.flows) {
-      std::printf("%-12s %-46s %-10s %8llu %8llu %s\n", flow.id.c_str(),
+      std::printf("%-12s %-46s %-10s %8llu %8llu %8llu %s\n", flow.id.c_str(),
                   flow.flow.to_string().c_str(),
                   flow.delivered ? "DELIVERED" : "BLOCKED",
                   static_cast<unsigned long long>(flow.packets_sent),
                   static_cast<unsigned long long>(flow.packets_delivered),
+                  static_cast<unsigned long long>(flow.packets_reordered),
                   !flow.expectation_known    ? "-"
                   : flow.matches_expectation() ? "ok"
                                                : "MISMATCH");
