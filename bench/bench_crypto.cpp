@@ -14,6 +14,8 @@
 
 #include <vector>
 
+#include "crypto/ct_sign.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/key_tier.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
@@ -53,6 +55,55 @@ void BM_SchnorrSign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrSign);
+
+/// The constant-time kernel called directly (what sign() runs since the
+/// timing-leak hardening, DESIGN.md §16): fixed-window comb over complete
+/// additions, masked reductions, one ct field inversion.
+void BM_SchnorrSignCt(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const std::string message(256, 'm');
+  const auto msg = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ct::schnorr_sign_ct<std::uint64_t>(
+        key.scalar(), key.public_key().point, msg));
+  }
+}
+BENCHMARK(BM_SchnorrSignCt);
+
+/// The pre-hardening variable-time signing shape (wNAF nonce multiply,
+/// branchy reductions), reassembled from the public primitives.  The
+/// constant-time budget is BM_SchnorrSignCt <= 3x this baseline.
+void BM_SchnorrSignVartime(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");
+  const crypto::U256 d = key.scalar();
+  const crypto::PublicKey pub = key.public_key();
+  const std::string message(256, 'm');
+  const auto msg = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size());
+  const auto d_bytes = d.to_bytes();
+  for (auto _ : state) {
+    crypto::Signature sig{};
+    for (std::uint8_t counter = 0;; ++counter) {
+      crypto::Sha256 h;
+      h.update(msg);
+      h.update(std::span(&counter, 1));
+      const crypto::Digest msg_digest = h.finish();
+      const crypto::Digest k_digest = crypto::hmac_sha256(
+          std::span<const std::uint8_t>(d_bytes.data(), d_bytes.size()),
+          std::span<const std::uint8_t>(msg_digest.data(), msg_digest.size()));
+      const crypto::U256 k = crypto::sn_reduce(crypto::U256::from_bytes(
+          std::span<const std::uint8_t, 32>(k_digest)));
+      if (k.is_zero()) continue;
+      const crypto::AffinePoint r = crypto::ec_mul_base(k).to_affine();
+      const crypto::U256 e = crypto::schnorr_challenge(r, pub.point, msg);
+      sig = crypto::Signature{r, crypto::sn_add(k, crypto::sn_mul(e, d))};
+      break;
+    }
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_SchnorrSignVartime);
 
 void BM_SchnorrVerify(benchmark::State& state) {
   const crypto::PrivateKey key = crypto::PrivateKey::from_seed("bench");

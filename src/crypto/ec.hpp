@@ -138,6 +138,14 @@ class FixedBaseTable {
 
   [[nodiscard]] const AffinePoint& base() const noexcept { return base_; }
 
+  /// Raw table entry (j+1) * 16^window * base.  The constant-time comb
+  /// (ct_sign.hpp) scans every entry of a window and mask-selects, so it
+  /// needs direct affine access rather than mul()'s wNAF-style walk.
+  [[nodiscard]] const AffinePoint& entry(unsigned window,
+                                         unsigned idx) const noexcept {
+    return table_[window][idx];
+  }
+
   /// The process-wide table for G.
   [[nodiscard]] static const FixedBaseTable& generator();
 

@@ -8,10 +8,16 @@
 #include <unordered_map>
 #include <utility>
 
+#include "crypto/ct.hpp"
+#include "crypto/ct_sign.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/key_id.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
+
+#ifdef IDENTXX_CT_TRACE
+#include <cstdlib>
+#endif
 
 namespace identxx::crypto {
 
@@ -156,9 +162,11 @@ std::optional<Signature> Signature::from_hex(std::string_view hex) {
   return Signature{AffinePoint{*rx, *ry, false}, *s};
 }
 
+// ct-lint: secret(seed)
 PrivateKey PrivateKey::from_seed(std::string_view seed) {
   // Hash the seed with a counter until we land in [1, n-1]; the first
-  // iteration succeeds with probability ~1 - 2^-128.
+  // iteration succeeds with probability ~1 - 2^-128.  The digest is the
+  // key candidate, so the reduction runs masked (digest_to_scalar_ct).
   for (std::uint32_t counter = 0;; ++counter) {
     Sha256 h;
     h.update("identxx-keygen-v1:");
@@ -169,18 +177,32 @@ PrivateKey PrivateKey::from_seed(std::string_view seed) {
         static_cast<std::uint8_t>(counter >> 8),
         static_cast<std::uint8_t>(counter)};
     h.update(std::span(ctr.data(), ctr.size()));
-    const U256 candidate = digest_to_scalar(h.finish());
-    if (!candidate.is_zero()) {
-      return from_scalar(candidate);
+    Digest digest = h.finish();
+    U256 candidate = ct::digest_to_scalar_ct(digest);
+    ct::secure_wipe(digest);
+    // Retrying on zero is publicly observable by construction (the
+    // counter is part of the derivation) and happens with probability
+    // ~2^-256.
+    if (!ct::declassify(candidate.is_zero())) {  // ct-lint: allow(branch)
+      PrivateKey key = from_scalar(candidate);
+      ct::secure_wipe(candidate);
+      return key;
     }
   }
 }
 
+// ct-lint: secret(d) public-return
 PrivateKey PrivateKey::from_scalar(const U256& d) {
-  if (d.is_zero() || U256::cmp(d, Secp256k1::n()) >= 0) {
+  // Whether d is a valid key is public: every key this library mints is,
+  // and a caller feeding an out-of-range scalar learns only what it
+  // already knew.
+  if (ct::declassify(d.is_zero() ||
+                     U256::cmp(d, Secp256k1::n()) >= 0)) {  // ct-lint: allow(branch, call)
     throw CryptoError("private scalar out of range [1, n-1]");
   }
-  const AffinePoint pub = ec_mul_base(d).to_affine();
+  // Public-key derivation multiplies G by the private scalar — use the
+  // constant-time comb, not the wNAF path.
+  const AffinePoint pub = ct::ec_mul_base_ct<std::uint64_t>(d);
   return PrivateKey(d, PublicKey{pub});
 }
 
@@ -189,25 +211,19 @@ Signature PrivateKey::sign(std::string_view message) const {
 }
 
 Signature PrivateKey::sign(std::span<const std::uint8_t> message) const {
-  // Deterministic nonce: k = HMAC(d, msg || counter) mod n, retry on 0.
-  const auto d_bytes = d_.to_bytes();
-  for (std::uint8_t counter = 0;; ++counter) {
-    Sha256 nonce_input;
-    nonce_input.update(message);
-    nonce_input.update(std::span(&counter, 1));
-    const Digest msg_digest = nonce_input.finish();
-    const Digest k_digest =
-        hmac_sha256(std::span<const std::uint8_t>(d_bytes.data(), d_bytes.size()),
-                    std::span<const std::uint8_t>(msg_digest.data(), msg_digest.size()));
-    const U256 k = digest_to_scalar(k_digest);
-    if (k.is_zero()) continue;
-
-    const AffinePoint r = ec_mul_base(k).to_affine();
-    if (r.infinity) continue;
-    const U256 e = challenge(r, public_.point, message);
-    const U256 s = sn_add(k, sn_mul(e, d_));
-    return Signature{r, s};
-  }
+  const U256& d = d_.expose_secret();
+  const Signature sig =
+      ct::schnorr_sign_ct<std::uint64_t>(d, public_.point, message);
+#ifdef IDENTXX_CT_TRACE
+  // Shadow run in the ctgrind style: the identical kernel instantiated
+  // with the taint-tracking limb.  Any secret-dependent branch, shift
+  // count, or variable-time operator throws TraceViolation; the result
+  // must agree bit-for-bit with production.
+  const Signature traced =
+      ct::schnorr_sign_ct<ct::TracedLimb>(d, public_.point, message);
+  if (!(traced == sig)) std::abort();
+#endif
+  return sig;
 }
 
 bool verify(const PublicKey& key, std::string_view message,

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "crypto/ct.hpp"
 #include "crypto/ec.hpp"
 #include "crypto/sha256.hpp"
 
@@ -73,15 +74,21 @@ class PrivateKey {
 
   [[nodiscard]] const PublicKey& public_key() const noexcept { return public_; }
 
-  /// Sign an arbitrary message (deterministic: same key+message => same sig).
+  /// Sign an arbitrary message (deterministic: same key+message => same
+  /// sig).  Runs the certified constant-time kernel (ct_sign.hpp): the
+  /// nonce chain is a fixed-window comb with complete additions and masked
+  /// reductions — no branch, memory index, or variable-time operator
+  /// depends on d or k (DESIGN.md §16).
   [[nodiscard]] Signature sign(std::string_view message) const;
   [[nodiscard]] Signature sign(std::span<const std::uint8_t> message) const;
 
-  [[nodiscard]] const U256& scalar() const noexcept { return d_; }
+  [[nodiscard]] const U256& scalar() const noexcept {
+    return d_.expose_secret();
+  }
 
  private:
-  PrivateKey(U256 d, PublicKey pub) : d_(d), public_(pub) {}
-  U256 d_;
+  PrivateKey(const U256& d, PublicKey pub) : d_(d), public_(pub) {}
+  ct::secret<U256> d_;  ///< wiped on destruction (ct.hpp)
   PublicKey public_;
 };
 

@@ -7,6 +7,7 @@
 #include <immintrin.h>
 #endif
 
+#include "crypto/ct.hpp"
 #include "util/hex.hpp"
 
 namespace identxx::crypto {
@@ -172,6 +173,13 @@ Digest Sha256::finish() noexcept {
 
   Digest out{};
   for (std::size_t i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  // The context is exhausted after finish(); erase the buffered message
+  // tail and the chaining state so secret-keyed hashing (HMAC nonce
+  // derivation) leaves no residue in a long-lived hasher object.
+  ct::secure_wipe(buffer_);
+  ct::secure_wipe(state_);
+  buffered_ = 0;
+  total_bytes_ = 0;
   return out;
 }
 

@@ -1,0 +1,256 @@
+// Bit-identity tests for the constant-time Schnorr sign path
+// (src/crypto/ct_sign.hpp).
+//
+// The constant-time kernel must be a pure re-implementation of the
+// signing math: same deterministic nonce, same canonical R, same s —
+// only the *how* changes (masked reductions, complete additions, comb
+// instead of wNAF).  Three layers of evidence:
+//
+//   1. pinned KATs generated with the pre-hardening variable-time sign
+//      (any drift here is a consensus break with already-issued
+//      attestations);
+//   2. a 1000+-message differential sweep against a reference signer
+//      reconstructed from the public variable-time primitives;
+//   3. edge scalars at the ends of [1, n-1], where masked conditional
+//      subtractions and the comb's zero-digit handling earn their keep.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/ct_sign.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace identxx::crypto {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// The pre-hardening signing algorithm, reassembled from the public
+/// variable-time primitives (HMAC nonce, wNAF scalar multiply, branchy
+/// scalar reduction).  This is what sign() computed before the
+/// constant-time kernel replaced its internals.
+Signature reference_sign(const U256& d, const PublicKey& pub,
+                         std::span<const std::uint8_t> message) {
+  const auto d_bytes = d.to_bytes();
+  for (std::uint8_t counter = 0;; ++counter) {
+    Sha256 h;
+    h.update(message);
+    h.update(std::span(&counter, 1));
+    const Digest msg_digest = h.finish();
+    const Digest k_digest = hmac_sha256(
+        std::span<const std::uint8_t>(d_bytes.data(), d_bytes.size()),
+        std::span<const std::uint8_t>(msg_digest.data(), msg_digest.size()));
+    const U256 k = sn_reduce(
+        U256::from_bytes(std::span<const std::uint8_t, 32>(k_digest)));
+    if (k.is_zero()) continue;
+    const AffinePoint r = ec_mul_base(k).to_affine();
+    const U256 e = schnorr_challenge(r, pub.point, message);
+    const U256 s = sn_add(k, sn_mul(e, d));
+    return Signature{r, s};
+  }
+}
+
+/// Edge scalars by label: the KAT generator pinned d in {1, 2, n-2, n-1}.
+U256 edge_scalar(int i) {
+  const U256 n = Secp256k1::n();
+  switch (i) {
+    case 0: return U256{1};
+    case 1: return U256{2};
+    case 2: return U256::sub(n, U256{2}).first;
+    default: return U256::sub(n, U256{1}).first;
+  }
+}
+
+struct Kat {
+  const char* seed;  // "scalar-N" selects edge_scalar(N) via from_scalar
+  const char* message;
+  const char* sig_hex;
+};
+
+// Generated with the pre-hardening sign() (wNAF nonce chain), commit
+// 723af91.  MUST NOT change: these signatures are what deployed
+// verifiers have already accepted.
+constexpr Kat kKats[] = {
+    {"daemon-key-a", "",
+     "8277806a9e65720d5fb0d41d0334d7612e9d79e5d3413d702e18b420aa73460e4742955d49bf86458a8dacaf332aca3b1123dc9de8a91af6b522dc065881ec7f12a9d2c6de7e021c5304153770416658fced3b4515a7a3dd622bc31e8141029f"},
+    {"daemon-key-a", "m",
+     "e3801a8e9dfc6d6eab91ead503075f5d81536e0bf494229a6089ffa252e6b864372e5f02f455d67c4634892b5332af6a687706e239eaf245a6f423c884343b10e88e216757f0213a14e1e6d6a04db8a8e0bc390e6784c8f8f3d3ce842403f48f"},
+    {"daemon-key-a", "the quick brown fox jumps over the lazy dog",
+     "f99057dc92e898d4f9d56994e300e30cbdc2d78007d5612468d28c9bf5c91a4aad4770d680f2a71a617fc9f491a7731e0b3c243a291bc102b1852b8872e8ddade6bde8ccb139d3360477e023fb80272d7ed8ca8d3ce707e111b1da7a7e47f5ba"},
+    {"daemon-key-a", "attest:app=browser;exe-hash=deadbeef",
+     "d8db8abb1920b8db213474f851491f2200cbf58a1e73a1f2c62468ddd26ced248ce07cf350e64cd1bc49ed1d6785c81c98924e0ddc2c7755862dd0b05c5894a715976525bdb078a93027adca026134558843375517f4863809a50a2616d8ba24"},
+    {"secur-vendor", "",
+     "b43d4d6c69bc27bc81e3d9311aae2374cbf1680fc826ff26badadf53861ea91af77230f49db32bbc7982a4a8e2805491c619976981bc066577246a5328946a9b3d742cf73a5abbb5e73befdf1ad1948dc8a160497bdadf70c5b77cbfcdf31967"},
+    {"secur-vendor", "m",
+     "1a670e3e9b48c24a564217cc256f549131f6d85671e2d0f5bfa85e039b3d14ea5f0297a1b4a1c865c0c759725c56270a95a4be11d1ccf794b5c73f0411a8067ad87e91e2b16006aeb7a9504b2301146b71c16bae7c28951c5cd60adc79aa20ea"},
+    {"secur-vendor", "the quick brown fox jumps over the lazy dog",
+     "b931d59f46adc001a445a1286bbe2ad83a21f5b3401d6896633aad737f6ec8213f2082257a74932ac757c6df0718acc16886fdb59cdc41df1e34c93aa651a3de2bb5c336d5f432ded06702abc82f03202abd9706fc1e420eef5c21ccc8c3b3d9"},
+    {"secur-vendor", "attest:app=browser;exe-hash=deadbeef",
+     "a6af46588ee6110a3da501de88ae88d67154ee9800d89bccdc2ce99986b5229863949c202268fe4f08c93bc97a6883d257334c18cda2caf882d06983f4576c9e772c52fd64f898de2c60bccfbaebe6f2984fb2dbb08d9e90359c075c249e8a18"},
+    {"edge", "",
+     "656df9aac50bda5d9755f78e8e829136e110a5cc785d38f9397666ed6927b97610ebc65652cd8797572919c62ebd9fa5f5e08257f05b5cef93a94cf7bd82a96e251e2505bd0d969d0ada851a9d121dca41a6d4c49073b07f634a0fb8b33159e5"},
+    {"edge", "m",
+     "3a4928f1f8389d79f28586c4a57815ed762606491a4952c5ef3a75c32baf4cea2c6b18924e4c270636b4afabcd4209114f685d970e1c873b63b8045f5e904c53be8a4c3aeb6235cfc8196b1d079f67a6da746e0017655a5edeab5d7071240b9a"},
+    {"edge", "the quick brown fox jumps over the lazy dog",
+     "aaa774e8a912c1103a247a9ecb961730509932fa30a98783ad33bcaee78bb54c40044bfdbc91f28f27bd1bf61765fbaf6fef9df0363b1d8115c4cbd89bff5d9c74867b043f2014f9327e36e03b1b065ca35b0a14a8dabeb03b47f67edb50a30a"},
+    {"edge", "attest:app=browser;exe-hash=deadbeef",
+     "af9e1a85482059f42390189f9d2e410be03154d9dba346112b90e9136f5480c31d17fefc2def69285c9e6b6c7437fac576ac4f4fc4683af2e6e47fe10faed2f4958601bc96982be21dcdb78c2c53db92eb5ed1f10ed97038b0e832ab3d9493f0"},
+    {"x", "",
+     "2ef166865a8eae7fd23e549a4badcb1dcc0ced25d04c3a645813137f37f39be4ee82f679af7981b665f58672e92bd019425efa54315d0a6167f1b56d11ba8592ad90dfd3503dd56b580ad58bc348bc5173ca8c562fede1f56050347d94ca2ce4"},
+    {"x", "m",
+     "715f169a28f209d263b39577b0a62e8138b481fa4d4bab4c5f8e9eed97c8a4e2df1f64e7e56b935d1583f9200f63d1f675e95b30c69d86e813453b89f3cd0ce0a1eb081fa9f5b2987f794d9e553ab0d0b1e3faed9c97d343b41016ffea81edc3"},
+    {"x", "the quick brown fox jumps over the lazy dog",
+     "96c5e2c22951bd586f52501f1cd678c4c0551e20e02e232eedc70fb7236533eaf5333c60573dfa822c3981955eeeae83c21892c886ba4d32bc6a9887f5efed92c72103dee2db38aaed8b7df01f6d5152db1917225abe8fc619bc80b61bcf0710"},
+    {"x", "attest:app=browser;exe-hash=deadbeef",
+     "84557b4e879a974f8718a1fd5f560711dfa7839581adb1e0e6a945a6fa2703c0e0e725671992da38722b145bde31d63befec907e6a4b0f70929e3a5394f8995ff4570dcc1ac1287b04aaa27b1c3ef727dbe347d25e8285e5e213362c74e89d4f"},
+    {"scalar-0", "edge",
+     "976373e703393ccbff4766e339be9dd58a815469b3c443aa40c1b167c95b9df60a5eee5579cfea350563b1c19a33030f741c67b3185ac4416e0d3c3930d2c692822d7f026ce113fcd0385ccc7d77059e8e723d9eeb30d0101c90779d9d7e2222"},
+    {"scalar-1", "edge",
+     "fcb4346f8b212063b7e4f1f384f95fe804a5b6d8d4bbd9e1981a03daef03bb00076292bf827fc02b10d5c10eaecc7b2b3c9e65889b826e66260f97cd9784af31ef97df51075296318a824607c46831682a300d4ba9a07723e5da4edbac85fb98"},
+    {"scalar-2", "edge",
+     "960b390ed7cbe734f5cbd0eff7d9c311ee3342c0c6e1280215e59faeee6afcd8f6c225267d570268b915791bdeb23eef996e4856376c67dc2138886b77110c23e9583541167ae36cfc0bb0a0a81b6fb5eb0cfc37565c534a872b6ee49a4bde99"},
+    {"scalar-3", "edge",
+     "ea45cf94fee95347f9e49319cdd3b1bb290178853dc5603256362420f0b2fe2187bd41697af0951c3c875850e9e35d640f34e95d1480d4e5931c414501c2c51f28ecd2ca15978a383f3df100af07807be8c2e3af8771353aaa614894fdce1de4"},
+};
+
+PrivateKey key_for(const std::string& seed) {
+  if (seed.rfind("scalar-", 0) == 0) {
+    return PrivateKey::from_scalar(edge_scalar(seed.back() - '0'));
+  }
+  return PrivateKey::from_seed(seed);
+}
+
+TEST(CtSign, MatchesPinnedPreHardeningKats) {
+  for (const Kat& kat : kKats) {
+    const PrivateKey key = key_for(kat.seed);
+    const Signature sig = key.sign(std::string_view(kat.message));
+    EXPECT_EQ(sig.to_hex(), kat.sig_hex)
+        << "seed=" << kat.seed << " msg=\"" << kat.message << '"';
+    EXPECT_TRUE(verify(key.public_key(), std::string_view(kat.message), sig));
+  }
+}
+
+TEST(CtSign, DifferentialSweepMatchesReference) {
+  // 4 keys x 260 messages = 1040 signatures, each checked bit-for-bit
+  // against the reconstructed variable-time reference and verified.
+  const char* seeds[] = {"daemon-key-a", "secur-vendor", "edge", "x"};
+  std::uint64_t rng = 0x243f6a8885a308d3ULL;  // deterministic xorshift
+  int checked = 0;
+  for (const char* seed : seeds) {
+    const PrivateKey key = key_for(seed);
+    for (int i = 0; i < 260; ++i) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      std::string msg = "sweep:" + std::string(seed) + ":" +
+                        std::to_string(i) + ":";
+      // Vary length (0..127 extra bytes) and include raw binary content.
+      const std::size_t extra = rng % 128;
+      for (std::size_t b = 0; b < extra; ++b) {
+        msg.push_back(static_cast<char>((rng >> (b % 56)) & 0xff));
+      }
+      const Signature got = key.sign(as_bytes(msg));
+      const Signature want =
+          reference_sign(key.scalar(), key.public_key(), as_bytes(msg));
+      ASSERT_EQ(got, want) << "seed=" << seed << " i=" << i;
+      ASSERT_TRUE(verify(key.public_key(), as_bytes(msg), got));
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+TEST(CtSign, EdgeScalarsNearZeroAndN) {
+  // Scalars at both ends of [1, n-1] stress the masked conditional
+  // subtractions (values straddling n) and zero comb digits (d=1, 2).
+  const U256 n = Secp256k1::n();
+  const U256 scalars[] = {
+      U256{1}, U256{2}, U256{3},
+      U256::sub(n, U256{3}).first,
+      U256::sub(n, U256{2}).first,
+      U256::sub(n, U256{1}).first,
+  };
+  for (const U256& d : scalars) {
+    const PrivateKey key = PrivateKey::from_scalar(d);
+    // The comb-derived public key must match the wNAF-derived one.
+    EXPECT_EQ(key.public_key().point, ec_mul_base(d).to_affine());
+    for (int i = 0; i < 25; ++i) {
+      const std::string msg = "edge-scalar:" + std::to_string(i);
+      const Signature got = key.sign(as_bytes(msg));
+      const Signature want =
+          reference_sign(d, key.public_key(), as_bytes(msg));
+      ASSERT_EQ(got, want) << d.to_hex() << " i=" << i;
+      ASSERT_TRUE(verify(key.public_key(), as_bytes(msg), got));
+    }
+  }
+}
+
+TEST(CtSign, CombMatchesWnafScalarMultiply) {
+  // ec_mul_base_ct (fixed-window comb + complete additions + ct Fermat
+  // inversion) against the wNAF chain, over structured and random
+  // scalars.  Covers every fp_* and comb path without going through
+  // sign().
+  std::vector<U256> scalars;
+  const U256 n = Secp256k1::n();
+  for (std::uint64_t v : {1ULL, 2ULL, 15ULL, 16ULL, 17ULL, 0xffffULL}) {
+    scalars.push_back(U256{v});
+  }
+  scalars.push_back(U256::sub(n, U256{1}).first);
+  scalars.push_back(U256::sub(n, U256{16}).first);
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 40; ++i) {
+    U256 k{};
+    for (auto& w : k.w) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      w = rng;
+    }
+    scalars.push_back(sn_reduce(k));
+  }
+  for (const U256& k : scalars) {
+    if (k.is_zero()) continue;
+    EXPECT_EQ(ct::ec_mul_base_ct<std::uint64_t>(k),
+              ec_mul_base(k).to_affine())
+        << k.to_hex();
+  }
+}
+
+TEST(CtSign, ScalarArithmeticMatchesVartime) {
+  // sn_mul_ct's fixed 4-fold reduction vs the branchy sn_reduce chain.
+  std::uint64_t rng = 0xdeadbeefcafef00dULL;
+  for (int i = 0; i < 500; ++i) {
+    U256 a{}, b{};
+    for (auto& w : a.w) {
+      rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+      w = rng;
+    }
+    for (auto& w : b.w) {
+      rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+      w = rng;
+    }
+    const U256 ar = sn_reduce(a);
+    const U256 br = sn_reduce(b);
+    const auto at = ct::lift_secret<std::uint64_t>(ar);
+    const auto bt = ct::lift_secret<std::uint64_t>(br);
+    EXPECT_EQ(ct::declassify_u256(ct::sn_mul_ct(at, bt)), sn_mul(ar, br));
+    EXPECT_EQ(ct::declassify_u256(ct::sn_add_ct(at, bt)), sn_add(ar, br));
+  }
+  // Boundary: operands at n-1 drive the folds to their worst case.
+  const U256 top = U256::sub(Secp256k1::n(), U256{1}).first;
+  const auto tt = ct::lift_secret<std::uint64_t>(top);
+  EXPECT_EQ(ct::declassify_u256(ct::sn_mul_ct(tt, tt)), sn_mul(top, top));
+  EXPECT_EQ(ct::declassify_u256(ct::sn_add_ct(tt, tt)), sn_add(top, top));
+}
+
+}  // namespace
+}  // namespace identxx::crypto

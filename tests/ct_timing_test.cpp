@@ -1,0 +1,137 @@
+// dudect-style statistical timing smoke test for the sign path.
+//
+// Two measurement classes — a FIXED private key vs RANDOM private keys —
+// sign the same message; samples are interleaved pseudo-randomly and
+// compared with Welch's t-statistic.  For a constant-time sign, the key
+// bits must not shift the timing distribution, so |t| stays small; the
+// pre-hardening wNAF chain, whose addition count follows the scalar's
+// digit pattern, separates the classes within a few hundred samples.
+//
+// ADVISORY by default (noisy CI machines produce false positives from
+// frequency scaling, preemption, and cache pollution): the verdict is
+// printed and recorded as a test property, but only enforced when
+// IDENTXX_CT_TIMING_ENFORCE=1 is set in the environment (the CI ct-check
+// job runs it advisory; run it enforced locally on a quiet machine).
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/ec.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace identxx::crypto {
+namespace {
+
+constexpr int kSamplesPerClass = 150;
+// Generous bound: dudect's conventional "leak" threshold is |t| > 4.5;
+// we allow noise headroom since sign() is ~100us (coarse-grained
+// scheduling noise dominates short-lived effects).
+constexpr double kTThreshold = 10.0;
+
+struct Welch {
+  double mean_a, mean_b, t;
+};
+
+Welch welch_t(const std::vector<double>& a, const std::vector<double>& b) {
+  auto stats = [](const std::vector<double>& v) {
+    double mean = 0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(v.size() - 1);
+    return std::pair<double, double>(mean, var);
+  };
+  const auto [ma, va] = stats(a);
+  const auto [mb, vb] = stats(b);
+  const double denom = std::sqrt(va / static_cast<double>(a.size()) +
+                                 vb / static_cast<double>(b.size()));
+  return Welch{ma, mb, denom > 0 ? (ma - mb) / denom : 0.0};
+}
+
+TEST(CtTiming, FixedVsRandomKeyClassesAdvisory) {
+  const std::string message = "attest:app=browser;exe-hash=deadbeef";
+  const auto msg = std::span(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size());
+
+  // Pre-build every key outside the timed region (keygen is not sign).
+  const PrivateKey fixed = PrivateKey::from_seed("timing-fixed-key");
+  std::vector<PrivateKey> random_keys;
+  random_keys.reserve(kSamplesPerClass);
+  for (int i = 0; i < kSamplesPerClass; ++i) {
+    random_keys.push_back(
+        PrivateKey::from_seed("timing-random-" + std::to_string(i)));
+  }
+
+  // Interleave the classes in a fixed pseudo-random order so slow drift
+  // (thermal, frequency) hits both classes equally.
+  std::vector<int> order;  // 0 = fixed class, 1 = random class
+  std::uint64_t rng = 0x2545f4914f6cdd1dULL;
+  int remaining[2] = {kSamplesPerClass, kSamplesPerClass};
+  while (remaining[0] + remaining[1] > 0) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    int cls = static_cast<int>(rng & 1);
+    if (remaining[cls] == 0) cls ^= 1;
+    order.push_back(cls);
+    --remaining[cls];
+  }
+
+  // Warm up tables, caches, and branch predictors.
+  for (int i = 0; i < 10; ++i) {
+    (void)fixed.sign(msg);
+    (void)random_keys[static_cast<std::size_t>(i)].sign(msg);
+  }
+
+  std::vector<double> fixed_ns, random_ns;
+  fixed_ns.reserve(kSamplesPerClass);
+  random_ns.reserve(kSamplesPerClass);
+  std::size_t next_random = 0;
+  for (const int cls : order) {
+    const PrivateKey& key =
+        (cls == 0) ? fixed : random_keys[next_random];
+    const auto start = std::chrono::steady_clock::now();
+    const Signature sig = key.sign(msg);
+    const auto stop = std::chrono::steady_clock::now();
+    ASSERT_FALSE(sig.s.is_zero());
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    if (cls == 0) {
+      fixed_ns.push_back(ns);
+    } else {
+      random_ns.push_back(ns);
+      ++next_random;
+    }
+  }
+
+  const Welch w = welch_t(fixed_ns, random_ns);
+  const bool leak_suspected = std::abs(w.t) > kTThreshold;
+  RecordProperty("welch_t", std::to_string(w.t));
+  RecordProperty("fixed_mean_ns", std::to_string(w.mean_a));
+  RecordProperty("random_mean_ns", std::to_string(w.mean_b));
+  std::printf("[ct-timing] welch t=%.2f (fixed %.0fns vs random %.0fns, "
+              "%d samples/class) -> %s\n",
+              w.t, w.mean_a, w.mean_b, kSamplesPerClass,
+              leak_suspected ? "SUSPECT" : "ok");
+
+  const char* enforce = std::getenv("IDENTXX_CT_TIMING_ENFORCE");
+  if (enforce != nullptr && std::string_view(enforce) == "1") {
+    EXPECT_FALSE(leak_suspected)
+        << "timing distributions separated by key class: |t|=" << w.t;
+  } else if (leak_suspected) {
+    GTEST_SKIP() << "advisory: |t|=" << w.t
+                 << " exceeds threshold on a noisy host; "
+                    "set IDENTXX_CT_TIMING_ENFORCE=1 to fail on this";
+  }
+}
+
+}  // namespace
+}  // namespace identxx::crypto

@@ -1,0 +1,51 @@
+// ct_lint self-test fixture: the same tasks as leaky.cpp done with the
+// constant-time discipline — the lint must emit zero findings here.
+
+#include <cstdint>
+
+namespace fixture {
+
+// ct-lint: certified secret(mask, a, b)
+std::uint64_t ct_select(std::uint64_t mask, std::uint64_t a,
+                        std::uint64_t b) {
+  return b ^ (mask & (a ^ b));
+}
+
+// ct-lint: certified secret(x)
+std::uint64_t ct_nonzero_bit(std::uint64_t x) {
+  return (x | (0 - x)) >> 63;
+}
+
+// Fixed-shape scan with mask selection instead of a secret-indexed load.
+// ct-lint: certified secret(idx)
+std::uint64_t clean_table_scan(const std::uint64_t* table,
+                               std::uint64_t idx) {
+  std::uint64_t out = 0;
+  for (std::uint64_t j = 0; j < 16; ++j) {
+    const std::uint64_t m = 0 - (ct_nonzero_bit(j ^ idx) ^ 1);
+    out = out | (m & table[j]);
+  }
+  return out;
+}
+
+// Masked conditional subtraction instead of '%': fixed reduction shape.
+// ct-lint: certified secret(x)
+std::uint64_t clean_reduce(std::uint64_t x) {
+  const std::uint64_t m = 0 - (x >> 63);
+  return x - (m & 0x1000003d1ULL);
+}
+
+std::uint64_t declassify(std::uint64_t v);
+
+// The is-zero retry bit is intentionally public (RFC 6979 shape): the
+// declassify call sanitizes the branch.
+// ct-lint: secret(k)
+std::uint64_t clean_declassified_retry(std::uint64_t k) {
+  const std::uint64_t nz = declassify(ct_nonzero_bit(k));
+  if (nz == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fixture
